@@ -1,0 +1,231 @@
+// Command mphbench regenerates the EXPERIMENTS.md sweep tables: for each
+// experiment it runs the shared scenarios of internal/bench over a
+// parameter grid and prints one table, mirroring what the evaluation
+// section of the paper would report had it included quantitative results
+// (the published paper is qualitative; see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mphbench [-exp E2,E4] [-repeat 5]
+//
+// Without -exp every experiment runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mph/internal/bench"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1, A2) or \"all\"")
+	repeat := flag.Int("repeat", 5, "repetitions per cell (minimum is reported)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "A1", "A2"} {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(e))] = true
+		}
+	}
+
+	runners := []struct {
+		id  string
+		run func(repeat int) error
+	}{
+		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6}, {"E8", e8},
+		{"A1", a1}, {"A2", a2},
+	}
+	for _, r := range runners {
+		if !want[r.id] {
+			continue
+		}
+		if err := r.run(*repeat); err != nil {
+			fmt.Fprintf(os.Stderr, "mphbench: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// timeIt returns the minimum wall time of repeat runs of fn.
+func timeIt(repeat int, fn func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func e1(repeat int) error {
+	fmt.Println("E1: handshake across the five execution modes (8 ranks, 4 components)")
+	fmt.Printf("%-14s %12s\n", "mode", "time")
+	modes := []struct {
+		name string
+		run  func() error
+	}{
+		{"SCSE", func() error { return bench.HandshakeSCME(8, 1) }},
+		{"SCME", func() error { return bench.HandshakeSCME(8, 4) }},
+		{"MCSE", func() error { return bench.HandshakeMultiComp(8, 4, false) }},
+		{"MCME-overlap", func() error { return bench.HandshakeMultiComp(8, 4, true) }},
+		{"MIME", func() error { _, err := bench.EnsembleRound(4, 1, 1); return err }},
+	}
+	for _, m := range modes {
+		d, err := timeIt(repeat, m.run)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %12v\n", m.name, d)
+	}
+	return nil
+}
+
+func e2(repeat int) error {
+	fmt.Println("E2: SCME handshake scaling (registry bcast + split + layout exchange)")
+	fmt.Printf("%-8s %-8s %12s\n", "ranks", "comps", "time")
+	for _, ranks := range []int{8, 16, 32, 64, 128} {
+		for _, comps := range []int{2, 4, 8, 16} {
+			if comps > ranks {
+				continue
+			}
+			d, err := timeIt(repeat, func() error { return bench.HandshakeSCME(ranks, comps) })
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8d %-8d %12v\n", ranks, comps, d)
+		}
+	}
+	return nil
+}
+
+func e3(repeat int) error {
+	fmt.Println("E3: single-split (disjoint) vs repeated-split (overlap) handshake, 16 ranks")
+	fmt.Printf("%-8s %12s %12s %8s\n", "comps", "disjoint", "overlap", "ratio")
+	for _, comps := range []int{2, 4, 8} {
+		dj, err := timeIt(repeat, func() error { return bench.HandshakeMultiComp(16, comps, false) })
+		if err != nil {
+			return err
+		}
+		ov, err := timeIt(repeat, func() error { return bench.HandshakeMultiComp(16, comps, true) })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %12v %12v %8.2f\n", comps, dj, ov, float64(ov)/float64(dj))
+	}
+	return nil
+}
+
+func e4(repeat int) error {
+	fmt.Println("E4: MPH_comm_join + M-to-N redistribution (10 rounds, 128x64 grid)")
+	fmt.Printf("%-10s %12s %14s\n", "M->N", "time", "bandwidth")
+	const nlat, nlon, rounds = 128, 64, 10
+	bytes := float64(nlat * nlon * 8 * rounds)
+	for _, mn := range [][2]int{{2, 2}, {4, 2}, {2, 4}, {4, 4}, {8, 4}} {
+		d, err := timeIt(repeat, func() error {
+			return bench.JoinTransfer(mn[0], mn[1], nlat, nlon, rounds)
+		})
+		if err != nil {
+			return err
+		}
+		mbs := bytes / d.Seconds() / 1e6
+		fmt.Printf("%d->%-7d %12v %11.1f MB/s\n", mn[0], mn[1], d, mbs)
+	}
+	return nil
+}
+
+func e5(repeat int) error {
+	fmt.Println("E5: inter-component ping-pong by (name, local id), 100 round trips")
+	fmt.Printf("%-10s %12s %14s\n", "payload", "time", "per round")
+	const rounds = 100
+	for _, size := range []int{64, 1 << 10, 16 << 10, 256 << 10, 1 << 20} {
+		d, err := timeIt(repeat, func() error { return bench.PingPong(size, rounds) })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10d %12v %14v\n", size, d, d/rounds)
+	}
+	return nil
+}
+
+func e6(repeat int) error {
+	fmt.Println("E6: ensemble aggregate-and-steer cycles (4 rounds, 256 cells)")
+	fmt.Printf("%-8s %12s %14s\n", "members", "time", "final spread")
+	for _, members := range []int{2, 4, 8, 16, 32} {
+		var spread float64
+		d, err := timeIt(repeat, func() error {
+			s, err := bench.EnsembleRound(members, 4, 256)
+			spread = s
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %12v %14.4f\n", members, d, spread)
+	}
+	return nil
+}
+
+func a1(repeat int) error {
+	fmt.Println("A1 (ablation): row<->column transpose round trips (10 rounds)")
+	fmt.Printf("%-8s %-10s %12s %14s\n", "ranks", "grid", "time", "bandwidth")
+	const rounds = 10
+	for _, p := range []int{2, 4, 8} {
+		for _, n := range []int{32, 128} {
+			bytes := float64(n * n * 8 * rounds * 2) // there and back
+			d, err := timeIt(repeat, func() error { return bench.TransposeRoundTrip(p, n, n, rounds) })
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8d %dx%-7d %12v %11.1f MB/s\n", p, n, n, d, bytes/d.Seconds()/1e6)
+		}
+	}
+	return nil
+}
+
+func a2(repeat int) error {
+	fmt.Println("A2 (ablation): k-field exchange, bundled vs per-field messages (4->4 ranks, 64x32, 10 rounds)")
+	fmt.Printf("%-8s %12s %12s %8s\n", "k", "bundled", "per-field", "ratio")
+	const m, n, nlat, nlon, rounds = 4, 4, 64, 32, 10
+	for _, k := range []int{2, 4, 8, 16} {
+		b, err := timeIt(repeat, func() error { return bench.BundleTransfer(m, n, k, nlat, nlon, rounds, true) })
+		if err != nil {
+			return err
+		}
+		pf, err := timeIt(repeat, func() error { return bench.BundleTransfer(m, n, k, nlat, nlon, rounds, false) })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %12v %12v %8.2f\n", k, b, pf, float64(pf)/float64(b))
+	}
+	return nil
+}
+
+func e8(repeat int) error {
+	fmt.Println("E8: coupled five-component climate system (10 ranks, 4 periods)")
+	fmt.Printf("%-10s %12s %16s\n", "grid", "time", "cell-periods/s")
+	for _, g := range [][2]int{{16, 8}, {32, 16}, {64, 32}, {128, 64}} {
+		const periods = 4
+		d, err := timeIt(repeat, func() error { return bench.CoupledClimate(g[0], g[1], periods) })
+		if err != nil {
+			return err
+		}
+		rate := float64(g[0]*g[1]*periods) / d.Seconds()
+		fmt.Printf("%dx%-7d %12v %16.0f\n", g[0], g[1], d, rate)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTimeIt(t *testing.T) {
+	calls := 0
+	d, err := timeIt(3, func() error {
+		calls++
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("calls %d err %v", calls, err)
+	}
+	if d < time.Millisecond {
+		t.Errorf("minimum %v below the sleep", d)
+	}
+	wantErr := errors.New("boom")
+	if _, err := timeIt(2, func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+// TestTablesRun executes every experiment table once at repeat=1; the
+// scenarios inside are the same ones the unit suite exercises, so this is
+// a wiring check (output goes to stdout, which `go test` swallows unless
+// verbose).
+func TestTablesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sweeps")
+	}
+	for _, fn := range []struct {
+		name string
+		run  func(int) error
+	}{
+		{"e1", e1}, {"e3", e3}, {"e4", e4}, {"e5", e5}, {"e6", e6}, {"a1", a1}, {"a2", a2},
+	} {
+		if err := fn.run(1); err != nil {
+			t.Fatalf("%s: %v", fn.name, err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command mphhistory summarizes a coupler history CSV (written by the
+// climate example / coupler.WriteHistory): per-series minimum, maximum,
+// mean, first→last trend, and the conservation check on the flux
+// imbalance. It is the post-processing half of the multi-channel output
+// story (paper §5.4): the designated logger writes, tools read.
+//
+// Usage:
+//
+//	mphhistory coupler_history.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"mph/internal/coupler"
+)
+
+func main() {
+	tol := flag.Float64("imbalance-tol", 1e-9, "acceptable |flux imbalance| per period")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mphhistory [-imbalance-tol x] <history.csv>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphhistory: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	d, err := coupler.ParseHistory(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphhistory: %v\n", err)
+		os.Exit(1)
+	}
+	if len(d.AtmMean) == 0 {
+		fmt.Fprintln(os.Stderr, "mphhistory: history has no periods")
+		os.Exit(1)
+	}
+
+	fmt.Printf("coupled history: %d periods\n\n", len(d.AtmMean))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SERIES\tMIN\tMAX\tMEAN\tFIRST\tLAST\tTREND")
+	for _, s := range []struct {
+		name string
+		vals []float64
+	}{
+		{"atm_mean", d.AtmMean},
+		{"ocn_mean", d.OcnMean},
+		{"land_mean", d.LandMean},
+		{"ice_mean", d.IceMean},
+		{"energy", d.Energy},
+	} {
+		lo, hi, mean := summarize(s.vals)
+		first, last := s.vals[0], s.vals[len(s.vals)-1]
+		fmt.Fprintf(tw, "%s\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%s\n",
+			s.name, lo, hi, mean, first, last, trend(first, last))
+	}
+	tw.Flush()
+
+	worst := 0.0
+	for _, v := range d.FluxImbalance {
+		if math.Abs(v) > worst {
+			worst = math.Abs(v)
+		}
+	}
+	fmt.Printf("\nflux imbalance: worst |%g| against tolerance %g — ", worst, *tol)
+	if worst <= *tol {
+		fmt.Println("CONSERVED")
+		return
+	}
+	fmt.Println("VIOLATED")
+	os.Exit(1)
+}
+
+func summarize(vals []float64) (lo, hi, mean float64) {
+	lo, hi = vals[0], vals[0]
+	sum := 0.0
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		sum += v
+	}
+	return lo, hi, sum / float64(len(vals))
+}
+
+func trend(first, last float64) string {
+	switch {
+	case last > first:
+		return "rising"
+	case last < first:
+		return "falling"
+	default:
+		return "flat"
+	}
+}

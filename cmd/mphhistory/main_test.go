@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestSummarize(t *testing.T) {
+	lo, hi, mean := summarize([]float64{3, -1, 7, 3})
+	if lo != -1 || hi != 7 || mean != 3 {
+		t.Fatalf("summarize = %g %g %g", lo, hi, mean)
+	}
+	lo, hi, mean = summarize([]float64{5})
+	if lo != 5 || hi != 5 || mean != 5 {
+		t.Fatalf("singleton = %g %g %g", lo, hi, mean)
+	}
+}
+
+func TestTrend(t *testing.T) {
+	if trend(1, 2) != "rising" || trend(2, 1) != "falling" || trend(1, 1) != "flat" {
+		t.Fatal("trend labels wrong")
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mph/internal/registry"
+)
+
+const mixedFile = `
+BEGIN
+Multi_Component_Begin
+atmosphere 0 15 scheme=eulerian
+land       0 15
+chemistry 16 19
+Multi_Component_End
+Multi_Instance_Begin
+Ocean1 0 7 in1 alpha=3
+Ocean2 8 15 in2
+Multi_Instance_End
+coupler
+END
+`
+
+func TestDescribeOutput(t *testing.T) {
+	reg, err := registry.Parse(mixedFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	describe(&b, reg)
+	out := b.String()
+
+	for _, want := range []string{
+		"3 executable(s), 6 component(s)",
+		"multi-component",
+		"multi-instance",
+		"single-component",
+		"launcher-defined",
+		"atmosphere",
+		"0..15",
+		"scheme=eulerian",
+		"in1 alpha=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The overlap note for atmosphere/land.
+	if !strings.Contains(out, "overlap on processors 0..15") {
+		t.Errorf("missing overlap note:\n%s", out)
+	}
+	// No overlap note for disjoint pairs.
+	if strings.Contains(out, `"chemistry" and`) {
+		t.Errorf("spurious overlap note:\n%s", out)
+	}
+}
+
+func TestDescribeSizes(t *testing.T) {
+	reg, err := registry.Parse(mixedFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	describe(&b, reg)
+	// Multi-component executable needs 20 procs; multi-instance 16.
+	if !strings.Contains(b.String(), "20") || !strings.Contains(b.String(), "16") {
+		t.Errorf("sizes missing:\n%s", b.String())
+	}
+}

@@ -1,0 +1,290 @@
+// Command mphrun is the MPMD launcher for multi-executable MPH jobs — the
+// stand-in for the vendor commands the paper enumerates ("poe -pgmmodel
+// mpmd -cmdfile" on IBM SP, the analogous commands on Compaq AlphaSC and
+// SGI Origin, §6). It reproduces their defining behaviour: all executables
+// of the job share one world communicator with contiguous, non-overlapping
+// rank blocks, and beyond that nothing — component handshaking is MPH's
+// job, not the launcher's.
+//
+// Usage:
+//
+//	mphrun -cmdfile job.cmd [-registration processors_map.in] [-timeout 120s]
+//
+// The cmdfile lists one executable per line, IBM SP style:
+//
+//	# nprocs command [args...]
+//	3 ./atm -flag
+//	2 ./ocn
+//	1 ./coupler
+//
+// mphrun assigns world ranks 0-2 to atm, 3-4 to ocn, 5 to coupler, starts a
+// rendezvous, spawns every process with MPH_RANK / MPH_NPROCS /
+// MPH_RENDEZVOUS / MPH_REGISTRATION set, prefixes each process's output
+// with its rank, and exits non-zero if any process fails.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mph/internal/mpirun"
+)
+
+// entry is one cmdfile line: an executable and its processor count.
+type entry struct {
+	nprocs int
+	argv   []string
+	line   int
+}
+
+func main() {
+	cmdfile := flag.String("cmdfile", "", "MPMD command file")
+	registration := flag.String("registration", "", "registration file forwarded to every process")
+	timeout := flag.Duration("timeout", 120*time.Second, "rendezvous timeout")
+	flag.Parse()
+
+	var entries []entry
+	var total int
+	var err error
+	switch {
+	case *cmdfile != "" && flag.NArg() > 0:
+		err = fmt.Errorf("give either -cmdfile or a colon-separated command line, not both")
+	case *cmdfile != "":
+		entries, total, err = parseCmdfile(*cmdfile)
+	case flag.NArg() > 0:
+		entries, total, err = parseColonSpec(flag.Args())
+	default:
+		fmt.Fprintln(os.Stderr, "mphrun: need -cmdfile FILE, or: mphrun [flags] N cmd [args] : N cmd [args] ...")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	if err := launch(entries, total, *registration, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseColonSpec reads the mpirun-style inline MPMD spec: colon-separated
+// segments of "nprocs command [args...]" (the SGI/Compaq launch idiom the
+// paper mentions alongside the IBM cmdfile, §6).
+func parseColonSpec(args []string) ([]entry, int, error) {
+	var entries []entry
+	total := 0
+	seg := []string{}
+	flush := func() error {
+		if len(seg) == 0 {
+			return fmt.Errorf("empty segment in colon-separated command line")
+		}
+		if len(seg) < 2 {
+			return fmt.Errorf("segment %q: expected \"nprocs command [args...]\"", strings.Join(seg, " "))
+		}
+		n, err := strconv.Atoi(seg[0])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("segment %q: bad processor count %q", strings.Join(seg, " "), seg[0])
+		}
+		entries = append(entries, entry{nprocs: n, argv: append([]string(nil), seg[1:]...)})
+		total += n
+		seg = seg[:0]
+		return nil
+	}
+	for _, a := range args {
+		if a == ":" {
+			if err := flush(); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		seg = append(seg, a)
+	}
+	if err := flush(); err != nil {
+		return nil, 0, err
+	}
+	return entries, total, nil
+}
+
+// parseCmdfile reads the MPMD command file.
+func parseCmdfile(path string) ([]entry, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	var entries []entry
+	total := 0
+	sc := bufio.NewScanner(f)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("%s:%d: expected \"nprocs command [args...]\"", path, lineNo)
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil || n <= 0 {
+			return nil, 0, fmt.Errorf("%s:%d: bad processor count %q", path, lineNo, fields[0])
+		}
+		entries = append(entries, entry{nprocs: n, argv: fields[1:], line: lineNo})
+		total += n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(entries) == 0 {
+		return nil, 0, fmt.Errorf("%s: no executables", path)
+	}
+	return entries, total, nil
+}
+
+// launch runs the job to completion.
+func launch(entries []entry, total int, registration string, timeout time.Duration) error {
+	rv, err := mpirun.NewRendezvous(total)
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(timeout) }()
+
+	fmt.Fprintf(os.Stderr, "mphrun: world of %d ranks across %d executable(s); rendezvous %s\n",
+		total, len(entries), rv.Addr())
+
+	type proc struct {
+		cmd  *exec.Cmd
+		rank int
+	}
+	type procResult struct {
+		rank int
+		err  error
+	}
+	var procs []proc
+	var outWG sync.WaitGroup
+	rank := 0
+	for ei, e := range entries {
+		for i := 0; i < e.nprocs; i++ {
+			cmd := exec.Command(e.argv[0], e.argv[1:]...)
+			cmd.Env = append(os.Environ(),
+				fmt.Sprintf("%s=%d", mpirun.EnvRank, rank),
+				fmt.Sprintf("%s=%d", mpirun.EnvSize, total),
+				fmt.Sprintf("%s=%s", mpirun.EnvRendezvous, rv.Addr()),
+			)
+			if registration != "" {
+				cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%s", mpirun.EnvRegistration, registration))
+			}
+			prefix := fmt.Sprintf("[exe%d rank%d] ", ei, rank)
+			stdout, err := cmd.StdoutPipe()
+			if err != nil {
+				return err
+			}
+			stderr, err := cmd.StderrPipe()
+			if err != nil {
+				return err
+			}
+			outWG.Add(2)
+			go relay(os.Stdout, stdout, prefix, &outWG)
+			go relay(os.Stderr, stderr, prefix, &outWG)
+			if err := cmd.Start(); err != nil {
+				return fmt.Errorf("start %q (rank %d): %w", strings.Join(e.argv, " "), rank, err)
+			}
+			procs = append(procs, proc{cmd: cmd, rank: rank})
+			rank++
+		}
+	}
+
+	// Reap each child on its own goroutine so a process that dies before
+	// the rendezvous completes aborts the job immediately instead of
+	// leaving the launcher waiting out the timeout.
+	results := make(chan procResult, len(procs))
+	for _, p := range procs {
+		go func(p proc) {
+			results <- procResult{rank: p.rank, err: p.cmd.Wait()}
+		}(p)
+	}
+	killAll := func() {
+		for _, p := range procs {
+			_ = p.cmd.Process.Kill()
+		}
+	}
+	drain := func(already int) error {
+		var firstErr error
+		for i := already; i < len(procs); i++ {
+			r := <-results
+			if r.err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("rank %d: %w", r.rank, r.err)
+			}
+		}
+		outWG.Wait()
+		return firstErr
+	}
+
+	reaped := 0
+	for {
+		select {
+		case err := <-serveErr:
+			if err != nil {
+				killAll()
+				_ = drain(reaped)
+				return fmt.Errorf("rendezvous: %w", err)
+			}
+			// Wired up; from here the job just runs to completion.
+			return drain(reaped)
+		case r := <-results:
+			reaped++
+			// A fast job can finish a rank between the rendezvous reply
+			// and Serve's return; check for that before declaring the
+			// exit premature.
+			select {
+			case err := <-serveErr:
+				if err != nil {
+					killAll()
+					_ = drain(reaped)
+					return fmt.Errorf("rendezvous: %w", err)
+				}
+				firstErr := error(nil)
+				if r.err != nil {
+					firstErr = fmt.Errorf("rank %d: %w", r.rank, r.err)
+				}
+				if derr := drain(reaped); derr != nil && firstErr == nil {
+					firstErr = derr
+				}
+				return firstErr
+			default:
+			}
+			// A rank exited before the world was wired — whatever its
+			// status, the job cannot proceed.
+			killAll()
+			_ = drain(reaped)
+			if r.err != nil {
+				return fmt.Errorf("rank %d exited before rendezvous completed: %w", r.rank, r.err)
+			}
+			return fmt.Errorf("rank %d exited before rendezvous completed", r.rank)
+		}
+	}
+}
+
+// relay copies a child stream line by line with a rank prefix.
+func relay(dst io.Writer, src io.Reader, prefix string, wg *sync.WaitGroup) {
+	defer wg.Done()
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fmt.Fprintf(dst, "%s%s\n", prefix, sc.Text())
+	}
+}

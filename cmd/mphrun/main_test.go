@@ -1,0 +1,192 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mph/internal/core"
+	"mph/internal/mpi"
+	"mph/internal/mpi/tcpnet"
+)
+
+// TestMain doubles as the MPMD worker: when mphrun (driven by the test
+// below) spawns this test binary with MPH_TEST_WORKER set, it behaves as
+// one executable of a three-component job instead of running tests.
+func TestMain(m *testing.M) {
+	if os.Getenv("MPH_TEST_WORKER") == "1" {
+		os.Exit(worker())
+	}
+	os.Exit(m.Run())
+}
+
+// worker is one executable of the launched job: ranks 0-1 are "alpha",
+// rank 2 is "beta". They handshake over the TCP world and exchange one
+// name-addressed message.
+func worker() int {
+	env, regPath, err := tcpnet.InitFromEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer env.Close()
+	world := mpi.WorldComm(env)
+
+	name := "alpha"
+	if world.Rank() == 2 {
+		name = "beta"
+	}
+	s, err := core.SingleComponentSetup(world, core.FileSource(regPath), name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	const tag = 4
+	switch {
+	case name == "alpha" && s.LocalProcID() == 1:
+		if err := s.SendTo("beta", 0, tag, []byte("launched")); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	case name == "beta":
+		data, _, err := s.RecvFrom("alpha", 1, tag)
+		if err != nil || string(data) != "launched" {
+			fmt.Fprintf(os.Stderr, "beta recv: %q %v\n", data, err)
+			return 1
+		}
+		fmt.Println("beta received the message")
+	}
+	if err := world.Barrier(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func TestParseCmdfile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.cmd")
+	content := `
+# a comment
+3 ./atm -x   # trailing comment
+2 ./ocn
+1 ./coupler
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, total, err := parseCmdfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 || len(entries) != 3 {
+		t.Fatalf("total %d, entries %d", total, len(entries))
+	}
+	if entries[0].nprocs != 3 || entries[0].argv[0] != "./atm" || entries[0].argv[1] != "-x" {
+		t.Errorf("entry 0: %+v", entries[0])
+	}
+	if entries[2].argv[0] != "./coupler" {
+		t.Errorf("entry 2: %+v", entries[2])
+	}
+}
+
+func TestParseCmdfileErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"empty":     "# nothing\n",
+		"bad count": "x ./atm\n",
+		"zero":      "0 ./atm\n",
+		"negative":  "-2 ./atm\n",
+		"no cmd":    "3\n",
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(name, " ", "_")+".cmd")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := parseCmdfile(path); err == nil {
+				t.Fatalf("accepted %q", content)
+			}
+		})
+	}
+	if _, _, err := parseCmdfile(filepath.Join(dir, "missing.cmd")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestLaunchEndToEnd runs a real MPMD job: mphrun's launch() spawns three
+// OS processes of this test binary (two executables), which bootstrap a TCP
+// world, perform the MPH handshake against a registration file, and
+// exchange a message (experiment E10).
+func TestLaunchEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	regPath := filepath.Join(dir, "processors_map.in")
+	if err := os.WriteFile(regPath, []byte("BEGIN\nalpha\nbeta\nEND\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv("MPH_TEST_WORKER", "1")
+	entries := []entry{
+		{nprocs: 2, argv: []string{self}},
+		{nprocs: 1, argv: []string{self}},
+	}
+	if err := launch(entries, 3, regPath, 60*time.Second); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+}
+
+// TestLaunchReportsChildFailure verifies that a failing rank fails the job.
+func TestLaunchReportsChildFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	entries := []entry{{nprocs: 1, argv: []string{"/bin/false"}}}
+	// /bin/false never registers, so the rendezvous times out — and the
+	// child's exit status is nonzero. Either way launch must error.
+	if err := launch(entries, 1, "", 2*time.Second); err == nil {
+		t.Fatal("launch reported success for a failing job")
+	}
+}
+
+func TestParseColonSpec(t *testing.T) {
+	entries, total, err := parseColonSpec([]string{"3", "./atm", "-x", ":", "2", "./ocn", ":", "1", "./cpl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 || len(entries) != 3 {
+		t.Fatalf("total %d, entries %d", total, len(entries))
+	}
+	if entries[0].nprocs != 3 || entries[0].argv[1] != "-x" {
+		t.Errorf("entry 0 %+v", entries[0])
+	}
+	if entries[2].argv[0] != "./cpl" {
+		t.Errorf("entry 2 %+v", entries[2])
+	}
+}
+
+func TestParseColonSpecErrors(t *testing.T) {
+	cases := [][]string{
+		{":"},
+		{"3", "./atm", ":"},
+		{":", "3", "./atm"},
+		{"x", "./atm"},
+		{"0", "./atm"},
+		{"3"},
+	}
+	for _, args := range cases {
+		if _, _, err := parseColonSpec(args); err == nil {
+			t.Errorf("accepted %v", args)
+		}
+	}
+}

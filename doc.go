@@ -1,0 +1,22 @@
+// Package mph is the root of a Go reproduction of "Integrating Program
+// Component Executables on Distributed Memory Architectures via MPH"
+// (Chris Ding and Yun He, LBNL, IPPS 2004).
+//
+// The implementation lives under internal/:
+//
+//   - internal/mpi — a from-scratch MPI-like message-passing substrate
+//     (communicators, point-to-point, collectives, Comm_split) with an
+//     in-process transport and a TCP transport (internal/mpi/tcpnet).
+//   - internal/registry — the processors_map.in registration file.
+//   - internal/core — MPH itself: component handshaking for all five
+//     execution modes, comm join, name-addressed messaging, inquiry,
+//     per-instance arguments, output redirection.
+//   - internal/{grid,xfer,model,coupler,ensemble,iolog} — the substrates a
+//     CCSM-style application needs: grids, M-to-N redistribution, toy
+//     climate components, a flux coupler, ensemble statistics, log
+//     multiplexing.
+//   - internal/mpirun + cmd/mphrun — the MPMD launcher and rendezvous.
+//
+// The benchmark suite in bench_test.go regenerates the experiments indexed
+// in EXPERIMENTS.md; runnable applications live under examples/ and cmd/.
+package mph

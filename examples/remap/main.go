@@ -1,0 +1,153 @@
+// Remap: dynamic component processor reallocation — item (b) of the
+// paper's further-work list (§9) — implemented on top of the ordinary
+// handshake. Mid-run, the job rebalances: the ocean gives two of its four
+// processors to the atmosphere. The re-handshake is just a second
+// MPH_components_setup against a new launch plan, and the ocean's
+// distributed state is migrated between the two layouts with an M-to-N
+// transfer over the new global communicator.
+//
+// Run:
+//
+//	go run ./examples/remap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"mph/internal/core"
+	"mph/internal/coupler"
+	"mph/internal/grid"
+	"mph/internal/model"
+	"mph/internal/mpi"
+)
+
+const registration = "BEGIN\natmosphere\nocean\nEND\n"
+
+func main() {
+	steps := flag.Int("steps", 10, "model steps per phase")
+	flag.Parse()
+
+	var mu sync.Mutex
+	say := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Printf(format+"\n", args...)
+	}
+
+	g, err := grid.New(16, 8)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Phase 1 plan: atmosphere ranks 0-1, ocean ranks 2-5.
+	// Phase 2 plan: atmosphere ranks 0-3, ocean ranks 4-5.
+	before := func(rank int) string {
+		if rank < 2 {
+			return "atmosphere"
+		}
+		return "ocean"
+	}
+	after := func(rank int) string {
+		if rank < 4 {
+			return "atmosphere"
+		}
+		return "ocean"
+	}
+
+	err = mpi.RunWorld(6, func(c *mpi.Comm) error {
+		// ---- Phase 1: initial layout. ----
+		s1, err := core.SingleComponentSetup(c, core.TextSource(registration), before(c.Rank()))
+		if err != nil {
+			return err
+		}
+		var ocean *model.SurfaceModel
+		if s1.CompName() == "ocean" {
+			comm, _ := s1.ProcInComponent("ocean")
+			d, err := grid.NewDecomp(g, comm.Size())
+			if err != nil {
+				return err
+			}
+			if ocean, err = model.NewOcean(comm, d); err != nil {
+				return err
+			}
+			if err := ocean.StepN(*steps, 0.5); err != nil {
+				return err
+			}
+			mean, err := ocean.GlobalMean()
+			if err != nil {
+				return err
+			}
+			if comm.Rank() == 0 {
+				say("phase 1: ocean on %d ranks, mean SST %.6f", comm.Size(), mean)
+			}
+		}
+
+		// ---- Remap: second handshake over the same world. ----
+		s2, err := s1.RemapSingle(core.TextSource(registration), after(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			atm, _ := s2.ComponentRanks("atmosphere")
+			ocn, _ := s2.ComponentRanks("ocean")
+			say("remap:   atmosphere %v, ocean %v", atm, ocn)
+		}
+
+		// ---- Migrate the ocean state between the two layouts. ----
+		wasOcean := before(c.Rank()) == "ocean"
+		isOcean := after(c.Rank()) == "ocean"
+		if wasOcean || isOcean {
+			var f *grid.Field
+			if wasOcean {
+				f = ocean.Field()
+			}
+			moved, err := coupler.MigrateField(s1, s2, "ocean", g, f, 99)
+			if err != nil {
+				return err
+			}
+			if isOcean {
+				comm, _ := s2.ProcInComponent("ocean")
+				d, err := grid.NewDecomp(g, comm.Size())
+				if err != nil {
+					return err
+				}
+				m2, err := model.NewOcean(comm, d)
+				if err != nil {
+					return err
+				}
+				if err := m2.SetField(moved); err != nil {
+					return err
+				}
+				mean, err := m2.GlobalMean()
+				if err != nil {
+					return err
+				}
+				if comm.Rank() == 0 {
+					say("phase 2: ocean on %d ranks, mean SST %.6f (state preserved: %v)",
+						comm.Size(), mean, math.Abs(mean) > 0)
+				}
+				// ---- Phase 2: continue on the new layout. ----
+				if err := m2.StepN(*steps, 0.5); err != nil {
+					return err
+				}
+				final, err := m2.GlobalMean()
+				if err != nil {
+					return err
+				}
+				if comm.Rank() == 0 {
+					say("phase 2: after %d more steps, mean SST %.6f", *steps, final)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remap:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module mph
+
+go 1.22

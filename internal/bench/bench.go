@@ -1,0 +1,407 @@
+// Package bench holds the experiment scenarios shared by the root
+// benchmark suite (bench_test.go) and the mphbench table generator. Each
+// function runs one complete scenario on an in-process world; callers time
+// it. The experiment numbering follows DESIGN.md §5 and EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+
+	"mph/internal/core"
+	"mph/internal/coupler"
+	"mph/internal/ensemble"
+	"mph/internal/grid"
+	"mph/internal/mpi"
+	"mph/internal/registry"
+	"mph/internal/xfer"
+)
+
+// SCMERegistration builds a names-only registration file for comps
+// components.
+func SCMERegistration(comps int) string {
+	b := registry.NewBuilder()
+	for i := 0; i < comps; i++ {
+		b.Single(fmt.Sprintf("comp%02d", i))
+	}
+	text, err := b.Text()
+	if err != nil {
+		panic(err) // generated names are always valid
+	}
+	return text
+}
+
+// SCMEName maps a world rank to its component under the even block plan
+// used by the handshake scenarios.
+func SCMEName(rank, ranks, comps int) string {
+	per := ranks / comps
+	idx := rank / per
+	if idx >= comps {
+		idx = comps - 1
+	}
+	return fmt.Sprintf("comp%02d", idx)
+}
+
+// HandshakeSCME runs one complete SCME handshake: ranks split evenly over
+// comps single-component executables (E2).
+func HandshakeSCME(ranks, comps int) error {
+	if ranks < comps {
+		return fmt.Errorf("bench: %d ranks for %d components", ranks, comps)
+	}
+	reg := SCMERegistration(comps)
+	return mpi.RunWorld(ranks, func(c *mpi.Comm) error {
+		_, err := core.SingleComponentSetup(c, core.TextSource(reg),
+			SCMEName(c.Rank(), ranks, comps))
+		return err
+	})
+}
+
+// multiCompRegistration builds one multi-component executable with comps
+// components over ranks processors; overlapped components all span the full
+// range, disjoint ones split it evenly.
+func multiCompRegistration(ranks, comps int, overlap bool) string {
+	per := ranks / comps
+	lines := make([]registry.Line, comps)
+	for i := 0; i < comps; i++ {
+		if overlap {
+			lines[i] = registry.Line{Name: fmt.Sprintf("comp%02d", i), Low: 0, High: ranks - 1}
+			continue
+		}
+		lo := i * per
+		hi := lo + per - 1
+		if i == comps-1 {
+			hi = ranks - 1
+		}
+		lines[i] = registry.Line{Name: fmt.Sprintf("comp%02d", i), Low: lo, High: hi}
+	}
+	text, err := registry.NewBuilder().MultiComponent(lines...).Text()
+	if err != nil {
+		panic(err)
+	}
+	return text
+}
+
+// HandshakeMultiComp runs one MCSE handshake with a disjoint or fully
+// overlapping component layout — the single-split vs repeated-split
+// ablation of paper §6(2) (E3).
+func HandshakeMultiComp(ranks, comps int, overlap bool) error {
+	if ranks < comps {
+		return fmt.Errorf("bench: %d ranks for %d components", ranks, comps)
+	}
+	reg := multiCompRegistration(ranks, comps, overlap)
+	names := make([]string, comps)
+	for i := range names {
+		names[i] = fmt.Sprintf("comp%02d", i)
+	}
+	return mpi.RunWorld(ranks, func(c *mpi.Comm) error {
+		_, err := core.ComponentsSetup(c, core.TextSource(reg), names)
+		return err
+	})
+}
+
+// JoinTransfer builds a 2-component world (m + n ranks), joins the
+// components, and redistributes a nlat x nlon field from the m-rank side
+// to the n-rank side `rounds` times (E4).
+func JoinTransfer(m, n, nlat, nlon, rounds int) error {
+	g, err := grid.New(nlat, nlon)
+	if err != nil {
+		return err
+	}
+	src, err := grid.NewDecomp(g, m)
+	if err != nil {
+		return err
+	}
+	dst, err := grid.NewDecomp(g, n)
+	if err != nil {
+		return err
+	}
+	reg := "BEGIN\nsrc\ndst\nEND\n"
+	return mpi.RunWorld(m+n, func(c *mpi.Comm) error {
+		name := "src"
+		if c.Rank() >= m {
+			name = "dst"
+		}
+		s, err := core.SingleComponentSetup(c, core.TextSource(reg), name)
+		if err != nil {
+			return err
+		}
+		joined, err := s.CommJoin("src", "dst")
+		if err != nil {
+			return err
+		}
+		r, err := xfer.NewRouter(src, dst)
+		if err != nil {
+			return err
+		}
+		spec := xfer.Spec{SrcOffset: 0, DstOffset: m, SrcProc: -1, DstProc: -1}
+		if name == "src" {
+			spec.SrcProc = s.LocalProcID()
+			f := grid.NewField(src, spec.SrcProc)
+			f.FillFunc(func(lat, lon int) float64 { return float64(lat + lon) })
+			spec.Field = f
+		} else {
+			spec.DstProc = s.LocalProcID()
+		}
+		for round := 0; round < rounds; round++ {
+			spec.Tag = round
+			if _, err := xfer.Transfer(joined, r, spec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// PingPong bounces a payload between two components through MPH's
+// name-addressed point-to-point path, `rounds` full round trips (E5).
+func PingPong(payloadBytes, rounds int) error {
+	reg := "BEGIN\nping\npong\nEND\n"
+	payload := make([]byte, payloadBytes)
+	return mpi.RunWorld(2, func(c *mpi.Comm) error {
+		name := "ping"
+		if c.Rank() == 1 {
+			name = "pong"
+		}
+		s, err := core.SingleComponentSetup(c, core.TextSource(reg), name)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < rounds; i++ {
+			if name == "ping" {
+				if err := s.SendTo("pong", 0, 1, payload); err != nil {
+					return err
+				}
+				if _, _, err := s.RecvFrom("pong", 0, 2); err != nil {
+					return err
+				}
+			} else {
+				data, _, err := s.RecvFrom("ping", 0, 1)
+				if err != nil {
+					return err
+				}
+				if err := s.SendTo("ping", 0, 2, data); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// EnsembleRound runs one MIME world — members instances of 1 rank each
+// plus a statistics rank — with `rounds` aggregate-and-steer cycles over a
+// field of `cells` cells (E6). It returns the final ensemble spread.
+func EnsembleRound(members, rounds, cells int) (float64, error) {
+	regText, err := registry.NewBuilder().
+		InstancesEvenly("ens", members, 1, func(k int) []string {
+			return []string{fmt.Sprintf("offset=%d", k)}
+		}).
+		Single("statistics").
+		Text()
+	if err != nil {
+		return 0, err
+	}
+	reg := regText
+
+	finalSpread := 0.0
+	err = mpi.RunWorld(members+1, func(c *mpi.Comm) error {
+		const tagUp, tagDown = 1, 2
+		if c.Rank() < members {
+			s, err := core.MultiInstance(c, core.TextSource(reg), "ens")
+			if err != nil {
+				return err
+			}
+			offset, ok, err := s.GetArgumentInt("offset")
+			if err != nil || !ok {
+				return fmt.Errorf("bench: offset argument: %v", err)
+			}
+			field := make([]float64, cells)
+			for i := range field {
+				field[i] = float64(offset)
+			}
+			for r := 0; r < rounds; r++ {
+				if err := s.SendFloatsTo("statistics", 0, tagUp, field); err != nil {
+					return err
+				}
+				adj, _, err := s.RecvFloatsFrom("statistics", 0, tagDown)
+				if err != nil {
+					return err
+				}
+				for i := range field {
+					field[i] += adj[0]
+				}
+			}
+			return nil
+		}
+		s, err := core.SingleComponentSetup(c, core.TextSource(reg), "statistics")
+		if err != nil {
+			return err
+		}
+		ctrl := ensemble.Controller{Target: 0, Gain: 0.7}
+		for r := 0; r < rounds; r++ {
+			fields := make([][]float64, members)
+			diags := make([]float64, members)
+			for k := 0; k < members; k++ {
+				name := fmt.Sprintf("ens%d", k+1)
+				xs, _, err := s.RecvFloatsFrom(name, 0, tagUp)
+				if err != nil {
+					return err
+				}
+				fields[k] = xs
+				sum := 0.0
+				for _, v := range xs {
+					sum += v
+				}
+				diags[k] = sum / float64(len(xs))
+			}
+			if _, err := ensemble.CellQuantiles(fields, 0.5); err != nil {
+				return err
+			}
+			adj := ctrl.Adjust(diags)
+			for k := 0; k < members; k++ {
+				name := fmt.Sprintf("ens%d", k+1)
+				if err := s.SendFloatsTo(name, 0, tagDown, []float64{adj[k]}); err != nil {
+					return err
+				}
+			}
+			if r == rounds-1 {
+				for k := range diags {
+					diags[k] += adj[k]
+				}
+				finalSpread = ensemble.Spread(diags)
+			}
+		}
+		return nil
+	})
+	return finalSpread, err
+}
+
+// CoupledClimate runs the full five-component coupled system (E8): world
+// size is fixed at 10 (3+2+2+1+2), grid and periods vary.
+func CoupledClimate(nlat, nlon, periods int) error {
+	g, err := grid.New(nlat, nlon)
+	if err != nil {
+		return err
+	}
+	cfg := coupler.Config{Grid: g, Periods: periods, SubSteps: 2, Dt: 0.5,
+		Names: coupler.DefaultNames()}
+	reg := "BEGIN\natmosphere\nocean\nland\nice\ncoupler\nEND\n"
+	launch := func(rank int) string {
+		switch {
+		case rank < 3:
+			return "atmosphere"
+		case rank < 5:
+			return "ocean"
+		case rank < 7:
+			return "land"
+		case rank < 8:
+			return "ice"
+		default:
+			return "coupler"
+		}
+	}
+	return mpi.RunWorld(10, func(c *mpi.Comm) error {
+		s, err := core.SingleComponentSetup(c, core.TextSource(reg), launch(c.Rank()))
+		if err != nil {
+			return err
+		}
+		_, err = coupler.RunCoupled(s, cfg)
+		return err
+	})
+}
+
+// TransposeRoundTrip runs `rounds` row->column->row transposes of a
+// nlat x nlon field over p ranks (ablation A1).
+func TransposeRoundTrip(p, nlat, nlon, rounds int) error {
+	g, err := grid.New(nlat, nlon)
+	if err != nil {
+		return err
+	}
+	rows, err := grid.NewDecomp(g, p)
+	if err != nil {
+		return err
+	}
+	cols, err := grid.NewColDecomp(g, p)
+	if err != nil {
+		return err
+	}
+	return mpi.RunWorld(p, func(c *mpi.Comm) error {
+		f := grid.NewField(rows, c.Rank())
+		f.FillFunc(func(lat, lon int) float64 { return float64(lat - lon) })
+		for i := 0; i < rounds; i++ {
+			cf, err := xfer.Transpose(c, rows, cols, f)
+			if err != nil {
+				return err
+			}
+			if f, err = xfer.Untranspose(c, rows, cols, cf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// BundleTransfer moves k fields from m source ranks to n destination ranks
+// `rounds` times, either as one bundle per round or as k separate
+// transfers (ablation A2: message aggregation).
+func BundleTransfer(m, n, k, nlat, nlon, rounds int, bundled bool) error {
+	g, err := grid.New(nlat, nlon)
+	if err != nil {
+		return err
+	}
+	src, err := grid.NewDecomp(g, m)
+	if err != nil {
+		return err
+	}
+	dst, err := grid.NewDecomp(g, n)
+	if err != nil {
+		return err
+	}
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	return mpi.RunWorld(m+n, func(c *mpi.Comm) error {
+		r, err := xfer.NewRouter(src, dst)
+		if err != nil {
+			return err
+		}
+		srcProc, dstProc := -1, -1
+		if c.Rank() < m {
+			srcProc = c.Rank()
+		} else {
+			dstProc = c.Rank() - m
+		}
+		if bundled {
+			spec := xfer.BundleSpec{DstOffset: m, SrcProc: srcProc, DstProc: dstProc}
+			if srcProc >= 0 {
+				fields := make([]*grid.Field, k)
+				for i := range fields {
+					fields[i] = grid.NewField(src, srcProc)
+				}
+				if spec.Bundle, err = xfer.NewBundle(names, fields); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < rounds; i++ {
+				spec.Tag = i
+				if _, err := xfer.TransferBundle(c, r, spec, names); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		spec := xfer.Spec{DstOffset: m, SrcProc: srcProc, DstProc: dstProc}
+		if srcProc >= 0 {
+			spec.Field = grid.NewField(src, srcProc)
+		}
+		for i := 0; i < rounds; i++ {
+			for j := 0; j < k; j++ {
+				spec.Tag = i*k + j
+				if _, err := xfer.Transfer(c, r, spec); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}

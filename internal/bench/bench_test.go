@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSCMERegistration(t *testing.T) {
+	reg := SCMERegistration(3)
+	if !strings.Contains(reg, "comp00") || !strings.Contains(reg, "comp02") {
+		t.Fatalf("registration:\n%s", reg)
+	}
+	if SCMEName(0, 8, 4) != "comp00" || SCMEName(7, 8, 4) != "comp03" {
+		t.Fatal("SCMEName block plan wrong")
+	}
+	// Remainder ranks land in the last component.
+	if SCMEName(8, 9, 4) != "comp03" {
+		t.Fatal("remainder rank not in last component")
+	}
+}
+
+func TestHandshakeScenarios(t *testing.T) {
+	if err := HandshakeSCME(8, 4); err != nil {
+		t.Fatalf("SCME: %v", err)
+	}
+	if err := HandshakeMultiComp(8, 4, false); err != nil {
+		t.Fatalf("disjoint: %v", err)
+	}
+	if err := HandshakeMultiComp(8, 4, true); err != nil {
+		t.Fatalf("overlap: %v", err)
+	}
+	if err := HandshakeSCME(2, 4); err == nil {
+		t.Fatal("too few ranks accepted")
+	}
+	if err := HandshakeMultiComp(2, 4, false); err == nil {
+		t.Fatal("too few ranks accepted")
+	}
+}
+
+func TestJoinTransferScenario(t *testing.T) {
+	if err := JoinTransfer(3, 2, 12, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPingPongScenario(t *testing.T) {
+	if err := PingPong(1024, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsembleRoundScenario(t *testing.T) {
+	spread, err := EnsembleRound(4, 6, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller must have collapsed the initial spread of 3.
+	if spread > 0.5 {
+		t.Fatalf("final spread %g", spread)
+	}
+}
+
+func TestCoupledClimateScenario(t *testing.T) {
+	if err := CoupledClimate(12, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := CoupledClimate(0, 4, 2); err == nil {
+		t.Fatal("bad grid accepted")
+	}
+}
+
+func TestTransposeRoundTripScenario(t *testing.T) {
+	if err := TransposeRoundTrip(3, 12, 6, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := TransposeRoundTrip(2, 0, 6, 1); err == nil {
+		t.Fatal("bad grid accepted")
+	}
+}
+
+func TestBundleTransferScenario(t *testing.T) {
+	for _, bundled := range []bool{true, false} {
+		if err := BundleTransfer(2, 2, 3, 8, 4, 2, bundled); err != nil {
+			t.Fatalf("bundled=%v: %v", bundled, err)
+		}
+	}
+}

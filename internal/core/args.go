@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"mph/internal/registry"
+)
+
+// Argument access — the paper's MPH_get_argument facility (§4.4). Each
+// instance line (and each component line of a multi-component executable)
+// may carry up to registry.MaxFields strings; MPH delivers them to the
+// matching processes so one executable image can serve many instances with
+// different inputs, outputs, and parameters.
+
+// Args returns the argument fields of this rank's primary component.
+func (s *Setup) Args() registry.Arguments {
+	if len(s.mine) == 0 {
+		return registry.NewArguments(nil)
+	}
+	return registry.NewArguments(s.mine[0].Fields)
+}
+
+// ArgsOf returns the argument fields of any component this rank belongs
+// to.
+func (s *Setup) ArgsOf(name string) (registry.Arguments, error) {
+	for _, c := range s.mine {
+		if c.Name == name {
+			return registry.NewArguments(c.Fields), nil
+		}
+	}
+	if _, _, ok := s.reg.FindComponent(name); !ok {
+		return registry.Arguments{}, fmt.Errorf("%w: %q", ErrUnknownComponent, name)
+	}
+	return registry.Arguments{}, fmt.Errorf("%w: %q", ErrNotMember, name)
+}
+
+// GetArgumentInt is MPH_get_argument for integer values: "alpha2 will get
+// integer 3 if a string alpha=3 is present".
+func (s *Setup) GetArgumentInt(key string) (int, bool, error) {
+	return s.Args().Int(key)
+}
+
+// GetArgumentFloat is MPH_get_argument for real values: "beta will get real
+// 4.5 if a string beta=4.5 is present".
+func (s *Setup) GetArgumentFloat(key string) (float64, bool, error) {
+	return s.Args().Float(key)
+}
+
+// GetArgumentString is MPH_get_argument for string values.
+func (s *Setup) GetArgumentString(key string) (string, bool) {
+	return s.Args().String(key)
+}
+
+// GetArgumentField is MPH_get_argument with field_num: the n-th (1-based)
+// positional field, e.g. an input file name.
+func (s *Setup) GetArgumentField(n int) (string, bool) {
+	return s.Args().Field(n)
+}
+
+// GetArgumentBool reads a flag argument such as the paper's "debug=on".
+func (s *Setup) GetArgumentBool(key string) (bool, bool, error) {
+	return s.Args().Bool(key)
+}

@@ -1,0 +1,22 @@
+package core
+
+import "errors"
+
+// Sentinel errors returned (wrapped) by MPH operations.
+var (
+	// ErrUnknownComponent reports a component name absent from the
+	// registration file or the global layout.
+	ErrUnknownComponent = errors.New("mph: unknown component")
+	// ErrNoSuchExecutable reports a setup call whose component name set
+	// matches no registration-file entry.
+	ErrNoSuchExecutable = errors.New("mph: no executable entry matches the setup call")
+	// ErrNotMember reports an operation requiring membership in a
+	// component this rank does not belong to.
+	ErrNotMember = errors.New("mph: calling rank is not a member of the component")
+	// ErrLayout reports an inconsistency between the registration file and
+	// the actual processor allocation discovered during the handshake.
+	ErrLayout = errors.New("mph: layout inconsistent with registration file")
+	// ErrHandshake reports that another rank failed during the collective
+	// handshake, aborting it everywhere.
+	ErrHandshake = errors.New("mph: handshake aborted")
+)

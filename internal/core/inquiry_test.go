@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mph/internal/core"
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+)
+
+func TestDescribe(t *testing.T) {
+	mpitest.Run(t, scmeWorldSize, func(c *mpi.Comm) error {
+		s, err := core.SingleComponentSetup(c, core.TextSource(scmeReg), scmeLaunch(c.Rank()))
+		if err != nil {
+			return err
+		}
+		out := s.Describe()
+		for _, want := range []string{
+			"5 executable(s), 5 component(s), world size 10",
+			"atmosphere",
+			"coupler",
+			fmt.Sprintf("this rank: world %d, component %q", c.Rank(), s.CompName()),
+			"[member, local rank",
+		} {
+			if !strings.Contains(out, want) {
+				return fmt.Errorf("Describe missing %q:\n%s", want, out)
+			}
+		}
+		// The marker sits on my executable's line.
+		if !strings.Contains(out, fmt.Sprintf("* exe %d", s.ExecutableIndex())) {
+			return fmt.Errorf("Describe missing own-executable marker:\n%s", out)
+		}
+		return nil
+	})
+}
+
+func TestInquirySuite(t *testing.T) {
+	// One pass over every inquiry function of paper §5.3 on the MCME
+	// layout, with exact expectations per rank.
+	mpitest.Run(t, mcmeWorldSize, func(c *mpi.Comm) error {
+		s, err := mcmeSetup(c)
+		if err != nil {
+			return err
+		}
+		if s.GlobalProcID() != c.Rank() {
+			return fmt.Errorf("GlobalProcID %d", s.GlobalProcID())
+		}
+		if s.TotalComponents() != 6 {
+			return fmt.Errorf("TotalComponents %d", s.TotalComponents())
+		}
+		if s.NumExecutables() != 3 {
+			return fmt.Errorf("NumExecutables %d", s.NumExecutables())
+		}
+		wantExec := 0
+		if c.Rank() >= 6 {
+			wantExec = 1
+		}
+		if c.Rank() >= 13 {
+			wantExec = 2
+		}
+		if s.ExecutableIndex() != wantExec {
+			return fmt.Errorf("ExecutableIndex %d, want %d", s.ExecutableIndex(), wantExec)
+		}
+		if s.World().Size() != mcmeWorldSize {
+			return fmt.Errorf("World size %d", s.World().Size())
+		}
+		if s.GlobalWorld().Size() != mcmeWorldSize {
+			return fmt.Errorf("GlobalWorld size %d", s.GlobalWorld().Size())
+		}
+		if s.Registry().TotalComponents() != 6 {
+			return fmt.Errorf("Registry accessor broken")
+		}
+		if s.NumInstances() != 1 {
+			return fmt.Errorf("NumInstances %d for non-MIME", s.NumInstances())
+		}
+		return nil
+	})
+}

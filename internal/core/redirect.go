@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"mph/internal/iolog"
+)
+
+// RedirectOutput is MPH_redirect_output (paper §5.4): it returns the writer
+// this rank should print to. The designated logger of the component — its
+// local processor 0 — gets the "<component>.log" channel; every other
+// processor gets the combined output file. The calling rank must belong to
+// the component.
+func (s *Setup) RedirectOutput(component string) (io.Writer, error) {
+	comm, ok := s.comms[component]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotMember, component)
+	}
+	mux, err := s.logMux()
+	if err != nil {
+		return nil, err
+	}
+	if comm.Rank() == 0 {
+		return mux.ComponentWriter(component)
+	}
+	return mux.CombinedWriter()
+}
+
+// Logger wraps RedirectOutput in a *log.Logger whose prefix identifies the
+// component and local processor.
+func (s *Setup) Logger(component string) (*log.Logger, error) {
+	w, err := s.RedirectOutput(component)
+	if err != nil {
+		return nil, err
+	}
+	comm := s.comms[component]
+	prefix := fmt.Sprintf("[%s %d] ", component, comm.Rank())
+	return log.New(w, prefix, 0), nil
+}
+
+// logMux lazily attaches the process-shared multiplexer for the current
+// directory when no WithLogDir option was given.
+func (s *Setup) logMux() (*iolog.Mux, error) {
+	if s.mux == nil {
+		mux, err := iolog.Shared(".")
+		if err != nil {
+			return nil, err
+		}
+		s.mux = mux
+	}
+	return s.mux, nil
+}

@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mph/internal/core"
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+)
+
+func TestRedirectOutputPerComponentLogs(t *testing.T) {
+	dir := t.TempDir()
+	mpitest.Run(t, scmeWorldSize, func(c *mpi.Comm) error {
+		s, err := core.SingleComponentSetup(c, core.TextSource(scmeReg),
+			scmeLaunch(c.Rank()), core.WithLogDir(dir))
+		if err != nil {
+			return err
+		}
+		name := s.CompName()
+		w, err := s.RedirectOutput(name)
+		if err != nil {
+			return err
+		}
+		if s.LocalProcID() == 0 {
+			fmt.Fprintf(w, "%s designated logger reporting\n", name)
+		} else {
+			fmt.Fprintf(w, "stray write from %s local %d\n", name, s.LocalProcID())
+		}
+		return nil
+	})
+
+	// Each component's log holds exactly its designated logger's line.
+	for _, name := range []string{"atmosphere", "ocean", "land", "ice", "coupler"} {
+		data, err := os.ReadFile(filepath.Join(dir, name+".log"))
+		if err != nil {
+			t.Fatalf("%s log: %v", name, err)
+		}
+		want := name + " designated logger reporting\n"
+		if string(data) != want {
+			t.Errorf("%s log content %q", name, data)
+		}
+	}
+	// Non-designated writes land in the combined file: world size 10 minus
+	// 5 designated loggers leaves 5 stray lines.
+	combined, err := os.ReadFile(filepath.Join(dir, "combined.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(combined), "\n")
+	if lines != 5 {
+		t.Errorf("combined has %d lines, want 5:\n%s", lines, combined)
+	}
+}
+
+func TestRedirectOutputRequiresMembership(t *testing.T) {
+	dir := t.TempDir()
+	mpitest.Run(t, scmeWorldSize, func(c *mpi.Comm) error {
+		s, err := core.SingleComponentSetup(c, core.TextSource(scmeReg),
+			scmeLaunch(c.Rank()), core.WithLogDir(dir))
+		if err != nil {
+			return err
+		}
+		other := "ocean"
+		if s.CompName() == "ocean" {
+			other = "atmosphere"
+		}
+		if _, err := s.RedirectOutput(other); err == nil {
+			return fmt.Errorf("redirect to foreign component accepted")
+		}
+		return nil
+	})
+}
+
+func TestLoggerPrefix(t *testing.T) {
+	dir := t.TempDir()
+	mpitest.Run(t, scmeWorldSize, func(c *mpi.Comm) error {
+		s, err := core.SingleComponentSetup(c, core.TextSource(scmeReg),
+			scmeLaunch(c.Rank()), core.WithLogDir(dir))
+		if err != nil {
+			return err
+		}
+		lg, err := s.Logger(s.CompName())
+		if err != nil {
+			return err
+		}
+		if s.CompName() == "ice" {
+			lg.Printf("thickness ok")
+		}
+		return nil
+	})
+	data, err := os.ReadFile(filepath.Join(dir, "ice.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[ice 0] thickness ok\n" {
+		t.Errorf("ice log %q", data)
+	}
+}
+
+func TestRedirectOverlappingComponents(t *testing.T) {
+	// In the MCME layout atmosphere and land overlap: the same rank is
+	// local 0 of both and may own both log channels.
+	dir := t.TempDir()
+	mpitest.Run(t, mcmeWorldSize, func(c *mpi.Comm) error {
+		s, err := mcmeSetup(c, core.WithLogDir(dir))
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		wa, err := s.RedirectOutput("atmosphere")
+		if err != nil {
+			return err
+		}
+		wl, err := s.RedirectOutput("land")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(wa, "atm line")
+		fmt.Fprintln(wl, "land line")
+		return nil
+	})
+	atm, err := os.ReadFile(filepath.Join(dir, "atmosphere.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	land, err := os.ReadFile(filepath.Join(dir, "land.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(atm) != "atm line\n" || string(land) != "land line\n" {
+		t.Errorf("logs %q / %q", atm, land)
+	}
+}

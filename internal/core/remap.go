@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"mph/internal/mpi"
+)
+
+// Dynamic component processor reallocation — item (b) of the paper's
+// further-work list (§9): "dynamic component model processor allocation or
+// migration". A running application re-runs the handshake against a new
+// registration source over the same world communicator; every rank calls a
+// Remap entry point collectively with the component names of its *new*
+// role (a rank may change components across a remap, since one binary can
+// host any component — nothing is hard-coded, §4.1).
+//
+// The handshake's communicator-creation operations advance the world
+// communicator's derivation state in lockstep on every rank, so repeated
+// handshakes yield fresh, isolated contexts with no extra coordination.
+// Field migration between the old and new layouts is provided by
+// coupler.MigrateField.
+
+// Remap re-runs the unified handshake (ComponentsSetup) with a new
+// registration source. Collective over the world; the old Setup remains
+// usable for reading the previous layout (e.g. during migration) but its
+// communicators should be retired afterward.
+func (s *Setup) Remap(src Source, names []string, opts ...Option) (*Setup, error) {
+	return ComponentsSetup(s.world, src, names, opts...)
+}
+
+// RemapSingle is Remap for a rank whose new executable holds one
+// component.
+func (s *Setup) RemapSingle(src Source, name string, opts ...Option) (*Setup, error) {
+	return SingleComponentSetup(s.world, src, name, opts...)
+}
+
+// RemapMultiInstance is Remap for ranks of a multi-instance executable.
+func (s *Setup) RemapMultiInstance(src Source, prefix string, opts ...Option) (*Setup, error) {
+	return MultiInstance(s.world, src, prefix, opts...)
+}
+
+// Topology models the cluster-of-SMPs structure of paper §2.3 and further-
+// work item (a) of §9: "recognizing a 16-cpu SMP node could be carved into
+// different number of MPI tasks". World ranks are packed onto nodes of a
+// fixed size, the convention of every launcher the paper discusses.
+type Topology struct {
+	// RanksPerNode is the number of world ranks per SMP node.
+	RanksPerNode int
+}
+
+// validate checks the topology against a world size.
+func (t Topology) validate(worldSize int) error {
+	if t.RanksPerNode <= 0 {
+		return fmt.Errorf("mph: topology with %d ranks per node", t.RanksPerNode)
+	}
+	_ = worldSize
+	return nil
+}
+
+// NodeOf returns the node index hosting a world rank.
+func (t Topology) NodeOf(worldRank int) int { return worldRank / t.RanksPerNode }
+
+// NodeCount returns the number of nodes a world of the given size spans.
+func (t Topology) NodeCount(worldSize int) int {
+	return (worldSize + t.RanksPerNode - 1) / t.RanksPerNode
+}
+
+// NodeComm splits the world by SMP node and returns this rank's node-local
+// communicator (the shared-memory domain). Collective over the world.
+func (s *Setup) NodeComm(t Topology) (*NodeInfo, error) {
+	if err := t.validate(s.world.Size()); err != nil {
+		return nil, err
+	}
+	node := t.NodeOf(s.world.Rank())
+	comm, err := s.world.Split(node, 0)
+	if err != nil {
+		return nil, fmt.Errorf("mph: node split: %w", err)
+	}
+	return &NodeInfo{Topology: t, Node: node, Comm: comm, setup: s}, nil
+}
+
+// NodeInfo is a rank's view of its SMP node after NodeComm.
+type NodeInfo struct {
+	// Topology is the node shape the split used.
+	Topology Topology
+	// Node is this rank's node index.
+	Node int
+	// Comm spans the world ranks sharing this node.
+	Comm  *mpi.Comm
+	setup *Setup
+}
+
+// ComponentsOnNode lists the components with at least one processor on
+// this node, in registration-file order — the co-residency information a
+// scheduler needs when carving SMP nodes into tasks (§9(a)).
+func (n *NodeInfo) ComponentsOnNode() []string {
+	var names []string
+	for _, e := range n.setup.reg.Executables {
+		for _, c := range e.Components {
+			for _, wr := range n.setup.layout[c.Name] {
+				if n.Topology.NodeOf(wr) == n.Node {
+					names = append(names, c.Name)
+					break
+				}
+			}
+		}
+	}
+	return names
+}
+
+// ComponentNodes returns the sorted node indices a component occupies.
+func (s *Setup) ComponentNodes(name string, t Topology) ([]int, error) {
+	if err := t.validate(s.world.Size()); err != nil {
+		return nil, err
+	}
+	ranks, err := s.ComponentRanks(name)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool)
+	var nodes []int
+	for _, wr := range ranks {
+		node := t.NodeOf(wr)
+		if !seen[node] {
+			seen[node] = true
+			nodes = append(nodes, node)
+		}
+	}
+	return nodes, nil
+}
+
+// SharesNode reports whether two components have processors on a common
+// SMP node — the condition under which the paper notes two executables may
+// legitimately co-reside (§2.3: "on clusters of SMP architectures, it is
+// allowed that two executables reside on one SMP node").
+func (s *Setup) SharesNode(a, b string, t Topology) (bool, error) {
+	na, err := s.ComponentNodes(a, t)
+	if err != nil {
+		return false, err
+	}
+	nb, err := s.ComponentNodes(b, t)
+	if err != nil {
+		return false, err
+	}
+	set := make(map[int]bool, len(na))
+	for _, n := range na {
+		set[n] = true
+	}
+	for _, n := range nb {
+		if set[n] {
+			return true, nil
+		}
+	}
+	return false, nil
+}

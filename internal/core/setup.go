@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mph/internal/iolog"
+	"mph/internal/mpi"
+	"mph/internal/registry"
+)
+
+// Setup is a rank's view of the handshaken multi-component environment: the
+// MPH state the paper's Fortran library keeps in module variables.
+type Setup struct {
+	world  *mpi.Comm
+	global *mpi.Comm // private duplicate of world for name-addressed traffic
+	reg    *registry.Registry
+
+	execIdx  int
+	execComm *mpi.Comm
+
+	// mine lists the components of my executable that cover this rank, in
+	// registry order; comms holds one communicator per entry.
+	mine  []registry.Component
+	comms map[string]*mpi.Comm
+
+	// layout maps every component name to its world ranks in ascending
+	// order; a component's local processor i is layout[name][i].
+	layout map[string][]int
+
+	// instanceIdx is the instance number (0-based) for MultiInstance
+	// setups, -1 otherwise.
+	instanceIdx int
+
+	mux     *iolog.Mux
+	joinSeq map[string]int
+}
+
+// ComponentsSetup is MPH_components_setup: the unified handshake for the
+// SCSE, SCME, MCSE and MCME modes (paper §4.1–§4.3). Every rank of every
+// executable calls it collectively over the world communicator, passing the
+// name-tags of the components its executable contains — one name for a
+// single-component executable, up to registry.MaxComponents for a
+// multi-component one. The names must match a registration-file entry.
+func ComponentsSetup(world *mpi.Comm, src Source, names []string, opts ...Option) (*Setup, error) {
+	return handshake(world, src, opts, func(reg *registry.Registry) (int, error) {
+		if len(names) == 0 {
+			return 0, fmt.Errorf("%w: setup call with no component names", ErrNoSuchExecutable)
+		}
+		ei, ok := reg.FindExecutableByNames(names)
+		if !ok {
+			return 0, fmt.Errorf("%w: names %v", ErrNoSuchExecutable, names)
+		}
+		if reg.Executables[ei].Kind == registry.MultiInstance {
+			return 0, fmt.Errorf("%w: entry for %v is multi-instance; call MultiInstance", ErrNoSuchExecutable, names)
+		}
+		return ei, nil
+	})
+}
+
+// SingleComponentSetup is the common SCME special case: an executable
+// holding exactly one component (paper §4.1).
+func SingleComponentSetup(world *mpi.Comm, src Source, name string, opts ...Option) (*Setup, error) {
+	return ComponentsSetup(world, src, []string{name}, opts...)
+}
+
+// MultiInstance is MPH_multi_instance (paper §4.4): the calling executable
+// is replicated on disjoint processor subsets, one instance per
+// registration-file line whose name starts with prefix. Every rank of the
+// job calls its setup entry point collectively; ranks of the multi-instance
+// executable call this one.
+func MultiInstance(world *mpi.Comm, src Source, prefix string, opts ...Option) (*Setup, error) {
+	return handshake(world, src, opts, func(reg *registry.Registry) (int, error) {
+		if prefix == "" {
+			return 0, fmt.Errorf("%w: empty instance prefix", ErrNoSuchExecutable)
+		}
+		ei, ok := reg.FindMultiInstanceByPrefix(prefix)
+		if !ok {
+			return 0, fmt.Errorf("%w: no multi-instance entry with prefix %q", ErrNoSuchExecutable, prefix)
+		}
+		return ei, nil
+	})
+}
+
+// handshake runs the paper-§6 algorithm. resolve identifies the calling
+// rank's executable entry from purely local knowledge; everything else is
+// collective. Error handling is coordinated: after each phase that can fail
+// on a subset of ranks, a world allreduce agrees on abort-or-continue so no
+// rank is left blocked in a collective.
+func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registry.Registry) (int, error)) (*Setup, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	// Phase 1: root reads the registration file and broadcasts the text;
+	// every rank parses the identical bytes, so parse failures are
+	// symmetric and need no coordination.
+	var text string
+	var loadErr error
+	if world.Rank() == 0 {
+		text, loadErr = src.load()
+	}
+	okFlag := int64(0)
+	if loadErr != nil {
+		okFlag = 1
+	}
+	flags, err := world.AllreduceInts([]int64{okFlag}, mpi.OpSum)
+	if err != nil {
+		return nil, fmt.Errorf("mph: handshake: %w", err)
+	}
+	if flags[0] != 0 {
+		if loadErr != nil {
+			return nil, loadErr
+		}
+		return nil, fmt.Errorf("%w: root could not load the registration file", ErrHandshake)
+	}
+	text, err = world.BcastString(0, text)
+	if err != nil {
+		return nil, fmt.Errorf("mph: handshake: %w", err)
+	}
+	reg, err := registry.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: locate my executable entry and split the world by
+	// executable index (the paper's component_id coloring). Ranks whose
+	// resolution failed still participate, with color Undefined, then the
+	// failure is agreed on world-wide.
+	execIdx, resolveErr := resolve(reg)
+	color := execIdx
+	if resolveErr != nil {
+		color = mpi.Undefined
+	}
+	execComm, err := world.Split(color, 0)
+	if err != nil {
+		return nil, fmt.Errorf("mph: handshake: executable split: %w", err)
+	}
+	if err := agree(world, resolveErr); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: establish component communicators inside my executable.
+	s := &Setup{
+		world:       world,
+		reg:         reg,
+		execIdx:     execIdx,
+		execComm:    execComm,
+		comms:       make(map[string]*mpi.Comm),
+		instanceIdx: -1,
+		joinSeq:     make(map[string]int),
+	}
+	compErr := s.establishComponents()
+	if err := agree(world, compErr); err != nil {
+		return nil, err
+	}
+
+	// Phase 4: publish the global layout — every rank contributes the
+	// component names covering it; the allgather order gives each
+	// component's world ranks in ascending order, which is exactly the
+	// local-rank order produced by the key-0 splits above.
+	contribution := make([]string, len(s.mine))
+	for i, c := range s.mine {
+		contribution[i] = c.Name
+	}
+	parts, err := world.Allgather([]byte(strings.Join(contribution, "\n")))
+	if err != nil {
+		return nil, fmt.Errorf("mph: handshake: layout exchange: %w", err)
+	}
+	s.layout = make(map[string][]int, reg.TotalComponents())
+	for rank, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		for _, name := range strings.Split(string(p), "\n") {
+			s.layout[name] = append(s.layout[name], rank)
+		}
+	}
+	layoutErr := s.validateLayout()
+	if err := agree(world, layoutErr); err != nil {
+		return nil, err
+	}
+
+	// Phase 5: a private duplicate of the world communicator carries
+	// MPH's name-addressed point-to-point traffic (the paper's
+	// MPH_Global_World), isolated from user traffic on world.
+	s.global = world.Dup()
+
+	if cfg.logDir != "" {
+		// Shared per-directory so the ranks of an in-process world write
+		// through one handle per file.
+		mux, muxErr := iolog.Shared(cfg.logDir)
+		if err := agree(world, muxErr); err != nil {
+			return nil, err
+		}
+		s.mux = mux
+	} else {
+		// Lazy default: created on first RedirectOutput call.
+		if err := agree(world, nil); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// agree performs the coordinated abort: every rank contributes whether it
+// failed, and if any did, all ranks return an error (the local one where it
+// exists, a generic ErrHandshake elsewhere).
+func agree(world *mpi.Comm, local error) error {
+	flag := int64(0)
+	if local != nil {
+		flag = 1
+	}
+	sum, err := world.AllreduceInts([]int64{flag}, mpi.OpSum)
+	if err != nil {
+		return fmt.Errorf("mph: handshake coordination: %w", err)
+	}
+	if sum[0] == 0 {
+		return nil
+	}
+	if local != nil {
+		return local
+	}
+	return fmt.Errorf("%w: %d rank(s) failed", ErrHandshake, sum[0])
+}
+
+// establishComponents builds this rank's component communicators according
+// to its executable's kind (paper §6, cases 1 and 2).
+func (s *Setup) establishComponents() error {
+	e := s.reg.Executables[s.execIdx]
+
+	// An executable entry with explicit ranges fixes the executable's
+	// size; a bare entry accepts whatever the launcher provided.
+	if want := e.Size(); want >= 0 && s.execComm.Size() != want {
+		return fmt.Errorf("%w: executable %v needs %d processors per the registration file, launched with %d",
+			ErrLayout, e.ComponentNames(), want, s.execComm.Size())
+	}
+
+	switch e.Kind {
+	case registry.SingleComponent:
+		// The executable communicator is the component communicator.
+		s.mine = []registry.Component{e.Components[0]}
+		s.comms[e.Components[0].Name] = s.execComm
+		return nil
+
+	case registry.MultiComponent:
+		if componentsOverlap(e) {
+			return s.establishOverlapping(e)
+		}
+		return s.establishDisjoint(e)
+
+	case registry.MultiInstance:
+		return s.establishInstance(e)
+
+	default:
+		return fmt.Errorf("mph: unknown executable kind %v", e.Kind)
+	}
+}
+
+// componentsOverlap reports whether any two components of the executable
+// share an executable-local processor.
+func componentsOverlap(e registry.Executable) bool {
+	for i := 0; i < len(e.Components); i++ {
+		for j := i + 1; j < len(e.Components); j++ {
+			a, b := e.Components[i], e.Components[j]
+			if a.Low <= b.High && b.Low <= a.High {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// establishDisjoint creates all component communicators with a single
+// Comm_split, the fast path of paper §6(2).
+func (s *Setup) establishDisjoint(e registry.Executable) error {
+	me := s.execComm.Rank()
+	color := mpi.Undefined
+	var covering *registry.Component
+	for i := range e.Components {
+		if e.Components[i].Covers(me) {
+			color = i
+			covering = &e.Components[i]
+			break
+		}
+	}
+	comm, err := s.execComm.Split(color, 0)
+	if err != nil {
+		return fmt.Errorf("mph: component split: %w", err)
+	}
+	if covering != nil {
+		s.mine = []registry.Component{*covering}
+		s.comms[covering.Name] = comm
+	}
+	return nil
+}
+
+// establishOverlapping creates component communicators one at a time with
+// repeated Comm_split calls, the general path of paper §6(2) that permits
+// partially or completely overlapping components.
+func (s *Setup) establishOverlapping(e registry.Executable) error {
+	me := s.execComm.Rank()
+	for i := range e.Components {
+		c := e.Components[i]
+		color := mpi.Undefined
+		if c.Covers(me) {
+			color = 0
+		}
+		comm, err := s.execComm.Split(color, 0)
+		if err != nil {
+			return fmt.Errorf("mph: component split for %q: %w", c.Name, err)
+		}
+		if color != mpi.Undefined {
+			s.mine = append(s.mine, c)
+			s.comms[c.Name] = comm
+		}
+	}
+	return nil
+}
+
+// establishInstance resolves the calling rank's instance of a
+// multi-instance executable and creates its communicator.
+func (s *Setup) establishInstance(e registry.Executable) error {
+	me := s.execComm.Rank()
+	idx := -1
+	for i := range e.Components {
+		if e.Components[i].Covers(me) {
+			idx = i
+			break
+		}
+	}
+	// The split is collective over the executable: an uncovered rank must
+	// still participate (with Undefined) before reporting its error, or
+	// its siblings would block.
+	color := idx
+	if idx < 0 {
+		color = mpi.Undefined
+	}
+	comm, err := s.execComm.Split(color, 0)
+	if err != nil {
+		return fmt.Errorf("mph: instance split: %w", err)
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: executable processor %d is covered by no instance", ErrLayout, me)
+	}
+	c := e.Components[idx]
+	s.instanceIdx = idx
+	s.mine = []registry.Component{c}
+	s.comms[c.Name] = comm
+	return nil
+}
+
+// validateLayout cross-checks the published layout against the
+// registration file: every component must have the processor count its
+// entry implies, and this rank's communicator rank must agree with its
+// position in the layout.
+func (s *Setup) validateLayout() error {
+	for _, e := range s.reg.Executables {
+		for _, c := range e.Components {
+			got := len(s.layout[c.Name])
+			switch {
+			case c.Ranged() && got != c.NProcs():
+				return fmt.Errorf("%w: component %q has %d processors, registration file says %d",
+					ErrLayout, c.Name, got, c.NProcs())
+			case !c.Ranged() && got == 0:
+				return fmt.Errorf("%w: component %q has no processors", ErrLayout, c.Name)
+			}
+		}
+	}
+	for _, c := range s.mine {
+		comm := s.comms[c.Name]
+		ranks := s.layout[c.Name]
+		if comm.Rank() >= len(ranks) || ranks[comm.Rank()] != s.world.Rank() {
+			return fmt.Errorf("%w: component %q local rank %d does not map back to world rank %d",
+				ErrLayout, c.Name, comm.Rank(), s.world.Rank())
+		}
+	}
+	return nil
+}
+
+// Close releases per-setup resources. The log multiplexer is shared
+// process-wide (see iolog.Shared) and deliberately left open; communicators
+// need no explicit release.
+func (s *Setup) Close() error { return nil }

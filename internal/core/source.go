@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"os"
+)
+
+// Source supplies the registration file to the handshake. Only world rank
+// 0's Source is actually loaded — the paper's algorithm has the root
+// processor read the file and broadcast its contents (§6) — so in an MPMD
+// job every executable may name the same path without a shared filesystem
+// being consulted more than once.
+type Source struct {
+	path   string
+	text   string
+	isFile bool
+}
+
+// FileSource names a registration file on disk.
+func FileSource(path string) Source { return Source{path: path, isFile: true} }
+
+// TextSource supplies registration file contents directly (useful for
+// in-process worlds and tests).
+func TextSource(text string) Source { return Source{text: text} }
+
+// load reads the registration text. Called on world rank 0 only.
+func (s Source) load() (string, error) {
+	if !s.isFile {
+		if s.text == "" {
+			return "", fmt.Errorf("mph: empty registration source")
+		}
+		return s.text, nil
+	}
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return "", fmt.Errorf("mph: registration file: %w", err)
+	}
+	return string(data), nil
+}
+
+// config collects setup options.
+type config struct {
+	logDir string
+}
+
+// Option customizes a Setup.
+type Option func(*config)
+
+// WithLogDir sets the directory for RedirectOutput log files. The default
+// is the current directory.
+func WithLogDir(dir string) Option {
+	return func(c *config) { c.logDir = dir }
+}

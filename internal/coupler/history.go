@@ -1,0 +1,91 @@
+package coupler
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// History serialization: the coupler's per-period diagnostics as CSV, the
+// shape of the "monitoring, control, diagnostics" output the paper routes
+// through per-component log files (§5.4). WriteHistory/ParseHistory
+// round-trip exactly, so a post-processing tool can consume what the
+// coupler's designated logger wrote.
+
+// historyHeader is the CSV column row.
+const historyHeader = "period,atm_mean,ocn_mean,land_mean,ice_mean,energy,flux_imbalance"
+
+// WriteHistory emits the diagnostics as CSV.
+func WriteHistory(w io.Writer, d *Diagnostics) error {
+	if _, err := fmt.Fprintln(w, historyHeader); err != nil {
+		return err
+	}
+	n := len(d.AtmMean)
+	if len(d.OcnMean) != n || len(d.LandMean) != n || len(d.IceMean) != n ||
+		len(d.Energy) != n || len(d.FluxImbalance) != n {
+		return fmt.Errorf("coupler: ragged diagnostics series")
+	}
+	for p := 0; p < n; p++ {
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%s,%s,%s,%s\n", p,
+			formatFloat(d.AtmMean[p]), formatFloat(d.OcnMean[p]),
+			formatFloat(d.LandMean[p]), formatFloat(d.IceMean[p]),
+			formatFloat(d.Energy[p]), formatFloat(d.FluxImbalance[p]))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat uses the shortest representation that round-trips.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseHistory reads CSV produced by WriteHistory.
+func ParseHistory(r io.Reader) (*Diagnostics, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("coupler: empty history")
+	}
+	if strings.TrimSpace(sc.Text()) != historyHeader {
+		return nil, fmt.Errorf("coupler: unexpected history header %q", sc.Text())
+	}
+	d := &Diagnostics{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("coupler: history line %d has %d fields", line, len(fields))
+		}
+		period, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("coupler: history line %d: bad period %q", line, fields[0])
+		}
+		if period != len(d.AtmMean) {
+			return nil, fmt.Errorf("coupler: history line %d: period %d out of order", line, period)
+		}
+		vals := make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			vals[i], err = strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("coupler: history line %d: bad value %q", line, fields[i+1])
+			}
+		}
+		d.AtmMean = append(d.AtmMean, vals[0])
+		d.OcnMean = append(d.OcnMean, vals[1])
+		d.LandMean = append(d.LandMean, vals[2])
+		d.IceMean = append(d.IceMean, vals[3])
+		d.Energy = append(d.Energy, vals[4])
+		d.FluxImbalance = append(d.FluxImbalance, vals[5])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,114 @@
+package coupler_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mph/internal/coupler"
+)
+
+func sampleDiagnostics() *coupler.Diagnostics {
+	return &coupler.Diagnostics{
+		AtmMean:       []float64{277.1, 277.2, 277.3},
+		OcnMean:       []float64{285.0, 285.1, 285.2},
+		LandMean:      []float64{0.31, 0.32, 0.33},
+		IceMean:       []float64{0.2, 0.25, 0.3},
+		Energy:        []float64{1e5, 1e5, 1e5},
+		FluxImbalance: []float64{-1e-14, 2e-14, 0},
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	d := sampleDiagnostics()
+	var buf bytes.Buffer
+	if err := coupler.WriteHistory(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := coupler.ParseHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", got, d)
+	}
+}
+
+func TestHistoryRoundTripProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		// Build a diagnostics object from the fuzz values, skipping NaN
+		// (NaN != NaN would fail DeepEqual though the text is fine).
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				vals = append(vals, v)
+			}
+		}
+		n := len(vals) / 6
+		d := &coupler.Diagnostics{}
+		for p := 0; p < n; p++ {
+			d.AtmMean = append(d.AtmMean, vals[p*6])
+			d.OcnMean = append(d.OcnMean, vals[p*6+1])
+			d.LandMean = append(d.LandMean, vals[p*6+2])
+			d.IceMean = append(d.IceMean, vals[p*6+3])
+			d.Energy = append(d.Energy, vals[p*6+4])
+			d.FluxImbalance = append(d.FluxImbalance, vals[p*6+5])
+		}
+		var buf bytes.Buffer
+		if err := coupler.WriteHistory(&buf, d); err != nil {
+			return false
+		}
+		got, err := coupler.ParseHistory(&buf)
+		if err != nil {
+			return false
+		}
+		if n == 0 {
+			return len(got.AtmMean) == 0
+		}
+		return reflect.DeepEqual(got, d)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteHistoryRaggedRejected(t *testing.T) {
+	d := sampleDiagnostics()
+	d.Energy = d.Energy[:1]
+	var buf bytes.Buffer
+	if err := coupler.WriteHistory(&buf, d); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}
+
+func TestParseHistoryErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "nope\n",
+		"short row":    "period,atm_mean,ocn_mean,land_mean,ice_mean,energy,flux_imbalance\n0,1,2\n",
+		"bad period":   "period,atm_mean,ocn_mean,land_mean,ice_mean,energy,flux_imbalance\nx,1,2,3,4,5,6\n",
+		"out of order": "period,atm_mean,ocn_mean,land_mean,ice_mean,energy,flux_imbalance\n1,1,2,3,4,5,6\n",
+		"bad value":    "period,atm_mean,ocn_mean,land_mean,ice_mean,energy,flux_imbalance\n0,1,zz,3,4,5,6\n",
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := coupler.ParseHistory(strings.NewReader(text)); err == nil {
+				t.Fatalf("accepted %q", text)
+			}
+		})
+	}
+}
+
+func TestParseHistorySkipsBlankLines(t *testing.T) {
+	text := "period,atm_mean,ocn_mean,land_mean,ice_mean,energy,flux_imbalance\n0,1,2,3,4,5,6\n\n1,7,8,9,10,11,12\n"
+	d, err := coupler.ParseHistory(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.AtmMean) != 2 || d.AtmMean[1] != 7 {
+		t.Fatalf("parsed %+v", d)
+	}
+}

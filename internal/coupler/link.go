@@ -1,0 +1,139 @@
+// Package coupler implements the flux-coupler pattern of CCSM on top of
+// MPH: component models exchange surface fields with a hub component
+// through MPH-joined communicators (paper §5.1) and M-to-N redistribution
+// (package xfer). It exists to exercise MPH the way its motivating
+// application does — handshake, per-component communicators, comm_join,
+// repeated coupled exchanges — with a deterministic toy physics that has
+// testable conservation properties.
+package coupler
+
+import (
+	"fmt"
+
+	"mph/internal/core"
+	"mph/internal/grid"
+	"mph/internal/mpi"
+	"mph/internal/xfer"
+)
+
+// Link is the coupling channel between one model component and the coupler
+// component: a joined communicator plus routers for both directions. Every
+// rank of both components constructs the Link collectively (in the same
+// order relative to other Links, since CommJoin is collective).
+type Link struct {
+	model, coupler string
+	joined         *mpi.Comm
+
+	modelDecomp, couplerDecomp *grid.Decomp
+
+	// local processor indices; -1 when this rank is not on that side.
+	myModelProc, myCouplerProc int
+
+	toCoupler *xfer.Router
+	toModel   *xfer.Router
+}
+
+// NewLink joins model and coupler components over a shared logical grid.
+// The two components must be disjoint on processors (a coupler overlapping
+// its model would make the joined rank blocks ambiguous).
+func NewLink(s *core.Setup, model, coupler string, g grid.Grid) (*Link, error) {
+	if model == coupler {
+		return nil, fmt.Errorf("coupler: component linked with itself: %q", model)
+	}
+	mRanks, err := s.ComponentRanks(model)
+	if err != nil {
+		return nil, err
+	}
+	cRanks, err := s.ComponentRanks(coupler)
+	if err != nil {
+		return nil, err
+	}
+	inModel := make(map[int]bool, len(mRanks))
+	for _, r := range mRanks {
+		inModel[r] = true
+	}
+	for _, r := range cRanks {
+		if inModel[r] {
+			return nil, fmt.Errorf("coupler: components %q and %q overlap on world rank %d", model, coupler, r)
+		}
+	}
+
+	joined, err := s.CommJoin(model, coupler)
+	if err != nil {
+		return nil, err
+	}
+	md, err := grid.NewDecomp(g, len(mRanks))
+	if err != nil {
+		return nil, err
+	}
+	cd, err := grid.NewDecomp(g, len(cRanks))
+	if err != nil {
+		return nil, err
+	}
+	l := &Link{
+		model:         model,
+		coupler:       coupler,
+		joined:        joined,
+		modelDecomp:   md,
+		couplerDecomp: cd,
+		myModelProc:   -1,
+		myCouplerProc: -1,
+	}
+	if comm, ok := s.ProcInComponent(model); ok {
+		l.myModelProc = comm.Rank()
+	}
+	if comm, ok := s.ProcInComponent(coupler); ok {
+		l.myCouplerProc = comm.Rank()
+	}
+	if l.toCoupler, err = xfer.NewRouter(md, cd); err != nil {
+		return nil, err
+	}
+	if l.toModel, err = xfer.NewRouter(cd, md); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ModelDecomp returns the model side's decomposition of the coupling grid.
+func (l *Link) ModelDecomp() *grid.Decomp { return l.modelDecomp }
+
+// CouplerDecomp returns the coupler side's decomposition.
+func (l *Link) CouplerDecomp() *grid.Decomp { return l.couplerDecomp }
+
+// OnModel reports whether this rank is on the model side, and its
+// processor index there.
+func (l *Link) OnModel() (int, bool) { return l.myModelProc, l.myModelProc >= 0 }
+
+// OnCoupler reports whether this rank is on the coupler side, and its
+// processor index there.
+func (l *Link) OnCoupler() (int, bool) { return l.myCouplerProc, l.myCouplerProc >= 0 }
+
+// ToCoupler redistributes a model field onto the coupler decomposition.
+// Model ranks pass their slab; coupler ranks pass nil and receive theirs.
+// Collective over the joined communicator.
+func (l *Link) ToCoupler(f *grid.Field, tag int) (*grid.Field, error) {
+	spec := xfer.Spec{
+		SrcOffset: 0,
+		DstOffset: l.modelDecomp.P, // coupler block follows the model block
+		SrcProc:   l.myModelProc,
+		DstProc:   l.myCouplerProc,
+		Field:     f,
+		Tag:       tag,
+	}
+	return xfer.Transfer(l.joined, l.toCoupler, spec)
+}
+
+// ToModel redistributes a coupler field onto the model decomposition.
+// Coupler ranks pass their slab; model ranks pass nil and receive theirs.
+// Collective over the joined communicator.
+func (l *Link) ToModel(f *grid.Field, tag int) (*grid.Field, error) {
+	spec := xfer.Spec{
+		SrcOffset: l.modelDecomp.P,
+		DstOffset: 0,
+		SrcProc:   l.myCouplerProc,
+		DstProc:   l.myModelProc,
+		Field:     f,
+		Tag:       tag,
+	}
+	return xfer.Transfer(l.joined, l.toModel, spec)
+}

@@ -1,0 +1,77 @@
+package coupler
+
+import (
+	"fmt"
+
+	"mph/internal/core"
+	"mph/internal/grid"
+	"mph/internal/xfer"
+)
+
+// MigrateField moves a component's distributed field from its processor
+// layout under oldSetup to its layout under newSetup — the data-movement
+// half of dynamic processor reallocation (paper §9(b); the handshake half
+// is core.Setup.Remap).
+//
+// Every rank that holds the component under either setup must call it
+// collectively, with the same tag; old-side ranks pass their slab, ranks
+// that are new-side only pass nil. New-side ranks receive their slab under
+// the new decomposition; ranks that are old-side only receive nil. Ranks on
+// neither side must not call.
+//
+// The transfer runs over newSetup's global communicator, on which
+// communicator ranks coincide with world ranks, so arbitrary interleavings
+// of the two layouts are fine.
+func MigrateField(oldSetup, newSetup *core.Setup, component string, g grid.Grid,
+	f *grid.Field, tag int) (*grid.Field, error) {
+
+	oldRanks, err := oldSetup.ComponentRanks(component)
+	if err != nil {
+		return nil, fmt.Errorf("coupler: migrate %q: old layout: %w", component, err)
+	}
+	newRanks, err := newSetup.ComponentRanks(component)
+	if err != nil {
+		return nil, fmt.Errorf("coupler: migrate %q: new layout: %w", component, err)
+	}
+	oldDecomp, err := grid.NewDecomp(g, len(oldRanks))
+	if err != nil {
+		return nil, err
+	}
+	newDecomp, err := grid.NewDecomp(g, len(newRanks))
+	if err != nil {
+		return nil, err
+	}
+	router, err := xfer.NewRouter(oldDecomp, newDecomp)
+	if err != nil {
+		return nil, err
+	}
+
+	me := newSetup.GlobalProcID()
+	spec := xfer.Spec{
+		SrcRanks: oldRanks,
+		DstRanks: newRanks,
+		SrcProc:  indexOf(oldRanks, me),
+		DstProc:  indexOf(newRanks, me),
+		Field:    f,
+		Tag:      tag,
+	}
+	if spec.SrcProc < 0 && spec.DstProc < 0 {
+		return nil, fmt.Errorf("coupler: migrate %q: rank %d holds the component under neither setup", component, me)
+	}
+	if spec.SrcProc >= 0 && f == nil {
+		return nil, fmt.Errorf("coupler: migrate %q: old-side rank %d passed no field", component, me)
+	}
+	if spec.SrcProc < 0 {
+		spec.Field = nil
+	}
+	return xfer.Transfer(newSetup.GlobalWorld(), router, spec)
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

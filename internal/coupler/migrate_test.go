@@ -1,0 +1,187 @@
+package coupler_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mph/internal/core"
+	"mph/internal/coupler"
+	"mph/internal/grid"
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+)
+
+// Migration scenario: ocean shrinks from 4 ranks to 2 while atmosphere
+// grows; the ocean's distributed field must survive the move bit-for-bit.
+func TestMigrateFieldAcrossRemap(t *testing.T) {
+	reg := "BEGIN\natm\nocn\nEND\n"
+	before := func(rank int) string {
+		if rank < 2 {
+			return "atm"
+		}
+		return "ocn" // ranks 2-5
+	}
+	after := func(rank int) string {
+		if rank < 4 {
+			return "atm"
+		}
+		return "ocn" // ranks 4-5
+	}
+	g, err := grid.New(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := func(lat, lon int) float64 { return float64(1000*lat + lon) }
+
+	mpitest.Run(t, 6, func(c *mpi.Comm) error {
+		s1, err := core.SingleComponentSetup(c, core.TextSource(reg), before(c.Rank()))
+		if err != nil {
+			return err
+		}
+		// Old-side ocean field.
+		oldRanks, _ := s1.ComponentRanks("ocn")
+		oldDecomp, err := grid.NewDecomp(g, len(oldRanks))
+		if err != nil {
+			return err
+		}
+		var f *grid.Field
+		if before(c.Rank()) == "ocn" {
+			f = grid.NewField(oldDecomp, s1.LocalProcID())
+			f.FillFunc(value)
+		}
+
+		s2, err := s1.RemapSingle(core.TextSource(reg), after(c.Rank()))
+		if err != nil {
+			return err
+		}
+
+		// Only ranks holding ocn under either layout participate.
+		if before(c.Rank()) != "ocn" && after(c.Rank()) != "ocn" {
+			return nil
+		}
+		out, err := coupler.MigrateField(s1, s2, "ocn", g, f, 50)
+		if err != nil {
+			return err
+		}
+		if after(c.Rank()) != "ocn" {
+			if out != nil {
+				return fmt.Errorf("old-only rank received a field")
+			}
+			return nil
+		}
+		newDecomp, err := grid.NewDecomp(g, 2)
+		if err != nil {
+			return err
+		}
+		lo, hi := newDecomp.Bands(s2.LocalProcID())
+		for lat := lo; lat < hi; lat++ {
+			for lon := 0; lon < g.NLon; lon++ {
+				v, err := out.At(lat, lon)
+				if err != nil {
+					return err
+				}
+				if v != value(lat, lon) {
+					return fmt.Errorf("cell (%d,%d) = %g after migration", lat, lon, v)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// A migration where the layouts interleave: ocn moves from even world
+// ranks to odd world ranks — exercising the explicit rank maps.
+func TestMigrateFieldInterleavedRanks(t *testing.T) {
+	regBefore := "BEGIN\nocn\npad\nEND\n"
+	g, err := grid.New(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := func(lat, lon int) float64 { return float64(lat - lon) }
+
+	mpitest.Run(t, 4, func(c *mpi.Comm) error {
+		// Before: ocn on ranks 0,2 (even), pad on 1,3. After: swapped.
+		role1 := "ocn"
+		if c.Rank()%2 == 1 {
+			role1 = "pad"
+		}
+		s1, err := core.SingleComponentSetup(c, core.TextSource(regBefore), role1)
+		if err != nil {
+			return err
+		}
+		role2 := "pad"
+		if c.Rank()%2 == 1 {
+			role2 = "ocn"
+		}
+		s2, err := s1.RemapSingle(core.TextSource(regBefore), role2)
+		if err != nil {
+			return err
+		}
+
+		oldDecomp, err := grid.NewDecomp(g, 2)
+		if err != nil {
+			return err
+		}
+		var f *grid.Field
+		if role1 == "ocn" {
+			f = grid.NewField(oldDecomp, s1.LocalProcID())
+			f.FillFunc(value)
+		}
+		out, err := coupler.MigrateField(s1, s2, "ocn", g, f, 51)
+		if err != nil {
+			return err
+		}
+		if role2 == "ocn" {
+			lo, hi := oldDecomp.Bands(s2.LocalProcID()) // same shape: 2 procs
+			for lat := lo; lat < hi; lat++ {
+				v, err := out.At(lat, 1)
+				if err != nil {
+					return err
+				}
+				if v != value(lat, 1) {
+					return fmt.Errorf("cell (%d,1) = %g", lat, v)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestMigrateFieldErrors(t *testing.T) {
+	reg := "BEGIN\na\nb\nEND\n"
+	g, err := grid.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		name := "a"
+		if c.Rank() == 1 {
+			name = "b"
+		}
+		s1, err := core.SingleComponentSetup(c, core.TextSource(reg), name)
+		if err != nil {
+			return err
+		}
+		s2, err := s1.RemapSingle(core.TextSource(reg), name)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			// Unknown component.
+			if _, err := coupler.MigrateField(s1, s2, "ghost", g, nil, 1); err == nil {
+				return fmt.Errorf("unknown component accepted")
+			}
+			// Old-side rank without a field.
+			if _, err := coupler.MigrateField(s1, s2, "a", g, nil, 1); err == nil {
+				return fmt.Errorf("missing field accepted")
+			}
+		}
+		if c.Rank() == 1 {
+			// Rank on neither side.
+			if _, err := coupler.MigrateField(s1, s2, "a", g, nil, 1); err == nil {
+				return fmt.Errorf("non-member accepted")
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,401 @@
+package coupler
+
+import (
+	"fmt"
+
+	"mph/internal/core"
+	"mph/internal/grid"
+	"mph/internal/model"
+	"mph/internal/mpi"
+	"mph/internal/timemgr"
+)
+
+// Names binds the coupled system's roles to registration-file component
+// names (which are arbitrary, per paper §4.1).
+type Names struct {
+	Atmosphere, Ocean, Land, Ice, Coupler string
+}
+
+// DefaultNames matches the paper's running CCSM example.
+func DefaultNames() Names {
+	return Names{
+		Atmosphere: "atmosphere",
+		Ocean:      "ocean",
+		Land:       "land",
+		Ice:        "ice",
+		Coupler:    "coupler",
+	}
+}
+
+// Config drives RunCoupled.
+type Config struct {
+	// Grid is the shared coupling grid.
+	Grid grid.Grid
+	// Periods is the number of coupling exchanges.
+	Periods int
+	// SubSteps is the number of internal model steps per period.
+	SubSteps int
+	// Dt is the model time step; coupling interval is SubSteps*Dt.
+	Dt float64
+	// ExchangeCoeff scales the atmosphere-ocean heat flux.
+	ExchangeCoeff float64
+	// Names maps roles to component names; zero value means DefaultNames.
+	Names Names
+	// Init, when non-nil, runs on each model component's ranks right
+	// after model construction — the hook for loading restart files
+	// (model.LoadCheckpoint) or applying per-member perturbations. It must
+	// succeed on every rank or the whole job is expected to abort; a
+	// partial failure leaves peers blocked in the first exchange, exactly
+	// as in an MPI job.
+	Init func(component string, m *model.SurfaceModel) error
+}
+
+func (c *Config) fill() error {
+	if c.Names == (Names{}) {
+		c.Names = DefaultNames()
+	}
+	if c.Periods <= 0 || c.SubSteps <= 0 {
+		return fmt.Errorf("coupler: periods and substeps must be positive")
+	}
+	if c.Dt <= 0 {
+		return fmt.Errorf("coupler: dt must be positive")
+	}
+	if c.ExchangeCoeff <= 0 {
+		c.ExchangeCoeff = 0.02
+	}
+	return nil
+}
+
+// Diagnostics holds the per-period global diagnostics, broadcast to every
+// rank when RunCoupled returns: area-weighted means of each surface field
+// and the conservation check (unweighted atmosphere+ocean sum, which the
+// flux exchange must keep constant).
+type Diagnostics struct {
+	AtmMean, OcnMean, LandMean, IceMean []float64
+	Energy                              []float64
+	// FluxImbalance is the global sum of the atmosphere and ocean
+	// increments each period; the exchange is conservative, so it must be
+	// numerically zero.
+	FluxImbalance []float64
+}
+
+// coupling tags, one per direction and component.
+const (
+	tagAtmUp = 2000 + iota
+	tagOcnUp
+	tagLndUp
+	tagIceUp
+	tagAtmDown
+	tagOcnDown
+	tagLndDown
+	tagIceDown
+	tagSums
+	tagDiag
+)
+
+// RunCoupled executes the CCSM-style coupled loop of paper §7 over an MPH
+// setup: every rank of the five components calls it collectively after the
+// handshake. It returns the same Diagnostics on every rank.
+func RunCoupled(s *core.Setup, cfg Config) (*Diagnostics, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	n := cfg.Names
+
+	// Links, constructed in a fixed order (CommJoin is collective over
+	// each pair). Model ranks build only their own link.
+	var links [4]*Link
+	modelNames := [4]string{n.Atmosphere, n.Ocean, n.Land, n.Ice}
+	_, onCoupler := s.ProcInComponent(n.Coupler)
+	myModel := -1
+	for i, name := range modelNames {
+		_, member := s.ProcInComponent(name)
+		if member {
+			if myModel >= 0 {
+				return nil, fmt.Errorf("coupler: rank belongs to both %q and %q; coupled components must not overlap",
+					modelNames[myModel], name)
+			}
+			myModel = i
+		}
+		if member || onCoupler {
+			l, err := NewLink(s, name, n.Coupler, cfg.Grid)
+			if err != nil {
+				return nil, fmt.Errorf("coupler: link %q: %w", name, err)
+			}
+			links[i] = l
+		}
+	}
+	if myModel < 0 && !onCoupler {
+		return nil, fmt.Errorf("coupler: rank %d belongs to no coupled component", s.GlobalProcID())
+	}
+
+	if onCoupler {
+		return runCouplerSide(s, cfg, links)
+	}
+	return runModelSide(s, cfg, links[myModel], myModel)
+}
+
+// upTags and downTags index coupling tags by model slot.
+var (
+	upTags   = [4]int{tagAtmUp, tagOcnUp, tagLndUp, tagIceUp}
+	downTags = [4]int{tagAtmDown, tagOcnDown, tagLndDown, tagIceDown}
+)
+
+// couplingSchedule builds the shared clock + coupling alarm; every
+// component constructs the identical schedule, so the integer-step alarms
+// agree exactly (package timemgr's design point).
+func couplingSchedule(cfg Config) (*timemgr.Schedule, error) {
+	clock, err := timemgr.NewClock(cfg.Dt, int64(cfg.Periods*cfg.SubSteps))
+	if err != nil {
+		return nil, err
+	}
+	sched := timemgr.NewSchedule(clock)
+	if err := sched.AddAlarm("couple", int64(cfg.SubSteps), 0); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+// runModelSide is the time loop of one model component: advance the shared
+// clock, step the model, exchange with the coupler when the coupling alarm
+// rings.
+func runModelSide(s *core.Setup, cfg Config, link *Link, slot int) (*Diagnostics, error) {
+	name := [4]string{cfg.Names.Atmosphere, cfg.Names.Ocean, cfg.Names.Land, cfg.Names.Ice}[slot]
+	comm, _ := s.ProcInComponent(name)
+	build := [4]func(*mpi.Comm, *grid.Decomp) (*model.SurfaceModel, error){
+		model.NewAtmosphere, model.NewOcean, model.NewLand, model.NewSeaIce,
+	}[slot]
+	m, err := build(comm, link.ModelDecomp())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Init != nil {
+		if err := cfg.Init(name, m); err != nil {
+			return nil, fmt.Errorf("coupler: init %q: %w", name, err)
+		}
+	}
+	sched, err := couplingSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	for !sched.Clock.Done() {
+		ringing, err := sched.Advance()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Step(cfg.Dt); err != nil {
+			return nil, err
+		}
+		if len(ringing) == 0 {
+			continue
+		}
+		if _, err := link.ToCoupler(m.Field(), upTags[slot]); err != nil {
+			return nil, err
+		}
+		delta, err := link.ToModel(nil, downTags[slot])
+		if err != nil {
+			return nil, err
+		}
+		applyDelta(m, delta, slot == 3 /* ice thickness cannot go negative */)
+
+		// Conservation bookkeeping: atmosphere and ocean report their
+		// unweighted sums to the coupler root after the exchange.
+		if slot == 0 || slot == 1 {
+			sum, err := m.GlobalSum()
+			if err != nil {
+				return nil, err
+			}
+			if comm.Rank() == 0 {
+				if err := s.SendFloatsTo(cfg.Names.Coupler, 0, tagSums, []float64{sum}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return recvDiagnostics(s, cfg)
+}
+
+// applyDelta adds the coupler's increment to the model state.
+func applyDelta(m *model.SurfaceModel, delta *grid.Field, clampNonNegative bool) {
+	data := m.Field().Data
+	for i, d := range delta.Data {
+		data[i] += d
+		if clampNonNegative && data[i] < 0 {
+			data[i] = 0
+		}
+	}
+}
+
+// runCouplerSide receives every model's field, merges fluxes, returns the
+// increments, and accumulates diagnostics.
+func runCouplerSide(s *core.Setup, cfg Config, links [4]*Link) (*Diagnostics, error) {
+	comm, _ := s.ProcInComponent(cfg.Names.Coupler)
+	dtc := float64(cfg.SubSteps) * cfg.Dt
+	g := cfg.Grid
+	d := &Diagnostics{}
+	sched, err := couplingSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	for !sched.Clock.Done() {
+		ringing, err := sched.Advance()
+		if err != nil {
+			return nil, err
+		}
+		if len(ringing) == 0 {
+			continue // the models are mid-period; the coupler idles
+		}
+		var fields [4]*grid.Field
+		for i, l := range links {
+			f, err := l.ToCoupler(nil, upTags[i])
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = f
+		}
+		atm, ocn, ice := fields[0], fields[1], fields[3]
+
+		// Flux merge on the coupler decomposition.
+		deltas := [4]*grid.Field{}
+		for i, l := range links {
+			proc, _ := l.OnCoupler()
+			deltas[i] = grid.NewField(l.CouplerDecomp(), proc)
+		}
+		for i := range atm.Data {
+			iceFrac := ice.Data[i] / 2
+			if iceFrac > 1 {
+				iceFrac = 1
+			}
+			if iceFrac < 0 {
+				iceFrac = 0
+			}
+			// Atmosphere-ocean heat exchange, shut off under ice. The two
+			// increments are equal and opposite: unweighted conservation.
+			flux := cfg.ExchangeCoeff * (atm.Data[i] - ocn.Data[i]) * (1 - iceFrac)
+			deltas[0].Data[i] = -flux * dtc
+			deltas[1].Data[i] = +flux * dtc
+			// Land dries under a warm atmosphere.
+			deltas[2].Data[i] = -1e-4 * (atm.Data[i] - 288) * dtc
+			// Ice grows below freezing, melts above.
+			deltas[3].Data[i] = 5e-3 * (271.35 - atm.Data[i]) * dtc
+		}
+		for i, l := range links {
+			if _, err := l.ToModel(deltas[i], downTags[i]); err != nil {
+				return nil, err
+			}
+		}
+
+		// Conservation of the exchange itself: the atmosphere and ocean
+		// increments must cancel globally.
+		localImbalance := 0.0
+		for _, v := range deltas[0].Data {
+			localImbalance += v
+		}
+		for _, v := range deltas[1].Data {
+			localImbalance += v
+		}
+		imb, err := comm.AllreduceFloats([]float64{localImbalance}, mpi.OpSum)
+		if err != nil {
+			return nil, err
+		}
+		d.FluxImbalance = append(d.FluxImbalance, imb[0])
+
+		// Diagnostics: area-weighted means over the coupler communicator.
+		means := [4]float64{}
+		for i, f := range fields {
+			ws, w := f.LocalWeightedMean()
+			out, err := comm.AllreduceFloats([]float64{ws, w}, mpi.OpSum)
+			if err != nil {
+				return nil, err
+			}
+			means[i] = out[0] / out[1]
+		}
+		d.AtmMean = append(d.AtmMean, means[0])
+		d.OcnMean = append(d.OcnMean, means[1])
+		d.LandMean = append(d.LandMean, means[2])
+		d.IceMean = append(d.IceMean, means[3])
+
+		// Conservation: the models report their post-exchange sums.
+		if comm.Rank() == 0 {
+			total := 0.0
+			for k := 0; k < 2; k++ {
+				xs, _, _, err := s.RecvAny(tagSums)
+				if err != nil {
+					return nil, err
+				}
+				vals, err := mpi.DecodeFloats(xs)
+				if err != nil {
+					return nil, err
+				}
+				total += vals[0]
+			}
+			d.Energy = append(d.Energy, total)
+		}
+	}
+	_ = g // the coupling grid is implicit in the links' decompositions
+	return bcastDiagnostics(s, cfg, d)
+}
+
+// bcastDiagnostics ships the coupler root's diagnostics to every rank so
+// RunCoupled has a uniform return value.
+func bcastDiagnostics(s *core.Setup, cfg Config, d *Diagnostics) (*Diagnostics, error) {
+	comm, _ := s.ProcInComponent(cfg.Names.Coupler)
+	if comm.Rank() == 0 {
+		payload := encodeDiagnostics(d, cfg.Periods)
+		// Send to every non-coupler-root rank over the global world.
+		for r := 0; r < s.World().Size(); r++ {
+			if r == s.GlobalProcID() {
+				continue
+			}
+			if err := s.GlobalWorld().Send(r, tagDiag, payload); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	}
+	return recvDiagnostics(s, cfg)
+}
+
+// recvDiagnostics blocks for the coupler root's diagnostics broadcast.
+func recvDiagnostics(s *core.Setup, cfg Config) (*Diagnostics, error) {
+	rootWorld, err := s.WorldRankOf(cfg.Names.Coupler, 0)
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := s.GlobalWorld().Recv(rootWorld, tagDiag)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDiagnostics(data, cfg.Periods)
+}
+
+func encodeDiagnostics(d *Diagnostics, periods int) []byte {
+	flat := make([]float64, 0, 6*periods)
+	flat = append(flat, d.AtmMean...)
+	flat = append(flat, d.OcnMean...)
+	flat = append(flat, d.LandMean...)
+	flat = append(flat, d.IceMean...)
+	flat = append(flat, d.Energy...)
+	flat = append(flat, d.FluxImbalance...)
+	return mpi.EncodeFloats(flat)
+}
+
+func decodeDiagnostics(data []byte, periods int) (*Diagnostics, error) {
+	flat, err := mpi.DecodeFloats(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(flat) != 6*periods {
+		return nil, fmt.Errorf("coupler: diagnostics payload has %d values, want %d", len(flat), 6*periods)
+	}
+	return &Diagnostics{
+		AtmMean:       flat[0*periods : 1*periods],
+		OcnMean:       flat[1*periods : 2*periods],
+		LandMean:      flat[2*periods : 3*periods],
+		IceMean:       flat[3*periods : 4*periods],
+		Energy:        flat[4*periods : 5*periods],
+		FluxImbalance: flat[5*periods : 6*periods],
+	}, nil
+}

@@ -1,0 +1,117 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates a fixed-range, fixed-bin distribution of ensemble
+// diagnostics — the cheap on-line distribution summary a statistics
+// component keeps when full order statistics are too expensive to retain
+// per step.
+type Histogram struct {
+	lo, hi float64
+	counts []int64
+	under  int64
+	over   int64
+}
+
+// NewHistogram creates a histogram over [lo, hi) with the given number of
+// equal-width bins.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("ensemble: histogram with %d bins", bins)
+	}
+	if !(lo < hi) || math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("ensemble: invalid histogram range [%g, %g)", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int64, bins)}, nil
+}
+
+// Add records one value. Values outside the range are tallied as underflow
+// or overflow; NaNs are counted as overflow (they are "not in range" and
+// must not vanish silently).
+func (h *Histogram) Add(v float64) {
+	switch {
+	case math.IsNaN(v) || v >= h.hi:
+		h.over++
+	case v < h.lo:
+		h.under++
+	default:
+		idx := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
+		if idx >= len(h.counts) { // guard the right edge against rounding
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// AddAll records a slice of values.
+func (h *Histogram) AddAll(vs []float64) {
+	for _, v := range vs {
+		h.Add(v)
+	}
+}
+
+// N returns the number of in-range values recorded.
+func (h *Histogram) N() int64 {
+	n := int64(0)
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Underflow and Overflow return the out-of-range tallies.
+func (h *Histogram) Underflow() int64 { return h.under }
+
+// Overflow returns the count of values at or above the upper bound
+// (including NaNs).
+func (h *Histogram) Overflow() int64 { return h.over }
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int64 { return append([]int64(nil), h.counts...) }
+
+// Bin returns the half-open range of bin i.
+func (h *Histogram) Bin(i int) (lo, hi float64, err error) {
+	if i < 0 || i >= len(h.counts) {
+		return 0, 0, fmt.Errorf("ensemble: bin %d of %d", i, len(h.counts))
+	}
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	return h.lo + float64(i)*width, h.lo + float64(i+1)*width, nil
+}
+
+// Merge folds another histogram with an identical shape into this one.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other.lo != h.lo || other.hi != h.hi || len(other.counts) != len(h.counts) {
+		return fmt.Errorf("ensemble: merging histograms with different shapes")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.under += other.under
+	h.over += other.over
+	return nil
+}
+
+// String renders a compact ASCII bar chart, one line per bin.
+func (h *Histogram) String() string {
+	const width = 40
+	max := int64(1)
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		lo, hi, _ := h.Bin(i)
+		bar := strings.Repeat("#", int(c*width/max))
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %8d %s\n", lo, hi, c, bar)
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, "underflow %d, overflow %d\n", h.under, h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package ensemble
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasicBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 1.9, 2, 5.5, 9.99, -1, 10, math.NaN()})
+	counts := h.Counts()
+	want := []int64{2, 1, 1, 0, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.N() != 5 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Errorf("under %d over %d", h.Underflow(), h.Overflow())
+	}
+}
+
+func TestHistogramBinRanges(t *testing.T) {
+	h, _ := NewHistogram(-2, 2, 4)
+	lo, hi, err := h.Bin(0)
+	if err != nil || lo != -2 || hi != -1 {
+		t.Errorf("bin 0 = [%g,%g) %v", lo, hi, err)
+	}
+	lo, hi, err = h.Bin(3)
+	if err != nil || lo != 1 || hi != 2 {
+		t.Errorf("bin 3 = [%g,%g) %v", lo, hi, err)
+	}
+	if _, _, err := h.Bin(4); err == nil {
+		t.Error("bin out of range accepted")
+	}
+	if _, _, err := h.Bin(-1); err == nil {
+		t.Error("negative bin accepted")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewHistogram(math.NaN(), 1, 4); err == nil {
+		t.Error("NaN bound accepted")
+	}
+	if _, err := NewHistogram(0, math.Inf(1), 4); err == nil {
+		t.Error("infinite bound accepted")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram(0, 4, 4)
+	b, _ := NewHistogram(0, 4, 4)
+	a.AddAll([]float64{0.5, 1.5, -1})
+	b.AddAll([]float64{1.7, 3.2, 9})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	counts := a.Counts()
+	if counts[0] != 1 || counts[1] != 2 || counts[3] != 1 {
+		t.Errorf("merged counts %v", counts)
+	}
+	if a.Underflow() != 1 || a.Overflow() != 1 {
+		t.Errorf("merged tails %d/%d", a.Underflow(), a.Overflow())
+	}
+	other, _ := NewHistogram(0, 5, 4)
+	if err := a.Merge(other); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestHistogramConservesCount(t *testing.T) {
+	// Every added value lands in exactly one tally.
+	prop := func(vals []float64) bool {
+		h, err := NewHistogram(-100, 100, 17)
+		if err != nil {
+			return false
+		}
+		h.AddAll(vals)
+		return h.N()+h.Underflow()+h.Overflow() == int64(len(vals))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 10)
+	h.Add(math.Nextafter(1, 0)) // just below the top: last bin, not overflow
+	if h.Counts()[9] != 1 || h.Overflow() != 0 {
+		t.Errorf("top edge: counts %v over %d", h.Counts(), h.Overflow())
+	}
+	h.Add(0) // exact lower bound: first bin
+	if h.Counts()[0] != 1 {
+		t.Errorf("bottom edge: counts %v", h.Counts())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, _ := NewHistogram(0, 2, 2)
+	h.AddAll([]float64{0.5, 0.6, 1.5, -3})
+	s := h.String()
+	if !strings.Contains(s, "#") || !strings.Contains(s, "underflow 1") {
+		t.Errorf("render:\n%s", s)
+	}
+}

@@ -1,0 +1,93 @@
+package grid
+
+import "fmt"
+
+// ColDecomp is a 1-D block decomposition of a grid's longitude columns over
+// P processors — the "other" decomposition of a 2-D transpose pair. A
+// spectral or FFT-based model needs whole latitude rows for one phase and
+// whole longitude columns for the next; package xfer's Transpose moves a
+// field between a Decomp (rows) and a ColDecomp (columns).
+type ColDecomp struct {
+	Grid  Grid
+	P     int
+	start []int // start[p] = first longitude of processor p; start[P] = NLon
+}
+
+// NewColDecomp partitions g's longitude columns over p processors as evenly
+// as possible.
+func NewColDecomp(g Grid, p int) (*ColDecomp, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("grid: column decomposition over %d processors", p)
+	}
+	d := &ColDecomp{Grid: g, P: p, start: make([]int, p+1)}
+	base, extra := g.NLon/p, g.NLon%p
+	pos := 0
+	for i := 0; i < p; i++ {
+		d.start[i] = pos
+		pos += base
+		if i < extra {
+			pos++
+		}
+	}
+	d.start[p] = g.NLon
+	return d, nil
+}
+
+// Cols returns the half-open longitude range [lo, hi) owned by processor p.
+func (d *ColDecomp) Cols(p int) (lo, hi int) { return d.start[p], d.start[p+1] }
+
+// OwnedCells returns the number of cells owned by processor p: all NLat
+// rows of its column block.
+func (d *ColDecomp) OwnedCells(p int) int {
+	lo, hi := d.Cols(p)
+	return (hi - lo) * d.Grid.NLat
+}
+
+// Owner returns the processor owning longitude lon.
+func (d *ColDecomp) Owner(lon int) int {
+	lo, hi := 0, d.P
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.start[mid+1] <= lon {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ColField is a processor-local slab of a column-decomposed field: the
+// owner's longitude columns over every latitude, stored row-major as
+// (lat, ownedLon), i.e. index = lat*(hi-lo) + (lon-lo).
+type ColField struct {
+	Decomp *ColDecomp
+	P      int
+	Data   []float64
+}
+
+// NewColField allocates processor p's slab, zero-filled.
+func NewColField(d *ColDecomp, p int) *ColField {
+	return &ColField{Decomp: d, P: p, Data: make([]float64, d.OwnedCells(p))}
+}
+
+// At returns the value at global (lat, lon), which must be owned by this
+// slab.
+func (f *ColField) At(lat, lon int) (float64, error) {
+	lo, hi := f.Decomp.Cols(f.P)
+	if lon < lo || lon >= hi || lat < 0 || lat >= f.Decomp.Grid.NLat {
+		return 0, fmt.Errorf("grid: cell (%d,%d) not owned by column processor %d", lat, lon, f.P)
+	}
+	return f.Data[lat*(hi-lo)+(lon-lo)], nil
+}
+
+// FillFunc sets every owned cell from a function of its global (lat, lon).
+func (f *ColField) FillFunc(fn func(lat, lon int) float64) {
+	lo, hi := f.Decomp.Cols(f.P)
+	width := hi - lo
+	for lat := 0; lat < f.Decomp.Grid.NLat; lat++ {
+		for lon := lo; lon < hi; lon++ {
+			f.Data[lat*width+(lon-lo)] = fn(lat, lon)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColDecompPartitionProperty(t *testing.T) {
+	prop := func(nlonRaw, pRaw uint8) bool {
+		nlon := int(nlonRaw%64) + 1
+		p := int(pRaw%16) + 1
+		g, err := New(4, nlon)
+		if err != nil {
+			return false
+		}
+		d, err := NewColDecomp(g, p)
+		if err != nil {
+			return false
+		}
+		covered, cells := 0, 0
+		for proc := 0; proc < p; proc++ {
+			lo, hi := d.Cols(proc)
+			if lo != covered || hi < lo {
+				return false
+			}
+			covered = hi
+			cells += d.OwnedCells(proc)
+		}
+		if covered != nlon || cells != g.Cells() {
+			return false
+		}
+		for lon := 0; lon < nlon; lon++ {
+			owner := d.Owner(lon)
+			lo, hi := d.Cols(owner)
+			if lon < lo || lon >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColDecompValidation(t *testing.T) {
+	g, _ := New(4, 8)
+	if _, err := NewColDecomp(g, 0); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := NewColDecomp(g, -1); err == nil {
+		t.Error("negative processors accepted")
+	}
+}
+
+func TestColFieldRoundTrip(t *testing.T) {
+	g, _ := New(3, 10)
+	d, err := NewColDecomp(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		f := NewColField(d, p)
+		f.FillFunc(func(lat, lon int) float64 { return float64(g.Index(lat, lon)) })
+		lo, hi := d.Cols(p)
+		for lat := 0; lat < g.NLat; lat++ {
+			for lon := lo; lon < hi; lon++ {
+				v, err := f.At(lat, lon)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != float64(g.Index(lat, lon)) {
+					t.Fatalf("proc %d At(%d,%d) = %g", p, lat, lon, v)
+				}
+			}
+		}
+		if lo > 0 {
+			if _, err := f.At(0, lo-1); err == nil {
+				t.Fatal("foreign column accepted")
+			}
+		}
+		if _, err := f.At(-1, lo); err == nil {
+			t.Fatal("negative latitude accepted")
+		}
+	}
+}

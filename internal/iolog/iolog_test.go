@@ -1,0 +1,276 @@
+package iolog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestComponentWriterCreatesLogFile(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewMux(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.ComponentWriter("atmosphere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(w, "step 1 done")
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "atmosphere.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "step 1 done\n" {
+		t.Errorf("log content %q", data)
+	}
+}
+
+func TestSameWriterForRepeatedCalls(t *testing.T) {
+	m, err := NewMux(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	w1, _ := m.ComponentWriter("ocean")
+	w2, _ := m.ComponentWriter("ocean")
+	if w1 != w2 {
+		t.Error("repeated ComponentWriter calls returned different writers")
+	}
+}
+
+func TestCombinedWriterShared(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewMux(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := m.CombinedWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := m.CombinedWriter()
+	if w1 != w2 {
+		t.Error("combined writer not shared")
+	}
+	fmt.Fprintln(w1, "stray write")
+	m.Close()
+	data, err := os.ReadFile(filepath.Join(dir, CombinedName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "stray write") {
+		t.Errorf("combined content %q", data)
+	}
+}
+
+func TestConcurrentWritesAreAtomic(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewMux(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.ComponentWriter("ice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, lines = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < lines; j++ {
+				fmt.Fprintf(w, "writer=%d line=%d\n", id, j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	m.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "ice.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(got) != writers*lines {
+		t.Fatalf("got %d lines, want %d", len(got), writers*lines)
+	}
+	for _, line := range got {
+		if !strings.HasPrefix(line, "writer=") || !strings.Contains(line, " line=") {
+			t.Fatalf("interleaved line %q", line)
+		}
+	}
+}
+
+func TestEnvVarMapping(t *testing.T) {
+	cases := map[string]string{
+		"ocean":    "MPH_LOG_OCEAN",
+		"Ocean1":   "MPH_LOG_OCEAN1",
+		"sea-ice":  "MPH_LOG_SEA_ICE",
+		"a.b c/d":  "MPH_LOG_A_B_C_D",
+		"NCAR_atm": "MPH_LOG_NCAR_ATM",
+	}
+	for name, want := range cases {
+		if got := EnvVar(name); got != want {
+			t.Errorf("EnvVar(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestEnvVarOverridesPath(t *testing.T) {
+	dir := t.TempDir()
+	override := filepath.Join(dir, "custom-ocean-log.txt")
+	t.Setenv(EnvVar("ocean"), override)
+	m, err := NewMux(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.ComponentWriter("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(w, "overridden")
+	m.Close()
+	if _, err := os.Stat(override); err != nil {
+		t.Fatalf("override path not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ocean.log")); !os.IsNotExist(err) {
+		t.Error("default path written despite override")
+	}
+}
+
+func TestMuxClosedErrors(t *testing.T) {
+	m, err := NewMux(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if _, err := m.ComponentWriter("x"); err == nil {
+		t.Error("ComponentWriter after Close should fail")
+	}
+	if _, err := m.CombinedWriter(); err == nil {
+		t.Error("CombinedWriter after Close should fail")
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestEmptyComponentName(t *testing.T) {
+	m, err := NewMux(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.ComponentWriter(""); err == nil {
+		t.Error("empty component name accepted")
+	}
+}
+
+func TestPaths(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewMux(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.ComponentWriter("a")
+	m.ComponentWriter("b")
+	m.CombinedWriter()
+	if got := len(m.Paths()); got != 3 {
+		t.Errorf("Paths() has %d entries, want 3", got)
+	}
+}
+
+func TestNewMuxUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(parent, 0o755)
+	if _, err := NewMux(filepath.Join(parent, "sub")); err == nil {
+		t.Error("unwritable parent accepted")
+	}
+}
+
+func TestComponentWriterOpenFailure(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewMux(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Point the env override at a path whose parent does not exist.
+	t.Setenv(EnvVar("ghost"), filepath.Join(dir, "missing", "ghost.log"))
+	if _, err := m.ComponentWriter("ghost"); err == nil {
+		t.Error("unopenable override accepted")
+	}
+}
+
+func TestSharedMuxReuse(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Shared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Shared returned distinct muxes for one directory")
+	}
+	other, err := Shared(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == a {
+		t.Error("Shared reused a mux across directories")
+	}
+	// Default dir resolves without error.
+	if _, err := Shared(""); err != nil {
+		t.Errorf("Shared(\"\"): %v", err)
+	}
+}
+
+func TestSharedMuxAppendAcrossHandles(t *testing.T) {
+	// Two muxes on one directory (as two OS processes would have) append
+	// rather than clobber.
+	dir := t.TempDir()
+	m1, err := NewMux(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := m1.ComponentWriter("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(w1, "first")
+	m1.Close()
+	m2, err := NewMux(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := m2.ComponentWriter("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(w2, "second")
+	m2.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "x.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "first\nsecond\n" {
+		t.Errorf("content %q", data)
+	}
+}

@@ -1,0 +1,256 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"mph/internal/grid"
+	"mph/internal/mpi"
+)
+
+// Checkpointing: each instance of an ensemble reads and writes its own
+// files, named through the registration file's argument strings (paper
+// §4.4: "this is for passing input/output file names ... to the specific
+// instances"). The format is a tiny self-describing binary container:
+//
+//	magic "MPHCKPT1" | nlat u64 | nlon u64 | time f64 | step u64 |
+//	cells f64[nlat*nlon] (row-major, global order) | crc32 of the above
+//
+// Writing gathers the distributed field to the component's rank 0;
+// reading broadcasts and scatters it. Both are collective over the model's
+// communicator.
+
+const checkpointMagic = "MPHCKPT1"
+
+// WriteCheckpoint saves the model state to w from the component's rank 0.
+// Collective; w is only used on rank 0 (others may pass nil).
+func (m *SurfaceModel) WriteCheckpoint(w io.Writer) error {
+	global, err := m.gatherGlobal()
+	if err != nil {
+		return err
+	}
+	if m.comm.Rank() != 0 {
+		return nil
+	}
+	if w == nil {
+		return fmt.Errorf("model %s: rank 0 needs a writer for the checkpoint", m.name)
+	}
+	return writeCheckpointTo(w, m.decomp.Grid, m.time, uint64(m.step), global)
+}
+
+// SaveCheckpoint writes the checkpoint to a file (created on rank 0 only).
+func (m *SurfaceModel) SaveCheckpoint(path string) error {
+	var w io.Writer
+	var f *os.File
+	if m.comm.Rank() == 0 {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return fmt.Errorf("model %s: %w", m.name, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := m.WriteCheckpoint(w); err != nil {
+		return err
+	}
+	if f != nil {
+		return f.Sync()
+	}
+	return nil
+}
+
+// ReadCheckpoint restores the model state from r, read on the component's
+// rank 0 and scattered. Collective; r is only used on rank 0. The
+// checkpoint's grid must match the model's.
+func (m *SurfaceModel) ReadCheckpoint(r io.Reader) error {
+	var global []float64
+	var t float64
+	var step uint64
+	var loadErr error
+	if m.comm.Rank() == 0 {
+		if r == nil {
+			loadErr = fmt.Errorf("model %s: rank 0 needs a reader for the checkpoint", m.name)
+		} else {
+			var g grid.Grid
+			g, t, step, global, loadErr = readCheckpointFrom(r)
+			if loadErr == nil && g != m.decomp.Grid {
+				loadErr = fmt.Errorf("model %s: checkpoint grid %dx%d does not match model grid %dx%d",
+					m.name, g.NLat, g.NLon, m.decomp.Grid.NLat, m.decomp.Grid.NLon)
+			}
+		}
+	}
+	// Agree on success before the collective scatter.
+	flag := int64(0)
+	if loadErr != nil {
+		flag = 1
+	}
+	sum, err := m.comm.AllreduceInts([]int64{flag}, mpi.OpSum)
+	if err != nil {
+		return err
+	}
+	if sum[0] != 0 {
+		if loadErr != nil {
+			return loadErr
+		}
+		return fmt.Errorf("model %s: checkpoint load failed on rank 0", m.name)
+	}
+
+	// Broadcast the header, scatter the slabs.
+	hdr, err := m.comm.BcastFloats(0, []float64{t, float64(step)})
+	if err != nil {
+		return err
+	}
+	if err := m.scatterGlobal(global); err != nil {
+		return err
+	}
+	m.time = hdr[0]
+	m.step = int(hdr[1])
+	return nil
+}
+
+// LoadCheckpoint restores from a file (opened on rank 0 only).
+func (m *SurfaceModel) LoadCheckpoint(path string) error {
+	var r io.Reader
+	if m.comm.Rank() == 0 {
+		f, err := os.Open(path)
+		if err != nil {
+			// Rank 0 must still enter the collective agreement inside
+			// ReadCheckpoint; a nil reader reports the failure there.
+			return m.ReadCheckpoint(errReader{err})
+		}
+		defer f.Close()
+		r = bufio.NewReader(f)
+	}
+	return m.ReadCheckpoint(r)
+}
+
+// errReader surfaces an open error through the Read path so the collective
+// abort logic has a single shape.
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }
+
+// gatherGlobal assembles the full field at rank 0, in global row-major
+// order (the decomposition is contiguous by latitude bands, so slabs
+// concatenate in rank order).
+func (m *SurfaceModel) gatherGlobal() ([]float64, error) {
+	parts, err := m.comm.Gather(0, mpi.EncodeFloats(m.state.Data))
+	if err != nil {
+		return nil, err
+	}
+	if m.comm.Rank() != 0 {
+		return nil, nil
+	}
+	out := make([]float64, 0, m.decomp.Grid.Cells())
+	for _, p := range parts {
+		xs, err := mpi.DecodeFloats(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, xs...)
+	}
+	if len(out) != m.decomp.Grid.Cells() {
+		return nil, fmt.Errorf("model %s: gathered %d cells, want %d", m.name, len(out), m.decomp.Grid.Cells())
+	}
+	return out, nil
+}
+
+// scatterGlobal distributes a global field from rank 0 into each rank's
+// slab.
+func (m *SurfaceModel) scatterGlobal(global []float64) error {
+	var parts [][]byte
+	if m.comm.Rank() == 0 {
+		parts = make([][]byte, m.comm.Size())
+		for p := 0; p < m.comm.Size(); p++ {
+			lo, hi := m.decomp.Bands(p)
+			nlon := m.decomp.Grid.NLon
+			parts[p] = mpi.EncodeFloats(global[lo*nlon : hi*nlon])
+		}
+	}
+	mine, err := m.comm.Scatter(0, parts)
+	if err != nil {
+		return err
+	}
+	xs, err := mpi.DecodeFloats(mine)
+	if err != nil {
+		return err
+	}
+	if len(xs) != len(m.state.Data) {
+		return fmt.Errorf("model %s: scattered slab has %d cells, want %d", m.name, len(xs), len(m.state.Data))
+	}
+	copy(m.state.Data, xs)
+	return nil
+}
+
+// writeCheckpointTo serializes one checkpoint.
+func writeCheckpointTo(w io.Writer, g grid.Grid, t float64, step uint64, cells []float64) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := mw.Write([]byte(checkpointMagic)); err != nil {
+		return err
+	}
+	hdr := make([]byte, 32)
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(g.NLat))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.NLon))
+	binary.LittleEndian.PutUint64(hdr[16:], math.Float64bits(t))
+	binary.LittleEndian.PutUint64(hdr[24:], step)
+	if _, err := mw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := mw.Write(mpi.EncodeFloats(cells)); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// readCheckpointFrom parses and verifies one checkpoint.
+func readCheckpointFrom(r io.Reader) (grid.Grid, float64, uint64, []float64, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(tr, magic); err != nil {
+		return grid.Grid{}, 0, 0, nil, fmt.Errorf("model: checkpoint header: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return grid.Grid{}, 0, 0, nil, fmt.Errorf("model: not a checkpoint (magic %q)", magic)
+	}
+	hdr := make([]byte, 32)
+	if _, err := io.ReadFull(tr, hdr); err != nil {
+		return grid.Grid{}, 0, 0, nil, fmt.Errorf("model: checkpoint header: %w", err)
+	}
+	nlat := int(binary.LittleEndian.Uint64(hdr[0:]))
+	nlon := int(binary.LittleEndian.Uint64(hdr[8:]))
+	t := math.Float64frombits(binary.LittleEndian.Uint64(hdr[16:]))
+	step := binary.LittleEndian.Uint64(hdr[24:])
+	g, err := grid.New(nlat, nlon)
+	if err != nil {
+		return grid.Grid{}, 0, 0, nil, fmt.Errorf("model: checkpoint grid: %w", err)
+	}
+	body := make([]byte, 8*g.Cells())
+	if _, err := io.ReadFull(tr, body); err != nil {
+		return grid.Grid{}, 0, 0, nil, fmt.Errorf("model: checkpoint body: %w", err)
+	}
+	want := crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return grid.Grid{}, 0, 0, nil, fmt.Errorf("model: checkpoint crc: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
+		return grid.Grid{}, 0, 0, nil, fmt.Errorf("model: checkpoint corrupt: crc %08x, want %08x", got, want)
+	}
+	cells, err := mpi.DecodeFloats(body)
+	if err != nil {
+		return grid.Grid{}, 0, 0, nil, err
+	}
+	return g, t, step, cells, nil
+}

@@ -1,0 +1,296 @@
+package model_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"mph/internal/grid"
+	"mph/internal/model"
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+)
+
+func TestCheckpointRoundTripInMemory(t *testing.T) {
+	d := mustDecomp(t, 12, 6, 3)
+	var blob []byte
+	// Phase 1: run and checkpoint.
+	mpitest.Run(t, 3, func(c *mpi.Comm) error {
+		m, err := model.NewOcean(c, d)
+		if err != nil {
+			return err
+		}
+		if err := m.StepN(7, 0.5); err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		var w *bytes.Buffer
+		if c.Rank() == 0 {
+			w = &buf
+		}
+		if err := m.WriteCheckpoint(writerOrNil(w)); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			blob = append([]byte(nil), buf.Bytes()...)
+		}
+		return nil
+	})
+	if len(blob) == 0 {
+		t.Fatal("no checkpoint produced")
+	}
+
+	// Phase 2: restore into a fresh model on a different processor count
+	// and verify the state matches a straight 7-step run.
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		d2 := d
+		var err error
+		if d2, err = decompFor(d.Grid.NLat, d.Grid.NLon, 2); err != nil {
+			return err
+		}
+		m, err := model.NewOcean(c, d2)
+		if err != nil {
+			return err
+		}
+		var r *bytes.Reader
+		if c.Rank() == 0 {
+			r = bytes.NewReader(blob)
+		}
+		if err := m.ReadCheckpoint(readerOrNil(r)); err != nil {
+			return err
+		}
+		if m.StepCount() != 7 || m.Time() != 3.5 {
+			return fmt.Errorf("restored bookkeeping %d/%g", m.StepCount(), m.Time())
+		}
+		mean, err := m.GlobalMean()
+		if err != nil {
+			return err
+		}
+		// Reference: rerun from scratch on this layout.
+		ref, err := model.NewOcean(c, d2)
+		if err != nil {
+			return err
+		}
+		if err := ref.StepN(7, 0.5); err != nil {
+			return err
+		}
+		want, err := ref.GlobalMean()
+		if err != nil {
+			return err
+		}
+		if math.Abs(mean-want) > 1e-12 {
+			return fmt.Errorf("restored mean %g, want %g", mean, want)
+		}
+		// Bit-exact slab comparison.
+		for i, v := range m.Field().Data {
+			if v != ref.Field().Data[i] {
+				return fmt.Errorf("cell %d differs: %v vs %v", i, v, ref.Field().Data[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ocean.ckpt")
+	d := mustDecomp(t, 8, 4, 2)
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		m, err := model.NewOcean(c, d)
+		if err != nil {
+			return err
+		}
+		if err := m.StepN(3, 0.5); err != nil {
+			return err
+		}
+		if err := m.SaveCheckpoint(path); err != nil {
+			return err
+		}
+		m2, err := model.NewOcean(c, d)
+		if err != nil {
+			return err
+		}
+		if err := m2.LoadCheckpoint(path); err != nil {
+			return err
+		}
+		for i, v := range m2.Field().Data {
+			if v != m.Field().Data[i] {
+				return fmt.Errorf("cell %d differs", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	d := mustDecomp(t, 8, 4, 1)
+	mpitest.Run(t, 1, func(c *mpi.Comm) error {
+		m, err := model.NewOcean(c, d)
+		if err != nil {
+			return err
+		}
+		// Missing writer/reader on rank 0.
+		if err := m.WriteCheckpoint(nil); err == nil {
+			return fmt.Errorf("nil writer accepted")
+		}
+		if err := m.ReadCheckpoint(nil); err == nil {
+			return fmt.Errorf("nil reader accepted")
+		}
+		// Garbage input.
+		if err := m.ReadCheckpoint(bytes.NewReader([]byte("not a checkpoint at all........"))); err == nil {
+			return fmt.Errorf("garbage accepted")
+		}
+		// Truncated checkpoint.
+		var buf bytes.Buffer
+		if err := m.WriteCheckpoint(&buf); err != nil {
+			return err
+		}
+		trunc := buf.Bytes()[:buf.Len()-10]
+		if err := m.ReadCheckpoint(bytes.NewReader(trunc)); err == nil {
+			return fmt.Errorf("truncated checkpoint accepted")
+		}
+		// Corrupted payload (CRC must catch it).
+		corrupt := append([]byte(nil), buf.Bytes()...)
+		corrupt[len(corrupt)-20] ^= 0xFF
+		if err := m.ReadCheckpoint(bytes.NewReader(corrupt)); err == nil {
+			return fmt.Errorf("corrupted checkpoint accepted")
+		}
+		// Grid mismatch.
+		dOther := mustDecompErrless(16, 4, 1)
+		other, err := model.NewOcean(c, dOther)
+		if err != nil {
+			return err
+		}
+		var buf2 bytes.Buffer
+		if err := other.WriteCheckpoint(&buf2); err != nil {
+			return err
+		}
+		if err := m.ReadCheckpoint(bytes.NewReader(buf2.Bytes())); err == nil {
+			return fmt.Errorf("grid mismatch accepted")
+		}
+		// Missing file.
+		if err := m.LoadCheckpoint(t.TempDir() + "/absent.ckpt"); err == nil {
+			return fmt.Errorf("missing file accepted")
+		}
+		return nil
+	})
+}
+
+// helpers working around typed-nil interface pitfalls: a nil *bytes.Buffer
+// stored in an io.Writer interface is non-nil and would dodge the rank-0
+// nil check.
+func writerOrNil(b *bytes.Buffer) interfaceWriter {
+	if b == nil {
+		return nil
+	}
+	return b
+}
+
+func readerOrNil(r *bytes.Reader) interfaceReader {
+	if r == nil {
+		return nil
+	}
+	return r
+}
+
+type interfaceWriter = interface{ Write([]byte) (int, error) }
+type interfaceReader = interface{ Read([]byte) (int, error) }
+
+func decompFor(nlat, nlon, p int) (*grid.Decomp, error) {
+	g, err := grid.New(nlat, nlon)
+	if err != nil {
+		return nil, err
+	}
+	return grid.NewDecomp(g, p)
+}
+
+func mustDecompErrless(nlat, nlon, p int) *grid.Decomp {
+	d, err := decompFor(nlat, nlon, p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestRestartEquivalence(t *testing.T) {
+	// A run interrupted by checkpoint/restore must match an uninterrupted
+	// run bit for bit — the restart contract of any production model.
+	d := mustDecomp(t, 12, 6, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "restart.ckpt")
+
+	straight := make([]float64, 0)
+	mpitest.Run(t, 3, func(c *mpi.Comm) error {
+		m, err := model.NewAtmosphere(c, d)
+		if err != nil {
+			return err
+		}
+		if err := m.StepN(20, 0.5); err != nil {
+			return err
+		}
+		parts, err := c.Gather(0, mpi.EncodeFloats(m.Field().Data))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for _, p := range parts {
+				xs, err := mpi.DecodeFloats(p)
+				if err != nil {
+					return err
+				}
+				straight = append(straight, xs...)
+			}
+		}
+		return nil
+	})
+
+	restarted := make([]float64, 0)
+	mpitest.Run(t, 3, func(c *mpi.Comm) error {
+		m, err := model.NewAtmosphere(c, d)
+		if err != nil {
+			return err
+		}
+		if err := m.StepN(10, 0.5); err != nil {
+			return err
+		}
+		if err := m.SaveCheckpoint(path); err != nil {
+			return err
+		}
+		// "Crash": throw the model away, restart from the file.
+		m2, err := model.NewAtmosphere(c, d)
+		if err != nil {
+			return err
+		}
+		if err := m2.LoadCheckpoint(path); err != nil {
+			return err
+		}
+		if err := m2.StepN(10, 0.5); err != nil {
+			return err
+		}
+		parts, err := c.Gather(0, mpi.EncodeFloats(m2.Field().Data))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for _, p := range parts {
+				xs, err := mpi.DecodeFloats(p)
+				if err != nil {
+					return err
+				}
+				restarted = append(restarted, xs...)
+			}
+		}
+		return nil
+	})
+
+	if len(straight) == 0 || len(straight) != len(restarted) {
+		t.Fatalf("gathered %d vs %d cells", len(straight), len(restarted))
+	}
+	for i := range straight {
+		if straight[i] != restarted[i] {
+			t.Fatalf("cell %d differs after restart: %v vs %v", i, straight[i], restarted[i])
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package model
+
+import (
+	"fmt"
+
+	"mph/internal/mpi"
+)
+
+// exchangeEdgeRows swaps the first and last rows of a row-major slab with
+// the latitude neighbors on comm (rank-1 to the north, rank+1 to the
+// south) and fills the provided halo buffers. Both models share this
+// pattern; distinct tags keep their streams separate when they coexist on
+// one communicator.
+func exchangeEdgeRows(comm *mpi.Comm, name string, data []float64, nlon, tag int, north, south []float64) error {
+	rank, size := comm.Rank(), comm.Size()
+	rows := len(data) / nlon
+
+	var reqs []*mpi.Request
+	if rank > 0 {
+		reqs = append(reqs, comm.Irecv(rank-1, tag))
+		if err := comm.SendFloats(rank-1, tag, data[:nlon]); err != nil {
+			return fmt.Errorf("model %s: halo send north: %w", name, err)
+		}
+	}
+	if rank < size-1 {
+		reqs = append(reqs, comm.Irecv(rank+1, tag))
+		if err := comm.SendFloats(rank+1, tag, data[(rows-1)*nlon:]); err != nil {
+			return fmt.Errorf("model %s: halo send south: %w", name, err)
+		}
+	}
+	idx := 0
+	if rank > 0 {
+		raw, _, err := reqs[idx].Wait()
+		idx++
+		if err != nil {
+			return fmt.Errorf("model %s: halo recv north: %w", name, err)
+		}
+		xs, err := mpi.DecodeFloats(raw)
+		if err != nil || len(xs) != nlon {
+			return fmt.Errorf("model %s: bad north halo (%d cells): %v", name, len(xs), err)
+		}
+		copy(north, xs)
+	}
+	if rank < size-1 {
+		raw, _, err := reqs[idx].Wait()
+		if err != nil {
+			return fmt.Errorf("model %s: halo recv south: %w", name, err)
+		}
+		xs, err := mpi.DecodeFloats(raw)
+		if err != nil || len(xs) != nlon {
+			return fmt.Errorf("model %s: bad south halo (%d cells): %v", name, len(xs), err)
+		}
+		copy(south, xs)
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package model provides deterministic toy geophysical components —
+// atmosphere, ocean, land, sea-ice — standing in for the CCSM component
+// models the paper integrates with MPH (§1, §7). Each component evolves a
+// scalar surface field on a latitude-band-decomposed lat-lon grid with an
+// explicit diffusion stencil, halo exchange between neighboring processors,
+// and relaxation toward a component-specific equilibrium profile.
+//
+// The models are not meant to be physically quantitative; they are meant to
+// exercise MPH's call sequence (handshake → per-component communicator →
+// coupled exchange) with realistic data volumes and stencil communication,
+// and to be bit-reproducible across processor counts so tests can verify
+// that the parallel decomposition does not change the answer.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"mph/internal/grid"
+	"mph/internal/mpi"
+)
+
+// ForcingFunc gives the equilibrium value a cell relaxes toward at time t.
+type ForcingFunc func(lat, lon int, t float64) float64
+
+// Params configures a SurfaceModel.
+type Params struct {
+	// Kappa is the diffusion coefficient per unit time; explicit stability
+	// requires Kappa*dt <= 0.25.
+	Kappa float64
+	// Relax is the relaxation rate toward the forcing equilibrium per unit
+	// time (0 disables forcing).
+	Relax float64
+	// Forcing is the equilibrium profile; required when Relax > 0.
+	Forcing ForcingFunc
+	// Initial fills the state at construction; nil means zero.
+	Initial func(lat, lon int) float64
+}
+
+// SurfaceModel is one component's distributed prognostic field plus its
+// stepping scheme.
+type SurfaceModel struct {
+	name   string
+	comm   *mpi.Comm
+	decomp *grid.Decomp
+	state  *grid.Field
+	params Params
+
+	time float64
+	step int
+
+	// halo rows reused across steps
+	north, south []float64
+}
+
+// haloTag carries halo-exchange traffic; the component communicator is
+// private to the component, so a fixed tag cannot collide with coupling
+// traffic (which travels on joined or global communicators).
+const haloTag = 9000
+
+// New creates a component model on comm, which must have exactly decomp.P
+// ranks; the calling rank owns decomp block comm.Rank(). Every processor
+// must own at least one latitude band.
+func New(name string, comm *mpi.Comm, decomp *grid.Decomp, p Params) (*SurfaceModel, error) {
+	if name == "" {
+		return nil, fmt.Errorf("model: empty name")
+	}
+	if comm.Size() != decomp.P {
+		return nil, fmt.Errorf("model %s: communicator has %d ranks, decomposition wants %d", name, comm.Size(), decomp.P)
+	}
+	for proc := 0; proc < decomp.P; proc++ {
+		if lo, hi := decomp.Bands(proc); hi-lo < 1 {
+			return nil, fmt.Errorf("model %s: processor %d owns no latitude bands (grid %d bands over %d procs)",
+				name, proc, decomp.Grid.NLat, decomp.P)
+		}
+	}
+	if p.Kappa < 0 || p.Relax < 0 {
+		return nil, fmt.Errorf("model %s: negative coefficients", name)
+	}
+	if p.Relax > 0 && p.Forcing == nil {
+		return nil, fmt.Errorf("model %s: relaxation without forcing", name)
+	}
+	m := &SurfaceModel{
+		name:   name,
+		comm:   comm,
+		decomp: decomp,
+		state:  grid.NewField(decomp, comm.Rank()),
+		params: p,
+		north:  make([]float64, decomp.Grid.NLon),
+		south:  make([]float64, decomp.Grid.NLon),
+	}
+	if p.Initial != nil {
+		m.state.FillFunc(p.Initial)
+	}
+	return m, nil
+}
+
+// Name returns the component name.
+func (m *SurfaceModel) Name() string { return m.name }
+
+// Field returns the local slab of the prognostic field. Callers may read
+// it; writing between steps changes the model state (used by coupling).
+func (m *SurfaceModel) Field() *grid.Field { return m.state }
+
+// SetField replaces the local slab (after a coupler-to-model transfer or a
+// migration). The field must have this processor's shape; a structurally
+// equal decomposition (same grid, same processor count) is accepted
+// because grid.NewDecomp is deterministic.
+func (m *SurfaceModel) SetField(f *grid.Field) error {
+	if f.Decomp.Grid != m.decomp.Grid || f.Decomp.P != m.decomp.P || f.P != m.comm.Rank() {
+		return fmt.Errorf("model %s: foreign field", m.name)
+	}
+	m.state = f
+	return nil
+}
+
+// Time returns the model time.
+func (m *SurfaceModel) Time() float64 { return m.time }
+
+// StepCount returns the number of completed steps.
+func (m *SurfaceModel) StepCount() int { return m.step }
+
+// Step advances the model by dt: halo exchange, explicit 5-point diffusion
+// (periodic east-west, insulated at the poles), then relaxation toward the
+// forcing profile. Collective over the component communicator.
+func (m *SurfaceModel) Step(dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("model %s: non-positive dt %g", m.name, dt)
+	}
+	if m.params.Kappa*dt > 0.25 {
+		return fmt.Errorf("model %s: unstable step: kappa*dt = %g > 0.25", m.name, m.params.Kappa*dt)
+	}
+	if err := m.exchangeHalos(); err != nil {
+		return err
+	}
+
+	nlon := m.decomp.Grid.NLon
+	lo, hi := m.decomp.Bands(m.comm.Rank())
+	rows := hi - lo
+	old := m.state.Data
+	next := make([]float64, len(old))
+	kdt := m.params.Kappa * dt
+
+	at := func(row, lon int) float64 {
+		// row in [-1, rows]; -1 and rows read the halos. Outside the grid
+		// (beyond a pole) the boundary is insulated: mirror the edge cell.
+		switch {
+		case row < 0:
+			if lo == 0 {
+				row = 0
+			} else {
+				return m.north[lon]
+			}
+		case row >= rows:
+			if hi == m.decomp.Grid.NLat {
+				row = rows - 1
+			} else {
+				return m.south[lon]
+			}
+		}
+		return old[row*nlon+lon]
+	}
+
+	for row := 0; row < rows; row++ {
+		for lon := 0; lon < nlon; lon++ {
+			c := old[row*nlon+lon]
+			east := old[row*nlon+(lon+1)%nlon]
+			west := old[row*nlon+(lon-1+nlon)%nlon]
+			north := at(row-1, lon)
+			south := at(row+1, lon)
+			lap := east + west + north + south - 4*c
+			v := c + kdt*lap
+			if m.params.Relax > 0 {
+				eq := m.params.Forcing(lo+row, lon, m.time)
+				v += m.params.Relax * dt * (eq - v)
+			}
+			next[row*nlon+lon] = v
+		}
+	}
+	m.state.Data = next
+	m.time += dt
+	m.step++
+	return nil
+}
+
+// StepN advances the model n steps of dt.
+func (m *SurfaceModel) StepN(n int, dt float64) error {
+	for i := 0; i < n; i++ {
+		if err := m.Step(dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exchangeHalos swaps edge rows with latitude neighbors. Processor p-1
+// holds the bands to the north (lower latitude index), p+1 to the south.
+func (m *SurfaceModel) exchangeHalos() error {
+	return exchangeEdgeRows(m.comm, m.name, m.state.Data, m.decomp.Grid.NLon,
+		haloTag, m.north, m.south)
+}
+
+// GlobalMean returns the area-weighted global mean of the field;
+// collective over the component communicator.
+func (m *SurfaceModel) GlobalMean() (float64, error) {
+	ws, w := m.state.LocalWeightedMean()
+	out, err := m.comm.AllreduceFloats([]float64{ws, w}, mpi.OpSum)
+	if err != nil {
+		return 0, err
+	}
+	return out[0] / out[1], nil
+}
+
+// GlobalSum returns the unweighted global sum of the field; collective over
+// the component communicator. Diffusion with Relax = 0 conserves it.
+func (m *SurfaceModel) GlobalSum() (float64, error) {
+	out, err := m.comm.AllreduceFloats([]float64{m.state.LocalSum()}, mpi.OpSum)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// equilibrium profiles for the preset components.
+
+// SolarEquilibrium is the classic cos²(latitude) radiative profile between
+// a polar and an equatorial temperature.
+func SolarEquilibrium(g grid.Grid, polar, equator float64) ForcingFunc {
+	return func(lat, _ int, _ float64) float64 {
+		phi := -math.Pi/2 + (float64(lat)+0.5)*math.Pi/float64(g.NLat)
+		c := math.Cos(phi)
+		return polar + (equator-polar)*c*c
+	}
+}
+
+// NewAtmosphere builds the fast, strongly mixed component: high
+// diffusivity, quick relaxation to the solar profile.
+func NewAtmosphere(comm *mpi.Comm, decomp *grid.Decomp) (*SurfaceModel, error) {
+	eq := SolarEquilibrium(decomp.Grid, 235, 300)
+	return New("atmosphere", comm, decomp, Params{
+		Kappa:   0.20,
+		Relax:   0.10,
+		Forcing: eq,
+		Initial: func(lat, lon int) float64 { return eq(lat, lon, 0) },
+	})
+}
+
+// NewOcean builds the slow component: low diffusivity, weak relaxation,
+// warm initial state.
+func NewOcean(comm *mpi.Comm, decomp *grid.Decomp) (*SurfaceModel, error) {
+	eq := SolarEquilibrium(decomp.Grid, 271, 302)
+	return New("ocean", comm, decomp, Params{
+		Kappa:   0.05,
+		Relax:   0.01,
+		Forcing: eq,
+		Initial: func(lat, lon int) float64 { return 285 },
+	})
+}
+
+// NewLand builds a soil-moisture bucket: diffusion stands in for runoff
+// spreading, relaxation toward a wet-tropics profile for precipitation
+// minus evaporation.
+func NewLand(comm *mpi.Comm, decomp *grid.Decomp) (*SurfaceModel, error) {
+	g := decomp.Grid
+	eq := func(lat, _ int, _ float64) float64 {
+		phi := -math.Pi/2 + (float64(lat)+0.5)*math.Pi/float64(g.NLat)
+		return 0.2 + 0.6*math.Cos(phi) // saturation fraction
+	}
+	return New("land", comm, decomp, Params{
+		Kappa:   0.02,
+		Relax:   0.05,
+		Forcing: eq,
+		Initial: func(lat, lon int) float64 { return 0.3 },
+	})
+}
+
+// NewSeaIce builds an ice-thickness model: thick near the poles, zero in
+// the tropics.
+func NewSeaIce(comm *mpi.Comm, decomp *grid.Decomp) (*SurfaceModel, error) {
+	g := decomp.Grid
+	eq := func(lat, _ int, _ float64) float64 {
+		phi := -math.Pi/2 + (float64(lat)+0.5)*math.Pi/float64(g.NLat)
+		s := math.Sin(phi)
+		thick := 3 * (s*s - 0.7) / 0.3
+		if thick < 0 {
+			return 0
+		}
+		return thick
+	}
+	return New("ice", comm, decomp, Params{
+		Kappa:   0.01,
+		Relax:   0.08,
+		Forcing: eq,
+		Initial: func(lat, lon int) float64 { return eq(lat, lon, 0) },
+	})
+}

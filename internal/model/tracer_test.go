@@ -1,0 +1,248 @@
+package model_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mph/internal/model"
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+)
+
+func TestTracerValidation(t *testing.T) {
+	d := mustDecomp(t, 8, 4, 2)
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		if _, err := model.NewTracer("", c, d, nil, nil, nil); err == nil {
+			return fmt.Errorf("empty name accepted")
+		}
+		m, err := model.NewTracer("co2", c, d, nil, nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := m.Step(0); err == nil {
+			return fmt.Errorf("dt=0 accepted")
+		}
+		return m.Step(0.5)
+	})
+	mpitest.Run(t, 3, func(c *mpi.Comm) error {
+		if _, err := model.NewTracer("x", c, d, nil, nil, nil); err == nil {
+			return fmt.Errorf("comm/decomp mismatch accepted")
+		}
+		return nil
+	})
+}
+
+func TestTracerCFLRejected(t *testing.T) {
+	d := mustDecomp(t, 8, 4, 1)
+	mpitest.Run(t, 1, func(c *mpi.Comm) error {
+		fast := func(lat, lonFace int) float64 { return 3 }
+		m, err := model.NewTracer("co2", c, d, fast, nil,
+			func(lat, lon int) float64 { return 1 })
+		if err != nil {
+			return err
+		}
+		if err := m.Step(1); err == nil {
+			return fmt.Errorf("CFL violation accepted")
+		}
+		return m.Step(0.25)
+	})
+}
+
+func TestTracerMassConservation(t *testing.T) {
+	// Swirling winds, 4 processors: total mass must not drift.
+	d := mustDecomp(t, 16, 8, 4)
+	mpitest.Run(t, 4, func(c *mpi.Comm) error {
+		u := func(lat, lonFace int) float64 { return 0.6 * math.Sin(float64(lat)) }
+		v := func(latFace, lon int) float64 { return 0.4 * math.Cos(float64(lon)) }
+		m, err := model.NewTracer("co2", c, d, u, v, func(lat, lon int) float64 {
+			return float64(lat*lon%7) + 1
+		})
+		if err != nil {
+			return err
+		}
+		before, err := m.TotalMass()
+		if err != nil {
+			return err
+		}
+		if err := m.StepN(40, 1); err != nil {
+			return err
+		}
+		after, err := m.TotalMass()
+		if err != nil {
+			return err
+		}
+		if math.Abs(after-before) > 1e-9*math.Abs(before) {
+			return fmt.Errorf("mass drifted %g -> %g", before, after)
+		}
+		return nil
+	})
+}
+
+func TestTracerExactTranslation(t *testing.T) {
+	// With Courant number exactly 1 the upwind scheme is exact: a blob
+	// advected east by one cell per step returns home after NLon steps.
+	const nlat, nlon = 6, 8
+	d := mustDecomp(t, nlat, nlon, 2)
+	init := func(lat, lon int) float64 {
+		if lon == 2 {
+			return float64(lat + 1)
+		}
+		return 0
+	}
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		u := func(lat, lonFace int) float64 { return 1 }
+		m, err := model.NewTracer("blob", c, d, u, nil, init)
+		if err != nil {
+			return err
+		}
+		if err := m.StepN(nlon, 1); err != nil {
+			return err
+		}
+		lo, hi := d.Bands(c.Rank())
+		for lat := lo; lat < hi; lat++ {
+			for lon := 0; lon < nlon; lon++ {
+				v, err := m.Field().At(lat, lon)
+				if err != nil {
+					return err
+				}
+				if v != init(lat, lon) {
+					return fmt.Errorf("cell (%d,%d) = %g, want %g", lat, lon, v, init(lat, lon))
+				}
+			}
+		}
+		if m.StepCount() != nlon || m.Time() != nlon {
+			return fmt.Errorf("bookkeeping %d/%g", m.StepCount(), m.Time())
+		}
+		return nil
+	})
+}
+
+func TestTracerMeridionalTransportAcrossRanks(t *testing.T) {
+	// A southward wind must carry tracer across the processor boundary.
+	const nlat, nlon = 8, 4
+	d := mustDecomp(t, nlat, nlon, 2) // boundary between lat 3 and 4
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		v := func(latFace, lon int) float64 { return 1 } // southward everywhere
+		init := func(lat, lon int) float64 {
+			if lat == 3 {
+				return 8
+			}
+			return 0
+		}
+		m, err := model.NewTracer("front", c, d, nil, v, init)
+		if err != nil {
+			return err
+		}
+		if err := m.Step(1); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			got, err := m.Field().At(4, 0)
+			if err != nil {
+				return err
+			}
+			if got != 8 {
+				return fmt.Errorf("tracer did not cross the rank boundary: %g", got)
+			}
+		}
+		if c.Rank() == 0 {
+			got, err := m.Field().At(3, 0)
+			if err != nil {
+				return err
+			}
+			if got != 0 {
+				return fmt.Errorf("source cell not emptied: %g", got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTracerDecompositionInvariance(t *testing.T) {
+	const nlat, nlon, steps = 12, 6, 15
+	u := func(lat, lonFace int) float64 { return 0.5 }
+	v := func(latFace, lon int) float64 { return 0.3 * math.Sin(float64(lon)) }
+	init := func(lat, lon int) float64 { return float64((lat*3 + lon) % 5) }
+
+	gather := func(p int) ([]float64, error) {
+		d := mustDecomp(t, nlat, nlon, p)
+		out := make([]float64, nlat*nlon)
+		err := mpi.RunWorld(p, func(c *mpi.Comm) error {
+			m, err := model.NewTracer("inv", c, d, u, v, init)
+			if err != nil {
+				return err
+			}
+			if err := m.StepN(steps, 1); err != nil {
+				return err
+			}
+			parts, err := c.Gather(0, mpi.EncodeFloats(m.Field().Data))
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				idx := 0
+				for _, part := range parts {
+					xs, err := mpi.DecodeFloats(part)
+					if err != nil {
+						return err
+					}
+					copy(out[idx:], xs)
+					idx += len(xs)
+				}
+			}
+			return nil
+		})
+		return out, err
+	}
+	serial, err := gather(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := gather(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("cell %d: serial %v, parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestTracerAndSurfaceModelCoexist(t *testing.T) {
+	// Both models on one communicator must not confuse each other's halo
+	// traffic (distinct tags).
+	d := mustDecomp(t, 8, 4, 2)
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		sm, err := model.New("temp", c, d, model.Params{
+			Kappa:   0.2,
+			Initial: func(lat, lon int) float64 { return float64(lat) },
+		})
+		if err != nil {
+			return err
+		}
+		tm, err := model.NewTracer("co2", c, d,
+			func(int, int) float64 { return 0.5 }, nil,
+			func(lat, lon int) float64 { return 1 })
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 10; i++ {
+			if err := sm.Step(1); err != nil {
+				return err
+			}
+			if err := tm.Step(1); err != nil {
+				return err
+			}
+		}
+		mass, err := tm.TotalMass()
+		if err != nil {
+			return err
+		}
+		if math.Abs(mass-float64(d.Grid.Cells())) > 1e-9 {
+			return fmt.Errorf("tracer mass %g", mass)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,173 @@
+package mpi_test
+
+// Microbenchmarks of the message-passing substrate itself: the costs below
+// are the floor under every MPH operation measured in the repo-root
+// experiment benchmarks.
+
+import (
+	"fmt"
+	"testing"
+
+	"mph/internal/mpi"
+)
+
+// benchWorld runs fn on a persistent world, once per rank, with b.N
+// available inside; it fails the benchmark on any rank error.
+func benchWorld(b *testing.B, n int, fn func(c *mpi.Comm) error) {
+	b.Helper()
+	if err := mpi.RunWorld(n, fn); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSendRecvLatency(b *testing.B) {
+	for _, size := range []int{0, 64, 1 << 10, 64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			payload := make([]byte, size)
+			b.SetBytes(int64(size))
+			benchWorld(b, 2, func(c *mpi.Comm) error {
+				for i := 0; i < b.N; i++ {
+					if c.Rank() == 0 {
+						if err := c.Send(1, 0, payload); err != nil {
+							return err
+						}
+						if _, _, err := c.Recv(1, 1); err != nil {
+							return err
+						}
+					} else {
+						if _, _, err := c.Recv(0, 0); err != nil {
+							return err
+						}
+						if err := c.Send(0, 1, nil); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func BenchmarkSsendLatency(b *testing.B) {
+	benchWorld(b, 2, func(c *mpi.Comm) error {
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				if err := c.Ssend(1, 0, []byte("x")); err != nil {
+					return err
+				}
+			} else {
+				if _, _, err := c.Recv(0, 0); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchWorld(b, n, func(c *mpi.Comm) error {
+				for i := 0; i < b.N; i++ {
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func BenchmarkBcast(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		for _, size := range []int{64, 64 << 10} {
+			b.Run(fmt.Sprintf("n=%d/%dB", n, size), func(b *testing.B) {
+				payload := make([]byte, size)
+				b.SetBytes(int64(size))
+				benchWorld(b, n, func(c *mpi.Comm) error {
+					for i := 0; i < b.N; i++ {
+						var in []byte
+						if c.Rank() == 0 {
+							in = payload
+						}
+						if _, err := c.Bcast(0, in); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		for _, elems := range []int{1, 1024} {
+			b.Run(fmt.Sprintf("n=%d/elems=%d", n, elems), func(b *testing.B) {
+				xs := make([]float64, elems)
+				benchWorld(b, n, func(c *mpi.Comm) error {
+					for i := 0; i < b.N; i++ {
+						if _, err := c.AllreduceFloats(xs, mpi.OpSum); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkAlltoall(b *testing.B) {
+	for _, n := range []int{4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchWorld(b, n, func(c *mpi.Comm) error {
+				parts := make([][]byte, n)
+				for j := range parts {
+					parts[j] = make([]byte, 1024)
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Alltoall(parts); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func BenchmarkCommSplit(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchWorld(b, n, func(c *mpi.Comm) error {
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Split(c.Rank()%2, 0); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchWorld(b, n, func(c *mpi.Comm) error {
+				xs := []int64{int64(c.Rank())}
+				for i := 0; i < b.N; i++ {
+					if _, err := c.ScanInts(xs, mpi.OpSum); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}

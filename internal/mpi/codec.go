@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The codec helpers give point-to-point and collective calls a typed
+// surface over []byte payloads. All encodings are little-endian and
+// self-sized (8 bytes per element), so a decoded slice length is
+// len(payload)/8.
+
+// encodeInts packs int64 values into a byte payload.
+func encodeInts(xs []int64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(x))
+	}
+	return buf
+}
+
+// decodeInts unpacks a payload produced by encodeInts.
+func decodeInts(buf []byte) ([]int64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("mpi: int payload length %d not a multiple of 8", len(buf))
+	}
+	xs := make([]int64, len(buf)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return xs, nil
+}
+
+// encodeFloats packs float64 values into a byte payload.
+func encodeFloats(xs []float64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+// decodeFloats unpacks a payload produced by encodeFloats.
+func decodeFloats(buf []byte) ([]float64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float payload length %d not a multiple of 8", len(buf))
+	}
+	xs := make([]float64, len(buf)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return xs, nil
+}
+
+// EncodeInts packs int64 values into a payload suitable for Send.
+func EncodeInts(xs []int64) []byte { return encodeInts(xs) }
+
+// DecodeInts unpacks a payload produced by EncodeInts.
+func DecodeInts(buf []byte) ([]int64, error) { return decodeInts(buf) }
+
+// EncodeFloats packs float64 values into a payload suitable for Send.
+func EncodeFloats(xs []float64) []byte { return encodeFloats(xs) }
+
+// DecodeFloats unpacks a payload produced by EncodeFloats.
+func DecodeFloats(buf []byte) ([]float64, error) { return decodeFloats(buf) }
+
+// SendFloats sends a float64 slice to dst with the given tag.
+func (c *Comm) SendFloats(dst, tag int, xs []float64) error {
+	return c.Send(dst, tag, encodeFloats(xs))
+}
+
+// RecvFloats receives a float64 slice matching (src, tag).
+func (c *Comm) RecvFloats(src, tag int) ([]float64, Status, error) {
+	buf, st, err := c.Recv(src, tag)
+	if err != nil {
+		return nil, st, err
+	}
+	xs, err := decodeFloats(buf)
+	return xs, st, err
+}
+
+// SendInts sends an int64 slice to dst with the given tag.
+func (c *Comm) SendInts(dst, tag int, xs []int64) error {
+	return c.Send(dst, tag, encodeInts(xs))
+}
+
+// RecvInts receives an int64 slice matching (src, tag).
+func (c *Comm) RecvInts(src, tag int) ([]int64, Status, error) {
+	buf, st, err := c.Recv(src, tag)
+	if err != nil {
+		return nil, st, err
+	}
+	xs, err := decodeInts(buf)
+	return xs, st, err
+}
+
+// SendString sends a string to dst with the given tag.
+func (c *Comm) SendString(dst, tag int, s string) error {
+	return c.Send(dst, tag, []byte(s))
+}
+
+// RecvString receives a string matching (src, tag).
+func (c *Comm) RecvString(src, tag int) (string, Status, error) {
+	buf, st, err := c.Recv(src, tag)
+	return string(buf), st, err
+}

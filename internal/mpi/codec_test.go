@@ -1,0 +1,152 @@
+package mpi
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntCodecRoundTrip(t *testing.T) {
+	prop := func(xs []int64) bool {
+		got, err := decodeInts(encodeInts(xs))
+		if err != nil {
+			return false
+		}
+		if len(xs) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, xs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatCodecRoundTrip(t *testing.T) {
+	prop := func(xs []float64) bool {
+		got, err := decodeFloats(encodeFloats(xs))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			// Compare bit patterns so NaNs round-trip too.
+			if math.Float64bits(got[i]) != math.Float64bits(xs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsRaggedPayloads(t *testing.T) {
+	for _, n := range []int{1, 7, 9, 15} {
+		if _, err := decodeInts(make([]byte, n)); err == nil {
+			t.Errorf("decodeInts accepted %d bytes", n)
+		}
+		if _, err := decodeFloats(make([]byte, n)); err == nil {
+			t.Errorf("decodeFloats accepted %d bytes", n)
+		}
+	}
+}
+
+func TestFrameSlicesRoundTrip(t *testing.T) {
+	prop := func(parts [][]byte) bool {
+		got, err := unframeSlices(frameSlices(parts))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if len(parts[i]) == 0 && len(got[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got[i], parts[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnframeSlicesRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		// count says 1 entry but no length header follows
+		{1, 0, 0, 0, 0, 0, 0, 0},
+		// entry claims 100 bytes but none follow
+		{1, 0, 0, 0, 0, 0, 0, 0, 100, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for i, buf := range cases {
+		if _, err := unframeSlices(buf); err == nil {
+			t.Errorf("case %d: accepted garbage", i)
+		}
+	}
+	// Trailing bytes after a well-formed frame must be rejected.
+	good := frameSlices([][]byte{{1}})
+	if _, err := unframeSlices(append(good, 0)); err == nil {
+		t.Error("accepted trailing bytes")
+	}
+}
+
+func TestDeriveContextProperties(t *testing.T) {
+	// Deterministic.
+	if deriveContext(1, 2, "x") != deriveContext(1, 2, "x") {
+		t.Fatal("deriveContext not deterministic")
+	}
+	// Sensitive to each input.
+	base := deriveContext(1, 2, "x")
+	if deriveContext(2, 2, "x") == base || deriveContext(1, 3, "x") == base || deriveContext(1, 2, "y") == base {
+		t.Fatal("deriveContext ignores an input")
+	}
+	// Never returns the reserved zero context.
+	prop := func(parent, seq uint64, label string) bool {
+		return deriveContext(parent, seq, label) != 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{OpSum: "sum", OpProd: "prod", OpMax: "max", OpMin: "min", Op(99): "Op(99)"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestMessageMatches(t *testing.T) {
+	m := &Packet{Ctx: 5, Src: 2, Tag: 9}
+	cases := []struct {
+		ctx      uint64
+		src, tag int
+		want     bool
+	}{
+		{5, 2, 9, true},
+		{5, AnySource, 9, true},
+		{5, 2, AnyTag, true},
+		{5, AnySource, AnyTag, true},
+		{6, 2, 9, false},
+		{5, 3, 9, false},
+		{5, 2, 8, false},
+	}
+	for i, tc := range cases {
+		if got := m.matches(tc.ctx, tc.src, tc.tag); got != tc.want {
+			t.Errorf("case %d: matches = %v, want %v", i, got, tc.want)
+		}
+	}
+}

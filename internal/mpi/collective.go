@@ -1,0 +1,328 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Internal tags for collective plumbing. Collectives run on a dedicated
+// context (cctx), so these never collide with user tags. Distinct ops use
+// distinct tags; repeated ops of one kind are kept straight by the
+// non-overtaking per-sender order guarantee.
+const (
+	tagBarrier = iota
+	tagBcast
+	tagGather
+	tagScatter
+	tagReduce
+	tagAlltoall
+	tagAllgather
+)
+
+// Barrier blocks until every rank of the communicator has entered it.
+// It uses the dissemination algorithm: ceil(log2 P) rounds of paired
+// send/receive, with no root hotspot.
+func (c *Comm) Barrier() error {
+	size := len(c.group)
+	for dist := 1; dist < size; dist *= 2 {
+		to := (c.rank + dist) % size
+		from := (c.rank - dist + size) % size
+		req := c.irecvCtx(c.cctx, from, tagBarrier)
+		if err := c.sendCtx(c.cctx, to, tagBarrier, nil, nil); err != nil {
+			return fmt.Errorf("mpi: barrier send: %w", err)
+		}
+		if _, _, err := req.Wait(); err != nil {
+			return fmt.Errorf("mpi: barrier recv: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *Comm) irecvCtx(ctx uint64, src, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.data, r.st, r.err = c.recvCtx(ctx, src, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// vrank maps a communicator rank into the virtual ring rooted at root, so
+// binomial-tree algorithms can assume root 0.
+func vrank(rank, root, size int) int { return (rank - root + size) % size }
+
+// rrank is the inverse of vrank.
+func rrank(vr, root, size int) int { return (vr + root) % size }
+
+// Bcast broadcasts data from root to every rank using a binomial tree.
+// The root passes the payload; other ranks pass nil. Every rank receives
+// the broadcast value as the return.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	size := len(c.group)
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("%w: bcast root %d", ErrRank, root)
+	}
+	vr := vrank(c.rank, root, size)
+	buf := data
+
+	// Receive phase: find my parent in the binomial tree.
+	mask := 1
+	for ; mask < size; mask <<= 1 {
+		if vr&mask != 0 {
+			src := rrank(vr-mask, root, size)
+			got, _, err := c.recvCtx(c.cctx, src, tagBcast)
+			if err != nil {
+				return nil, fmt.Errorf("mpi: bcast recv: %w", err)
+			}
+			buf = got
+			break
+		}
+	}
+	// Forward phase: relay to my subtree.
+	mask >>= 1
+	for ; mask > 0; mask >>= 1 {
+		if vr+mask < size {
+			dst := rrank(vr+mask, root, size)
+			if err := c.sendCtx(c.cctx, dst, tagBcast, buf, nil); err != nil {
+				return nil, fmt.Errorf("mpi: bcast send: %w", err)
+			}
+		}
+	}
+	if c.rank == root {
+		return data, nil
+	}
+	return buf, nil
+}
+
+// Gather collects each rank's payload at root. At root the result holds one
+// entry per communicator rank, in rank order (the root's own entry is a
+// copy); other ranks get nil. Payload sizes may differ per rank (gatherv).
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	size := len(c.group)
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("%w: gather root %d", ErrRank, root)
+	}
+	if c.rank != root {
+		if err := c.sendCtx(c.cctx, root, tagGather, data, nil); err != nil {
+			return nil, fmt.Errorf("mpi: gather send: %w", err)
+		}
+		return nil, nil
+	}
+	out := make([][]byte, size)
+	own := make([]byte, len(data))
+	copy(own, data)
+	out[root] = own
+	for r := 0; r < size; r++ {
+		if r == root {
+			continue
+		}
+		got, _, err := c.recvCtx(c.cctx, r, tagGather)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: gather recv from %d: %w", r, err)
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// Allgather collects each rank's payload at every rank, in rank order.
+// Implemented as gather-to-0 followed by a broadcast of the framed result.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	parts, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	var framed []byte
+	if c.rank == 0 {
+		framed = frameSlices(parts)
+	}
+	framed, err = c.bcastOn(tagAllgather, 0, framed)
+	if err != nil {
+		return nil, err
+	}
+	return unframeSlices(framed)
+}
+
+// bcastOn is Bcast with a caller-chosen internal tag, so composite
+// collectives (Allgather, Allreduce) do not interleave with plain Bcasts
+// issued between their internal phases on other ranks.
+func (c *Comm) bcastOn(tag, root int, data []byte) ([]byte, error) {
+	size := len(c.group)
+	vr := vrank(c.rank, root, size)
+	buf := data
+	mask := 1
+	for ; mask < size; mask <<= 1 {
+		if vr&mask != 0 {
+			src := rrank(vr-mask, root, size)
+			got, _, err := c.recvCtx(c.cctx, src, tag)
+			if err != nil {
+				return nil, fmt.Errorf("mpi: bcast recv: %w", err)
+			}
+			buf = got
+			break
+		}
+	}
+	mask >>= 1
+	for ; mask > 0; mask >>= 1 {
+		if vr+mask < size {
+			dst := rrank(vr+mask, root, size)
+			if err := c.sendCtx(c.cctx, dst, tag, buf, nil); err != nil {
+				return nil, fmt.Errorf("mpi: bcast send: %w", err)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// Scatter distributes parts[i] from root to rank i. Root passes a slice
+// with one entry per rank; other ranks pass nil. Every rank receives its
+// part.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	size := len(c.group)
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("%w: scatter root %d", ErrRank, root)
+	}
+	if c.rank == root {
+		if len(parts) != size {
+			return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", size, len(parts))
+		}
+		for r := 0; r < size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.sendCtx(c.cctx, r, tagScatter, parts[r], nil); err != nil {
+				return nil, fmt.Errorf("mpi: scatter send to %d: %w", r, err)
+			}
+		}
+		own := make([]byte, len(parts[root]))
+		copy(own, parts[root])
+		return own, nil
+	}
+	got, _, err := c.recvCtx(c.cctx, root, tagScatter)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: scatter recv: %w", err)
+	}
+	return got, nil
+}
+
+// Alltoall sends parts[j] to rank j and returns the payloads received from
+// every rank, in rank order. Sends are eager, so the send loop cannot
+// deadlock against the receive loop.
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	size := len(c.group)
+	if len(parts) != size {
+		return nil, fmt.Errorf("mpi: alltoall needs %d parts, got %d", size, len(parts))
+	}
+	for j := 0; j < size; j++ {
+		if err := c.sendCtx(c.cctx, j, tagAlltoall, parts[j], nil); err != nil {
+			return nil, fmt.Errorf("mpi: alltoall send to %d: %w", j, err)
+		}
+	}
+	out := make([][]byte, size)
+	for j := 0; j < size; j++ {
+		got, _, err := c.recvCtx(c.cctx, j, tagAlltoall)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: alltoall recv from %d: %w", j, err)
+		}
+		out[j] = got
+	}
+	return out, nil
+}
+
+// Reduce combines every rank's payload at root with fn, a binary associative
+// operation over encoded payloads, using a binomial tree. fn receives
+// (accumulated, incoming) and returns the combined payload; it must not
+// retain its arguments. Non-root ranks return nil.
+func (c *Comm) Reduce(root int, data []byte, fn func(acc, in []byte) ([]byte, error)) ([]byte, error) {
+	size := len(c.group)
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("%w: reduce root %d", ErrRank, root)
+	}
+	vr := vrank(c.rank, root, size)
+	acc := make([]byte, len(data))
+	copy(acc, data)
+
+	for mask := 1; mask < size; mask <<= 1 {
+		if vr&mask == 0 {
+			peer := vr | mask
+			if peer < size {
+				in, _, err := c.recvCtx(c.cctx, rrank(peer, root, size), tagReduce)
+				if err != nil {
+					return nil, fmt.Errorf("mpi: reduce recv: %w", err)
+				}
+				acc, err = fn(acc, in)
+				if err != nil {
+					return nil, fmt.Errorf("mpi: reduce combine: %w", err)
+				}
+			}
+		} else {
+			parent := vr &^ mask
+			if err := c.sendCtx(c.cctx, rrank(parent, root, size), tagReduce, acc, nil); err != nil {
+				return nil, fmt.Errorf("mpi: reduce send: %w", err)
+			}
+			return nil, nil
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce combines every rank's payload with fn and delivers the result
+// to every rank (reduce-to-0 then broadcast).
+func (c *Comm) Allreduce(data []byte, fn func(acc, in []byte) ([]byte, error)) ([]byte, error) {
+	acc, err := c.Reduce(0, data, fn)
+	if err != nil {
+		return nil, err
+	}
+	return c.bcastOn(tagAllgather, 0, acc)
+}
+
+// frameSlices packs a list of byte slices into one payload:
+// count, then (length, bytes) per entry. nil entries are preserved as
+// zero-length.
+func frameSlices(parts [][]byte) []byte {
+	n := 8
+	for _, p := range parts {
+		n += 8 + len(p)
+	}
+	buf := make([]byte, 0, n)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(parts)))
+	buf = append(buf, hdr[:]...)
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(hdr[:], uint64(len(p)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// unframeSlices is the inverse of frameSlices.
+func unframeSlices(buf []byte) ([][]byte, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("mpi: framed payload too short (%d bytes)", len(buf))
+	}
+	count := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	// Each entry needs at least its 8-byte length header; a count beyond
+	// that bound is corruption, not a huge allocation request.
+	if count > uint64(len(buf)/8) {
+		return nil, fmt.Errorf("mpi: framed payload claims %d entries in %d bytes", count, len(buf))
+	}
+	parts := make([][]byte, count)
+	for i := range parts {
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("mpi: framed payload truncated at entry %d", i)
+		}
+		l := binary.LittleEndian.Uint64(buf)
+		buf = buf[8:]
+		if uint64(len(buf)) < l {
+			return nil, fmt.Errorf("mpi: framed payload truncated in entry %d", i)
+		}
+		parts[i] = append([]byte(nil), buf[:l]...)
+		buf = buf[l:]
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("mpi: %d trailing bytes after framed payload", len(buf))
+	}
+	return parts, nil
+}

@@ -1,0 +1,212 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// worldContext is the context of every world communicator. Child contexts
+// are derived from it; see deriveContext.
+const worldContext uint64 = 1
+
+// Comm is a communicator: an ordered group of world ranks plus an isolated
+// message context. A Comm value belongs to exactly one rank (its methods are
+// not safe for concurrent use by multiple goroutines posing as one rank, but
+// distinct ranks' Comms operate concurrently by design).
+type Comm struct {
+	env   *Env
+	ctx   uint64 // user point-to-point context
+	cctx  uint64 // internal collective context
+	rank  int    // this rank within the communicator
+	group []int  // communicator rank -> world rank
+	seq   uint64 // per-comm derivation counter, advanced in lockstep by collective creation ops
+}
+
+// WorldComm returns the world communicator of an environment. It is how a
+// transport-bootstrapped process (tcpnet.Init) obtains its MPI_COMM_WORLD;
+// in-process code should prefer World.Comm or World.Run.
+func WorldComm(env *Env) *Comm { return worldComm(env) }
+
+// worldComm builds the world communicator for env's rank.
+func worldComm(env *Env) *Comm {
+	group := make([]int, env.worldSize)
+	for i := range group {
+		group[i] = i
+	}
+	return newComm(env, worldContext, env.worldRank, group)
+}
+
+func newComm(env *Env, ctx uint64, rank int, group []int) *Comm {
+	return &Comm{
+		env:   env,
+		ctx:   ctx,
+		cctx:  deriveContext(ctx, 0, "collective"),
+		rank:  rank,
+		group: group,
+	}
+}
+
+// deriveContext computes a child context from a parent context, a sequence
+// number, and a label (the split color, a join label, ...). All members of
+// the child communicator compute the same inputs and hence agree on the
+// context with no communication, even across OS processes.
+func deriveContext(parent uint64, seq uint64, label string) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], parent)
+	binary.BigEndian.PutUint64(buf[8:], seq)
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	v := h.Sum64()
+	if v == 0 { // reserve 0 as "no context"
+		v = 1
+	}
+	return v
+}
+
+// Rank returns this rank's position within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns this rank's identity in the world communicator.
+func (c *Comm) WorldRank() int { return c.env.worldRank }
+
+// WorldSize returns the size of the world communicator.
+func (c *Comm) WorldSize() int { return c.env.worldSize }
+
+// Group returns a copy of the communicator's group: the world rank of each
+// communicator rank, in communicator order.
+func (c *Comm) Group() []int {
+	g := make([]int, len(c.group))
+	copy(g, c.group)
+	return g
+}
+
+// WorldRankOf translates a communicator rank to a world rank.
+func (c *Comm) WorldRankOf(rank int) (int, error) {
+	if rank < 0 || rank >= len(c.group) {
+		return 0, fmt.Errorf("%w: rank %d of comm size %d", ErrRank, rank, len(c.group))
+	}
+	return c.group[rank], nil
+}
+
+// RankOfWorld translates a world rank to a rank within this communicator.
+// The boolean reports whether the world rank belongs to the group.
+func (c *Comm) RankOfWorld(world int) (int, bool) {
+	for r, wr := range c.group {
+		if wr == world {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Context returns the communicator's point-to-point message context. It is
+// exposed for diagnostics and tests.
+func (c *Comm) Context() uint64 { return c.ctx }
+
+// Dup returns a communicator with the same group but an isolated context.
+// Like all communicator-creating operations it must be called collectively
+// (by every member, the same number of times, in the same order).
+func (c *Comm) Dup() *Comm {
+	c.seq++
+	ctx := deriveContext(c.ctx, c.seq, "dup")
+	return newComm(c.env, ctx, c.rank, c.Group())
+}
+
+// splitEntry is the (color, key, rank) triple exchanged by CommSplit.
+type splitEntry struct {
+	color, key, rank int
+}
+
+// Split partitions the communicator by color, ordering each new group by
+// (key, parent rank) — the MPI_Comm_split contract. Ranks passing
+// Undefined as color receive a nil communicator. The call is collective.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	// Exchange (color, key) among all members over the collective context.
+	mine := encodeInts([]int64{int64(color), int64(key)})
+	all, err := c.Allgather(mine)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: comm split exchange: %w", err)
+	}
+	entries := make([]splitEntry, len(all))
+	for r, raw := range all {
+		vals, err := decodeInts(raw)
+		if err != nil || len(vals) != 2 {
+			return nil, fmt.Errorf("mpi: comm split: bad entry from rank %d", r)
+		}
+		entries[r] = splitEntry{color: int(vals[0]), key: int(vals[1]), rank: r}
+	}
+
+	c.seq++
+	seq := c.seq
+	if color == Undefined {
+		return nil, nil
+	}
+
+	// Collect members of my color and order them by (key, parent rank).
+	var members []splitEntry
+	for _, e := range entries {
+		if e.color == color {
+			members = append(members, e)
+		}
+	}
+	sort.SliceStable(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].rank < members[j].rank
+	})
+
+	group := make([]int, len(members))
+	myRank := -1
+	for i, e := range members {
+		group[i] = c.group[e.rank]
+		if e.rank == c.rank {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		return nil, fmt.Errorf("mpi: comm split: calling rank missing from its own color group")
+	}
+	ctx := deriveContext(c.ctx, seq, fmt.Sprintf("split:%d", color))
+	return newComm(c.env, ctx, myRank, group), nil
+}
+
+// CommFromGroup creates a communicator over an explicit, ordered list of
+// world ranks without any communication: every member must call it with an
+// identical group and label, and the label must be unique among live
+// communicators sharing the same parent context (callers that join the same
+// group repeatedly must vary the label, e.g. with a counter).
+//
+// The calling rank must be a member of group. parent supplies the context
+// namespace; members of group need not all be members of parent's group, so
+// this implements MPI_Comm_create_group-style subset creation as used by
+// MPH_comm_join.
+func CommFromGroup(parent *Comm, group []int, label string) (*Comm, error) {
+	myRank := -1
+	seen := make(map[int]bool, len(group))
+	for i, wr := range group {
+		if wr < 0 || wr >= parent.env.worldSize {
+			return nil, fmt.Errorf("%w: world rank %d in group", ErrRank, wr)
+		}
+		if seen[wr] {
+			return nil, fmt.Errorf("mpi: duplicate world rank %d in group", wr)
+		}
+		seen[wr] = true
+		if wr == parent.env.worldRank {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		return nil, fmt.Errorf("mpi: calling rank %d is not in the requested group", parent.env.worldRank)
+	}
+	g := make([]int, len(group))
+	copy(g, group)
+	ctx := deriveContext(worldContext, 0, "group:"+label)
+	return newComm(parent.env, ctx, myRank, g), nil
+}

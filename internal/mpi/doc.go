@@ -1,0 +1,25 @@
+// Package mpi is a from-scratch message-passing substrate with MPI-like
+// semantics, built so that the MPH handshaking algorithms from the paper
+// (Ding & He, IPPS 2004) can be implemented exactly as described without a
+// native MPI library.
+//
+// The package models the subset of MPI that MPH depends on:
+//
+//   - a world communicator shared by every rank of a job,
+//   - communicators with isolated message contexts,
+//   - blocking and nonblocking point-to-point messages matched on
+//     (context, source, tag) with non-overtaking order per sender,
+//   - collectives: barrier, broadcast, gather, allgather, scatter, reduce,
+//     allreduce, alltoall,
+//   - MPI_Comm_split (color/key) and group-based communicator creation.
+//
+// Two transports exist. The in-process transport (World) runs each rank as a
+// goroutine; message payloads are copied on send, so no mutable memory is
+// shared across ranks — the distributed-memory discipline is preserved. The
+// TCP transport (package tcpnet) runs each executable as a real OS process,
+// reproducing a true MPMD launch.
+//
+// Communicator contexts are derived deterministically (FNV-64 over the
+// parent context, a split sequence number, and the color or label), so
+// disjoint processes agree on contexts without extra communication.
+package mpi

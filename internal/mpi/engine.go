@@ -1,0 +1,108 @@
+package mpi
+
+import "sync"
+
+// engine is the receive-side matching core owned by a single rank. Incoming
+// messages are appended in arrival order; receives scan the queue for the
+// first match and block on a condition variable when none exists yet.
+//
+// Non-overtaking order: messages from one sender arrive in the order they
+// were sent (the in-process transport posts under the sender's program
+// order; the TCP transport uses one ordered byte stream per peer), and the
+// first-match scan preserves that order for any fixed (ctx, src, tag).
+type engine struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Packet
+	closed bool
+}
+
+func newEngine() *engine {
+	e := &engine{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// post delivers a message into the engine. It is called by transports.
+func (e *engine) post(m *Packet) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.queue = append(e.queue, m)
+	e.cond.Broadcast()
+	return nil
+}
+
+// recv blocks until a message matching (ctx, src, tag) is available, removes
+// it from the queue, and returns it.
+func (e *engine) recv(ctx uint64, src, tag int) (*Packet, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.closed {
+			return nil, ErrClosed
+		}
+		for i, m := range e.queue {
+			if m.matches(ctx, src, tag) {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				if m.Ack != nil {
+					close(m.Ack)
+				}
+				return m, nil
+			}
+		}
+		e.cond.Wait()
+	}
+}
+
+// probe blocks until a matching message is available and returns its status
+// without removing it from the queue.
+func (e *engine) probe(ctx uint64, src, tag int) (Status, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.closed {
+			return Status{}, ErrClosed
+		}
+		for _, m := range e.queue {
+			if m.matches(ctx, src, tag) {
+				return Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}, nil
+			}
+		}
+		e.cond.Wait()
+	}
+}
+
+// tryProbe is a nonblocking probe: it reports whether a matching message is
+// queued right now.
+func (e *engine) tryProbe(ctx uint64, src, tag int) (Status, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, m := range e.queue {
+		if m.matches(ctx, src, tag) {
+			return Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}, true
+		}
+	}
+	return Status{}, false
+}
+
+// close shuts the engine down; pending and future receives fail with
+// ErrClosed, and synchronous senders blocked on unmatched messages are
+// released.
+func (e *engine) close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, m := range e.queue {
+		if m.Ack != nil {
+			close(m.Ack)
+		}
+	}
+	e.queue = nil
+	e.cond.Broadcast()
+}

@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wildcard values for Recv and Probe.
+const (
+	// AnySource matches a message from any sender rank.
+	AnySource = -1
+	// AnyTag matches a message with any user tag.
+	AnyTag = -1
+)
+
+// Undefined is the color passed to CommSplit by ranks that should not be
+// part of any resulting communicator (MPI_UNDEFINED).
+const Undefined = -1
+
+// Common errors returned by communication primitives.
+var (
+	// ErrClosed reports delivery to or reception on a shut-down engine.
+	ErrClosed = errors.New("mpi: engine closed")
+	// ErrRank reports a rank argument outside the communicator's group.
+	ErrRank = errors.New("mpi: rank out of range")
+	// ErrTag reports a negative user tag on a send.
+	ErrTag = errors.New("mpi: invalid tag")
+)
+
+// Status describes a received or probed message.
+type Status struct {
+	// Source is the sender's rank in the communicator the message was
+	// received on.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Len is the payload length in bytes.
+	Len int
+}
+
+// Packet is the wire unit a Transport moves: a matching envelope plus an
+// owned payload copy. It is exported so transport implementations (the TCP
+// transport in package tcpnet) can serialize it; normal users never touch
+// it.
+type Packet struct {
+	// Ctx is the communicator context the packet belongs to.
+	Ctx uint64
+	// Src is the sender's rank within that communicator.
+	Src int
+	// Tag is the user or collective tag.
+	Tag int
+	// Data is the payload, owned by the packet.
+	Data []byte
+	// Ack, when non-nil, is closed by the receiver at match time; it
+	// implements synchronous sends (Ssend).
+	Ack chan struct{}
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("packet{ctx=%x src=%d tag=%d len=%d}", p.Ctx, p.Src, p.Tag, len(p.Data))
+}
+
+// matches reports whether the packet satisfies a receive posted for
+// (src, tag) on context ctx, honoring AnySource/AnyTag wildcards.
+func (p *Packet) matches(ctx uint64, src, tag int) bool {
+	if p.Ctx != ctx {
+		return false
+	}
+	if src != AnySource && p.Src != src {
+		return false
+	}
+	if tag != AnyTag && p.Tag != tag {
+		return false
+	}
+	return true
+}

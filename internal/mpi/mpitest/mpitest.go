@@ -1,0 +1,56 @@
+// Package mpitest provides helpers for running multi-rank test bodies on an
+// in-process mpi.World with a deadlock watchdog, so a missing send in a test
+// fails fast instead of hanging the whole suite.
+package mpitest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mph/internal/mpi"
+)
+
+// Timeout is the default watchdog deadline for a multi-rank test body.
+const Timeout = 30 * time.Second
+
+// Run executes fn once per rank on a fresh in-process world of n ranks and
+// fails the test on error, panic, or watchdog expiry (likely deadlock).
+func Run(t *testing.T, n int, fn func(c *mpi.Comm) error) {
+	t.Helper()
+	RunTimeout(t, n, Timeout, fn)
+}
+
+// RunTimeout is Run with an explicit watchdog deadline.
+func RunTimeout(t *testing.T, n int, d time.Duration, fn func(c *mpi.Comm) error) {
+	t.Helper()
+	w, err := mpi.NewWorld(n)
+	if err != nil {
+		t.Fatalf("NewWorld(%d): %v", n, err)
+	}
+	defer w.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- fmt.Errorf("panic: %v", p)
+			}
+		}()
+		done <- w.Run(fn)
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("world of %d ranks: %v", n, err)
+		}
+	case <-time.After(d):
+		w.Close() // release blocked ranks so the goroutine can drain
+		t.Fatalf("world of %d ranks: watchdog expired after %v (deadlock?)", n, d)
+	}
+}
+
+// Sizes is the default set of world sizes exercised by table-driven
+// substrate tests: degenerate, odd, power-of-two, and larger mixed cases.
+var Sizes = []int{1, 2, 3, 4, 5, 8, 13, 16}

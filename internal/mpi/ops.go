@@ -1,0 +1,177 @@
+package mpi
+
+import "fmt"
+
+// Op names an elementwise reduction operation for the typed reduce
+// wrappers.
+type Op int
+
+// Supported reduction operations.
+const (
+	OpSum Op = iota
+	OpProd
+	OpMax
+	OpMin
+)
+
+// String returns the conventional name of the operation.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+func combineFloats(op Op) func(acc, in []byte) ([]byte, error) {
+	return func(acc, in []byte) ([]byte, error) {
+		a, err := decodeFloats(acc)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decodeFloats(in)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			switch op {
+			case OpSum:
+				a[i] += b[i]
+			case OpProd:
+				a[i] *= b[i]
+			case OpMax:
+				if b[i] > a[i] {
+					a[i] = b[i]
+				}
+			case OpMin:
+				if b[i] < a[i] {
+					a[i] = b[i]
+				}
+			default:
+				return nil, fmt.Errorf("mpi: unknown op %v", op)
+			}
+		}
+		return encodeFloats(a), nil
+	}
+}
+
+func combineInts(op Op) func(acc, in []byte) ([]byte, error) {
+	return func(acc, in []byte) ([]byte, error) {
+		a, err := decodeInts(acc)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decodeInts(in)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			switch op {
+			case OpSum:
+				a[i] += b[i]
+			case OpProd:
+				a[i] *= b[i]
+			case OpMax:
+				if b[i] > a[i] {
+					a[i] = b[i]
+				}
+			case OpMin:
+				if b[i] < a[i] {
+					a[i] = b[i]
+				}
+			default:
+				return nil, fmt.Errorf("mpi: unknown op %v", op)
+			}
+		}
+		return encodeInts(a), nil
+	}
+}
+
+// ReduceFloats combines xs elementwise across ranks at root. Non-root ranks
+// receive nil.
+func (c *Comm) ReduceFloats(root int, xs []float64, op Op) ([]float64, error) {
+	out, err := c.Reduce(root, encodeFloats(xs), combineFloats(op))
+	if err != nil || out == nil {
+		return nil, err
+	}
+	return decodeFloats(out)
+}
+
+// AllreduceFloats combines xs elementwise across ranks and returns the
+// result at every rank.
+func (c *Comm) AllreduceFloats(xs []float64, op Op) ([]float64, error) {
+	out, err := c.Allreduce(encodeFloats(xs), combineFloats(op))
+	if err != nil {
+		return nil, err
+	}
+	return decodeFloats(out)
+}
+
+// ReduceInts combines xs elementwise across ranks at root. Non-root ranks
+// receive nil.
+func (c *Comm) ReduceInts(root int, xs []int64, op Op) ([]int64, error) {
+	out, err := c.Reduce(root, encodeInts(xs), combineInts(op))
+	if err != nil || out == nil {
+		return nil, err
+	}
+	return decodeInts(out)
+}
+
+// AllreduceInts combines xs elementwise across ranks and returns the result
+// at every rank.
+func (c *Comm) AllreduceInts(xs []int64, op Op) ([]int64, error) {
+	out, err := c.Allreduce(encodeInts(xs), combineInts(op))
+	if err != nil {
+		return nil, err
+	}
+	return decodeInts(out)
+}
+
+// BcastInts broadcasts an int64 slice from root.
+func (c *Comm) BcastInts(root int, xs []int64) ([]int64, error) {
+	var payload []byte
+	if c.rank == root {
+		payload = encodeInts(xs)
+	}
+	out, err := c.Bcast(root, payload)
+	if err != nil {
+		return nil, err
+	}
+	return decodeInts(out)
+}
+
+// BcastFloats broadcasts a float64 slice from root.
+func (c *Comm) BcastFloats(root int, xs []float64) ([]float64, error) {
+	var payload []byte
+	if c.rank == root {
+		payload = encodeFloats(xs)
+	}
+	out, err := c.Bcast(root, payload)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFloats(out)
+}
+
+// BcastString broadcasts a string from root.
+func (c *Comm) BcastString(root int, s string) (string, error) {
+	var payload []byte
+	if c.rank == root {
+		payload = []byte(s)
+	}
+	out, err := c.Bcast(root, payload)
+	return string(out), err
+}

@@ -1,0 +1,141 @@
+package mpi
+
+import "fmt"
+
+// Send delivers data to rank dst of the communicator with the given tag.
+// It is an eager send: it may complete before the matching receive is
+// posted. The payload is copied, so the caller may reuse data immediately.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	return c.send(dst, tag, data, nil)
+}
+
+// Ssend is a synchronous send: it blocks until the matching receive has
+// consumed the message (MPI_Ssend semantics).
+func (c *Comm) Ssend(dst, tag int, data []byte) error {
+	ack := make(chan struct{})
+	if err := c.send(dst, tag, data, ack); err != nil {
+		return err
+	}
+	<-ack
+	return nil
+}
+
+func (c *Comm) send(dst, tag int, data []byte, ack chan struct{}) error {
+	if tag < 0 {
+		return fmt.Errorf("%w: %d", ErrTag, tag)
+	}
+	return c.sendCtx(c.ctx, dst, tag, data, ack)
+}
+
+// sendCtx performs the transport-level send on an explicit context; the
+// collectives use it with the internal collective context.
+func (c *Comm) sendCtx(ctx uint64, dst, tag int, data []byte, ack chan struct{}) error {
+	if dst < 0 || dst >= len(c.group) {
+		return fmt.Errorf("%w: send to rank %d of comm size %d", ErrRank, dst, len(c.group))
+	}
+	// Copy the payload: ranks must not share mutable memory.
+	var buf []byte
+	if len(data) > 0 {
+		buf = make([]byte, len(data))
+		copy(buf, data)
+	}
+	p := &Packet{Ctx: ctx, Src: c.rank, Tag: tag, Data: buf, Ack: ack}
+	return c.env.tr.Deliver(c.group[dst], p)
+}
+
+// Recv blocks until a message matching (src, tag) arrives on the
+// communicator and returns its payload. src may be AnySource and tag may be
+// AnyTag. The returned slice is owned by the caller.
+func (c *Comm) Recv(src, tag int) ([]byte, Status, error) {
+	if src != AnySource && (src < 0 || src >= len(c.group)) {
+		return nil, Status{}, fmt.Errorf("%w: recv from rank %d of comm size %d", ErrRank, src, len(c.group))
+	}
+	return c.recvCtx(c.ctx, src, tag)
+}
+
+func (c *Comm) recvCtx(ctx uint64, src, tag int) ([]byte, Status, error) {
+	m, err := c.env.eng.recv(ctx, src, tag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return m.Data, Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}, nil
+}
+
+// Probe blocks until a message matching (src, tag) is available and returns
+// its status without consuming it.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	return c.env.eng.probe(c.ctx, src, tag)
+}
+
+// IProbe reports whether a message matching (src, tag) is available right
+// now, without consuming it.
+func (c *Comm) IProbe(src, tag int) (Status, bool) {
+	return c.env.eng.tryProbe(c.ctx, src, tag)
+}
+
+// Request represents an in-flight nonblocking operation. Wait blocks until
+// completion and returns the received payload (nil for sends).
+type Request struct {
+	done chan struct{}
+	data []byte
+	st   Status
+	err  error
+}
+
+// Wait blocks until the operation completes.
+func (r *Request) Wait() ([]byte, Status, error) {
+	<-r.done
+	return r.data, r.st, r.err
+}
+
+// Done reports whether the operation has completed, without blocking.
+func (r *Request) Done() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend starts a nonblocking send. Because sends are eager and the payload
+// is copied, the request completes immediately; it exists so that code
+// written against the MPI nonblocking style ports directly.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	r := &Request{done: make(chan struct{})}
+	r.err = c.Send(dst, tag, data)
+	close(r.done)
+	return r
+}
+
+// Irecv starts a nonblocking receive; Wait on the returned request yields
+// the payload.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.data, r.st, r.err = c.Recv(src, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// WaitAll waits for every request and returns the first error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SendRecv performs a combined send to dst and receive from src, safe
+// against the head-to-head deadlock of two blocking calls.
+func (c *Comm) SendRecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, Status, error) {
+	rreq := c.Irecv(src, recvTag)
+	if err := c.Send(dst, sendTag, data); err != nil {
+		return nil, Status{}, err
+	}
+	return rreq.Wait()
+}

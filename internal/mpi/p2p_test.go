@@ -1,0 +1,291 @@
+package mpi_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+)
+
+func TestSendRecvPair(t *testing.T) {
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		switch c.Rank() {
+		case 0:
+			return c.Send(1, 7, []byte("hello"))
+		case 1:
+			data, st, err := c.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if string(data) != "hello" {
+				return fmt.Errorf("got %q, want %q", data, "hello")
+			}
+			if st.Source != 0 || st.Tag != 7 || st.Len != 5 {
+				return fmt.Errorf("bad status %+v", st)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // must not be visible to the receiver
+			return c.Send(1, 1, nil)
+		}
+		data, _, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if _, _, err := c.Recv(0, 1); err != nil {
+			return err
+		}
+		if data[0] != 1 {
+			return fmt.Errorf("receiver saw sender's mutation: %v", data)
+		}
+		return nil
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	mpitest.Run(t, 1, func(c *mpi.Comm) error {
+		if err := c.Send(0, 3, []byte("loop")); err != nil {
+			return err
+		}
+		data, _, err := c.Recv(0, 3)
+		if err != nil {
+			return err
+		}
+		if string(data) != "loop" {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+}
+
+func TestNonOvertakingOrder(t *testing.T) {
+	const n = 100
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.SendInts(1, 5, []int64{int64(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			vals, _, err := c.RecvInts(0, 5)
+			if err != nil {
+				return err
+			}
+			if vals[0] != int64(i) {
+				return fmt.Errorf("message %d overtaken: got %d", i, vals[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			// Send tag 2 first, then tag 1; receiver asks for tag 1 first.
+			if err := c.Send(1, 2, []byte("two")); err != nil {
+				return err
+			}
+			return c.Send(1, 1, []byte("one"))
+		}
+		one, _, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		two, _, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if string(one) != "one" || string(two) != "two" {
+			return fmt.Errorf("tag matching broken: %q %q", one, two)
+		}
+		return nil
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	mpitest.Run(t, 3, func(c *mpi.Comm) error {
+		if c.Rank() == 2 {
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				data, st, err := c.Recv(mpi.AnySource, mpi.AnyTag)
+				if err != nil {
+					return err
+				}
+				if want := fmt.Sprintf("from%d", st.Source); string(data) != want {
+					return fmt.Errorf("got %q from %d", data, st.Source)
+				}
+				seen[st.Source] = true
+			}
+			if !seen[0] || !seen[1] {
+				return fmt.Errorf("missing senders: %v", seen)
+			}
+			return nil
+		}
+		return c.Send(2, 10+c.Rank(), []byte(fmt.Sprintf("from%d", c.Rank())))
+	})
+}
+
+func TestSsendBlocksUntilMatched(t *testing.T) {
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Ssend(1, 0, []byte("sync")); err != nil {
+				return err
+			}
+			// After Ssend returns, the receiver must have matched. Tell it
+			// we noticed via a flag message; receiver asserts ordering.
+			return c.Send(1, 1, []byte("after"))
+		}
+		data, _, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if string(data) != "sync" {
+			return fmt.Errorf("got %q", data)
+		}
+		_, _, err = c.Recv(0, 1)
+		return err
+	})
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 9, []byte("probe-me"))
+		}
+		st, err := c.Probe(mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 || st.Tag != 9 || st.Len != 8 {
+			return fmt.Errorf("probe status %+v", st)
+		}
+		data, _, err := c.Recv(st.Source, st.Tag)
+		if err != nil {
+			return err
+		}
+		if string(data) != "probe-me" {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+}
+
+func TestIProbe(t *testing.T) {
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			if _, ok := c.IProbe(1, 0); ok {
+				return errors.New("IProbe matched before any send")
+			}
+			return c.Send(1, 0, []byte("x"))
+		}
+		// Blocking probe first to guarantee arrival, then IProbe must hit.
+		if _, err := c.Probe(0, 0); err != nil {
+			return err
+		}
+		if _, ok := c.IProbe(0, 0); !ok {
+			return errors.New("IProbe missed a queued message")
+		}
+		_, _, err := c.Recv(0, 0)
+		return err
+	})
+}
+
+func TestIsendIrecvWaitAll(t *testing.T) {
+	mpitest.Run(t, 4, func(c *mpi.Comm) error {
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() - 1 + c.Size()) % c.Size()
+		rr := c.Irecv(prev, 0)
+		sr := c.Isend(next, 0, []byte{byte(c.Rank())})
+		if err := mpi.WaitAll(sr, rr); err != nil {
+			return err
+		}
+		data, _, _ := rr.Wait() // Wait is idempotent
+		if len(data) != 1 || data[0] != byte(prev) {
+			return fmt.Errorf("ring recv got %v, want [%d]", data, prev)
+		}
+		return nil
+	})
+}
+
+func TestSendRecvExchangeNoDeadlock(t *testing.T) {
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		peer := 1 - c.Rank()
+		out := bytes.Repeat([]byte{byte(c.Rank())}, 1<<16)
+		in, _, err := c.SendRecv(peer, 0, out, peer, 0)
+		if err != nil {
+			return err
+		}
+		if len(in) != 1<<16 || in[0] != byte(peer) {
+			return fmt.Errorf("exchange got len=%d first=%d", len(in), in[0])
+		}
+		return nil
+	})
+}
+
+func TestSendErrors(t *testing.T) {
+	mpitest.Run(t, 1, func(c *mpi.Comm) error {
+		if err := c.Send(5, 0, nil); !errors.Is(err, mpi.ErrRank) {
+			return fmt.Errorf("send to bad rank: err = %v", err)
+		}
+		if err := c.Send(0, -2, nil); !errors.Is(err, mpi.ErrTag) {
+			return fmt.Errorf("send with bad tag: err = %v", err)
+		}
+		if _, _, err := c.Recv(9, 0); !errors.Is(err, mpi.ErrRank) {
+			return fmt.Errorf("recv from bad rank: err = %v", err)
+		}
+		return nil
+	})
+}
+
+func TestTypedHelpers(t *testing.T) {
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.SendFloats(1, 0, []float64{1.5, -2.25}); err != nil {
+				return err
+			}
+			if err := c.SendInts(1, 1, []int64{-7, 42}); err != nil {
+				return err
+			}
+			return c.SendString(1, 2, "typed")
+		}
+		fs, _, err := c.RecvFloats(0, 0)
+		if err != nil {
+			return err
+		}
+		if len(fs) != 2 || fs[0] != 1.5 || fs[1] != -2.25 {
+			return fmt.Errorf("floats %v", fs)
+		}
+		is, _, err := c.RecvInts(0, 1)
+		if err != nil {
+			return err
+		}
+		if len(is) != 2 || is[0] != -7 || is[1] != 42 {
+			return fmt.Errorf("ints %v", is)
+		}
+		s, _, err := c.RecvString(0, 2)
+		if err != nil {
+			return err
+		}
+		if s != "typed" {
+			return fmt.Errorf("string %q", s)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,147 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+)
+
+func TestScanSum(t *testing.T) {
+	for _, n := range mpitest.Sizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			mpitest.Run(t, n, func(c *mpi.Comm) error {
+				out, err := c.ScanInts([]int64{int64(c.Rank()), 1}, mpi.OpSum)
+				if err != nil {
+					return err
+				}
+				r := int64(c.Rank())
+				if out[0] != r*(r+1)/2 {
+					return fmt.Errorf("rank %d: prefix sum %d, want %d", c.Rank(), out[0], r*(r+1)/2)
+				}
+				if out[1] != r+1 {
+					return fmt.Errorf("rank %d: count %d", c.Rank(), out[1])
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestScanMaxFloats(t *testing.T) {
+	const n = 6
+	mpitest.Run(t, n, func(c *mpi.Comm) error {
+		// Values dip in the middle; the running max must be monotone.
+		v := float64((c.Rank() * 7) % 5)
+		out, err := c.ScanFloats([]float64{v}, mpi.OpMax)
+		if err != nil {
+			return err
+		}
+		want := 0.0
+		for r := 0; r <= c.Rank(); r++ {
+			x := float64((r * 7) % 5)
+			if x > want {
+				want = x
+			}
+		}
+		if out[0] != want {
+			return fmt.Errorf("rank %d: running max %g, want %g", c.Rank(), out[0], want)
+		}
+		return nil
+	})
+}
+
+func TestExclusiveScan(t *testing.T) {
+	const n = 5
+	mpitest.Run(t, n, func(c *mpi.Comm) error {
+		out, err := c.ExclusiveScanInts([]int64{int64(c.Rank() + 1)}, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		want := int64(0)
+		for r := 0; r < c.Rank(); r++ {
+			want += int64(r + 1)
+		}
+		if out[0] != want {
+			return fmt.Errorf("rank %d: exclusive sum %d, want %d", c.Rank(), out[0], want)
+		}
+		prod, err := c.ExclusiveScanInts([]int64{2}, mpi.OpProd)
+		if err != nil {
+			return err
+		}
+		if prod[0] != 1<<c.Rank() {
+			return fmt.Errorf("rank %d: exclusive prod %d", c.Rank(), prod[0])
+		}
+		if _, err := c.ExclusiveScanInts([]int64{1}, mpi.OpMax); err == nil {
+			return fmt.Errorf("exclusive max accepted")
+		}
+		if _, err := c.ExclusiveScanInts([]int64{0}, mpi.OpProd); err == nil {
+			return fmt.Errorf("exclusive prod with zero accepted")
+		}
+		return nil
+	})
+}
+
+func TestScanSingleRank(t *testing.T) {
+	mpitest.Run(t, 1, func(c *mpi.Comm) error {
+		out, err := c.ScanInts([]int64{42}, mpi.OpSum)
+		if err != nil || out[0] != 42 {
+			return fmt.Errorf("got %v, %v", out, err)
+		}
+		return nil
+	})
+}
+
+func TestAllgatherTyped(t *testing.T) {
+	const n = 4
+	mpitest.Run(t, n, func(c *mpi.Comm) error {
+		is, err := c.AllgatherInts([]int64{int64(c.Rank()), int64(-c.Rank())})
+		if err != nil {
+			return err
+		}
+		for r, row := range is {
+			if row[0] != int64(r) || row[1] != int64(-r) {
+				return fmt.Errorf("ints row %d = %v", r, row)
+			}
+		}
+		fs, err := c.AllgatherFloats([]float64{float64(c.Rank()) + 0.5})
+		if err != nil {
+			return err
+		}
+		for r, row := range fs {
+			if row[0] != float64(r)+0.5 {
+				return fmt.Errorf("floats row %d = %v", r, row)
+			}
+		}
+		return nil
+	})
+}
+
+// Prefix-sum use case: computing global offsets for distributed output —
+// the typical Scan consumer in HPC codes.
+func TestScanComputesOffsets(t *testing.T) {
+	const n = 7
+	mpitest.Run(t, n, func(c *mpi.Comm) error {
+		localCount := int64(c.Rank()*3 + 1)
+		incl, err := c.ScanInts([]int64{localCount}, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		offset := incl[0] - localCount
+		// Verify against an allgather-based computation.
+		all, err := c.AllgatherInts([]int64{localCount})
+		if err != nil {
+			return err
+		}
+		want := int64(0)
+		for r := 0; r < c.Rank(); r++ {
+			want += all[r][0]
+		}
+		if offset != want {
+			return fmt.Errorf("rank %d: offset %d, want %d", c.Rank(), offset, want)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,135 @@
+package mpi_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+)
+
+// Randomized traffic property: every rank derives the same pseudo-random
+// schedule of (sender, receiver, tag, length) messages from a shared seed,
+// sends its share, and receives exactly what the schedule predicts —
+// payload contents encode (seq, src) so misrouted or reordered matches are
+// detected.
+func TestRandomTrafficSchedules(t *testing.T) {
+	const (
+		ranks    = 6
+		messages = 300
+	)
+	type slot struct {
+		src, dst, tag int
+		length        int
+		seq           int
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schedule := make([]slot, messages)
+			for i := range schedule {
+				schedule[i] = slot{
+					src:    rng.Intn(ranks),
+					dst:    rng.Intn(ranks),
+					tag:    rng.Intn(4),
+					length: rng.Intn(64),
+					seq:    i,
+				}
+			}
+			mpitest.Run(t, ranks, func(c *mpi.Comm) error {
+				// Send my messages in schedule order (eager sends cannot
+				// block, so ordering across ranks is irrelevant).
+				for _, s := range schedule {
+					if s.src != c.Rank() {
+						continue
+					}
+					payload := make([]int64, 2+s.length)
+					payload[0] = int64(s.seq)
+					payload[1] = int64(s.src)
+					for j := 0; j < s.length; j++ {
+						payload[2+j] = int64(s.seq * (j + 1))
+					}
+					if err := c.SendInts(s.dst, s.tag, payload); err != nil {
+						return err
+					}
+				}
+				// Receive mine: for each (src, tag) pair the schedule
+				// predicts an exact arrival order.
+				type key struct{ src, tag int }
+				expected := make(map[key][]slot)
+				for _, s := range schedule {
+					if s.dst == c.Rank() {
+						k := key{s.src, s.tag}
+						expected[k] = append(expected[k], s)
+					}
+				}
+				for k, slots := range expected {
+					for _, want := range slots {
+						got, _, err := c.RecvInts(k.src, k.tag)
+						if err != nil {
+							return err
+						}
+						if got[0] != int64(want.seq) || got[1] != int64(want.src) {
+							return fmt.Errorf("rank %d (src %d tag %d): got seq %d from %d, want seq %d",
+								c.Rank(), k.src, k.tag, got[0], got[1], want.seq)
+						}
+						if len(got) != 2+want.length {
+							return fmt.Errorf("seq %d: length %d, want %d", want.seq, len(got)-2, want.length+2)
+						}
+						for j := 0; j < want.length; j++ {
+							if got[2+j] != int64(want.seq*(j+1)) {
+								return fmt.Errorf("seq %d: payload corrupt at %d", want.seq, j)
+							}
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// Concurrent split storm: many rounds of splits with varying colors must
+// keep contexts isolated (a regression net for context derivation).
+func TestRepeatedSplitIsolation(t *testing.T) {
+	const ranks, rounds = 8, 12
+	mpitest.Run(t, ranks, func(c *mpi.Comm) error {
+		comms := make([]*mpi.Comm, 0, rounds)
+		for round := 0; round < rounds; round++ {
+			color := (c.Rank() + round) % 3
+			sub, err := c.Split(color, 0)
+			if err != nil {
+				return err
+			}
+			comms = append(comms, sub)
+		}
+		// Every one of the 12 subcommunicators must still work and count
+		// only its own members.
+		for round, sub := range comms {
+			want := 0
+			for r := 0; r < ranks; r++ {
+				if (r+round)%3 == (c.Rank()+round)%3 {
+					want++
+				}
+			}
+			sum, err := sub.AllreduceInts([]int64{1}, mpi.OpSum)
+			if err != nil {
+				return fmt.Errorf("round %d: %w", round, err)
+			}
+			if sum[0] != int64(want) {
+				return fmt.Errorf("round %d: sum %d, want %d", round, sum[0], want)
+			}
+		}
+		// All contexts distinct.
+		seen := make(map[uint64]int)
+		for round, sub := range comms {
+			if prev, dup := seen[sub.Context()]; dup {
+				return fmt.Errorf("rounds %d and %d share context %x", prev, round, sub.Context())
+			}
+			seen[sub.Context()] = round
+		}
+		return nil
+	})
+}

@@ -1,0 +1,109 @@
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"mph/internal/mpi"
+)
+
+func TestPacketFrameRoundTrip(t *testing.T) {
+	prop := func(srcWorld uint8, ctx uint64, src, tag int16, ackID uint64, data []byte) bool {
+		p := &mpi.Packet{Ctx: ctx, Src: int(src), Tag: int(tag), Data: data}
+		frame := encodePacket(int(srcWorld), p, ackID)
+
+		kind, body, err := readFrame(bytes.NewReader(frame))
+		if err != nil || kind != kindPacket {
+			return false
+		}
+		gotWorld, got, gotAck, err := decodePacket(body)
+		if err != nil {
+			return false
+		}
+		if gotWorld != int(srcWorld) || gotAck != ackID {
+			return false
+		}
+		if got.Ctx != ctx || got.Src != int(src) || got.Tag != int(tag) {
+			return false
+		}
+		if len(data) == 0 {
+			return len(got.Data) == 0
+		}
+		return bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeTagAndSourceSurviveFraming(t *testing.T) {
+	// Wildcard receives never cross the wire, but negative comm ranks in
+	// corrupted frames must not wrap into huge positives silently.
+	p := &mpi.Packet{Ctx: 1, Src: -3, Tag: -7}
+	frame := encodePacket(2, p, 0)
+	_, body, err := readFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, _, err := decodePacket(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != -3 || got.Tag != -7 {
+		t.Fatalf("src=%d tag=%d", got.Src, got.Tag)
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	// Truncated length prefix.
+	if _, _, err := readFrame(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("truncated length accepted")
+	}
+	// Zero-length frame.
+	var zero [4]byte
+	if _, _, err := readFrame(bytes.NewReader(zero[:])); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	// Oversized frame.
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], maxFrame+1)
+	if _, _, err := readFrame(bytes.NewReader(huge[:])); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Truncated body.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 100)
+	short := append(hdr[:], make([]byte, 10)...)
+	if _, _, err := readFrame(bytes.NewReader(short)); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated body: %v", err)
+	}
+}
+
+func TestDecodePacketShortBody(t *testing.T) {
+	if _, _, _, err := decodePacket(make([]byte, 10)); err == nil {
+		t.Error("short packet body accepted")
+	}
+	// Exactly the header with no payload is fine.
+	if _, p, _, err := decodePacket(make([]byte, 40)); err != nil || len(p.Data) != 0 {
+		t.Errorf("headers-only body: %v", err)
+	}
+}
+
+func TestAckFrameShape(t *testing.T) {
+	// The ack frame built in sendAckWhenMatched must round-trip through
+	// readFrame as kindAck with an 8-byte body.
+	frame := make([]byte, 5+8)
+	binary.LittleEndian.PutUint32(frame, uint32(1+8))
+	frame[4] = kindAck
+	binary.LittleEndian.PutUint64(frame[5:], 0xDEADBEEF)
+	kind, body, err := readFrame(bytes.NewReader(frame))
+	if err != nil || kind != kindAck || len(body) != 8 {
+		t.Fatalf("kind=%d len=%d err=%v", kind, len(body), err)
+	}
+	if binary.LittleEndian.Uint64(body) != 0xDEADBEEF {
+		t.Fatal("ack id mangled")
+	}
+}

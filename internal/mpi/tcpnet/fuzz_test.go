@@ -1,0 +1,29 @@
+package tcpnet
+
+import (
+	"bytes"
+	"testing"
+
+	"mph/internal/mpi"
+)
+
+var pkt = mpi.Packet{Ctx: 7, Src: 1, Tag: 2, Data: []byte("payload")}
+
+// FuzzReadFrame asserts the wire decoder never panics or over-allocates on
+// adversarial input, and that packet bodies it accepts decode cleanly.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, kindPacket})
+	f.Add(encodePacket(0, &pkt, 0))
+	f.Add(encodePacket(3, &pkt, 99))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		kind, body, err := readFrame(bytes.NewReader(buf))
+		if err != nil {
+			return
+		}
+		if kind == kindPacket {
+			decodePacket(body) // must not panic
+		}
+	})
+}

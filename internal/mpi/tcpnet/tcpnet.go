@@ -1,0 +1,335 @@
+// Package tcpnet is the multi-process transport for the mpi substrate:
+// each executable of an MPMD job is a real OS process, ranks exchange
+// packets over per-direction TCP streams, and the initial wiring happens
+// through the mphrun rendezvous (package mpirun).
+//
+// Each sender owns one outbound connection per peer and writes its packets
+// to it in program order; TCP's ordered delivery plus the engine's
+// first-match scan yield the same non-overtaking guarantee as the
+// in-process transport. Synchronous sends (Ssend) are acknowledged with a
+// small control frame sent back when the receiver matches the packet.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mph/internal/mpi"
+	"mph/internal/mpirun"
+)
+
+// frame kinds.
+const (
+	kindPacket = 1
+	kindAck    = 2
+)
+
+// maxFrame bounds a frame's byte length as a corruption guard.
+const maxFrame = 1 << 30
+
+// DialTimeout bounds rendezvous registration and peer dialing.
+const DialTimeout = 30 * time.Second
+
+// Transport implements mpi.Transport over TCP.
+type Transport struct {
+	rank  int
+	addrs []string
+	env   *mpi.Env
+	ln    net.Listener
+
+	mu      sync.Mutex
+	out     map[int]*outConn
+	inbound []net.Conn
+	closed  bool
+
+	ackSeq  atomic.Uint64
+	ackMu   sync.Mutex
+	pending map[uint64]chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// outConn serializes writes to one peer.
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Init bootstraps a TCP world endpoint: listen, register with the
+// rendezvous, and return the environment whose world communicator spans the
+// job. Every process of the job must call it (workers do so via
+// InitFromEnv).
+func Init(rank, size int, rendezvous string) (*mpi.Env, error) {
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("tcpnet: rank %d out of world of %d", rank, size)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen: %w", err)
+	}
+	addrs, err := mpirun.Register(rendezvous, rank, ln.Addr().String(), DialTimeout)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if len(addrs) != size {
+		ln.Close()
+		return nil, fmt.Errorf("tcpnet: address book has %d entries, world is %d", len(addrs), size)
+	}
+	t := &Transport{
+		rank:    rank,
+		addrs:   addrs,
+		ln:      ln,
+		out:     make(map[int]*outConn),
+		pending: make(map[uint64]chan struct{}),
+	}
+	env := mpi.NewEnv(rank, size, t)
+	t.env = env
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return env, nil
+}
+
+// InitFromEnv bootstraps from the mphrun environment variables and also
+// returns the registration file path the launcher forwarded.
+func InitFromEnv() (*mpi.Env, string, error) {
+	rank, size, rendezvous, registration, err := mpirun.FromEnv()
+	if err != nil {
+		return nil, "", err
+	}
+	env, err := Init(rank, size, rendezvous)
+	return env, registration, err
+}
+
+// Deliver implements mpi.Transport.
+func (t *Transport) Deliver(dst int, p *mpi.Packet) error {
+	if dst < 0 || dst >= len(t.addrs) {
+		return mpi.ErrRank
+	}
+	if dst == t.rank {
+		// Local fast path; the engine takes ownership of the packet.
+		return t.env.Post(p)
+	}
+	var ackID uint64
+	if p.Ack != nil {
+		ackID = t.ackSeq.Add(1)
+		t.ackMu.Lock()
+		t.pending[ackID] = p.Ack
+		t.ackMu.Unlock()
+	}
+	frame := encodePacket(t.rank, p, ackID)
+	oc, err := t.outbound(dst)
+	if err != nil {
+		return err
+	}
+	return oc.write(frame)
+}
+
+// Close implements mpi.Transport: it stops the accept loop, closes every
+// connection, and releases pending synchronous senders.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	ln := t.ln
+	conns := append([]net.Conn(nil), t.inbound...)
+	for _, oc := range t.out {
+		conns = append(conns, oc.conn)
+	}
+	t.mu.Unlock()
+
+	ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.ackMu.Lock()
+	for id, ch := range t.pending {
+		close(ch)
+		delete(t.pending, id)
+	}
+	t.ackMu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// outbound returns (dialing if necessary) the connection for sends to dst.
+func (t *Transport) outbound(dst int) (*outConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, mpi.ErrClosed
+	}
+	if oc, ok := t.out[dst]; ok {
+		t.mu.Unlock()
+		return oc, nil
+	}
+	t.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", t.addrs[dst], DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial rank %d at %s: %w", dst, t.addrs[dst], err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		conn.Close()
+		return nil, mpi.ErrClosed
+	}
+	if oc, ok := t.out[dst]; ok { // lost a dial race; keep the first
+		conn.Close()
+		return oc, nil
+	}
+	oc := &outConn{conn: conn}
+	t.out[dst] = oc
+	return oc, nil
+}
+
+func (oc *outConn) write(frame []byte) error {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if _, err := oc.conn.Write(frame); err != nil {
+		return fmt.Errorf("tcpnet: write: %w", err)
+	}
+	return nil
+}
+
+// acceptLoop receives inbound connections and spawns a reader per peer.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound = append(t.inbound, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound stream and posts them to the
+// local engine, preserving stream order.
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	for {
+		kind, body, err := readFrame(conn)
+		if err != nil {
+			return // peer closed or we shut down
+		}
+		switch kind {
+		case kindPacket:
+			srcWorld, p, ackID, err := decodePacket(body)
+			if err != nil {
+				return
+			}
+			if ackID != 0 {
+				ch := make(chan struct{})
+				p.Ack = ch
+				go t.sendAckWhenMatched(srcWorld, ackID, ch)
+			}
+			if err := t.env.Post(p); err != nil {
+				return
+			}
+		case kindAck:
+			if len(body) != 8 {
+				return
+			}
+			id := binary.LittleEndian.Uint64(body)
+			t.ackMu.Lock()
+			if ch, ok := t.pending[id]; ok {
+				close(ch)
+				delete(t.pending, id)
+			}
+			t.ackMu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
+// sendAckWhenMatched waits for the local engine to match the packet, then
+// returns the acknowledgment to the synchronous sender.
+func (t *Transport) sendAckWhenMatched(srcWorld int, ackID uint64, matched <-chan struct{}) {
+	<-matched
+	frame := make([]byte, 5+8)
+	binary.LittleEndian.PutUint32(frame, uint32(1+8))
+	frame[4] = kindAck
+	binary.LittleEndian.PutUint64(frame[5:], ackID)
+	if oc, err := t.outbound(srcWorld); err == nil {
+		_ = oc.write(frame) // best effort: the peer may already be gone
+	}
+}
+
+// encodePacket frames a packet:
+//
+//	u32 length | u8 kind | u64 srcWorld | u64 ctx | i64 src | i64 tag |
+//	u64 ackID | payload
+func encodePacket(srcWorld int, p *mpi.Packet, ackID uint64) []byte {
+	const hdr = 1 + 8 + 8 + 8 + 8 + 8
+	frame := make([]byte, 4+hdr+len(p.Data))
+	binary.LittleEndian.PutUint32(frame, uint32(hdr+len(p.Data)))
+	frame[4] = kindPacket
+	binary.LittleEndian.PutUint64(frame[5:], uint64(srcWorld))
+	binary.LittleEndian.PutUint64(frame[13:], p.Ctx)
+	binary.LittleEndian.PutUint64(frame[21:], uint64(int64(p.Src)))
+	binary.LittleEndian.PutUint64(frame[29:], uint64(int64(p.Tag)))
+	binary.LittleEndian.PutUint64(frame[37:], ackID)
+	copy(frame[45:], p.Data)
+	return frame
+}
+
+// decodePacket parses the body of a kindPacket frame (after the length and
+// kind bytes were consumed).
+func decodePacket(body []byte) (srcWorld int, p *mpi.Packet, ackID uint64, err error) {
+	const hdr = 8 + 8 + 8 + 8 + 8
+	if len(body) < hdr {
+		return 0, nil, 0, errors.New("tcpnet: short packet frame")
+	}
+	srcWorld = int(binary.LittleEndian.Uint64(body))
+	ctx := binary.LittleEndian.Uint64(body[8:])
+	src := int(int64(binary.LittleEndian.Uint64(body[16:])))
+	tag := int(int64(binary.LittleEndian.Uint64(body[24:])))
+	ackID = binary.LittleEndian.Uint64(body[32:])
+	data := body[40:]
+	return srcWorld, &mpi.Packet{Ctx: ctx, Src: src, Tag: tag, Data: data}, ackID, nil
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) (kind byte, body []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("tcpnet: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}

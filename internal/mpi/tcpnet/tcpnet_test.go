@@ -1,0 +1,349 @@
+package tcpnet_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mph/internal/core"
+	"mph/internal/mpi"
+	"mph/internal/mpi/tcpnet"
+	"mph/internal/mpirun"
+)
+
+// runTCPWorld boots a rendezvous plus n TCP endpoints (each endpoint is a
+// goroutine standing in for an OS process; the wire path is identical) and
+// runs fn per rank.
+func runTCPWorld(t *testing.T, n int, fn func(c *mpi.Comm) error) {
+	t.Helper()
+	rv, err := mpirun.NewRendezvous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(30 * time.Second) }()
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			env, err := tcpnet.Init(rank, n, rv.Addr())
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer env.Close()
+			c := mpi.WorldComm(env)
+			if err := fn(c); err != nil {
+				errs[rank] = err
+				return
+			}
+			// Drain in-flight traffic before teardown.
+			errs[rank] = c.Barrier()
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("TCP world watchdog expired")
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("rendezvous: %v", err)
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	runTCPWorld(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []byte("over tcp"))
+		}
+		data, st, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(data) != "over tcp" || st.Source != 0 {
+			return fmt.Errorf("got %q from %d", data, st.Source)
+		}
+		return nil
+	})
+}
+
+func TestTCPCollectivesAndSplit(t *testing.T) {
+	runTCPWorld(t, 5, func(c *mpi.Comm) error {
+		sum, err := c.AllreduceInts([]int64{int64(c.Rank())}, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if sum[0] != 10 {
+			return fmt.Errorf("allreduce %d", sum[0])
+		}
+		parts, err := c.Allgather([]byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		for r, p := range parts {
+			if len(p) != 1 || p[0] != byte(r) {
+				return fmt.Errorf("allgather part %d = %v", r, p)
+			}
+		}
+		sub, err := c.Split(c.Rank()%2, 0)
+		if err != nil {
+			return err
+		}
+		subSum, err := sub.AllreduceInts([]int64{1}, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		want := int64(3 - c.Rank()%2) // 3 evens, 2 odds
+		if subSum[0] != want {
+			return fmt.Errorf("sub allreduce %d, want %d", subSum[0], want)
+		}
+		return nil
+	})
+}
+
+func TestTCPSsend(t *testing.T) {
+	runTCPWorld(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			// Synchronous send completes only after the remote match.
+			if err := c.Ssend(1, 0, []byte("sync-tcp")); err != nil {
+				return err
+			}
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond) // let the Ssend actually block
+		data, _, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if string(data) != "sync-tcp" {
+			return fmt.Errorf("got %q", data)
+		}
+		return nil
+	})
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	const n = 1 << 20 // 1 MiB
+	runTCPWorld(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte(i * 31)
+			}
+			return c.Send(1, 1, buf)
+		}
+		data, _, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if len(data) != n {
+			return fmt.Errorf("len %d", len(data))
+		}
+		for i := range data {
+			if data[i] != byte(i*31) {
+				return fmt.Errorf("corruption at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPNonOvertaking(t *testing.T) {
+	const msgs = 200
+	runTCPWorld(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := c.SendInts(1, 3, []int64{int64(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			xs, _, err := c.RecvInts(0, 3)
+			if err != nil {
+				return err
+			}
+			if xs[0] != int64(i) {
+				return fmt.Errorf("message %d overtaken by %d", i, xs[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestMPHHandshakeOverTCP(t *testing.T) {
+	// The full MPH handshake — registry broadcast, splits, layout
+	// exchange, comm join, named p2p — on the multi-process transport.
+	reg := "BEGIN\natm\nocn\nEND\n"
+	runTCPWorld(t, 4, func(c *mpi.Comm) error {
+		name := "atm"
+		if c.Rank() >= 2 {
+			name = "ocn"
+		}
+		s, err := core.SingleComponentSetup(c, core.TextSource(reg), name)
+		if err != nil {
+			return err
+		}
+		if s.CompName() != name {
+			return fmt.Errorf("CompName %q", s.CompName())
+		}
+		joined, err := s.CommJoin("atm", "ocn")
+		if err != nil {
+			return err
+		}
+		if joined.Size() != 4 {
+			return fmt.Errorf("joined size %d", joined.Size())
+		}
+		const tag = 9
+		if name == "atm" && s.LocalProcID() == 0 {
+			if err := s.SendTo("ocn", 1, tag, []byte("tcp-mph")); err != nil {
+				return err
+			}
+		}
+		if name == "ocn" && s.LocalProcID() == 1 {
+			data, _, err := s.RecvFrom("atm", 0, tag)
+			if err != nil {
+				return err
+			}
+			if string(data) != "tcp-mph" {
+				return fmt.Errorf("got %q", data)
+			}
+		}
+		return nil
+	})
+}
+
+func TestInitBadRank(t *testing.T) {
+	if _, err := tcpnet.Init(5, 2, "127.0.0.1:1"); err == nil {
+		t.Fatal("rank out of range accepted")
+	}
+	if _, err := tcpnet.Init(-1, 2, "127.0.0.1:1"); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+}
+
+func TestRendezvousTimeout(t *testing.T) {
+	rv, err := mpirun.NewRendezvous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one of two ranks ever registers.
+	go func() {
+		_, _ = mpirun.Register(rv.Addr(), 0, "127.0.0.1:9", 5*time.Second)
+	}()
+	if err := rv.Serve(300 * time.Millisecond); err == nil {
+		t.Fatal("Serve returned nil despite a missing rank")
+	}
+}
+
+func TestRendezvousDuplicateRank(t *testing.T) {
+	rv, err := mpirun.NewRendezvous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- rv.Serve(5 * time.Second) }()
+	go mpirun.Register(rv.Addr(), 0, "a:1", time.Second)
+	time.Sleep(100 * time.Millisecond)
+	go mpirun.Register(rv.Addr(), 0, "b:2", time.Second)
+	if err := <-done; err == nil {
+		t.Fatal("duplicate rank accepted")
+	}
+}
+
+func TestTCPSplitStorm(t *testing.T) {
+	// Repeated splits and subcommunicator collectives over real sockets:
+	// the context-derivation and ordering guarantees must hold identically
+	// to the in-process transport.
+	runTCPWorld(t, 6, func(c *mpi.Comm) error {
+		for round := 0; round < 6; round++ {
+			color := (c.Rank() + round) % 2
+			sub, err := c.Split(color, 0)
+			if err != nil {
+				return err
+			}
+			want := int64(3)
+			sum, err := sub.AllreduceInts([]int64{1}, mpi.OpSum)
+			if err != nil {
+				return err
+			}
+			if sum[0] != want {
+				return fmt.Errorf("round %d: sum %d, want %d", round, sum[0], want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPRandomTags(t *testing.T) {
+	// Out-of-order tag matching across sockets: send tags 3,1,2 and
+	// receive 1,2,3.
+	runTCPWorld(t, 2, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			for _, tag := range []int{3, 1, 2} {
+				if err := c.SendInts(1, tag, []int64{int64(tag)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, tag := range []int{1, 2, 3} {
+			xs, _, err := c.RecvInts(0, tag)
+			if err != nil {
+				return err
+			}
+			if xs[0] != int64(tag) {
+				return fmt.Errorf("tag %d delivered %d", tag, xs[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPGatherScatterScan(t *testing.T) {
+	runTCPWorld(t, 4, func(c *mpi.Comm) error {
+		parts, err := c.Gather(0, []byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for r, p := range parts {
+				if len(p) != 1 || p[0] != byte(r) {
+					return fmt.Errorf("gather part %d = %v", r, p)
+				}
+			}
+		}
+		var scatter [][]byte
+		if c.Rank() == 0 {
+			scatter = [][]byte{{10}, {11}, {12}, {13}}
+		}
+		mine, err := c.Scatter(0, scatter)
+		if err != nil {
+			return err
+		}
+		if mine[0] != byte(10+c.Rank()) {
+			return fmt.Errorf("scatter got %v", mine)
+		}
+		pre, err := c.ScanInts([]int64{1}, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if pre[0] != int64(c.Rank()+1) {
+			return fmt.Errorf("scan got %d", pre[0])
+		}
+		return nil
+	})
+}

@@ -1,0 +1,64 @@
+package mpi
+
+// Transport moves a packet to the engine of another world rank. The
+// in-process World posts directly into the destination's engine; the TCP
+// transport serializes the packet onto a per-peer ordered stream.
+//
+// Implementations must preserve per-(sender, destination) ordering.
+type Transport interface {
+	// Deliver sends p to the engine owned by world rank dst. Delivery to
+	// the local rank is allowed.
+	Deliver(dst int, p *Packet) error
+	// Close releases transport resources. Sends after Close fail.
+	Close() error
+}
+
+// Env is the process-local endpoint of a job: this rank's identity within
+// the world, its receive engine, and the transport used to reach peers.
+// Every communicator held by a rank shares one Env.
+type Env struct {
+	worldRank int
+	worldSize int
+	eng       *engine
+	tr        Transport
+}
+
+// NewEnv assembles an environment from its parts. It is exported for
+// transport packages (tcpnet); in-process users should use World instead.
+func NewEnv(worldRank, worldSize int, tr Transport) *Env {
+	return &Env{worldRank: worldRank, worldSize: worldSize, eng: newEngine(), tr: tr}
+}
+
+// WorldRank returns this process's rank in the world communicator.
+func (e *Env) WorldRank() int { return e.worldRank }
+
+// WorldSize returns the total number of ranks in the job.
+func (e *Env) WorldSize() int { return e.worldSize }
+
+// Post injects an incoming packet into this rank's engine. It is the
+// receive-side hook for transports; the packet's payload must be owned by
+// the callee (transports hand over their decode buffers).
+func (e *Env) Post(p *Packet) error {
+	return e.eng.post(p)
+}
+
+// Close shuts down the engine and the transport.
+func (e *Env) Close() error {
+	e.eng.close()
+	return e.tr.Close()
+}
+
+// inprocTransport delivers directly into sibling engines within one OS
+// process.
+type inprocTransport struct {
+	engines []*engine
+}
+
+func (t *inprocTransport) Deliver(dst int, p *Packet) error {
+	if dst < 0 || dst >= len(t.engines) {
+		return ErrRank
+	}
+	return t.engines[dst].post(p)
+}
+
+func (t *inprocTransport) Close() error { return nil }

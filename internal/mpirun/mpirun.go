@@ -1,0 +1,180 @@
+// Package mpirun holds the process-bootstrap protocol shared by the mphrun
+// launcher and the worker processes of a true multi-executable (MPMD) job:
+// environment-variable conventions and the rendezvous exchange that wires
+// the TCP world together.
+//
+// The launcher plays the role of the paper's vendor MPP-run command
+// ("poe -pgmmodel mpmd -cmdfile ..." on the IBM SP, §6): it assigns
+// contiguous world-rank blocks to the executables of a cmdfile, then acts
+// as the rendezvous point through which every rank learns every other
+// rank's listen address. After rendezvous the launcher is out of the data
+// path: ranks talk directly over their own TCP connections, and — exactly
+// as the paper describes — share nothing but the world communicator until
+// MPH hands them component communicators.
+package mpirun
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Environment variables carrying the launch context to worker processes.
+const (
+	// EnvRank is the process's world rank.
+	EnvRank = "MPH_RANK"
+	// EnvSize is the world size.
+	EnvSize = "MPH_NPROCS"
+	// EnvRendezvous is the launcher's rendezvous address.
+	EnvRendezvous = "MPH_RENDEZVOUS"
+	// EnvRegistration is the path of the registration file, forwarded so
+	// every executable can name the same file.
+	EnvRegistration = "MPH_REGISTRATION"
+)
+
+// Launched reports whether the process was started by mphrun (or an
+// equivalent launcher) and should bootstrap a TCP world.
+func Launched() bool {
+	return os.Getenv(EnvRank) != "" && os.Getenv(EnvSize) != "" && os.Getenv(EnvRendezvous) != ""
+}
+
+// FromEnv reads the launch context.
+func FromEnv() (rank, size int, rendezvous, registration string, err error) {
+	rank, err = strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return 0, 0, "", "", fmt.Errorf("mpirun: bad %s: %w", EnvRank, err)
+	}
+	size, err = strconv.Atoi(os.Getenv(EnvSize))
+	if err != nil {
+		return 0, 0, "", "", fmt.Errorf("mpirun: bad %s: %w", EnvSize, err)
+	}
+	rendezvous = os.Getenv(EnvRendezvous)
+	if rendezvous == "" {
+		return 0, 0, "", "", fmt.Errorf("mpirun: %s not set", EnvRendezvous)
+	}
+	if rank < 0 || rank >= size {
+		return 0, 0, "", "", fmt.Errorf("mpirun: rank %d out of world of %d", rank, size)
+	}
+	return rank, size, rendezvous, os.Getenv(EnvRegistration), nil
+}
+
+// Rendezvous is the launcher-side address exchange: it accepts one
+// connection per rank, collects (rank, listen address) pairs, and answers
+// each with the complete address book.
+//
+// Wire protocol, one line each way:
+//
+//	worker:   "<rank> <host:port>\n"
+//	launcher: "<addr0> <addr1> ... <addrN-1>\n"
+type Rendezvous struct {
+	ln   net.Listener
+	size int
+}
+
+// NewRendezvous starts the exchange for a world of the given size on a
+// loopback port.
+func NewRendezvous(size int) (*Rendezvous, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpirun: rendezvous for world of %d", size)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mpirun: rendezvous listen: %w", err)
+	}
+	return &Rendezvous{ln: ln, size: size}, nil
+}
+
+// Addr returns the address workers should register with.
+func (r *Rendezvous) Addr() string { return r.ln.Addr().String() }
+
+// Serve runs the exchange to completion: it accepts every rank's
+// registration, then answers each with the full address book, and closes
+// the listener. The timeout bounds the whole exchange.
+func (r *Rendezvous) Serve(timeout time.Duration) error {
+	defer r.ln.Close()
+	deadline := time.Now().Add(timeout)
+
+	addrs := make([]string, r.size)
+	conns := make([]net.Conn, r.size)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	for got := 0; got < r.size; got++ {
+		if l, ok := r.ln.(*net.TCPListener); ok {
+			if err := l.SetDeadline(deadline); err != nil {
+				return err
+			}
+		}
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("mpirun: rendezvous accept (%d/%d registered): %w", got, r.size, err)
+		}
+		if err := conn.SetDeadline(deadline); err != nil {
+			conn.Close()
+			return err
+		}
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("mpirun: rendezvous read: %w", err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			conn.Close()
+			return fmt.Errorf("mpirun: malformed registration %q", strings.TrimSpace(line))
+		}
+		rank, err := strconv.Atoi(fields[0])
+		if err != nil || rank < 0 || rank >= r.size {
+			conn.Close()
+			return fmt.Errorf("mpirun: registration with bad rank %q", fields[0])
+		}
+		if conns[rank] != nil {
+			conn.Close()
+			return fmt.Errorf("mpirun: rank %d registered twice", rank)
+		}
+		addrs[rank] = fields[1]
+		conns[rank] = conn
+	}
+
+	book := strings.Join(addrs, " ") + "\n"
+	for rank, conn := range conns {
+		if _, err := conn.Write([]byte(book)); err != nil {
+			return fmt.Errorf("mpirun: rendezvous reply to rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// Register is the worker side: it reports this rank's listen address to the
+// rendezvous and returns the full address book (indexed by rank).
+func Register(rendezvous string, rank int, listenAddr string, timeout time.Duration) ([]string, error) {
+	conn, err := net.DialTimeout("tcp", rendezvous, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("mpirun: dial rendezvous %s: %w", rendezvous, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(conn, "%d %s\n", rank, listenAddr); err != nil {
+		return nil, fmt.Errorf("mpirun: register rank %d: %w", rank, err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("mpirun: read address book: %w", err)
+	}
+	addrs := strings.Fields(line)
+	if rank >= len(addrs) {
+		return nil, fmt.Errorf("mpirun: address book has %d entries, rank is %d", len(addrs), rank)
+	}
+	return addrs, nil
+}

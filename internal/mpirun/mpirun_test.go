@@ -1,0 +1,148 @@
+package mpirun
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvRank, "3")
+	t.Setenv(EnvSize, "8")
+	t.Setenv(EnvRendezvous, "127.0.0.1:9999")
+	t.Setenv(EnvRegistration, "/tmp/map.in")
+	rank, size, rv, reg, err := FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 3 || size != 8 || rv != "127.0.0.1:9999" || reg != "/tmp/map.in" {
+		t.Fatalf("got %d %d %q %q", rank, size, rv, reg)
+	}
+	if !Launched() {
+		t.Fatal("Launched() false with full env")
+	}
+}
+
+func TestFromEnvErrors(t *testing.T) {
+	cases := []struct {
+		name             string
+		rank, size, rdzv string
+		wantSub          string
+	}{
+		{"bad rank", "x", "4", "a:1", EnvRank},
+		{"bad size", "0", "y", "a:1", EnvSize},
+		{"no rendezvous", "0", "4", "", EnvRendezvous},
+		{"rank too big", "4", "4", "a:1", "out of world"},
+		{"negative rank", "-1", "4", "a:1", "out of world"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Setenv(EnvRank, tc.rank)
+			t.Setenv(EnvSize, tc.size)
+			t.Setenv(EnvRendezvous, tc.rdzv)
+			_, _, _, _, err := FromEnv()
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestLaunchedFalseWithoutEnv(t *testing.T) {
+	t.Setenv(EnvRank, "")
+	t.Setenv(EnvSize, "")
+	t.Setenv(EnvRendezvous, "")
+	if Launched() {
+		t.Fatal("Launched() true with empty env")
+	}
+}
+
+func TestNewRendezvousValidation(t *testing.T) {
+	if _, err := NewRendezvous(0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewRendezvous(-1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestRendezvousExchange(t *testing.T) {
+	const n = 4
+	rv, err := NewRendezvous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(10 * time.Second) }()
+
+	books := make(chan []string, n)
+	errs := make(chan error, n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			addrs, err := Register(rv.Addr(), rank, addrFor(rank), 10*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			books <- addrs
+		}(r)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case book := <-books:
+			if len(book) != n {
+				t.Fatalf("book %v", book)
+			}
+			for r := 0; r < n; r++ {
+				if book[r] != addrFor(r) {
+					t.Fatalf("book[%d] = %q", r, book[r])
+				}
+			}
+		}
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func addrFor(rank int) string {
+	return "10.0.0.1:" + string(rune('a'+rank)) // any distinct token works: addresses are opaque strings
+}
+
+func TestRegisterDialFailure(t *testing.T) {
+	if _, err := Register("127.0.0.1:1", 0, "x:1", 200*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestRendezvousRejectsMalformedRegistration(t *testing.T) {
+	rv, err := NewRendezvous(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- rv.Serve(5 * time.Second) }()
+	// A client that sends garbage instead of "rank addr".
+	conn, err := dial(rv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("garbage line\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("malformed registration accepted")
+	}
+}
+
+// dial is a tiny helper for protocol-level tests.
+func dial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}

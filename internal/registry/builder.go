@@ -1,0 +1,148 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Builder constructs registration files programmatically — the ensemble
+// and benchmark drivers generate layouts instead of hand-writing text. The
+// result is rendered to the canonical file syntax and re-parsed, so a built
+// registry passes exactly the same validation as one read from disk.
+type Builder struct {
+	lines []string
+	err   error
+}
+
+// NewBuilder starts an empty registration file.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Single adds a single-component executable entry with optional argument
+// fields.
+func (b *Builder) Single(name string, fields ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if err := checkName(name); err != nil {
+		b.err = err
+		return b
+	}
+	if len(fields) > MaxFields {
+		b.err = fmt.Errorf("registry: component %q: %d fields exceed the limit of %d", name, len(fields), MaxFields)
+		return b
+	}
+	b.lines = append(b.lines, strings.Join(append([]string{name}, fields...), " "))
+	return b
+}
+
+// Line is one component or instance line of a block entry.
+type Line struct {
+	Name      string
+	Low, High int
+	Fields    []string
+}
+
+// MultiComponent adds a multi-component executable entry.
+func (b *Builder) MultiComponent(lines ...Line) *Builder {
+	return b.block("Multi_Component_Begin", "Multi_Component_End", lines)
+}
+
+// MultiInstance adds a multi-instance executable entry.
+func (b *Builder) MultiInstance(lines ...Line) *Builder {
+	return b.block("Multi_Instance_Begin", "Multi_Instance_End", lines)
+}
+
+// InstancesEvenly adds a multi-instance entry with k instances named
+// prefix1..prefixK, each spanning perInstance processors contiguously, with
+// per-instance fields supplied by fieldsFor (may be nil).
+func (b *Builder) InstancesEvenly(prefix string, k, perInstance int, fieldsFor func(i int) []string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if k <= 0 || perInstance <= 0 {
+		b.err = fmt.Errorf("registry: %d instances of %d processors", k, perInstance)
+		return b
+	}
+	lines := make([]Line, k)
+	for i := 0; i < k; i++ {
+		var fields []string
+		if fieldsFor != nil {
+			fields = fieldsFor(i)
+		}
+		lines[i] = Line{
+			Name:   fmt.Sprintf("%s%d", prefix, i+1),
+			Low:    i * perInstance,
+			High:   (i+1)*perInstance - 1,
+			Fields: fields,
+		}
+	}
+	return b.MultiInstance(lines...)
+}
+
+func (b *Builder) block(open, closeKw string, lines []Line) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(lines) == 0 {
+		b.err = fmt.Errorf("registry: empty %s block", open)
+		return b
+	}
+	out := []string{open}
+	for _, l := range lines {
+		if err := checkName(l.Name); err != nil {
+			b.err = err
+			return b
+		}
+		if l.Low < 0 || l.High < l.Low {
+			b.err = fmt.Errorf("registry: component %q: invalid range %d..%d", l.Name, l.Low, l.High)
+			return b
+		}
+		if len(l.Fields) > MaxFields {
+			b.err = fmt.Errorf("registry: component %q: %d fields exceed the limit of %d", l.Name, len(l.Fields), MaxFields)
+			return b
+		}
+		parts := append([]string{l.Name, fmt.Sprint(l.Low), fmt.Sprint(l.High)}, l.Fields...)
+		out = append(out, strings.Join(parts, " "))
+	}
+	out = append(out, closeKw)
+	b.lines = append(b.lines, out...)
+	return b
+}
+
+// checkName rejects names the file syntax cannot represent.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("registry: empty component name")
+	}
+	if strings.ContainsAny(name, " \t\n!") {
+		return fmt.Errorf("registry: component name %q contains whitespace or '!'", name)
+	}
+	if reserved(name) {
+		return fmt.Errorf("registry: component name %q is a directive", name)
+	}
+	return nil
+}
+
+// Text renders the registration file.
+func (b *Builder) Text() (string, error) {
+	if b.err != nil {
+		return "", b.err
+	}
+	var sb strings.Builder
+	sb.WriteString("BEGIN\n")
+	for _, l := range b.lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("END\n")
+	return sb.String(), nil
+}
+
+// Build renders and parses the file, returning the validated registry.
+func (b *Builder) Build() (*Registry, error) {
+	text, err := b.Text()
+	if err != nil {
+		return nil, err
+	}
+	return Parse(text)
+}

@@ -1,0 +1,115 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderSingleEntries(t *testing.T) {
+	reg, err := NewBuilder().
+		Single("atmosphere").
+		Single("ocean", "infile=o.in", "debug=on").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Executables) != 2 || reg.Executables[1].Components[0].Fields[1] != "debug=on" {
+		t.Fatalf("built %+v", reg)
+	}
+}
+
+func TestBuilderBlocks(t *testing.T) {
+	reg, err := NewBuilder().
+		MultiComponent(
+			Line{Name: "atm", Low: 0, High: 3},
+			Line{Name: "lnd", Low: 0, High: 3}, // overlap is legal here
+		).
+		MultiInstance(
+			Line{Name: "E1", Low: 0, High: 1, Fields: []string{"seed=1"}},
+			Line{Name: "E2", Low: 2, High: 3, Fields: []string{"seed=2"}},
+		).
+		Single("hub").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Executables) != 3 {
+		t.Fatalf("%d executables", len(reg.Executables))
+	}
+	if reg.Executables[0].Kind != MultiComponent || reg.Executables[1].Kind != MultiInstance {
+		t.Fatal("kinds wrong")
+	}
+	ei, ok := reg.FindMultiInstanceByPrefix("E")
+	if !ok || ei != 1 {
+		t.Fatal("prefix lookup failed")
+	}
+}
+
+func TestBuilderInstancesEvenly(t *testing.T) {
+	reg, err := NewBuilder().
+		InstancesEvenly("Ocean", 3, 4, func(i int) []string {
+			return []string{"member=" + string(rune('0'+i))}
+		}).
+		Single("statistics").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := reg.Executables[0]
+	if len(mi.Components) != 3 || mi.Size() != 12 {
+		t.Fatalf("instances %+v", mi)
+	}
+	if mi.Components[2].Name != "Ocean3" || mi.Components[2].Low != 8 || mi.Components[2].High != 11 {
+		t.Fatalf("instance 3 = %+v", mi.Components[2])
+	}
+	if mi.Components[1].Fields[0] != "member=1" {
+		t.Fatalf("fields %+v", mi.Components[1].Fields)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := map[string]*Builder{
+		"empty name":       NewBuilder().Single(""),
+		"space in name":    NewBuilder().Single("two words"),
+		"bang in name":     NewBuilder().Single("a!b"),
+		"directive name":   NewBuilder().Single("END"),
+		"too many fields":  NewBuilder().Single("x", "1", "2", "3", "4", "5", "6"),
+		"empty block":      NewBuilder().MultiComponent(),
+		"bad range":        NewBuilder().MultiComponent(Line{Name: "x", Low: 3, High: 1}),
+		"negative range":   NewBuilder().MultiComponent(Line{Name: "x", Low: -1, High: 1}),
+		"block bad fields": NewBuilder().MultiInstance(Line{Name: "x", Low: 0, High: 1, Fields: []string{"1", "2", "3", "4", "5", "6"}}),
+		"zero instances":   NewBuilder().InstancesEvenly("E", 0, 2, nil),
+		"zero per":         NewBuilder().InstancesEvenly("E", 2, 0, nil),
+		"duplicate names":  NewBuilder().Single("x").Single("x"),
+	}
+	for name, b := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := b.Build(); err == nil {
+				t.Fatal("Build succeeded")
+			}
+		})
+	}
+}
+
+func TestBuilderErrorSticks(t *testing.T) {
+	b := NewBuilder().Single("").Single("fine")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "empty component name") {
+		t.Fatalf("first error not preserved: %v", err)
+	}
+	if _, err := b.Text(); err == nil {
+		t.Fatal("Text succeeded after error")
+	}
+}
+
+func TestBuilderTextParsesBack(t *testing.T) {
+	text, err := NewBuilder().
+		Single("coupler").
+		MultiComponent(Line{Name: "a", Low: 0, High: 1}, Line{Name: "b", Low: 2, High: 3}).
+		Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("generated text does not parse: %v\n%s", err, text)
+	}
+}

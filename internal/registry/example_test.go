@@ -1,0 +1,66 @@
+package registry_test
+
+import (
+	"fmt"
+
+	"mph/internal/registry"
+)
+
+// ExampleParse parses the paper's §4.3 three-executable registration file.
+func ExampleParse() {
+	reg, err := registry.Parse(`
+BEGIN
+Multi_Component_Begin ! 1st multi-comp exec
+atmosphere 0 15
+land       0 15      ! overlap with atm
+chemistry 16 19
+Multi_Component_End
+ocean
+coupler
+END
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, e := range reg.Executables {
+		fmt.Printf("%s executable, %d component(s), needs %d processors\n",
+			e.Kind, len(e.Components), e.Size())
+	}
+	// Output:
+	// multi-component executable, 3 component(s), needs 20 processors
+	// single-component executable, 1 component(s), needs -1 processors
+	// single-component executable, 1 component(s), needs -1 processors
+}
+
+// ExampleBuilder constructs the same layout programmatically.
+func ExampleBuilder() {
+	reg, err := registry.NewBuilder().
+		MultiComponent(
+			registry.Line{Name: "atmosphere", Low: 0, High: 15},
+			registry.Line{Name: "land", Low: 0, High: 15},
+			registry.Line{Name: "chemistry", Low: 16, High: 19},
+		).
+		Single("coupler").
+		Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(reg.TotalComponents(), "components")
+	ei, ci, _ := reg.FindComponent("chemistry")
+	fmt.Printf("chemistry is component %d of executable %d\n", ci, ei)
+	// Output:
+	// 4 components
+	// chemistry is component 2 of executable 0
+}
+
+// ExampleArguments shows the paper's §4.4 argument strings.
+func ExampleArguments() {
+	args := registry.NewArguments([]string{"inf3", "outf3", "alpha=3", "beta=4.5", "debug=on"})
+	alpha, _, _ := args.Int("alpha")
+	beta, _, _ := args.Float("beta")
+	fname, _ := args.Field(1)
+	fmt.Println(alpha, beta, fname)
+	// Output: 3 4.5 inf3
+}

@@ -1,0 +1,59 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that accepted inputs
+// re-render to a fixed point (Parse ∘ String is idempotent).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"BEGIN\natmosphere\nocean\nEND\n",
+		"BEGIN\nMulti_Component_Begin\na 0 15\nb 0 15\nMulti_Component_End\nEND\n",
+		"BEGIN\nMulti_Instance_Begin\nO1 0 7 in1 alpha=3\nO2 8 15\nMulti_Instance_End\nstat\nEND\n",
+		"begin\nx\nend\n",
+		"BEGIN\n! only comments\nx\nEND\n",
+		"",
+		"BEGIN",
+		"BEGIN\nMulti_Component_Begin\nEND\n",
+		"BEGIN\nocean -1 5\nEND\n",
+		strings.Repeat("BEGIN\n", 10),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		reg, err := Parse(text)
+		if err != nil {
+			return
+		}
+		rendered := reg.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of accepted input failed: %v\ninput: %q\nrendered: %q", err, text, rendered)
+		}
+		if again.String() != rendered {
+			t.Fatalf("String not a fixed point:\n%q\nvs\n%q", rendered, again.String())
+		}
+	})
+}
+
+// FuzzArguments asserts typed argument access never panics.
+func FuzzArguments(f *testing.F) {
+	f.Add("alpha=3", "alpha")
+	f.Add("beta=4.5", "beta")
+	f.Add("debug=on", "debug")
+	f.Add("", "")
+	f.Add("x=", "x")
+	f.Add("=y", "")
+	f.Fuzz(func(t *testing.T, field, key string) {
+		a := NewArguments([]string{field})
+		a.Int(key)
+		a.Float(key)
+		a.Bool(key)
+		a.String(key)
+		a.Field(1)
+		a.Field(0)
+	})
+}

@@ -1,0 +1,155 @@
+// Package timemgr is a simulation time manager in the style of the CCSM
+// share code: an integer-stepped model clock plus periodic alarms that
+// drive coupling, restart, and history events. Climate components advance
+// in fixed steps and must agree exactly on when to exchange; floating-point
+// time comparison is how couplers deadlock, so the clock counts steps as
+// integers and converts to model time only for diagnostics.
+package timemgr
+
+import "fmt"
+
+// Clock is an integer model clock: step counter plus a fixed step length.
+type Clock struct {
+	dt    float64
+	step  int64
+	limit int64 // stop step; <0 means unbounded
+}
+
+// NewClock creates a clock with the given step length, stopping after
+// stopSteps steps (negative for unbounded).
+func NewClock(dt float64, stopSteps int64) (*Clock, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("timemgr: non-positive dt %g", dt)
+	}
+	return &Clock{dt: dt, limit: stopSteps}, nil
+}
+
+// Dt returns the step length.
+func (c *Clock) Dt() float64 { return c.dt }
+
+// Step returns the completed step count.
+func (c *Clock) Step() int64 { return c.step }
+
+// Time returns the model time (steps × dt).
+func (c *Clock) Time() float64 { return float64(c.step) * c.dt }
+
+// Done reports whether the clock reached its stop step.
+func (c *Clock) Done() bool { return c.limit >= 0 && c.step >= c.limit }
+
+// Advance moves the clock forward one step. Advancing past the stop step
+// is an error — the component loop is broken if it happens.
+func (c *Clock) Advance() error {
+	if c.Done() {
+		return fmt.Errorf("timemgr: advancing a finished clock (step %d)", c.step)
+	}
+	c.step++
+	return nil
+}
+
+// Alarm fires every `interval` steps, with an optional offset: it rings
+// when (step - offset) is a positive multiple of interval. Alarms are
+// evaluated against a clock, so two components with identical clocks agree
+// exactly on every ring.
+type Alarm struct {
+	name     string
+	interval int64
+	offset   int64
+	lastRing int64
+}
+
+// NewAlarm creates an alarm ringing every interval steps, first at
+// offset+interval.
+func NewAlarm(name string, interval, offset int64) (*Alarm, error) {
+	if name == "" {
+		return nil, fmt.Errorf("timemgr: alarm with no name")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("timemgr: alarm %q with interval %d", name, interval)
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("timemgr: alarm %q with negative offset %d", name, offset)
+	}
+	return &Alarm{name: name, interval: interval, offset: offset, lastRing: -1}, nil
+}
+
+// Name returns the alarm's name.
+func (a *Alarm) Name() string { return a.name }
+
+// Ringing reports whether the alarm rings at the clock's current step. It
+// is a pure query; a step rings at most once regardless of how often it is
+// asked (use Acknowledge to silence within a step if needed).
+func (a *Alarm) Ringing(c *Clock) bool {
+	s := c.Step() - a.offset
+	return s > 0 && s%a.interval == 0
+}
+
+// RingCount returns how many times the alarm has rung up to and including
+// the clock's current step.
+func (a *Alarm) RingCount(c *Clock) int64 {
+	s := c.Step() - a.offset
+	if s <= 0 {
+		return 0
+	}
+	return s / a.interval
+}
+
+// NextRing returns the step of the next ring strictly after the clock's
+// current step.
+func (a *Alarm) NextRing(c *Clock) int64 {
+	s := c.Step() - a.offset
+	if s < 0 {
+		return a.offset + a.interval
+	}
+	return a.offset + (s/a.interval+1)*a.interval
+}
+
+// Schedule bundles a clock with named alarms — one per coupling stream,
+// restart cadence, history cadence — so a component's main loop reads as
+// "advance; for each ringing alarm, act".
+type Schedule struct {
+	Clock  *Clock
+	alarms []*Alarm
+}
+
+// NewSchedule creates a schedule over a clock.
+func NewSchedule(clock *Clock) *Schedule { return &Schedule{Clock: clock} }
+
+// AddAlarm registers an alarm; names must be unique.
+func (s *Schedule) AddAlarm(name string, interval, offset int64) error {
+	for _, a := range s.alarms {
+		if a.name == name {
+			return fmt.Errorf("timemgr: duplicate alarm %q", name)
+		}
+	}
+	a, err := NewAlarm(name, interval, offset)
+	if err != nil {
+		return err
+	}
+	s.alarms = append(s.alarms, a)
+	return nil
+}
+
+// Advance steps the clock and returns the names of the alarms ringing at
+// the new step, in registration order.
+func (s *Schedule) Advance() ([]string, error) {
+	if err := s.Clock.Advance(); err != nil {
+		return nil, err
+	}
+	var ringing []string
+	for _, a := range s.alarms {
+		if a.Ringing(s.Clock) {
+			ringing = append(ringing, a.name)
+		}
+	}
+	return ringing, nil
+}
+
+// Ringing reports whether the named alarm rings at the current step.
+func (s *Schedule) Ringing(name string) (bool, error) {
+	for _, a := range s.alarms {
+		if a.name == name {
+			return a.Ringing(s.Clock), nil
+		}
+	}
+	return false, fmt.Errorf("timemgr: no alarm %q", name)
+}

@@ -1,0 +1,182 @@
+package timemgr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockBasics(t *testing.T) {
+	c, err := NewClock(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dt() != 0.5 || c.Step() != 0 || c.Time() != 0 || c.Done() {
+		t.Fatal("fresh clock state wrong")
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Step() != 4 || c.Time() != 2 || !c.Done() {
+		t.Fatalf("step %d time %g done %v", c.Step(), c.Time(), c.Done())
+	}
+	if err := c.Advance(); err == nil {
+		t.Fatal("advanced past stop step")
+	}
+}
+
+func TestClockValidationAndUnbounded(t *testing.T) {
+	if _, err := NewClock(0, 1); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if _, err := NewClock(-1, 1); err == nil {
+		t.Error("dt<0 accepted")
+	}
+	c, _ := NewClock(1, -1)
+	for i := 0; i < 1000; i++ {
+		if err := c.Advance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Done() {
+		t.Error("unbounded clock finished")
+	}
+}
+
+func TestAlarmRings(t *testing.T) {
+	c, _ := NewClock(1, 20)
+	a, err := NewAlarm("couple", 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rings []int64
+	for !c.Done() {
+		c.Advance()
+		if a.Ringing(c) {
+			rings = append(rings, c.Step())
+		}
+	}
+	want := []int64{5, 10, 15, 20}
+	if len(rings) != len(want) {
+		t.Fatalf("rings %v", rings)
+	}
+	for i := range want {
+		if rings[i] != want[i] {
+			t.Fatalf("rings %v", rings)
+		}
+	}
+	if a.RingCount(c) != 4 {
+		t.Errorf("RingCount %d", a.RingCount(c))
+	}
+}
+
+func TestAlarmOffset(t *testing.T) {
+	c, _ := NewClock(1, 12)
+	a, _ := NewAlarm("history", 4, 2) // rings at 6, 10
+	var rings []int64
+	for !c.Done() {
+		c.Advance()
+		if a.Ringing(c) {
+			rings = append(rings, c.Step())
+		}
+	}
+	if len(rings) != 2 || rings[0] != 6 || rings[1] != 10 {
+		t.Fatalf("rings %v", rings)
+	}
+}
+
+func TestAlarmNextRing(t *testing.T) {
+	c, _ := NewClock(1, -1)
+	a, _ := NewAlarm("x", 5, 2)
+	if a.NextRing(c) != 7 {
+		t.Fatalf("NextRing at 0 = %d", a.NextRing(c))
+	}
+	for i := 0; i < 7; i++ {
+		c.Advance()
+	}
+	if a.NextRing(c) != 12 {
+		t.Fatalf("NextRing at 7 = %d", a.NextRing(c))
+	}
+}
+
+func TestAlarmValidation(t *testing.T) {
+	if _, err := NewAlarm("", 5, 0); err == nil {
+		t.Error("unnamed alarm accepted")
+	}
+	if _, err := NewAlarm("x", 0, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewAlarm("x", 5, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestScheduleDrivesLoop(t *testing.T) {
+	c, _ := NewClock(0.5, 12)
+	s := NewSchedule(c)
+	if err := s.AddAlarm("couple", 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAlarm("restart", 6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAlarm("couple", 4, 0); err == nil {
+		t.Fatal("duplicate alarm accepted")
+	}
+	if err := s.AddAlarm("bad", 0, 0); err == nil {
+		t.Fatal("invalid alarm accepted")
+	}
+	couples, restarts := 0, 0
+	for !c.Done() {
+		ringing, err := s.Advance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range ringing {
+			switch name {
+			case "couple":
+				couples++
+			case "restart":
+				restarts++
+			}
+		}
+	}
+	if couples != 4 || restarts != 2 {
+		t.Fatalf("couples %d restarts %d", couples, restarts)
+	}
+	// Step 12 rings both; registration order is preserved.
+	ok, err := s.Ringing("restart")
+	if err != nil || !ok {
+		t.Fatalf("Ringing(restart) = %v, %v", ok, err)
+	}
+	if _, err := s.Ringing("ghost"); err == nil {
+		t.Fatal("unknown alarm accepted")
+	}
+}
+
+func TestTwoClocksAgreeExactly(t *testing.T) {
+	// The design point: two components with the same (dt, interval) agree
+	// on every ring step, for any interval/offset — integer arithmetic,
+	// no float drift.
+	prop := func(intervalRaw, offsetRaw uint8, stepsRaw uint16) bool {
+		interval := int64(intervalRaw%20) + 1
+		offset := int64(offsetRaw % 10)
+		steps := int64(stepsRaw % 500)
+		c1, _ := NewClock(1.0/3.0, steps) // deliberately non-representable dt
+		c2, _ := NewClock(1.0/3.0, steps)
+		a1, _ := NewAlarm("x", interval, offset)
+		a2, _ := NewAlarm("x", interval, offset)
+		for !c1.Done() {
+			c1.Advance()
+			c2.Advance()
+			if a1.Ringing(c1) != a2.Ringing(c2) {
+				return false
+			}
+		}
+		return a1.RingCount(c1) == a2.RingCount(c2)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

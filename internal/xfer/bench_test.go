@@ -1,0 +1,165 @@
+package xfer_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mph/internal/grid"
+	"mph/internal/mpi"
+	"mph/internal/xfer"
+)
+
+// BenchmarkTranspose measures the all-to-all row-to-column redistribution
+// across processor counts and grid sizes.
+func BenchmarkTranspose(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		for _, n := range []int{32, 128} {
+			b.Run(fmt.Sprintf("p=%d/%dx%d", p, n, n), func(b *testing.B) {
+				g, err := grid.New(n, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows, _ := grid.NewDecomp(g, p)
+				cols, _ := grid.NewColDecomp(g, p)
+				b.SetBytes(int64(g.Cells() * 8))
+				err = mpi.RunWorld(p, func(c *mpi.Comm) error {
+					f := grid.NewField(rows, c.Rank())
+					f.FillFunc(func(lat, lon int) float64 { return float64(lat + lon) })
+					for i := 0; i < b.N; i++ {
+						if _, err := xfer.Transpose(c, rows, cols, f); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMToNTransfer isolates the redistribution cost without the MPH
+// handshake around it (compare with the repo-root E4 benchmark).
+func BenchmarkMToNTransfer(b *testing.B) {
+	for _, mn := range [][2]int{{2, 2}, {4, 4}, {8, 2}} {
+		b.Run(fmt.Sprintf("%dto%d", mn[0], mn[1]), func(b *testing.B) {
+			g, err := grid.New(128, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, _ := grid.NewDecomp(g, mn[0])
+			dst, _ := grid.NewDecomp(g, mn[1])
+			r, err := xfer.NewRouter(src, dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(g.Cells() * 8))
+			err = mpi.RunWorld(mn[0]+mn[1], func(c *mpi.Comm) error {
+				spec := xfer.Spec{SrcOffset: 0, DstOffset: mn[0], SrcProc: -1, DstProc: -1}
+				if c.Rank() < mn[0] {
+					spec.SrcProc = c.Rank()
+					f := grid.NewField(src, spec.SrcProc)
+					f.FillFunc(func(lat, lon int) float64 { return float64(lat) })
+					spec.Field = f
+				} else {
+					spec.DstProc = c.Rank() - mn[0]
+				}
+				for i := 0; i < b.N; i++ {
+					spec.Tag = i % 1024
+					if _, err := xfer.Transfer(c, r, spec); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkBundledVsPerField is the message-aggregation ablation: moving k
+// fields as one bundle (one message per sender-receiver pair) versus k
+// separate transfers.
+func BenchmarkBundledVsPerField(b *testing.B) {
+	const m, n, k = 4, 4, 8
+	g, err := grid.New(64, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := grid.NewDecomp(g, m)
+	dst, _ := grid.NewDecomp(g, n)
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+
+	b.Run("bundled", func(b *testing.B) {
+		b.SetBytes(int64(k * g.Cells() * 8))
+		err := mpi.RunWorld(m+n, func(c *mpi.Comm) error {
+			r, err := xfer.NewRouter(src, dst)
+			if err != nil {
+				return err
+			}
+			spec := xfer.BundleSpec{SrcOffset: 0, DstOffset: m, SrcProc: -1, DstProc: -1}
+			if c.Rank() < m {
+				spec.SrcProc = c.Rank()
+				fields := make([]*grid.Field, k)
+				for i := range fields {
+					fields[i] = grid.NewField(src, spec.SrcProc)
+				}
+				bundle, err := xfer.NewBundle(names, fields)
+				if err != nil {
+					return err
+				}
+				spec.Bundle = bundle
+			} else {
+				spec.DstProc = c.Rank() - m
+			}
+			for i := 0; i < b.N; i++ {
+				spec.Tag = i % 1024
+				if _, err := xfer.TransferBundle(c, r, spec, names); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	b.Run("per-field", func(b *testing.B) {
+		b.SetBytes(int64(k * g.Cells() * 8))
+		err := mpi.RunWorld(m+n, func(c *mpi.Comm) error {
+			r, err := xfer.NewRouter(src, dst)
+			if err != nil {
+				return err
+			}
+			spec := xfer.Spec{SrcOffset: 0, DstOffset: m, SrcProc: -1, DstProc: -1}
+			var f *grid.Field
+			if c.Rank() < m {
+				spec.SrcProc = c.Rank()
+				f = grid.NewField(src, spec.SrcProc)
+			} else {
+				spec.DstProc = c.Rank() - m
+			}
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < k; j++ {
+					spec.Tag = (i*k + j) % 1024
+					spec.Field = f
+					if _, err := xfer.Transfer(c, r, spec); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+}

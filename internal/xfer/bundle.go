@@ -1,0 +1,165 @@
+package xfer
+
+import (
+	"fmt"
+
+	"mph/internal/grid"
+	"mph/internal/mpi"
+)
+
+// Bundle is a set of named fields sharing one decomposition and processor
+// — the shape of MCT's attribute vectors (the paper's §7 notes MCT builds
+// on MPH). Transferring a bundle moves every field with a single message
+// per (sender, receiver) pair instead of one message per field, which is
+// the difference between k·M·N and M·N messages per coupling exchange.
+type Bundle struct {
+	names  []string
+	fields []*grid.Field
+}
+
+// NewBundle creates a bundle from parallel name/field lists. All fields
+// must share a decomposition shape and processor; names must be unique and
+// non-empty.
+func NewBundle(names []string, fields []*grid.Field) (*Bundle, error) {
+	if len(names) == 0 || len(names) != len(fields) {
+		return nil, fmt.Errorf("xfer: bundle with %d names and %d fields", len(names), len(fields))
+	}
+	seen := make(map[string]bool, len(names))
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("xfer: bundle field %d has no name", i)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("xfer: duplicate bundle field %q", n)
+		}
+		seen[n] = true
+		if fields[i] == nil {
+			return nil, fmt.Errorf("xfer: bundle field %q is nil", n)
+		}
+		if fields[i].Decomp.Grid != fields[0].Decomp.Grid ||
+			fields[i].Decomp.P != fields[0].Decomp.P ||
+			fields[i].P != fields[0].P {
+			return nil, fmt.Errorf("xfer: bundle field %q has a different layout", n)
+		}
+	}
+	return &Bundle{
+		names:  append([]string(nil), names...),
+		fields: append([]*grid.Field(nil), fields...),
+	}, nil
+}
+
+// Names returns the bundle's field names in order.
+func (b *Bundle) Names() []string { return append([]string(nil), b.names...) }
+
+// Len returns the number of fields.
+func (b *Bundle) Len() int { return len(b.fields) }
+
+// Field returns the named field.
+func (b *Bundle) Field(name string) (*grid.Field, error) {
+	for i, n := range b.names {
+		if n == name {
+			return b.fields[i], nil
+		}
+	}
+	return nil, fmt.Errorf("xfer: bundle has no field %q", name)
+}
+
+// BundleSpec describes one rank's role in a TransferBundle; the semantics
+// mirror Spec, with the bundle taking the place of the single field.
+type BundleSpec struct {
+	SrcOffset, DstOffset int
+	SrcRanks, DstRanks   []int
+	SrcProc, DstProc     int
+	Bundle               *Bundle // required when SrcProc >= 0
+	Tag                  int
+}
+
+// TransferBundle redistributes every field of a bundle from the source to
+// the destination decomposition with one message per (sender, receiver)
+// pair: each segment's payload concatenates the fields' rows in bundle
+// order. Destination ranks receive the reassembled bundle (field names
+// are taken from the expected names list, which every receiver must know —
+// the coupling contract, not the wire, carries them); other ranks get nil.
+func TransferBundle(comm *mpi.Comm, r *Router, spec BundleSpec, names []string) (*Bundle, error) {
+	if spec.Tag < 0 {
+		return nil, fmt.Errorf("xfer: negative tag %d", spec.Tag)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("xfer: bundle transfer needs the field name list")
+	}
+	if spec.SrcRanks != nil && len(spec.SrcRanks) != r.Src.P {
+		return nil, fmt.Errorf("xfer: SrcRanks has %d entries for %d source processors", len(spec.SrcRanks), r.Src.P)
+	}
+	if spec.DstRanks != nil && len(spec.DstRanks) != r.Dst.P {
+		return nil, fmt.Errorf("xfer: DstRanks has %d entries for %d destination processors", len(spec.DstRanks), r.Dst.P)
+	}
+	srcRank := func(proc int) int {
+		if spec.SrcRanks != nil {
+			return spec.SrcRanks[proc]
+		}
+		return spec.SrcOffset + proc
+	}
+	dstRank := func(proc int) int {
+		if spec.DstRanks != nil {
+			return spec.DstRanks[proc]
+		}
+		return spec.DstOffset + proc
+	}
+	nlon := r.Src.Grid.NLon
+	k := len(names)
+
+	if spec.SrcProc >= 0 {
+		b := spec.Bundle
+		if b == nil {
+			return nil, fmt.Errorf("xfer: source processor %d has no bundle", spec.SrcProc)
+		}
+		if b.Len() != k {
+			return nil, fmt.Errorf("xfer: bundle has %d fields, contract names %d", b.Len(), k)
+		}
+		for i, n := range names {
+			if b.names[i] != n {
+				return nil, fmt.Errorf("xfer: bundle field %d is %q, contract says %q", i, b.names[i], n)
+			}
+		}
+		f0 := b.fields[0]
+		if f0.Decomp.Grid != r.Src.Grid || f0.Decomp.P != r.Src.P || f0.P != spec.SrcProc {
+			return nil, fmt.Errorf("xfer: bundle does not match source processor %d", spec.SrcProc)
+		}
+		myLo, _ := r.Src.Bands(spec.SrcProc)
+		for _, seg := range r.SendPlan(spec.SrcProc) {
+			start := (seg.Lo - myLo) * nlon
+			end := (seg.Hi - myLo) * nlon
+			payload := make([]float64, 0, k*(end-start))
+			for _, f := range b.fields {
+				payload = append(payload, f.Data[start:end]...)
+			}
+			if err := comm.SendFloats(dstRank(seg.Peer), spec.Tag, payload); err != nil {
+				return nil, fmt.Errorf("xfer: bundle send to dst proc %d: %w", seg.Peer, err)
+			}
+		}
+	}
+
+	if spec.DstProc < 0 {
+		return nil, nil
+	}
+	fields := make([]*grid.Field, k)
+	for i := range fields {
+		fields[i] = grid.NewField(r.Dst, spec.DstProc)
+	}
+	myLo, _ := r.Dst.Bands(spec.DstProc)
+	for _, seg := range r.RecvPlan(spec.DstProc) {
+		xs, _, err := comm.RecvFloats(srcRank(seg.Peer), spec.Tag)
+		if err != nil {
+			return nil, fmt.Errorf("xfer: bundle recv from src proc %d: %w", seg.Peer, err)
+		}
+		segCells := seg.Cells(r.Src.Grid)
+		if len(xs) != k*segCells {
+			return nil, fmt.Errorf("xfer: bundle segment from src proc %d has %d values, want %d",
+				seg.Peer, len(xs), k*segCells)
+		}
+		for i := range fields {
+			copy(fields[i].Data[(seg.Lo-myLo)*nlon:], xs[i*segCells:(i+1)*segCells])
+		}
+	}
+	return NewBundle(names, fields)
+}

@@ -1,0 +1,159 @@
+package xfer_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mph/internal/grid"
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+	"mph/internal/xfer"
+)
+
+func makeBundle(t interface{ Fatal(...any) }, d *grid.Decomp, p int, names []string) *xfer.Bundle {
+	fields := make([]*grid.Field, len(names))
+	for i := range names {
+		f := grid.NewField(d, p)
+		scale := float64(i + 1)
+		f.FillFunc(func(lat, lon int) float64 { return scale * float64(100*lat+lon) })
+		fields[i] = f
+	}
+	b, err := xfer.NewBundle(names, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBundleValidation(t *testing.T) {
+	g := mustGrid(t, 8, 4)
+	d, _ := grid.NewDecomp(g, 2)
+	d2, _ := grid.NewDecomp(g, 3)
+	f := grid.NewField(d, 0)
+	if _, err := xfer.NewBundle(nil, nil); err == nil {
+		t.Error("empty bundle accepted")
+	}
+	if _, err := xfer.NewBundle([]string{"a"}, []*grid.Field{f, f}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := xfer.NewBundle([]string{""}, []*grid.Field{f}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := xfer.NewBundle([]string{"a", "a"}, []*grid.Field{f, f}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := xfer.NewBundle([]string{"a"}, []*grid.Field{nil}); err == nil {
+		t.Error("nil field accepted")
+	}
+	if _, err := xfer.NewBundle([]string{"a", "b"}, []*grid.Field{f, grid.NewField(d2, 0)}); err == nil {
+		t.Error("mixed layouts accepted")
+	}
+	b, err := xfer.NewBundle([]string{"t", "q"}, []*grid.Field{f, grid.NewField(d, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 || b.Names()[1] != "q" {
+		t.Error("accessors wrong")
+	}
+	if _, err := b.Field("t"); err != nil {
+		t.Error("Field(t) failed")
+	}
+	if _, err := b.Field("zz"); err == nil {
+		t.Error("Field(zz) succeeded")
+	}
+}
+
+func TestTransferBundleMToN(t *testing.T) {
+	const m, n = 3, 2
+	g := mustGrid(t, 12, 4)
+	src, _ := grid.NewDecomp(g, m)
+	dst, _ := grid.NewDecomp(g, n)
+	names := []string{"temperature", "humidity", "pressure"}
+
+	mpitest.Run(t, m+n, func(c *mpi.Comm) error {
+		r, err := xfer.NewRouter(src, dst)
+		if err != nil {
+			return err
+		}
+		spec := xfer.BundleSpec{SrcOffset: 0, DstOffset: m, SrcProc: -1, DstProc: -1, Tag: 5}
+		if c.Rank() < m {
+			spec.SrcProc = c.Rank()
+			spec.Bundle = makeBundle(t, src, spec.SrcProc, names)
+		} else {
+			spec.DstProc = c.Rank() - m
+		}
+		out, err := xfer.TransferBundle(c, r, spec, names)
+		if err != nil {
+			return err
+		}
+		if spec.DstProc < 0 {
+			if out != nil {
+				return fmt.Errorf("source-only rank received a bundle")
+			}
+			return nil
+		}
+		lo, hi := dst.Bands(spec.DstProc)
+		for i, name := range names {
+			f, err := out.Field(name)
+			if err != nil {
+				return err
+			}
+			scale := float64(i + 1)
+			for lat := lo; lat < hi; lat++ {
+				for lon := 0; lon < g.NLon; lon++ {
+					v, err := f.At(lat, lon)
+					if err != nil {
+						return err
+					}
+					if v != scale*float64(100*lat+lon) {
+						return fmt.Errorf("%s cell (%d,%d) = %g", name, lat, lon, v)
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestTransferBundleContractEnforced(t *testing.T) {
+	g := mustGrid(t, 4, 2)
+	d, _ := grid.NewDecomp(g, 1)
+	mpitest.Run(t, 1, func(c *mpi.Comm) error {
+		r, err := xfer.NewRouter(d, d)
+		if err != nil {
+			return err
+		}
+		b := makeBundle(t, d, 0, []string{"a", "b"})
+		// Missing name list.
+		if _, err := xfer.TransferBundle(c, r, xfer.BundleSpec{SrcProc: 0, DstProc: 0, Bundle: b}, nil); err == nil {
+			return fmt.Errorf("missing contract accepted")
+		}
+		// Contract with different names.
+		if _, err := xfer.TransferBundle(c, r, xfer.BundleSpec{SrcProc: 0, DstProc: 0, Bundle: b}, []string{"a", "zz"}); err == nil {
+			return fmt.Errorf("name mismatch accepted")
+		}
+		// Contract with different arity.
+		if _, err := xfer.TransferBundle(c, r, xfer.BundleSpec{SrcProc: 0, DstProc: 0, Bundle: b}, []string{"a"}); err == nil {
+			return fmt.Errorf("arity mismatch accepted")
+		}
+		// Source without a bundle.
+		if _, err := xfer.TransferBundle(c, r, xfer.BundleSpec{SrcProc: 0, DstProc: -1}, []string{"a"}); err == nil {
+			return fmt.Errorf("missing bundle accepted")
+		}
+		// Negative tag.
+		if _, err := xfer.TransferBundle(c, r, xfer.BundleSpec{SrcProc: -1, DstProc: -1, Tag: -1}, []string{"a"}); err == nil {
+			return fmt.Errorf("negative tag accepted")
+		}
+		// The happy path on one rank.
+		out, err := xfer.TransferBundle(c, r, xfer.BundleSpec{SrcProc: 0, DstProc: 0, Bundle: b}, []string{"a", "b"})
+		if err != nil {
+			return err
+		}
+		fa, _ := out.Field("a")
+		v, _ := fa.At(0, 1)
+		if v != 1 {
+			return fmt.Errorf("self-transfer value %g", v)
+		}
+		return nil
+	})
+}

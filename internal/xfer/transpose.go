@@ -1,0 +1,137 @@
+package xfer
+
+import (
+	"fmt"
+
+	"mph/internal/grid"
+	"mph/internal/mpi"
+)
+
+// Transpose redistributes a field between a latitude-band decomposition and
+// a longitude-column decomposition over one component's communicator — the
+// data motion at the heart of spectral transform models (rows for the
+// Fourier phase, columns for the Legendre phase). Both decompositions must
+// span the communicator: comm.Size() == rows.P == cols.P, and the calling
+// rank owns block comm.Rank() on each side.
+//
+// The exchange is a single Alltoall: rank p sends rank q the intersection
+// block (p's rows) x (q's columns).
+func Transpose(comm *mpi.Comm, rows *grid.Decomp, cols *grid.ColDecomp, f *grid.Field) (*grid.ColField, error) {
+	if rows.Grid != cols.Grid {
+		return nil, fmt.Errorf("xfer: transpose grid mismatch: %dx%d vs %dx%d",
+			rows.Grid.NLat, rows.Grid.NLon, cols.Grid.NLat, cols.Grid.NLon)
+	}
+	if comm.Size() != rows.P || comm.Size() != cols.P {
+		return nil, fmt.Errorf("xfer: transpose needs comm size %d == row procs %d == col procs %d",
+			comm.Size(), rows.P, cols.P)
+	}
+	me := comm.Rank()
+	if f.Decomp.Grid != rows.Grid || f.Decomp.P != rows.P || f.P != me {
+		return nil, fmt.Errorf("xfer: field does not match row processor %d", me)
+	}
+	nlon := rows.Grid.NLon
+	myLo, myHi := rows.Bands(me)
+
+	// Pack one block per destination: my rows restricted to q's columns,
+	// row-major within the block.
+	parts := make([][]byte, comm.Size())
+	for q := 0; q < comm.Size(); q++ {
+		cLo, cHi := cols.Cols(q)
+		width := cHi - cLo
+		block := make([]float64, (myHi-myLo)*width)
+		idx := 0
+		for lat := myLo; lat < myHi; lat++ {
+			rowStart := (lat - myLo) * nlon
+			for lon := cLo; lon < cHi; lon++ {
+				block[idx] = f.Data[rowStart+lon]
+				idx++
+			}
+		}
+		parts[q] = mpi.EncodeFloats(block)
+	}
+
+	got, err := comm.Alltoall(parts)
+	if err != nil {
+		return nil, fmt.Errorf("xfer: transpose alltoall: %w", err)
+	}
+
+	// Unpack: block from p holds p's rows of my columns.
+	out := grid.NewColField(cols, me)
+	cLo, cHi := cols.Cols(me)
+	width := cHi - cLo
+	for p := 0; p < comm.Size(); p++ {
+		block, err := mpi.DecodeFloats(got[p])
+		if err != nil {
+			return nil, err
+		}
+		pLo, pHi := rows.Bands(p)
+		if len(block) != (pHi-pLo)*width {
+			return nil, fmt.Errorf("xfer: transpose block from %d has %d cells, want %d",
+				p, len(block), (pHi-pLo)*width)
+		}
+		idx := 0
+		for lat := pLo; lat < pHi; lat++ {
+			copy(out.Data[lat*width:lat*width+width], block[idx:idx+width])
+			idx += width
+		}
+	}
+	return out, nil
+}
+
+// Untranspose is the inverse: from the column decomposition back to the
+// latitude-band decomposition.
+func Untranspose(comm *mpi.Comm, rows *grid.Decomp, cols *grid.ColDecomp, f *grid.ColField) (*grid.Field, error) {
+	if rows.Grid != cols.Grid {
+		return nil, fmt.Errorf("xfer: untranspose grid mismatch")
+	}
+	if comm.Size() != rows.P || comm.Size() != cols.P {
+		return nil, fmt.Errorf("xfer: untranspose needs comm size %d == row procs %d == col procs %d",
+			comm.Size(), rows.P, cols.P)
+	}
+	me := comm.Rank()
+	if f.Decomp.Grid != cols.Grid || f.Decomp.P != cols.P || f.P != me {
+		return nil, fmt.Errorf("xfer: field does not match column processor %d", me)
+	}
+	cLo, cHi := cols.Cols(me)
+	width := cHi - cLo
+
+	// Pack one block per destination: q's rows of my columns.
+	parts := make([][]byte, comm.Size())
+	for q := 0; q < comm.Size(); q++ {
+		qLo, qHi := rows.Bands(q)
+		block := make([]float64, (qHi-qLo)*width)
+		idx := 0
+		for lat := qLo; lat < qHi; lat++ {
+			copy(block[idx:idx+width], f.Data[lat*width:lat*width+width])
+			idx += width
+		}
+		parts[q] = mpi.EncodeFloats(block)
+	}
+
+	got, err := comm.Alltoall(parts)
+	if err != nil {
+		return nil, fmt.Errorf("xfer: untranspose alltoall: %w", err)
+	}
+
+	out := grid.NewField(rows, me)
+	nlon := rows.Grid.NLon
+	myLo, myHi := rows.Bands(me)
+	for p := 0; p < comm.Size(); p++ {
+		block, err := mpi.DecodeFloats(got[p])
+		if err != nil {
+			return nil, err
+		}
+		pLo, pHi := cols.Cols(p)
+		pWidth := pHi - pLo
+		if len(block) != (myHi-myLo)*pWidth {
+			return nil, fmt.Errorf("xfer: untranspose block from %d has %d cells, want %d",
+				p, len(block), (myHi-myLo)*pWidth)
+		}
+		idx := 0
+		for lat := myLo; lat < myHi; lat++ {
+			copy(out.Data[(lat-myLo)*nlon+pLo:(lat-myLo)*nlon+pHi], block[idx:idx+pWidth])
+			idx += pWidth
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package xfer_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mph/internal/grid"
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+	"mph/internal/xfer"
+)
+
+func TestTransposeCorrectness(t *testing.T) {
+	cases := []struct{ nlat, nlon, p int }{
+		{8, 8, 1}, {8, 8, 2}, {8, 8, 4}, {12, 5, 3}, {5, 12, 4}, {7, 7, 7},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%dx%d/p=%d", tc.nlat, tc.nlon, tc.p), func(t *testing.T) {
+			g := mustGrid(t, tc.nlat, tc.nlon)
+			rows, err := grid.NewDecomp(g, tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cols, err := grid.NewColDecomp(g, tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			value := func(lat, lon int) float64 { return float64(100*lat + lon) }
+			mpitest.Run(t, tc.p, func(c *mpi.Comm) error {
+				f := grid.NewField(rows, c.Rank())
+				f.FillFunc(value)
+				cf, err := xfer.Transpose(c, rows, cols, f)
+				if err != nil {
+					return err
+				}
+				lo, hi := cols.Cols(c.Rank())
+				for lat := 0; lat < g.NLat; lat++ {
+					for lon := lo; lon < hi; lon++ {
+						v, err := cf.At(lat, lon)
+						if err != nil {
+							return err
+						}
+						if v != value(lat, lon) {
+							return fmt.Errorf("cell (%d,%d) = %g, want %g", lat, lon, v, value(lat, lon))
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	g := mustGrid(t, 10, 6)
+	const p = 3
+	rows, _ := grid.NewDecomp(g, p)
+	cols, _ := grid.NewColDecomp(g, p)
+	mpitest.Run(t, p, func(c *mpi.Comm) error {
+		f := grid.NewField(rows, c.Rank())
+		f.FillFunc(func(lat, lon int) float64 { return float64(lat*lat - 3*lon) })
+		cf, err := xfer.Transpose(c, rows, cols, f)
+		if err != nil {
+			return err
+		}
+		back, err := xfer.Untranspose(c, rows, cols, cf)
+		if err != nil {
+			return err
+		}
+		for i, v := range back.Data {
+			if v != f.Data[i] {
+				return fmt.Errorf("round trip cell %d: %g vs %g", i, v, f.Data[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestTransposeValidation(t *testing.T) {
+	g := mustGrid(t, 8, 8)
+	g2 := mustGrid(t, 8, 6)
+	rows, _ := grid.NewDecomp(g, 2)
+	rows3, _ := grid.NewDecomp(g, 3)
+	cols, _ := grid.NewColDecomp(g, 2)
+	colsOther, _ := grid.NewColDecomp(g2, 2)
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		f := grid.NewField(rows, c.Rank())
+		if _, err := xfer.Transpose(c, rows, colsOther, f); err == nil {
+			return fmt.Errorf("grid mismatch accepted")
+		}
+		if _, err := xfer.Transpose(c, rows3, cols, f); err == nil {
+			return fmt.Errorf("processor mismatch accepted")
+		}
+		wrongField := grid.NewField(rows, 1-c.Rank())
+		if _, err := xfer.Transpose(c, rows, cols, wrongField); err == nil {
+			return fmt.Errorf("foreign field accepted")
+		}
+		cf := grid.NewColField(cols, c.Rank())
+		if _, err := xfer.Untranspose(c, rows3, cols, cf); err == nil {
+			return fmt.Errorf("untranspose processor mismatch accepted")
+		}
+		if _, err := xfer.Untranspose(c, rows, colsOther, cf); err == nil {
+			return fmt.Errorf("untranspose grid mismatch accepted")
+		}
+		return nil
+	})
+}
+
+func TestColDecompProperties(t *testing.T) {
+	g := mustGrid(t, 5, 23)
+	for _, p := range []int{1, 2, 3, 7, 23, 30} {
+		d, err := grid.NewColDecomp(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := 0
+		totalCells := 0
+		for proc := 0; proc < p; proc++ {
+			lo, hi := d.Cols(proc)
+			if lo != covered {
+				t.Fatalf("p=%d proc=%d: gap at %d", p, proc, lo)
+			}
+			covered = hi
+			totalCells += d.OwnedCells(proc)
+		}
+		if covered != g.NLon || totalCells != g.Cells() {
+			t.Fatalf("p=%d: covered %d cells %d", p, covered, totalCells)
+		}
+		for lon := 0; lon < g.NLon; lon++ {
+			owner := d.Owner(lon)
+			lo, hi := d.Cols(owner)
+			if lon < lo || lon >= hi {
+				t.Fatalf("p=%d: owner(%d) = %d with cols [%d,%d)", p, lon, owner, lo, hi)
+			}
+		}
+	}
+	if _, err := grid.NewColDecomp(g, 0); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+}
+
+func TestColFieldFillAndAt(t *testing.T) {
+	g := mustGrid(t, 4, 9)
+	d, _ := grid.NewColDecomp(g, 2)
+	f := grid.NewColField(d, 1)
+	f.FillFunc(func(lat, lon int) float64 { return float64(10*lat + lon) })
+	lo, hi := d.Cols(1)
+	for lat := 0; lat < g.NLat; lat++ {
+		for lon := lo; lon < hi; lon++ {
+			v, err := f.At(lat, lon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != float64(10*lat+lon) {
+				t.Fatalf("At(%d,%d) = %g", lat, lon, v)
+			}
+		}
+	}
+	if _, err := f.At(0, lo-1); err == nil {
+		t.Fatal("out-of-slab column accepted")
+	}
+	if _, err := f.At(g.NLat, lo); err == nil {
+		t.Fatal("out-of-range latitude accepted")
+	}
+}

@@ -1,0 +1,206 @@
+// Package xfer implements M-to-N redistribution of distributed fields
+// between two components' decompositions, the data-movement use case the
+// paper gives for MPH_comm_join (§5.1: "With this joint communicator,
+// collective operations such as data redistribution could easily be
+// performed") and the service MCT layers on top of MPH.
+//
+// Both components hold the same logical grid, each block-decomposed over
+// its own processor count. A Router computes, per processor, the contiguous
+// latitude-band segments it must exchange with the other side; Transfer
+// executes the plan with point-to-point messages over a communicator in
+// which the source processors occupy one rank block and the destination
+// processors another (exactly what CommJoin produces).
+package xfer
+
+import (
+	"fmt"
+
+	"mph/internal/grid"
+	"mph/internal/mpi"
+)
+
+// Segment is one contiguous piece of a transfer plan: the latitude bands
+// [Lo, Hi) moving between this processor and the peer processor on the
+// other decomposition.
+type Segment struct {
+	Peer   int // processor index on the other decomposition
+	Lo, Hi int // half-open latitude band range
+}
+
+// Cells returns the number of grid cells the segment carries.
+func (s Segment) Cells(g grid.Grid) int { return (s.Hi - s.Lo) * g.NLon }
+
+// Router holds the source and destination decompositions of a transfer and
+// computes exchange plans. It is cheap to build (O(M+N)) and immutable.
+type Router struct {
+	Src, Dst *grid.Decomp
+}
+
+// NewRouter validates that both decompositions cover the same grid.
+func NewRouter(src, dst *grid.Decomp) (*Router, error) {
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("xfer: nil decomposition")
+	}
+	if src.Grid != dst.Grid {
+		return nil, fmt.Errorf("xfer: grid mismatch: %dx%d vs %dx%d",
+			src.Grid.NLat, src.Grid.NLon, dst.Grid.NLat, dst.Grid.NLon)
+	}
+	return &Router{Src: src, Dst: dst}, nil
+}
+
+// SendPlan returns the segments source processor p must send, ordered by
+// destination processor. Each (sender, receiver) pair exchanges at most one
+// segment because block intersections of intervals are intervals.
+func (r *Router) SendPlan(p int) []Segment {
+	lo, hi := r.Src.Bands(p)
+	return intersect(lo, hi, r.Dst)
+}
+
+// RecvPlan returns the segments destination processor q must receive,
+// ordered by source processor.
+func (r *Router) RecvPlan(q int) []Segment {
+	lo, hi := r.Dst.Bands(q)
+	return intersect(lo, hi, r.Src)
+}
+
+// intersect computes the overlap of band range [lo, hi) with every
+// processor of the other decomposition.
+func intersect(lo, hi int, other *grid.Decomp) []Segment {
+	var segs []Segment
+	if lo >= hi {
+		return segs
+	}
+	for p := 0; p < other.P; p++ {
+		plo, phi := other.Bands(p)
+		l, h := maxInt(lo, plo), minInt(hi, phi)
+		if l < h {
+			segs = append(segs, Segment{Peer: p, Lo: l, Hi: h})
+		}
+	}
+	return segs
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Spec describes one rank's role in a Transfer. A rank may be a source, a
+// destination, both, or neither (set the corresponding processor index to
+// -1 when absent).
+type Spec struct {
+	// SrcOffset and DstOffset give the communicator rank of source
+	// processor 0 and destination processor 0. With a joined communicator
+	// from CommJoin(srcComp, dstComp) these are 0 and the source
+	// component's size.
+	SrcOffset, DstOffset int
+	// SrcRanks and DstRanks, when non-nil, override the affine offset
+	// mapping with an explicit communicator rank per processor index —
+	// needed when the two processor sets interleave arbitrarily on the
+	// communicator (e.g. migrating a component between two layouts of the
+	// same world after a Remap).
+	SrcRanks, DstRanks []int
+	// SrcProc is this rank's processor index on the source decomposition,
+	// or -1.
+	SrcProc int
+	// DstProc is this rank's processor index on the destination
+	// decomposition, or -1.
+	DstProc int
+	// Field is the local slab to send; required when SrcProc >= 0.
+	Field *grid.Field
+	// Tag distinguishes concurrent transfers on one communicator.
+	Tag int
+}
+
+// Transfer redistributes a field from the source decomposition to the
+// destination decomposition over comm. Every participating rank calls it
+// with its Spec; destination ranks receive the assembled local slab, other
+// ranks receive nil.
+//
+// Sends are eager, so a rank that is both source and destination cannot
+// deadlock against itself.
+func Transfer(comm *mpi.Comm, r *Router, spec Spec) (*grid.Field, error) {
+	if spec.Tag < 0 {
+		return nil, fmt.Errorf("xfer: negative tag %d", spec.Tag)
+	}
+	if spec.SrcRanks != nil && len(spec.SrcRanks) != r.Src.P {
+		return nil, fmt.Errorf("xfer: SrcRanks has %d entries for %d source processors", len(spec.SrcRanks), r.Src.P)
+	}
+	if spec.DstRanks != nil && len(spec.DstRanks) != r.Dst.P {
+		return nil, fmt.Errorf("xfer: DstRanks has %d entries for %d destination processors", len(spec.DstRanks), r.Dst.P)
+	}
+	srcRank := func(proc int) int {
+		if spec.SrcRanks != nil {
+			return spec.SrcRanks[proc]
+		}
+		return spec.SrcOffset + proc
+	}
+	dstRank := func(proc int) int {
+		if spec.DstRanks != nil {
+			return spec.DstRanks[proc]
+		}
+		return spec.DstOffset + proc
+	}
+	nlon := r.Src.Grid.NLon
+
+	if spec.SrcProc >= 0 {
+		if spec.Field == nil {
+			return nil, fmt.Errorf("xfer: source processor %d has no field", spec.SrcProc)
+		}
+		// Structural match suffices: NewDecomp is deterministic in
+		// (grid, P), so two decomps with equal shape partition alike.
+		if spec.Field.Decomp.Grid != r.Src.Grid || spec.Field.Decomp.P != r.Src.P ||
+			spec.Field.P != spec.SrcProc {
+			return nil, fmt.Errorf("xfer: field does not match source processor %d", spec.SrcProc)
+		}
+		myLo, _ := r.Src.Bands(spec.SrcProc)
+		for _, seg := range r.SendPlan(spec.SrcProc) {
+			start := (seg.Lo - myLo) * nlon
+			end := (seg.Hi - myLo) * nlon
+			dst := dstRank(seg.Peer)
+			if err := comm.SendFloats(dst, spec.Tag, spec.Field.Data[start:end]); err != nil {
+				return nil, fmt.Errorf("xfer: send to dst proc %d: %w", seg.Peer, err)
+			}
+		}
+	}
+
+	if spec.DstProc < 0 {
+		return nil, nil
+	}
+	out := grid.NewField(r.Dst, spec.DstProc)
+	myLo, _ := r.Dst.Bands(spec.DstProc)
+	for _, seg := range r.RecvPlan(spec.DstProc) {
+		src := srcRank(seg.Peer)
+		xs, _, err := comm.RecvFloats(src, spec.Tag)
+		if err != nil {
+			return nil, fmt.Errorf("xfer: recv from src proc %d: %w", seg.Peer, err)
+		}
+		want := seg.Cells(r.Src.Grid)
+		if len(xs) != want {
+			return nil, fmt.Errorf("xfer: segment from src proc %d has %d cells, want %d", seg.Peer, len(xs), want)
+		}
+		copy(out.Data[(seg.Lo-myLo)*nlon:], xs)
+	}
+	return out, nil
+}
+
+// Volume returns the total number of cells the transfer moves (the grid
+// size) and the number of point-to-point messages it needs.
+func (r *Router) Volume() (cells, messages int) {
+	for p := 0; p < r.Src.P; p++ {
+		for _, seg := range r.SendPlan(p) {
+			cells += seg.Cells(r.Src.Grid)
+			messages++
+		}
+	}
+	return cells, messages
+}

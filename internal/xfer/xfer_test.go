@@ -1,0 +1,239 @@
+package xfer_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mph/internal/grid"
+	"mph/internal/mpi"
+	"mph/internal/mpi/mpitest"
+	"mph/internal/xfer"
+)
+
+func mustGrid(t *testing.T, nlat, nlon int) grid.Grid {
+	t.Helper()
+	g, err := grid.New(nlat, nlon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRouterPlansCoverEverything(t *testing.T) {
+	g := mustGrid(t, 24, 4)
+	for _, mn := range [][2]int{{1, 1}, {3, 5}, {5, 3}, {4, 4}, {24, 2}, {2, 24}, {7, 30}} {
+		src, _ := grid.NewDecomp(g, mn[0])
+		dst, _ := grid.NewDecomp(g, mn[1])
+		r, err := xfer.NewRouter(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells, msgs := r.Volume()
+		if cells != g.Cells() {
+			t.Errorf("M=%d N=%d: plan moves %d cells, want %d", mn[0], mn[1], cells, g.Cells())
+		}
+		if msgs < maxInt(minNonEmpty(src), minNonEmpty(dst)) {
+			t.Errorf("M=%d N=%d: suspicious message count %d", mn[0], mn[1], msgs)
+		}
+		// Send plans and recv plans must mirror each other.
+		type pair struct{ s, d, lo, hi int }
+		sends := map[pair]bool{}
+		for p := 0; p < src.P; p++ {
+			for _, seg := range r.SendPlan(p) {
+				sends[pair{p, seg.Peer, seg.Lo, seg.Hi}] = true
+			}
+		}
+		for q := 0; q < dst.P; q++ {
+			for _, seg := range r.RecvPlan(q) {
+				if !sends[pair{seg.Peer, q, seg.Lo, seg.Hi}] {
+					t.Fatalf("recv segment %+v of dst %d has no matching send", seg, q)
+				}
+				delete(sends, pair{seg.Peer, q, seg.Lo, seg.Hi})
+			}
+		}
+		if len(sends) != 0 {
+			t.Fatalf("unmatched send segments: %v", sends)
+		}
+	}
+}
+
+func minNonEmpty(d *grid.Decomp) int {
+	n := 0
+	for p := 0; p < d.P; p++ {
+		if d.OwnedCells(p) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestNewRouterErrors(t *testing.T) {
+	g1 := mustGrid(t, 8, 4)
+	g2 := mustGrid(t, 8, 5)
+	d1, _ := grid.NewDecomp(g1, 2)
+	d2, _ := grid.NewDecomp(g2, 2)
+	if _, err := xfer.NewRouter(d1, d2); err == nil {
+		t.Error("grid mismatch accepted")
+	}
+	if _, err := xfer.NewRouter(nil, d1); err == nil {
+		t.Error("nil decomp accepted")
+	}
+}
+
+// runTransfer redistributes a deterministic field from M source ranks to N
+// destination ranks on an (M+N)-rank world and verifies every cell.
+func runTransfer(t *testing.T, nlat, nlon, m, n int) {
+	t.Helper()
+	g := mustGrid(t, nlat, nlon)
+	src, _ := grid.NewDecomp(g, m)
+	dst, _ := grid.NewDecomp(g, n)
+	value := func(lat, lon int) float64 { return float64(100*lat + lon) }
+
+	mpitest.Run(t, m+n, func(c *mpi.Comm) error {
+		r, err := xfer.NewRouter(src, dst)
+		if err != nil {
+			return err
+		}
+		spec := xfer.Spec{SrcOffset: 0, DstOffset: m, SrcProc: -1, DstProc: -1, Tag: 3}
+		if c.Rank() < m {
+			spec.SrcProc = c.Rank()
+			f := grid.NewField(src, spec.SrcProc)
+			f.FillFunc(value)
+			spec.Field = f
+		} else {
+			spec.DstProc = c.Rank() - m
+		}
+		out, err := xfer.Transfer(c, r, spec)
+		if err != nil {
+			return err
+		}
+		if spec.DstProc < 0 {
+			if out != nil {
+				return fmt.Errorf("source-only rank got a field")
+			}
+			return nil
+		}
+		lo, hi := dst.Bands(spec.DstProc)
+		for lat := lo; lat < hi; lat++ {
+			for lon := 0; lon < g.NLon; lon++ {
+				v, err := out.At(lat, lon)
+				if err != nil {
+					return err
+				}
+				if v != value(lat, lon) {
+					return fmt.Errorf("cell (%d,%d) = %g, want %g", lat, lon, v, value(lat, lon))
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestTransferMToN(t *testing.T) {
+	cases := [][2]int{{1, 1}, {1, 4}, {4, 1}, {3, 5}, {5, 3}, {4, 4}, {2, 7}}
+	for _, mn := range cases {
+		mn := mn
+		t.Run(fmt.Sprintf("%dto%d", mn[0], mn[1]), func(t *testing.T) {
+			runTransfer(t, 16, 3, mn[0], mn[1])
+		})
+	}
+}
+
+func TestTransferTinyGrid(t *testing.T) {
+	// More processors than latitude bands on both sides.
+	runTransfer(t, 2, 2, 3, 4)
+}
+
+func TestTransferSameRankBothRoles(t *testing.T) {
+	// A 2-rank world where every rank is both a source and a destination
+	// (source decomp over 2, dest decomp over 2, shifted balance).
+	g := mustGrid(t, 10, 2)
+	src, _ := grid.NewDecomp(g, 2)
+	dst, _ := grid.NewDecomp(g, 2)
+	mpitest.Run(t, 2, func(c *mpi.Comm) error {
+		r, err := xfer.NewRouter(src, dst)
+		if err != nil {
+			return err
+		}
+		f := grid.NewField(src, c.Rank())
+		f.FillFunc(func(lat, lon int) float64 { return float64(lat) })
+		out, err := xfer.Transfer(c, r, xfer.Spec{
+			SrcOffset: 0, DstOffset: 0,
+			SrcProc: c.Rank(), DstProc: c.Rank(),
+			Field: f, Tag: 0,
+		})
+		if err != nil {
+			return err
+		}
+		lo, hi := dst.Bands(c.Rank())
+		for lat := lo; lat < hi; lat++ {
+			v, err := out.At(lat, 0)
+			if err != nil {
+				return err
+			}
+			if v != float64(lat) {
+				return fmt.Errorf("cell %d = %g", lat, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTransferSpecErrors(t *testing.T) {
+	g := mustGrid(t, 4, 2)
+	src, _ := grid.NewDecomp(g, 1)
+	dst, _ := grid.NewDecomp(g, 1)
+	mpitest.Run(t, 1, func(c *mpi.Comm) error {
+		r, err := xfer.NewRouter(src, dst)
+		if err != nil {
+			return err
+		}
+		// Source without field.
+		if _, err := xfer.Transfer(c, r, xfer.Spec{SrcProc: 0, DstProc: -1}); err == nil {
+			return fmt.Errorf("missing field accepted")
+		}
+		// Field bound to the wrong processor.
+		f := grid.NewField(src, 0)
+		if _, err := xfer.Transfer(c, r, xfer.Spec{SrcProc: 0, DstProc: -1, Field: &grid.Field{Decomp: src, P: 99, Data: f.Data}}); err == nil {
+			return fmt.Errorf("mismatched field accepted")
+		}
+		// Negative tag.
+		if _, err := xfer.Transfer(c, r, xfer.Spec{SrcProc: -1, DstProc: -1, Tag: -1}); err == nil {
+			return fmt.Errorf("negative tag accepted")
+		}
+		return nil
+	})
+}
+
+func TestRouterVolumeProperty(t *testing.T) {
+	// For any decomposition pair over the same grid, the plan moves the
+	// whole grid exactly once.
+	prop := func(nlatRaw, mRaw, nRaw uint8) bool {
+		nlat := int(nlatRaw%32) + 1
+		m := int(mRaw%8) + 1
+		n := int(nRaw%8) + 1
+		g, err := grid.New(nlat, 3)
+		if err != nil {
+			return false
+		}
+		src, _ := grid.NewDecomp(g, m)
+		dst, _ := grid.NewDecomp(g, n)
+		r, err := xfer.NewRouter(src, dst)
+		if err != nil {
+			return false
+		}
+		cells, _ := r.Volume()
+		return cells == g.Cells()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
