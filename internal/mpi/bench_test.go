@@ -20,6 +20,108 @@ func benchWorld(b *testing.B, n int, fn func(c *mpi.Comm) error) {
 	}
 }
 
+// BenchmarkEngineMatching isolates the receive-side matching engine: every
+// sub-benchmark runs on a single self-delivering rank so transport cost is a
+// constant and queue behaviour dominates.
+//
+//   - exact/pending=N: an exact-envelope recv while N unexpected messages of
+//     a different tag sit in the queue. The indexed engine makes this O(1);
+//     a linear-scan engine pays O(N) per recv.
+//   - wildcard/pending=N: an AnySource recv under the same load; wildcard
+//     matching legitimately walks arrival order on any engine.
+//   - fanout/waiters=N: ping-pong while N unmatched posted receives exist.
+//     Broadcast wakeups pay O(N) scheduler work per message; targeted
+//     wakeups pay nothing.
+//   - irecv: post-match-wait cost of a nonblocking receive whose message
+//     arrives after posting.
+func BenchmarkEngineMatching(b *testing.B) {
+	for _, pending := range []int{0, 1, 64, 1024} {
+		b.Run(fmt.Sprintf("exact/pending=%d", pending), func(b *testing.B) {
+			benchWorld(b, 1, func(c *mpi.Comm) error {
+				for i := 0; i < pending; i++ {
+					if err := c.Send(0, 99, nil); err != nil {
+						return err
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.Send(0, 0, nil); err != nil {
+						return err
+					}
+					if _, _, err := c.Recv(0, 0); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+	for _, pending := range []int{0, 64} {
+		b.Run(fmt.Sprintf("wildcard/pending=%d", pending), func(b *testing.B) {
+			benchWorld(b, 1, func(c *mpi.Comm) error {
+				for i := 0; i < pending; i++ {
+					if err := c.Send(0, 99, nil); err != nil {
+						return err
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.Send(0, 0, nil); err != nil {
+						return err
+					}
+					if _, _, err := c.Recv(mpi.AnySource, 0); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+	for _, waiters := range []int{16, 256} {
+		b.Run(fmt.Sprintf("fanout/waiters=%d", waiters), func(b *testing.B) {
+			benchWorld(b, 1, func(c *mpi.Comm) error {
+				reqs := make([]*mpi.Request, waiters)
+				for i := range reqs {
+					reqs[i] = c.Irecv(0, 1000+i)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.Send(0, 0, nil); err != nil {
+						return err
+					}
+					if _, _, err := c.Recv(0, 0); err != nil {
+						return err
+					}
+				}
+				b.StopTimer()
+				// Drain the outstanding receives so the world shuts down
+				// cleanly on any engine.
+				for i := range reqs {
+					if err := c.Send(0, 1000+i, nil); err != nil {
+						return err
+					}
+				}
+				return mpi.WaitAll(reqs...)
+			})
+		})
+	}
+	b.Run("irecv", func(b *testing.B) {
+		benchWorld(b, 1, func(c *mpi.Comm) error {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := c.Irecv(0, 7)
+				if err := c.Send(0, 7, nil); err != nil {
+					return err
+				}
+				if _, _, err := r.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+}
+
 func BenchmarkSendRecvLatency(b *testing.B) {
 	for _, size := range []int{0, 64, 1 << 10, 64 << 10, 1 << 20} {
 		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {

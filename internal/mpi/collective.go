@@ -38,15 +38,6 @@ func (c *Comm) Barrier() error {
 	return nil
 }
 
-func (c *Comm) irecvCtx(ctx uint64, src, tag int) *Request {
-	r := &Request{done: make(chan struct{})}
-	go func() {
-		r.data, r.st, r.err = c.recvCtx(ctx, src, tag)
-		close(r.done)
-	}()
-	return r
-}
-
 // vrank maps a communicator rank into the virtual ring rooted at root, so
 // binomial-tree algorithms can assume root 0.
 func vrank(rank, root, size int) int { return (rank - root + size) % size }

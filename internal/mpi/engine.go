@@ -2,76 +2,602 @@ package mpi
 
 import "sync"
 
-// engine is the receive-side matching core owned by a single rank. Incoming
-// messages are appended in arrival order; receives scan the queue for the
-// first match and block on a condition variable when none exists yet.
+// engine is the receive-side matching core owned by a single rank. It is the
+// canonical two-queue MPI design:
 //
-// Non-overtaking order: messages from one sender arrive in the order they
-// were sent (the in-process transport posts under the sender's program
-// order; the TCP transport uses one ordered byte stream per peer), and the
-// first-match scan preserves that order for any fixed (ctx, src, tag).
+//   - the unexpected-message queue (UMQ) holds packets that arrived before a
+//     matching receive was posted;
+//   - the posted-receive queue (PRQ) holds receives posted before a matching
+//     packet arrived.
+//
+// A packet is in at most one place: post consults the PRQ and hands the
+// packet straight to the oldest matching receive, or else appends it to the
+// UMQ; a receive consults the UMQ and consumes the oldest matching packet,
+// or else appends itself to the PRQ. Both queues are indexed by exact
+// (ctx, src, tag) envelope buckets so the fully-qualified case is O(1);
+// wildcard receives (AnySource/AnyTag) live on a separate list and are
+// arbitrated against exact candidates by sequence number.
+//
+// Ordering invariants:
+//
+//   - Non-overtaking: messages from one sender arrive in the order they were
+//     sent (the in-process transport posts under the sender's program order;
+//     the TCP transport uses one ordered byte stream per peer). Each UMQ
+//     bucket and the UMQ arrival list are FIFO, so for any fixed
+//     (ctx, src, tag) receives consume in send order.
+//   - Posted order: when a packet matches several posted receives, the one
+//     posted first wins. Each PRQ bucket and the wildcard list are FIFO in
+//     post order, and the global sequence number decides between the exact
+//     bucket head and the first matching wildcard record — without it, a
+//     wildcard receive posted before an exact receive could be starved by
+//     the newer exact match.
+//
+// Wakeups are targeted: every posted receive (and probe waiter) owns its own
+// completion channel, so completing one operation wakes exactly one waiter
+// instead of broadcasting to all.
 type engine struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*Packet
 	closed bool
+	seq    uint64 // arrival/post sequence, monotone under mu
+
+	// Unexpected-message queue: exact-envelope buckets plus an engine-wide
+	// arrival-order list for wildcard matching. Emptied buckets are kept in
+	// the map for reuse (the common traffic pattern hammers a handful of
+	// envelopes) and swept in bulk once the empty ones dominate; ulastKey /
+	// ulast memoize the most recent bucket so ping-pong traffic skips the
+	// map hash entirely. ufree recycles list nodes.
+	ubuckets map[matchKey]*ulist
+	uempty   int
+	ulastKey matchKey
+	ulast    *ulist
+	uallHead *umsg
+	uallTail *umsg
+	ucount   int
+	ufree    *umsg
+
+	// Posted-receive queue: exact-envelope buckets plus the wildcard list,
+	// with the same empty-bucket retention policy and memoized last bucket.
+	pbuckets map[matchKey]*plist
+	pempty   int
+	plastKey matchKey
+	plast    *plist
+	pwild    plist
+	pcount   int
+
+	// Blocked Probe waiters. Probes never consume, so they are kept apart
+	// from consuming receives and all matching waiters wake per arrival.
+	probes pwaitList
+}
+
+// matchKey identifies one fully-qualified envelope: a communicator context
+// plus concrete source and tag.
+type matchKey struct {
+	ctx      uint64
+	src, tag int
+}
+
+// umsg is one unexpected message, linked into two FIFO lists: its
+// exact-envelope bucket and the engine-wide arrival list.
+type umsg struct {
+	pkt *Packet
+	seq uint64
+
+	bucketPrev, bucketNext *umsg
+	allPrev, allNext       *umsg
+}
+
+// precv is one posted receive: the record behind a blocked Recv or a live
+// Irecv request. Completion signals ready exactly once, with pkt or err set
+// beforehand (both writes ordered by engine.mu before the signal).
+//
+// Records come in two flavors. A blocking Recv has exactly one waiter that
+// waits exactly once, so its record is pool-recycled and completion sends a
+// token on a reusable buffered channel (reusable == true). An Irecv request
+// needs idempotent Wait/Done from any number of goroutines, so its record is
+// heap-owned and completion closes the channel.
+type precv struct {
+	ctx      uint64
+	src, tag int
+	seq      uint64
+
+	ready    chan struct{}
+	reusable bool
+	pkt      *Packet
+	err      error
+
+	queued     bool // still linked in the engine; guarded by engine.mu
+	exact      bool // lives in a bucket (src and tag concrete) vs the wildcard list
+	prev, next *precv
+}
+
+// precvPool recycles blocking-Recv records; their buffered channels are
+// drained by the single waiter before the record is returned.
+var precvPool = sync.Pool{New: func() any {
+	return &precv{ready: make(chan struct{}, 1), reusable: true}
+}}
+
+// complete wakes the record's single waiter. It must be called at most once
+// per enqueue, under engine.mu, after pkt/err are set. The caller must not
+// touch the record afterwards: a pool-owned record may be recycled by its
+// waiter immediately.
+func (r *precv) complete() {
+	if r.reusable {
+		r.ready <- struct{}{}
+	} else {
+		close(r.ready)
+	}
+}
+
+// matchesPacket reports whether packet m satisfies this receive's envelope.
+func (r *precv) matchesPacket(m *Packet) bool {
+	return r.ctx == m.Ctx &&
+		(r.src == AnySource || r.src == m.Src) &&
+		(r.tag == AnyTag || r.tag == m.Tag)
+}
+
+// pwait is one blocked Probe waiter.
+type pwait struct {
+	ctx      uint64
+	src, tag int
+
+	ready chan struct{}
+	st    Status
+	err   error
+
+	prev, next *pwait
+}
+
+// ulist is a FIFO of unexpected messages sharing one exact envelope.
+type ulist struct{ head, tail *umsg }
+
+func (l *ulist) pushBack(m *umsg) {
+	m.bucketPrev = l.tail
+	m.bucketNext = nil
+	if l.tail != nil {
+		l.tail.bucketNext = m
+	} else {
+		l.head = m
+	}
+	l.tail = m
+}
+
+func (l *ulist) remove(m *umsg) {
+	if m.bucketPrev != nil {
+		m.bucketPrev.bucketNext = m.bucketNext
+	} else {
+		l.head = m.bucketNext
+	}
+	if m.bucketNext != nil {
+		m.bucketNext.bucketPrev = m.bucketPrev
+	} else {
+		l.tail = m.bucketPrev
+	}
+	m.bucketPrev, m.bucketNext = nil, nil
+}
+
+// plist is a FIFO of posted receives (one exact bucket, or the wildcard
+// list).
+type plist struct{ head, tail *precv }
+
+func (l *plist) pushBack(r *precv) {
+	r.prev = l.tail
+	r.next = nil
+	if l.tail != nil {
+		l.tail.next = r
+	} else {
+		l.head = r
+	}
+	l.tail = r
+}
+
+func (l *plist) remove(r *precv) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		l.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		l.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+// pwaitList is a FIFO of blocked probe waiters.
+type pwaitList struct{ head, tail *pwait }
+
+func (l *pwaitList) pushBack(w *pwait) {
+	w.prev = l.tail
+	w.next = nil
+	if l.tail != nil {
+		l.tail.next = w
+	} else {
+		l.head = w
+	}
+	l.tail = w
+}
+
+func (l *pwaitList) remove(w *pwait) {
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		l.head = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		l.tail = w.prev
+	}
+	w.prev, w.next = nil, nil
 }
 
 func newEngine() *engine {
-	e := &engine{}
-	e.cond = sync.NewCond(&e.mu)
-	return e
+	return &engine{
+		ubuckets: make(map[matchKey]*ulist),
+		pbuckets: make(map[matchKey]*plist),
+	}
 }
+
+// sweepThreshold is the number of retained empty buckets beyond which a
+// queue considers a bulk sweep (it also requires empties to outnumber live
+// buckets, keeping the sweep amortized O(1) per operation).
+const sweepThreshold = 64
 
 // post delivers a message into the engine. It is called by transports.
 func (e *engine) post(m *Packet) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return ErrClosed
 	}
-	e.queue = append(e.queue, m)
-	e.cond.Broadcast()
+	if e.pcount > 0 {
+		if pr := e.takePosted(m); pr != nil {
+			// Direct hand-off: complete exactly the oldest matching posted
+			// receive, nobody else wakes.
+			pr.pkt = m
+			if m.Ack != nil {
+				close(m.Ack)
+			}
+			pr.complete()
+			e.mu.Unlock()
+			return nil
+		}
+	}
+	e.addUnexpected(m)
+	if e.probes.head != nil {
+		e.notifyProbes(m)
+	}
+	e.mu.Unlock()
 	return nil
 }
 
-// recv blocks until a message matching (ctx, src, tag) is available, removes
-// it from the queue, and returns it.
-func (e *engine) recv(ctx uint64, src, tag int) (*Packet, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for {
-		if e.closed {
-			return nil, ErrClosed
+// takePosted removes and returns the oldest-posted receive matching packet
+// m, or nil. Candidates are the head of m's exact-envelope bucket and the
+// first matching wildcard record; the post sequence number arbitrates
+// between the two lists so "oldest posted wins" holds globally.
+func (e *engine) takePosted(m *Packet) *precv {
+	var exact *precv
+	if l := e.pbucketLookup(matchKey{m.Ctx, m.Src, m.Tag}); l != nil {
+		exact = l.head
+	}
+	var wild *precv
+	for r := e.pwild.head; r != nil; r = r.next {
+		if r.matchesPacket(m) {
+			wild = r
+			break
 		}
-		for i, m := range e.queue {
-			if m.matches(ctx, src, tag) {
-				e.queue = append(e.queue[:i], e.queue[i+1:]...)
-				if m.Ack != nil {
-					close(m.Ack)
-				}
-				return m, nil
+	}
+	var chosen *precv
+	switch {
+	case exact == nil:
+		chosen = wild
+	case wild == nil:
+		chosen = exact
+	case wild.seq < exact.seq:
+		chosen = wild
+	default:
+		chosen = exact
+	}
+	if chosen == nil {
+		return nil
+	}
+	e.unlinkPosted(chosen)
+	return chosen
+}
+
+// pbucketLookup returns the posted-receive bucket for key, or nil, without
+// creating one. The one-entry memo makes repeated hits on one envelope skip
+// the map hash.
+func (e *engine) pbucketLookup(key matchKey) *plist {
+	if e.plast != nil && e.plastKey == key {
+		return e.plast
+	}
+	if l, ok := e.pbuckets[key]; ok {
+		e.plastKey, e.plast = key, l
+		return l
+	}
+	return nil
+}
+
+// unlinkPosted removes a still-queued posted receive from its list. Emptied
+// buckets stay in the map for reuse until empties dominate, then are swept.
+func (e *engine) unlinkPosted(r *precv) {
+	if r.exact {
+		l := e.pbucketLookup(matchKey{r.ctx, r.src, r.tag})
+		l.remove(r)
+		if l.head == nil {
+			e.pempty++
+			if e.pempty > sweepThreshold && e.pempty*2 > len(e.pbuckets) {
+				e.sweepPostedBuckets()
 			}
 		}
-		e.cond.Wait()
+	} else {
+		e.pwild.remove(r)
 	}
+	r.queued = false
+	e.pcount--
+}
+
+// sweepPostedBuckets drops every retained empty posted-receive bucket.
+func (e *engine) sweepPostedBuckets() {
+	for k, l := range e.pbuckets {
+		if l.head == nil {
+			delete(e.pbuckets, k)
+		}
+	}
+	e.pempty = 0
+	e.plast = nil // the memo may point at a dropped bucket
+}
+
+// enqueuePosted appends a posted-receive record for (ctx, src, tag). reuse
+// selects a pool-recycled record (blocking Recv) over a heap-owned one
+// (Irecv requests).
+func (e *engine) enqueuePosted(ctx uint64, src, tag int, reuse bool) *precv {
+	e.seq++
+	var r *precv
+	if reuse {
+		r = precvPool.Get().(*precv)
+		r.pkt, r.err = nil, nil
+	} else {
+		r = &precv{ready: make(chan struct{})}
+	}
+	r.ctx, r.src, r.tag = ctx, src, tag
+	r.seq = e.seq
+	r.queued = true
+	r.exact = src != AnySource && tag != AnyTag
+	if r.exact {
+		key := matchKey{ctx, src, tag}
+		l := e.pbucketLookup(key)
+		if l == nil {
+			l = &plist{}
+			e.pbuckets[key] = l
+			e.plastKey, e.plast = key, l
+			e.pempty++ // counted empty until the push below
+		}
+		if l.head == nil {
+			e.pempty--
+		}
+		l.pushBack(r)
+	} else {
+		e.pwild.pushBack(r)
+	}
+	e.pcount++
+	return r
+}
+
+// addUnexpected appends a packet to the UMQ (bucket plus arrival list).
+func (e *engine) addUnexpected(m *Packet) {
+	e.seq++
+	n := e.newUmsg(m)
+	key := matchKey{m.Ctx, m.Src, m.Tag}
+	l := e.ubucketLookup(key)
+	if l == nil {
+		l = &ulist{}
+		e.ubuckets[key] = l
+		e.ulastKey, e.ulast = key, l
+		e.uempty++ // counted empty until the push below
+	}
+	if l.head == nil {
+		e.uempty--
+	}
+	l.pushBack(n)
+	n.allPrev = e.uallTail
+	if e.uallTail != nil {
+		e.uallTail.allNext = n
+	} else {
+		e.uallHead = n
+	}
+	e.uallTail = n
+	e.ucount++
+}
+
+// newUmsg takes a UMQ node off the free list or allocates one.
+func (e *engine) newUmsg(m *Packet) *umsg {
+	n := e.ufree
+	if n != nil {
+		e.ufree = n.bucketNext
+		n.bucketNext = nil
+	} else {
+		n = &umsg{}
+	}
+	n.pkt = m
+	n.seq = e.seq
+	return n
+}
+
+// ubucketLookup returns the UMQ bucket for key, or nil, without creating
+// one.
+func (e *engine) ubucketLookup(key matchKey) *ulist {
+	if e.ulast != nil && e.ulastKey == key {
+		return e.ulast
+	}
+	if l, ok := e.ubuckets[key]; ok {
+		e.ulastKey, e.ulast = key, l
+		return l
+	}
+	return nil
+}
+
+// findUnexpected returns the earliest-arrived unexpected message matching
+// (ctx, src, tag) without removing it, or nil. A fully-qualified envelope is
+// an O(1) bucket peek; wildcards walk the arrival-order list so the oldest
+// match wins regardless of which bucket holds it.
+func (e *engine) findUnexpected(ctx uint64, src, tag int) *umsg {
+	if e.ucount == 0 {
+		return nil
+	}
+	if src != AnySource && tag != AnyTag {
+		if l := e.ubucketLookup(matchKey{ctx, src, tag}); l != nil {
+			return l.head
+		}
+		return nil
+	}
+	for n := e.uallHead; n != nil; n = n.allNext {
+		if n.pkt.matches(ctx, src, tag) {
+			return n
+		}
+	}
+	return nil
+}
+
+// removeUnexpected unlinks a UMQ node from its bucket and the arrival list
+// and recycles the node; the caller must capture n.pkt first.
+func (e *engine) removeUnexpected(n *umsg) {
+	l := e.ubucketLookup(matchKey{n.pkt.Ctx, n.pkt.Src, n.pkt.Tag})
+	l.remove(n)
+	if l.head == nil {
+		e.uempty++
+		if e.uempty > sweepThreshold && e.uempty*2 > len(e.ubuckets) {
+			e.sweepUnexpectedBuckets()
+		}
+	}
+	if n.allPrev != nil {
+		n.allPrev.allNext = n.allNext
+	} else {
+		e.uallHead = n.allNext
+	}
+	if n.allNext != nil {
+		n.allNext.allPrev = n.allPrev
+	} else {
+		e.uallTail = n.allPrev
+	}
+	n.allPrev, n.allNext = nil, nil
+	e.ucount--
+	n.pkt = nil
+	n.bucketNext = e.ufree
+	e.ufree = n
+}
+
+// sweepUnexpectedBuckets drops every retained empty UMQ bucket.
+func (e *engine) sweepUnexpectedBuckets() {
+	for k, l := range e.ubuckets {
+		if l.head == nil {
+			delete(e.ubuckets, k)
+		}
+	}
+	e.uempty = 0
+	e.ulast = nil // the memo may point at a dropped bucket
+}
+
+// takeUnexpected removes and returns the earliest-arrived matching packet,
+// closing its Ack (the consuming match is what releases an Ssend), or nil.
+func (e *engine) takeUnexpected(ctx uint64, src, tag int) *Packet {
+	n := e.findUnexpected(ctx, src, tag)
+	if n == nil {
+		return nil
+	}
+	pkt := n.pkt
+	e.removeUnexpected(n)
+	if pkt.Ack != nil {
+		close(pkt.Ack)
+	}
+	return pkt
+}
+
+// recv blocks until a message matching (ctx, src, tag) is available and
+// returns it. The fast path (message already unexpected) allocates nothing;
+// the slow path posts a receive record and parks on its private channel.
+func (e *engine) recv(ctx uint64, src, tag int) (*Packet, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if m := e.takeUnexpected(ctx, src, tag); m != nil {
+		e.mu.Unlock()
+		return m, nil
+	}
+	pr := e.enqueuePosted(ctx, src, tag, true)
+	e.mu.Unlock()
+	<-pr.ready
+	m, err := pr.pkt, pr.err
+	precvPool.Put(pr)
+	return m, err
+}
+
+// postRecv is the nonblocking receive entry: it either consumes an
+// already-arrived unexpected message (inline completion, pr == nil) or
+// enqueues a posted-receive record the caller may wait on or cancel.
+func (e *engine) postRecv(ctx uint64, src, tag int) (m *Packet, pr *precv, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, nil, ErrClosed
+	}
+	if m := e.takeUnexpected(ctx, src, tag); m != nil {
+		return m, nil, nil
+	}
+	return nil, e.enqueuePosted(ctx, src, tag, false), nil
+}
+
+// cancel withdraws a posted receive that has not matched yet. It reports
+// whether the cancellation won the race against an incoming message; on
+// success the record completes with ErrCanceled.
+func (e *engine) cancel(r *precv) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !r.queued {
+		return false
+	}
+	e.unlinkPosted(r)
+	r.err = ErrCanceled
+	r.complete()
+	return true
 }
 
 // probe blocks until a matching message is available and returns its status
 // without removing it from the queue.
 func (e *engine) probe(ctx uint64, src, tag int) (Status, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	for {
-		if e.closed {
-			return Status{}, ErrClosed
+	if e.closed {
+		e.mu.Unlock()
+		return Status{}, ErrClosed
+	}
+	if n := e.findUnexpected(ctx, src, tag); n != nil {
+		st := Status{Source: n.pkt.Src, Tag: n.pkt.Tag, Len: len(n.pkt.Data)}
+		e.mu.Unlock()
+		return st, nil
+	}
+	w := &pwait{ctx: ctx, src: src, tag: tag, ready: make(chan struct{})}
+	e.probes.pushBack(w)
+	e.mu.Unlock()
+	<-w.ready
+	return w.st, w.err
+}
+
+// notifyProbes completes every blocked Probe whose envelope the newly
+// queued unexpected message satisfies. Probes never consume the message, so
+// all matching waiters complete.
+func (e *engine) notifyProbes(m *Packet) {
+	for w := e.probes.head; w != nil; {
+		next := w.next
+		if m.matches(w.ctx, w.src, w.tag) {
+			w.st = Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}
+			e.probes.remove(w)
+			close(w.ready)
 		}
-		for _, m := range e.queue {
-			if m.matches(ctx, src, tag) {
-				return Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}, nil
-			}
-		}
-		e.cond.Wait()
+		w = next
 	}
 }
 
@@ -80,17 +606,29 @@ func (e *engine) probe(ctx uint64, src, tag int) (Status, error) {
 func (e *engine) tryProbe(ctx uint64, src, tag int) (Status, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for _, m := range e.queue {
-		if m.matches(ctx, src, tag) {
-			return Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}, true
-		}
+	if n := e.findUnexpected(ctx, src, tag); n != nil {
+		return Status{Source: n.pkt.Src, Tag: n.pkt.Tag, Len: len(n.pkt.Data)}, true
 	}
 	return Status{}, false
 }
 
-// close shuts the engine down; pending and future receives fail with
-// ErrClosed, and synchronous senders blocked on unmatched messages are
-// released.
+// pendingUnexpected reports the UMQ depth (for tests and diagnostics).
+func (e *engine) pendingUnexpected() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ucount
+}
+
+// pendingPosted reports the PRQ depth (for tests and diagnostics).
+func (e *engine) pendingPosted() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pcount
+}
+
+// close shuts the engine down: pending and future receives fail with
+// ErrClosed, probe waiters are released, and synchronous senders blocked on
+// unmatched messages are released by closing their Ack channels.
 func (e *engine) close() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -98,11 +636,41 @@ func (e *engine) close() {
 		return
 	}
 	e.closed = true
-	for _, m := range e.queue {
-		if m.Ack != nil {
-			close(m.Ack)
+	for n := e.uallHead; n != nil; n = n.allNext {
+		if n.pkt.Ack != nil {
+			close(n.pkt.Ack)
 		}
 	}
-	e.queue = nil
-	e.cond.Broadcast()
+	e.uallHead, e.uallTail = nil, nil
+	e.ubuckets = nil
+	e.ulast = nil
+	e.ufree = nil
+	e.ucount = 0
+	// Capture each record's successor before completing it: a pool-owned
+	// record may be recycled by its waiter the moment it is signaled.
+	for _, l := range e.pbuckets {
+		for r := l.head; r != nil; {
+			next := r.next
+			r.queued = false
+			r.err = ErrClosed
+			r.complete()
+			r = next
+		}
+	}
+	e.pbuckets = nil
+	e.plast = nil
+	for r := e.pwild.head; r != nil; {
+		next := r.next
+		r.queued = false
+		r.err = ErrClosed
+		r.complete()
+		r = next
+	}
+	e.pwild = plist{}
+	e.pcount = 0
+	for w := e.probes.head; w != nil; w = w.next {
+		w.err = ErrClosed
+		close(w.ready)
+	}
+	e.probes = pwaitList{}
 }

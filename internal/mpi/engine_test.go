@@ -1,0 +1,262 @@
+package mpi
+
+// White-box tests of the two-queue matching engine: posted-order
+// arbitration, queue accounting, bucket sweeping, and shutdown, exercised
+// directly against engine internals without a transport.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func post(t *testing.T, e *engine, ctx uint64, src, tag int, payload string) {
+	t.Helper()
+	if err := e.post(&Packet{Ctx: ctx, Src: src, Tag: tag, Data: []byte(payload)}); err != nil {
+		t.Fatalf("post(%d,%d): %v", src, tag, err)
+	}
+}
+
+func waitPayload(t *testing.T, pr *precv) string {
+	t.Helper()
+	select {
+	case <-pr.ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("posted receive never completed")
+	}
+	if pr.err != nil {
+		t.Fatalf("posted receive failed: %v", pr.err)
+	}
+	return string(pr.pkt.Data)
+}
+
+// A wildcard receive posted before an exact receive on the same envelope
+// must win the first message — the sequence number arbitrates between the
+// exact bucket head and the wildcard list. And vice versa.
+func TestExactVsWildcardArbitration(t *testing.T) {
+	e := newEngine()
+	_, wild, err := e.postRecv(1, AnySource, AnyTag)
+	if err != nil || wild == nil {
+		t.Fatalf("wildcard postRecv: %v %v", wild, err)
+	}
+	_, exact, err := e.postRecv(1, 0, 5)
+	if err != nil || exact == nil {
+		t.Fatalf("exact postRecv: %v %v", exact, err)
+	}
+	post(t, e, 1, 0, 5, "first")
+	if got := waitPayload(t, wild); got != "first" {
+		t.Errorf("older wildcard lost the first message (got %q)", got)
+	}
+	post(t, e, 1, 0, 5, "second")
+	if got := waitPayload(t, exact); got != "second" {
+		t.Errorf("exact receive got %q", got)
+	}
+
+	// Reverse posting order: now the exact receive is older and must win.
+	_, exact2, _ := e.postRecv(1, 0, 5)
+	_, wild2, _ := e.postRecv(1, AnySource, AnyTag)
+	post(t, e, 1, 0, 5, "third")
+	if got := waitPayload(t, exact2); got != "third" {
+		t.Errorf("older exact receive lost (got %q)", got)
+	}
+	post(t, e, 1, 0, 5, "fourth")
+	if got := waitPayload(t, wild2); got != "fourth" {
+		t.Errorf("wildcard receive got %q", got)
+	}
+}
+
+// Several receives posted on one envelope must drain in post order.
+func TestPostedOrderSameEnvelope(t *testing.T) {
+	e := newEngine()
+	const n = 8
+	prs := make([]*precv, n)
+	for i := range prs {
+		_, pr, err := e.postRecv(1, 0, 0)
+		if err != nil || pr == nil {
+			t.Fatalf("postRecv %d: %v %v", i, pr, err)
+		}
+		prs[i] = pr
+	}
+	for i := 0; i < n; i++ {
+		post(t, e, 1, 0, 0, fmt.Sprint(i))
+	}
+	for i, pr := range prs {
+		if got := waitPayload(t, pr); got != fmt.Sprint(i) {
+			t.Errorf("receive posted %dth matched message %q", i, got)
+		}
+	}
+}
+
+// Queue depth accounting across post, match, and cancel.
+func TestQueueAccounting(t *testing.T) {
+	e := newEngine()
+	if u, p := e.pendingUnexpected(), e.pendingPosted(); u != 0 || p != 0 {
+		t.Fatalf("fresh engine queues %d/%d", u, p)
+	}
+	post(t, e, 1, 0, 0, "a")
+	post(t, e, 1, 0, 1, "b")
+	if u := e.pendingUnexpected(); u != 2 {
+		t.Fatalf("UMQ depth %d after two posts", u)
+	}
+	_, pr, _ := e.postRecv(1, 0, 9) // no match: queues
+	if u, p := e.pendingUnexpected(), e.pendingPosted(); u != 2 || p != 1 {
+		t.Fatalf("queues %d/%d after unmatched postRecv", u, p)
+	}
+	if m, pr2, _ := e.postRecv(1, 0, 0); m == nil || pr2 != nil {
+		t.Fatal("postRecv did not complete inline against the UMQ")
+	}
+	if u := e.pendingUnexpected(); u != 1 {
+		t.Fatalf("UMQ depth %d after inline match", u)
+	}
+	if !e.cancel(pr) {
+		t.Fatal("cancel of an unmatched posted receive failed")
+	}
+	if p := e.pendingPosted(); p != 0 {
+		t.Fatalf("PRQ depth %d after cancel", p)
+	}
+	if e.cancel(pr) {
+		t.Fatal("double cancel succeeded")
+	}
+	<-pr.ready
+	if !errors.Is(pr.err, ErrCanceled) {
+		t.Fatalf("canceled record err %v", pr.err)
+	}
+}
+
+// Driving many distinct envelopes must not leave the bucket maps holding an
+// empty bucket per envelope forever: once empties dominate, a sweep drops
+// them, and the memoized last-bucket pointer must not dangle across it.
+func TestBucketSweep(t *testing.T) {
+	e := newEngine()
+	const envelopes = 4 * sweepThreshold
+	for i := 0; i < envelopes; i++ {
+		post(t, e, 1, 0, i, "x")
+	}
+	for i := 0; i < envelopes; i++ {
+		if m := func() *Packet {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.takeUnexpected(1, 0, i)
+		}(); m == nil {
+			t.Fatalf("message on tag %d lost", i)
+		}
+	}
+	e.mu.Lock()
+	ulen, uempty := len(e.ubuckets), e.uempty
+	e.mu.Unlock()
+	if ulen > sweepThreshold+1 {
+		t.Errorf("UMQ retains %d buckets (%d empty) after draining %d envelopes",
+			ulen, uempty, envelopes)
+	}
+	// The engine still matches correctly after the sweep (the memo cache
+	// must have been invalidated with the buckets it pointed into).
+	post(t, e, 1, 0, 7, "again")
+	if m, pr, _ := e.postRecv(1, 0, 7); m == nil || pr != nil || string(m.Data) != "again" {
+		t.Fatal("post-sweep match failed")
+	}
+
+	// Same policy on the posted-receive side.
+	for i := 0; i < envelopes; i++ {
+		_, pr, _ := e.postRecv(1, 0, i)
+		post(t, e, 1, 0, i, "y")
+		if got := waitPayload(t, pr); got != "y" {
+			t.Fatalf("posted receive on tag %d got %q", i, got)
+		}
+	}
+	e.mu.Lock()
+	plen := len(e.pbuckets)
+	e.mu.Unlock()
+	if plen > sweepThreshold+1 {
+		t.Errorf("PRQ retains %d buckets after draining %d envelopes", plen, envelopes)
+	}
+}
+
+// close must fail every queued posted receive with ErrClosed and release
+// synchronous senders parked on unmatched messages.
+func TestCloseFailsPostedReceives(t *testing.T) {
+	e := newEngine()
+	_, exact, _ := e.postRecv(1, 0, 0)
+	_, wild, _ := e.postRecv(1, AnySource, AnyTag)
+	ack := make(chan struct{})
+	if err := e.post(&Packet{Ctx: 2, Src: 0, Tag: 0, Ack: ack}); err != nil {
+		t.Fatal(err) // different ctx: goes unexpected, Ssend-style ack pends
+	}
+	e.close()
+	for _, pr := range []*precv{exact, wild} {
+		<-pr.ready
+		if !errors.Is(pr.err, ErrClosed) {
+			t.Errorf("posted receive err %v after close", pr.err)
+		}
+	}
+	select {
+	case <-ack:
+	default:
+		t.Error("close left a synchronous sender blocked")
+	}
+	if err := e.post(&Packet{Ctx: 1, Src: 0, Tag: 0}); !errors.Is(err, ErrClosed) {
+		t.Errorf("post after close: %v", err)
+	}
+	if _, _, err := e.postRecv(1, 0, 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("postRecv after close: %v", err)
+	}
+	e.close() // idempotent
+}
+
+// A message entering the UMQ wakes every matching probe waiter and only
+// those; probes never consume the message.
+func TestProbeTargetedWakeups(t *testing.T) {
+	e := newEngine()
+	type res struct {
+		st  Status
+		err error
+	}
+	hit := make(chan res, 1)
+	miss := make(chan res, 1)
+	go func() {
+		st, err := e.probe(1, 0, 5)
+		hit <- res{st, err}
+	}()
+	go func() {
+		st, err := e.probe(1, 0, 6)
+		miss <- res{st, err}
+	}()
+	// Wait until both probes are parked.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		e.mu.Lock()
+		parked := 0
+		for w := e.probes.head; w != nil; w = w.next {
+			parked++
+		}
+		e.mu.Unlock()
+		if parked == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probes never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	post(t, e, 1, 0, 5, "abc")
+	select {
+	case r := <-hit:
+		if r.err != nil || r.st.Tag != 5 || r.st.Len != 3 {
+			t.Errorf("matching probe got %+v, %v", r.st, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("matching probe never woke")
+	}
+	select {
+	case r := <-miss:
+		t.Fatalf("non-matching probe woke: %+v, %v", r.st, r.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if u := e.pendingUnexpected(); u != 1 {
+		t.Errorf("probe consumed the message (UMQ depth %d)", u)
+	}
+	e.close()
+	r := <-miss
+	if !errors.Is(r.err, ErrClosed) {
+		t.Errorf("probe after close err %v", r.err)
+	}
+}

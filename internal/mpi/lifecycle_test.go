@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"mph/internal/mpi"
+	"mph/internal/mpi/tcpnet"
+	"mph/internal/mpirun"
 )
 
 func TestNewWorldValidation(t *testing.T) {
@@ -184,5 +186,78 @@ func TestEnvAccessors(t *testing.T) {
 	}
 	if c.Context() == 0 {
 		t.Error("zero context")
+	}
+}
+
+// A synchronous send over the TCP transport whose receiver never posts a
+// matching receive must be released when the sender's endpoint closes: the
+// transport fails every pending acknowledgment on Close, exactly like the
+// in-process engine closing a message's Ack channel.
+func TestTCPSsendReleasedByClose(t *testing.T) {
+	rv, err := mpirun.NewRendezvous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(30 * time.Second) }()
+
+	// Rank 0 exists only to accept the connection; it never receives, and it
+	// tears down after rank 1 is finished.
+	rank0May := make(chan struct{})
+	rank0Err := make(chan error, 1)
+	go func() {
+		env, err := tcpnet.Init(0, 2, rv.Addr())
+		if err != nil {
+			rank0Err <- err
+			return
+		}
+		<-rank0May
+		rank0Err <- env.Close()
+	}()
+
+	rank1Err := make(chan error, 1)
+	go func() {
+		defer close(rank0May)
+		env, err := tcpnet.Init(1, 2, rv.Addr())
+		if err != nil {
+			rank1Err <- err
+			return
+		}
+		c := mpi.WorldComm(env)
+		ssendDone := make(chan error, 1)
+		go func() { ssendDone <- c.Ssend(0, 99, []byte("never consumed")) }()
+		// Let the message reach rank 0's unexpected queue; the ack must
+		// still be pending because nothing over there will receive tag 99.
+		time.Sleep(50 * time.Millisecond)
+		select {
+		case err := <-ssendDone:
+			rank1Err <- fmt.Errorf("Ssend completed without a matching receive: %v", err)
+			return
+		default:
+		}
+		if err := env.Close(); err != nil {
+			rank1Err <- err
+			return
+		}
+		select {
+		case <-ssendDone: // released; the error value is unspecified
+			rank1Err <- nil
+		case <-time.After(10 * time.Second):
+			rank1Err <- errors.New("Ssend still blocked after Close")
+		}
+	}()
+
+	for _, ch := range []chan error{rank1Err, rank0Err} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("TCP shutdown test watchdog expired")
+		}
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("rendezvous: %v", err)
 	}
 }

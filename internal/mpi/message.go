@@ -25,6 +25,9 @@ var (
 	ErrRank = errors.New("mpi: rank out of range")
 	// ErrTag reports a negative user tag on a send.
 	ErrTag = errors.New("mpi: invalid tag")
+	// ErrCanceled reports a Wait on a request whose posted receive was
+	// withdrawn with Request.Cancel before a message matched it.
+	ErrCanceled = errors.New("mpi: request canceled")
 )
 
 // Status describes a received or probed message.

@@ -75,8 +75,15 @@ func (c *Comm) IProbe(src, tag int) (Status, bool) {
 
 // Request represents an in-flight nonblocking operation. Wait blocks until
 // completion and returns the received payload (nil for sends).
+//
+// A request that completes inline — every Isend, and an Irecv whose message
+// had already arrived — carries its result directly and allocates no
+// channel; otherwise it holds the posted-receive record whose targeted
+// completion Wait parks on. Wait is idempotent and safe to call from
+// several goroutines.
 type Request struct {
-	done chan struct{}
+	pr   *precv  // nil when the operation completed inline
+	eng  *engine // engine the record is posted on, for Cancel
 	data []byte
 	st   Status
 	err  error
@@ -84,39 +91,76 @@ type Request struct {
 
 // Wait blocks until the operation completes.
 func (r *Request) Wait() ([]byte, Status, error) {
-	<-r.done
-	return r.data, r.st, r.err
+	if r.pr == nil {
+		return r.data, r.st, r.err
+	}
+	<-r.pr.ready
+	if r.pr.err != nil {
+		return nil, Status{}, r.pr.err
+	}
+	m := r.pr.pkt
+	return m.Data, Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}, nil
 }
 
 // Done reports whether the operation has completed, without blocking.
 func (r *Request) Done() bool {
+	if r.pr == nil {
+		return true
+	}
 	select {
-	case <-r.done:
+	case <-r.pr.ready:
 		return true
 	default:
 		return false
 	}
 }
 
+// Cancel withdraws a receive that has not matched yet and reports whether
+// the cancellation won the race against an incoming message. On success the
+// posted-receive record is removed from the engine (so an abandoned Irecv
+// leaks nothing) and Wait returns ErrCanceled; on failure the request
+// completed normally and Wait returns its result. Canceling an
+// already-completed or send request returns false and has no effect.
+func (r *Request) Cancel() bool {
+	if r.pr == nil {
+		return false
+	}
+	return r.eng.cancel(r.pr)
+}
+
 // Isend starts a nonblocking send. Because sends are eager and the payload
-// is copied, the request completes immediately; it exists so that code
-// written against the MPI nonblocking style ports directly.
+// is copied, the request completes inline; it exists so that code written
+// against the MPI nonblocking style ports directly.
 func (c *Comm) Isend(dst, tag int, data []byte) *Request {
-	r := &Request{done: make(chan struct{})}
-	r.err = c.Send(dst, tag, data)
-	close(r.done)
-	return r
+	return &Request{err: c.Send(dst, tag, data)}
 }
 
 // Irecv starts a nonblocking receive; Wait on the returned request yields
-// the payload.
+// the payload. It is a true posted receive: an O(1) enqueue into the
+// engine's posted-receive queue (or an inline completion against an
+// already-arrived message), never a goroutine. A request that will never be
+// waited on should be Canceled, or it occupies a queue slot until the
+// communicator's engine closes.
 func (c *Comm) Irecv(src, tag int) *Request {
-	r := &Request{done: make(chan struct{})}
-	go func() {
-		r.data, r.st, r.err = c.Recv(src, tag)
-		close(r.done)
-	}()
-	return r
+	if src != AnySource && (src < 0 || src >= len(c.group)) {
+		return &Request{err: fmt.Errorf("%w: recv from rank %d of comm size %d", ErrRank, src, len(c.group))}
+	}
+	return c.irecvCtx(c.ctx, src, tag)
+}
+
+// irecvCtx posts a nonblocking receive on an explicit context; the
+// collectives use it with the internal collective context for their
+// pipelined rounds.
+func (c *Comm) irecvCtx(ctx uint64, src, tag int) *Request {
+	m, pr, err := c.env.eng.postRecv(ctx, src, tag)
+	switch {
+	case err != nil:
+		return &Request{err: err}
+	case pr != nil:
+		return &Request{pr: pr, eng: c.env.eng}
+	default:
+		return &Request{data: m.Data, st: Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}}
+	}
 }
 
 // WaitAll waits for every request and returns the first error encountered.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"mph/internal/mpi"
@@ -288,4 +289,74 @@ func TestTypedHelpers(t *testing.T) {
 		}
 		return nil
 	})
+}
+
+// Irecv must be a true posted receive: an enqueue into the engine's
+// posted-receive queue, never a goroutine per call. Post 10k unmatched
+// receives, check the goroutine count is flat, then Cancel them all and
+// verify the cancellation contract.
+func TestIrecvSpawnsNoGoroutines(t *testing.T) {
+	const posts = 10000
+	w, err := mpi.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c, _ := w.Comm(0)
+
+	before := runtime.NumGoroutine()
+	reqs := make([]*mpi.Request, posts)
+	for i := range reqs {
+		reqs[i] = c.Irecv(0, 1) // never matched
+	}
+	after := runtime.NumGoroutine()
+	if after > before+2 { // tolerate unrelated runtime churn, not 10k spawns
+		t.Fatalf("goroutines went %d -> %d across %d Irecvs", before, after, posts)
+	}
+
+	for i, r := range reqs {
+		if r.Done() {
+			t.Fatalf("request %d done with no matching send", i)
+		}
+		if !r.Cancel() {
+			t.Fatalf("Cancel of unmatched request %d returned false", i)
+		}
+		if !r.Done() {
+			t.Fatalf("canceled request %d not done", i)
+		}
+		if _, _, err := r.Wait(); !errors.Is(err, mpi.ErrCanceled) {
+			t.Fatalf("canceled request %d: Wait err %v", i, err)
+		}
+		if r.Cancel() {
+			t.Fatalf("second Cancel of request %d returned true", i)
+		}
+	}
+
+	// A canceled receive leaks nothing: a fresh receive still matches.
+	if err := c.Send(0, 1, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := c.Recv(0, 1)
+	if err != nil || string(data) != "late" {
+		t.Fatalf("post-cancel recv: %q, %v", data, err)
+	}
+
+	// Cancel loses the race once the message has matched.
+	done := c.Irecv(0, 2)
+	if err := c.Send(0, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := done.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if done.Cancel() {
+		t.Fatal("Cancel of completed request returned true")
+	}
+	// Sends complete inline; Cancel on them is a no-op.
+	if c.Isend(0, 3, nil).Cancel() {
+		t.Fatal("Cancel of a send request returned true")
+	}
+	if _, _, err := c.Recv(0, 3); err != nil {
+		t.Fatal(err)
+	}
 }

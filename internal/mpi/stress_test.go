@@ -1,6 +1,7 @@
 package mpi_test
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -83,6 +84,200 @@ func TestRandomTrafficSchedules(t *testing.T) {
 								return fmt.Errorf("seq %d: payload corrupt at %d", want.seq, j)
 							}
 						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// Matching-order torture: one sender, one receiver, and a seeded schedule
+// that interleaves exact, AnySource, AnyTag, and fully wildcard receives.
+// The receiver models the MPI matching rules directly — per-(src,tag)
+// send-order FIFOs for exact matches, global arrival order for wildcards —
+// and checks that every receive returns exactly the message the model
+// predicts. Run it under -race: the sender and receiver overlap in phase B.
+func TestMatchingOrderTorture(t *testing.T) {
+	const (
+		sender   = 0
+		receiver = 1
+		tags     = 3
+		messages = 400
+		posted   = 120
+		syncTag  = 7
+		readyTag = 8
+	)
+	for _, seed := range []int64{3, 11, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Both ranks derive the same schedules from the shared seed.
+			// Phase A: message tags, sent while the receiver drains the
+			// unexpected queue. Phase B: posted-receive envelopes and a
+			// message stream aimed at them, matched in posted order.
+			schedRng := rand.New(rand.NewSource(seed))
+			tagsA := make([]int, messages)
+			for i := range tagsA {
+				tagsA[i] = schedRng.Intn(tags)
+			}
+			type post struct{ tag int } // src is always `sender` here
+			postsB := make([]post, posted)
+			for i := range postsB {
+				if schedRng.Intn(3) == 0 {
+					postsB[i] = post{mpi.AnyTag}
+				} else {
+					postsB[i] = post{schedRng.Intn(tags)}
+				}
+			}
+			// Each phase-B message targets a uniformly random still-pending
+			// request, so every message matches at least one and all
+			// `posted` requests complete after `posted` messages. The model
+			// below decides which request actually wins (the oldest match).
+			tagsB := make([]int, posted)
+			{
+				pending := make([]int, posted)
+				for i := range pending {
+					pending[i] = i
+				}
+				for i := range tagsB {
+					j := schedRng.Intn(len(pending))
+					target := postsB[pending[j]]
+					if target.tag == mpi.AnyTag {
+						tagsB[i] = schedRng.Intn(tags)
+					} else {
+						tagsB[i] = target.tag
+					}
+					// Remove the request the model will assign: the oldest
+					// pending one whose envelope matches this message.
+					for k, p := range pending {
+						if postsB[p].tag == mpi.AnyTag || postsB[p].tag == tagsB[i] {
+							pending = append(pending[:k], pending[k+1:]...)
+							break
+						}
+					}
+				}
+			}
+			seqPayload := func(seq int) []byte {
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], uint64(seq))
+				return b[:]
+			}
+
+			mpitest.Run(t, 2, func(c *mpi.Comm) error {
+				if c.Rank() == sender {
+					for seq, tag := range tagsA {
+						if err := c.Send(receiver, tag, seqPayload(seq)); err != nil {
+							return err
+						}
+					}
+					if err := c.Send(receiver, syncTag, nil); err != nil {
+						return err
+					}
+					// Phase B: wait until the receiver has posted all of its
+					// nonblocking receives, then send the matching stream.
+					if _, _, err := c.Recv(receiver, readyTag); err != nil {
+						return err
+					}
+					for seq, tag := range tagsB {
+						if err := c.Send(receiver, tag, seqPayload(seq)); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+
+				// Phase A. The sync message guarantees every scheduled
+				// message is already in the unexpected queue (delivery is
+				// ordered per sender), so arrival order == send order and
+				// wildcard receives are fully deterministic.
+				if _, _, err := c.Recv(sender, syncTag); err != nil {
+					return err
+				}
+				type msg struct{ seq, tag int }
+				remaining := make([]msg, messages)
+				for i, tag := range tagsA {
+					remaining[i] = msg{i, tag}
+				}
+				recvRng := rand.New(rand.NewSource(seed + 1000))
+				for len(remaining) > 0 {
+					kind := recvRng.Intn(4)
+					var src, tag int
+					var want msg
+					switch kind {
+					case 0, 1: // exact tag (direct or via AnySource)
+						tag = remaining[recvRng.Intn(len(remaining))].tag
+						for _, m := range remaining {
+							if m.tag == tag {
+								want = m
+								break
+							}
+						}
+						src = sender
+						if kind == 1 {
+							src = mpi.AnySource
+						}
+					case 2: // AnyTag: globally oldest message
+						src, tag, want = sender, mpi.AnyTag, remaining[0]
+					default: // fully wildcard: globally oldest message
+						src, tag, want = mpi.AnySource, mpi.AnyTag, remaining[0]
+					}
+					data, st, err := c.Recv(src, tag)
+					if err != nil {
+						return err
+					}
+					got := int(binary.LittleEndian.Uint64(data))
+					if got != want.seq || st.Tag != want.tag || st.Source != sender {
+						return fmt.Errorf("recv(%d,%d): got seq %d tag %d, want seq %d tag %d",
+							src, tag, got, st.Tag, want.seq, want.tag)
+					}
+					for k, m := range remaining {
+						if m.seq == want.seq {
+							remaining = append(remaining[:k], remaining[k+1:]...)
+							break
+						}
+					}
+				}
+
+				// Phase B: post every receive up front, then release the
+				// sender and replay the model — message i completes the
+				// oldest posted request whose envelope matches it.
+				reqs := make([]*mpi.Request, posted)
+				for i, p := range postsB {
+					reqs[i] = c.Irecv(sender, p.tag)
+				}
+				wantSeq := make([]int, posted)
+				for i := range wantSeq {
+					wantSeq[i] = -1
+				}
+				pending := make([]int, posted)
+				for i := range pending {
+					pending[i] = i
+				}
+				for seq, tag := range tagsB {
+					for k, p := range pending {
+						if postsB[p].tag == mpi.AnyTag || postsB[p].tag == tag {
+							wantSeq[p] = seq
+							pending = append(pending[:k], pending[k+1:]...)
+							break
+						}
+					}
+				}
+				if err := c.Send(sender, readyTag, nil); err != nil {
+					return err
+				}
+				for i, r := range reqs {
+					data, st, err := r.Wait()
+					if err != nil {
+						return fmt.Errorf("request %d: %w", i, err)
+					}
+					got := int(binary.LittleEndian.Uint64(data))
+					if got != wantSeq[i] {
+						return fmt.Errorf("request %d (tag %d): matched seq %d, want %d",
+							i, postsB[i].tag, got, wantSeq[i])
+					}
+					if st.Tag != tagsB[wantSeq[i]] {
+						return fmt.Errorf("request %d: status tag %d, want %d",
+							i, st.Tag, tagsB[wantSeq[i]])
 					}
 				}
 				return nil

@@ -30,8 +30,20 @@ const (
 	kindAck    = 2
 )
 
+// packetHdrLen is the fixed packet-frame header after the length prefix and
+// kind byte: srcWorld, ctx, src, tag, ackID (u64/i64 each).
+const packetHdrLen = 8 + 8 + 8 + 8 + 8
+
 // maxFrame bounds a frame's byte length as a corruption guard.
 const maxFrame = 1 << 30
+
+// frameBuf is a pooled outbound frame buffer. A frame is dead the moment its
+// blocking write returns, so Deliver recycles it for the next send instead
+// of allocating header+payload garbage per packet. The wrapper keeps the
+// slice header off the heap on pool round trips.
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
 
 // DialTimeout bounds rendezvous registration and peer dialing.
 const DialTimeout = 30 * time.Second
@@ -123,12 +135,21 @@ func (t *Transport) Deliver(dst int, p *mpi.Packet) error {
 		t.pending[ackID] = p.Ack
 		t.ackMu.Unlock()
 	}
-	frame := encodePacket(t.rank, p, ackID)
+	fb := framePool.Get().(*frameBuf)
+	fb.b = encodePacketInto(fb.b, t.rank, p, ackID)
 	oc, err := t.outbound(dst)
-	if err != nil {
-		return err
+	if err == nil {
+		err = oc.write(fb.b)
 	}
-	return oc.write(frame)
+	framePool.Put(fb)
+	if err != nil && ackID != 0 {
+		// The packet never left, so no ack will come back; drop the
+		// registration rather than stranding it until Close.
+		t.ackMu.Lock()
+		delete(t.pending, ackID)
+		t.ackMu.Unlock()
+	}
+	return err
 }
 
 // Close implements mpi.Transport: it stops the accept loop, closes every
@@ -231,19 +252,37 @@ func (t *Transport) acceptLoop() {
 }
 
 // readLoop decodes frames from one inbound stream and posts them to the
-// local engine, preserving stream order.
+// local engine, preserving stream order. Fixed-size frame parts (length
+// prefix, kind, packet header, ack body) land in a per-connection scratch
+// buffer so only the payload itself is allocated — exactly sized, because
+// the engine hands it to the application, which owns it from then on.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
+	var scratch [5 + packetHdrLen]byte
 	for {
-		kind, body, err := readFrame(conn)
-		if err != nil {
+		if _, err := io.ReadFull(conn, scratch[:5]); err != nil {
 			return // peer closed or we shut down
 		}
+		n := binary.LittleEndian.Uint32(scratch[:4])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		kind, body := scratch[4], int(n)-1
 		switch kind {
 		case kindPacket:
-			srcWorld, p, ackID, err := decodePacket(body)
-			if err != nil {
+			if body < packetHdrLen {
 				return
+			}
+			if _, err := io.ReadFull(conn, scratch[5:5+packetHdrLen]); err != nil {
+				return
+			}
+			srcWorld, p, ackID := parsePacketHeader(scratch[5 : 5+packetHdrLen])
+			if payload := body - packetHdrLen; payload > 0 {
+				buf := make([]byte, payload)
+				if _, err := io.ReadFull(conn, buf); err != nil {
+					return
+				}
+				p.Data = buf
 			}
 			if ackID != 0 {
 				ch := make(chan struct{})
@@ -254,10 +293,13 @@ func (t *Transport) readLoop(conn net.Conn) {
 				return
 			}
 		case kindAck:
-			if len(body) != 8 {
+			if body != 8 {
 				return
 			}
-			id := binary.LittleEndian.Uint64(body)
+			if _, err := io.ReadFull(conn, scratch[5:5+8]); err != nil {
+				return
+			}
+			id := binary.LittleEndian.Uint64(scratch[5 : 5+8])
 			t.ackMu.Lock()
 			if ch, ok := t.pending[id]; ok {
 				close(ch)
@@ -274,47 +316,62 @@ func (t *Transport) readLoop(conn net.Conn) {
 // returns the acknowledgment to the synchronous sender.
 func (t *Transport) sendAckWhenMatched(srcWorld int, ackID uint64, matched <-chan struct{}) {
 	<-matched
-	frame := make([]byte, 5+8)
-	binary.LittleEndian.PutUint32(frame, uint32(1+8))
+	var frame [5 + 8]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(1+8))
 	frame[4] = kindAck
 	binary.LittleEndian.PutUint64(frame[5:], ackID)
 	if oc, err := t.outbound(srcWorld); err == nil {
-		_ = oc.write(frame) // best effort: the peer may already be gone
+		_ = oc.write(frame[:]) // best effort: the peer may already be gone
 	}
 }
 
-// encodePacket frames a packet:
+// encodePacketInto frames a packet into buf, reusing its capacity:
 //
 //	u32 length | u8 kind | u64 srcWorld | u64 ctx | i64 src | i64 tag |
 //	u64 ackID | payload
+func encodePacketInto(buf []byte, srcWorld int, p *mpi.Packet, ackID uint64) []byte {
+	n := 4 + 1 + packetHdrLen + len(p.Data)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	binary.LittleEndian.PutUint32(buf, uint32(1+packetHdrLen+len(p.Data)))
+	buf[4] = kindPacket
+	binary.LittleEndian.PutUint64(buf[5:], uint64(srcWorld))
+	binary.LittleEndian.PutUint64(buf[13:], p.Ctx)
+	binary.LittleEndian.PutUint64(buf[21:], uint64(int64(p.Src)))
+	binary.LittleEndian.PutUint64(buf[29:], uint64(int64(p.Tag)))
+	binary.LittleEndian.PutUint64(buf[37:], ackID)
+	copy(buf[45:], p.Data)
+	return buf
+}
+
+// encodePacket frames a packet into a fresh buffer.
 func encodePacket(srcWorld int, p *mpi.Packet, ackID uint64) []byte {
-	const hdr = 1 + 8 + 8 + 8 + 8 + 8
-	frame := make([]byte, 4+hdr+len(p.Data))
-	binary.LittleEndian.PutUint32(frame, uint32(hdr+len(p.Data)))
-	frame[4] = kindPacket
-	binary.LittleEndian.PutUint64(frame[5:], uint64(srcWorld))
-	binary.LittleEndian.PutUint64(frame[13:], p.Ctx)
-	binary.LittleEndian.PutUint64(frame[21:], uint64(int64(p.Src)))
-	binary.LittleEndian.PutUint64(frame[29:], uint64(int64(p.Tag)))
-	binary.LittleEndian.PutUint64(frame[37:], ackID)
-	copy(frame[45:], p.Data)
-	return frame
+	return encodePacketInto(nil, srcWorld, p, ackID)
+}
+
+// parsePacketHeader decodes the fixed header of a kindPacket frame; hdr must
+// be exactly packetHdrLen bytes. The returned packet has no payload yet.
+func parsePacketHeader(hdr []byte) (srcWorld int, p *mpi.Packet, ackID uint64) {
+	srcWorld = int(binary.LittleEndian.Uint64(hdr))
+	ctx := binary.LittleEndian.Uint64(hdr[8:])
+	src := int(int64(binary.LittleEndian.Uint64(hdr[16:])))
+	tag := int(int64(binary.LittleEndian.Uint64(hdr[24:])))
+	ackID = binary.LittleEndian.Uint64(hdr[32:])
+	return srcWorld, &mpi.Packet{Ctx: ctx, Src: src, Tag: tag}, ackID
 }
 
 // decodePacket parses the body of a kindPacket frame (after the length and
-// kind bytes were consumed).
+// kind bytes were consumed). It is the whole-buffer form of the streaming
+// parse in readLoop and shares parsePacketHeader with it.
 func decodePacket(body []byte) (srcWorld int, p *mpi.Packet, ackID uint64, err error) {
-	const hdr = 8 + 8 + 8 + 8 + 8
-	if len(body) < hdr {
+	if len(body) < packetHdrLen {
 		return 0, nil, 0, errors.New("tcpnet: short packet frame")
 	}
-	srcWorld = int(binary.LittleEndian.Uint64(body))
-	ctx := binary.LittleEndian.Uint64(body[8:])
-	src := int(int64(binary.LittleEndian.Uint64(body[16:])))
-	tag := int(int64(binary.LittleEndian.Uint64(body[24:])))
-	ackID = binary.LittleEndian.Uint64(body[32:])
-	data := body[40:]
-	return srcWorld, &mpi.Packet{Ctx: ctx, Src: src, Tag: tag, Data: data}, ackID, nil
+	srcWorld, p, ackID = parsePacketHeader(body[:packetHdrLen])
+	p.Data = body[packetHdrLen:]
+	return srcWorld, p, ackID, nil
 }
 
 // readFrame reads one length-prefixed frame.

@@ -39,7 +39,10 @@ func (w *World) Comm(rank int) (*Comm, error) {
 	return worldComm(w.envs[rank]), nil
 }
 
-// Close shuts down every rank's engine, releasing blocked receivers.
+// Close shuts down every rank's engine: blocked receivers and probes fail
+// with ErrClosed, outstanding posted receives (Irecv requests) complete with
+// ErrClosed, and synchronous senders blocked on unmatched messages are
+// released.
 func (w *World) Close() {
 	for _, env := range w.envs {
 		env.eng.close()
