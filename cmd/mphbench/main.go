@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,16 +20,19 @@ import (
 	"time"
 
 	"mph/internal/bench"
+	"mph/internal/mpi"
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1, A2) or \"all\"")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1, A2, P1) or \"all\"")
 	repeat := flag.Int("repeat", 5, "repetitions per cell (minimum is reported)")
+	perfOut := flag.String("perfout", "BENCH_perf.json", "output file for the P1 tracer-overhead baseline")
 	flag.Parse()
+	benchPerfPath = *perfOut
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "A1", "A2"} {
+		for _, e := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "A1", "A2", "P1"} {
 			want[e] = true
 		}
 	} else {
@@ -42,7 +46,7 @@ func main() {
 		run func(repeat int) error
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6}, {"E8", e8},
-		{"A1", a1}, {"A2", a2},
+		{"A1", a1}, {"A2", a2}, {"P1", p1},
 	}
 	for _, r := range runners {
 		if !want[r.id] {
@@ -212,6 +216,85 @@ func a2(repeat int) error {
 		}
 		fmt.Printf("%-8d %12v %12v %8.2f\n", k, b, pf, float64(pf)/float64(b))
 	}
+	return nil
+}
+
+// benchPerfPath is where p1 writes its JSON baseline (-perfout).
+var benchPerfPath string
+
+// p1 measures the event tracer's cost on the exact-match hot path — the
+// same loop as BenchmarkEngineMatching/exact/pending=64 — with the tracer
+// off (default nil-check fast path) and on, and writes the baseline to
+// BENCH_perf.json so later PRs can diff against it.
+func p1(repeat int) error {
+	fmt.Println("P1: tracer overhead on the exact-match path (64 pending, in-process)")
+	const (
+		pending = 64
+		iters   = 500_000
+	)
+	measure := func(traced bool) (nsPerOp float64, err error) {
+		d, err := timeIt(repeat, func() error {
+			w, err := mpi.NewWorld(1)
+			if err != nil {
+				return err
+			}
+			defer w.Close()
+			if traced {
+				w.EnableTracing(1 << 16)
+			}
+			return w.Run(func(c *mpi.Comm) error {
+				for i := 0; i < pending; i++ {
+					if err := c.Send(0, 99, nil); err != nil {
+						return err
+					}
+				}
+				for i := 0; i < iters; i++ {
+					if err := c.Send(0, 0, nil); err != nil {
+						return err
+					}
+					if _, _, err := c.Recv(0, 0); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(d.Nanoseconds()) / iters, nil
+	}
+	off, err := measure(false)
+	if err != nil {
+		return err
+	}
+	on, err := measure(true)
+	if err != nil {
+		return err
+	}
+	overhead := (on - off) / off * 100
+	fmt.Printf("%-10s %12s\n", "tracer", "ns/op")
+	fmt.Printf("%-10s %12.1f\n", "off", off)
+	fmt.Printf("%-10s %12.1f\n", "on", on)
+	fmt.Printf("on/off ratio %.2f\n", on/off)
+
+	baseline := struct {
+		Experiment string  `json:"experiment"`
+		Pending    int     `json:"pending"`
+		Iters      int     `json:"iters"`
+		Repeat     int     `json:"repeat"`
+		OffNsPerOp float64 `json:"off_ns_per_op"`
+		OnNsPerOp  float64 `json:"on_ns_per_op"`
+		OverheadPc float64 `json:"tracer_on_overhead_pct"`
+	}{"P1", pending, iters, repeat, off, on, overhead}
+	data, err := json.MarshalIndent(&baseline, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchPerfPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("baseline written to %s\n", benchPerfPath)
 	return nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"mph/internal/mpi/perf"
 	"mph/internal/mpirun"
 )
 
@@ -49,6 +50,8 @@ func main() {
 	cmdfile := flag.String("cmdfile", "", "MPMD command file")
 	registration := flag.String("registration", "", "registration file forwarded to every process")
 	timeout := flag.Duration("timeout", 120*time.Second, "rendezvous timeout")
+	stats := flag.Bool("stats", false, "collect per-rank performance variables and print a per-component summary at job end")
+	traceDir := flag.String("trace", "", "directory for per-rank event traces (trace.rank*.jsonl, mergeable with mphtrace)")
 	flag.Parse()
 
 	var entries []entry
@@ -71,9 +74,44 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := launch(entries, total, *registration, *timeout); err != nil {
+	var extraEnv []string
+	statsDir := ""
+	if *stats {
+		statsDir, err = os.MkdirTemp("", "mph-stats-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(statsDir)
+		extraEnv = append(extraEnv, perf.EnvStatsDir+"="+statsDir)
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+			os.Exit(1)
+		}
+		extraEnv = append(extraEnv, perf.EnvTraceDir+"="+*traceDir)
+	}
+
+	if err := launch(entries, total, *registration, *timeout, extraEnv); err != nil {
 		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+		if statsDir != "" {
+			os.RemoveAll(statsDir)
+		}
 		os.Exit(1)
+	}
+	if statsDir != "" {
+		snaps, err := readStats(statsDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mphrun: stats: %v\n", err)
+			os.RemoveAll(statsDir)
+			os.Exit(1)
+		}
+		printStats(os.Stdout, snaps)
+	}
+	if *traceDir != "" {
+		fmt.Fprintf(os.Stderr, "mphrun: event traces in %s (merge with: mphtrace -o trace.json %s)\n",
+			*traceDir, *traceDir)
 	}
 }
 
@@ -154,8 +192,9 @@ func parseCmdfile(path string) ([]entry, int, error) {
 	return entries, total, nil
 }
 
-// launch runs the job to completion.
-func launch(entries []entry, total int, registration string, timeout time.Duration) error {
+// launch runs the job to completion. extraEnv entries ("KEY=VALUE") are
+// appended to every child's environment (observability dump directories).
+func launch(entries []entry, total int, registration string, timeout time.Duration, extraEnv []string) error {
 	rv, err := mpirun.NewRendezvous(total)
 	if err != nil {
 		return err
@@ -188,6 +227,7 @@ func launch(entries []entry, total int, registration string, timeout time.Durati
 			if registration != "" {
 				cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%s", mpirun.EnvRegistration, registration))
 			}
+			cmd.Env = append(cmd.Env, extraEnv...)
 			prefix := fmt.Sprintf("[exe%d rank%d] ", ei, rank)
 			stdout, err := cmd.StdoutPipe()
 			if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"mph/internal/core"
 	"mph/internal/mpi"
+	"mph/internal/mpi/perf"
 	"mph/internal/mpi/tcpnet"
 )
 
@@ -141,7 +142,7 @@ func TestLaunchEndToEnd(t *testing.T) {
 		{nprocs: 2, argv: []string{self}},
 		{nprocs: 1, argv: []string{self}},
 	}
-	if err := launch(entries, 3, regPath, 60*time.Second); err != nil {
+	if err := launch(entries, 3, regPath, 60*time.Second, nil); err != nil {
 		t.Fatalf("launch: %v", err)
 	}
 }
@@ -154,7 +155,7 @@ func TestLaunchReportsChildFailure(t *testing.T) {
 	entries := []entry{{nprocs: 1, argv: []string{"/bin/false"}}}
 	// /bin/false never registers, so the rendezvous times out — and the
 	// child's exit status is nonzero. Either way launch must error.
-	if err := launch(entries, 1, "", 2*time.Second); err == nil {
+	if err := launch(entries, 1, "", 2*time.Second, nil); err == nil {
 		t.Fatal("launch reported success for a failing job")
 	}
 }
@@ -188,5 +189,79 @@ func TestParseColonSpecErrors(t *testing.T) {
 		if _, _, err := parseColonSpec(args); err == nil {
 			t.Errorf("accepted %v", args)
 		}
+	}
+}
+
+// TestLaunchStats runs the same MPMD job with stats and trace collection
+// enabled and verifies that the per-rank dumps appear, that the aggregated
+// totals reconcile (every message sent was received), and that the summary
+// formats without error.
+func TestLaunchStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	regPath := filepath.Join(dir, "processors_map.in")
+	if err := os.WriteFile(regPath, []byte("BEGIN\nalpha\nbeta\nEND\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	statsDir := filepath.Join(dir, "stats")
+	traceDir := filepath.Join(dir, "trace")
+	for _, d := range []string{statsDir, traceDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Setenv("MPH_TEST_WORKER", "1")
+	entries := []entry{
+		{nprocs: 2, argv: []string{self}},
+		{nprocs: 1, argv: []string{self}},
+	}
+	extraEnv := []string{
+		perf.EnvStatsDir + "=" + statsDir,
+		perf.EnvTraceDir + "=" + traceDir,
+	}
+	if err := launch(entries, 3, regPath, 60*time.Second, extraEnv); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+
+	snaps, err := readStats(statsDir)
+	if err != nil {
+		t.Fatalf("readStats: %v", err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	rows, totals := summarize(snaps)
+	if totals.SentMsgs == 0 {
+		t.Error("no messages counted: handshake traffic should be nonzero")
+	}
+	if totals.SentMsgs != totals.RecvMsgs {
+		t.Errorf("totals do not reconcile: sent %d != recv %d", totals.SentMsgs, totals.RecvMsgs)
+	}
+	if totals.SentBytes != totals.RecvBytes {
+		t.Errorf("byte totals do not reconcile: sent %d != recv %d", totals.SentBytes, totals.RecvBytes)
+	}
+	names := make(map[string]bool)
+	for _, r := range rows {
+		names[r.Name] = true
+	}
+	if !names["alpha"] || !names["beta"] {
+		t.Errorf("summary rows %v missing component names alpha/beta", names)
+	}
+	var buf strings.Builder
+	printStats(&buf, snaps)
+	if !strings.Contains(buf.String(), "totals reconcile") {
+		t.Errorf("summary output lacks reconciliation line:\n%s", buf.String())
+	}
+
+	traces, err := filepath.Glob(filepath.Join(traceDir, "trace.rank*.jsonl"))
+	if err != nil || len(traces) != 3 {
+		t.Fatalf("trace dumps: %v (err %v), want 3 files", traces, err)
 	}
 }

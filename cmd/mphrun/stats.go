@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"mph/internal/mpi/perf"
+)
+
+// readStats loads every per-rank snapshot dump (stats.rank*.json) from dir,
+// sorted by world rank.
+func readStats(dir string) ([]perf.Snapshot, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "stats.rank*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no stats.rank*.json files in %s", dir)
+	}
+	sort.Strings(paths)
+	snaps := make([]perf.Snapshot, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var s perf.Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		snaps = append(snaps, s)
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].WorldRank < snaps[j].WorldRank })
+	return snaps, nil
+}
+
+// componentSummary aggregates the snapshots of the ranks sharing one
+// component name (or "rank<N>" for ranks that never completed a handshake).
+type componentSummary struct {
+	Name      string
+	Ranks     int
+	SentMsgs  uint64
+	SentBytes uint64
+	RecvMsgs  uint64
+	RecvBytes uint64
+	MaxUMQHW  int
+	MaxPRQHW  int
+	CollNanos int64
+}
+
+func (c *componentSummary) add(s *perf.Snapshot) {
+	c.Ranks++
+	c.SentMsgs += s.TotalSentMsgs
+	c.SentBytes += s.TotalSentBytes
+	c.RecvMsgs += s.TotalRecvMsgs
+	c.RecvBytes += s.TotalRecvBytes
+	if s.Engine.UMQHighWater > c.MaxUMQHW {
+		c.MaxUMQHW = s.Engine.UMQHighWater
+	}
+	if s.Engine.PRQHighWater > c.MaxPRQHW {
+		c.MaxPRQHW = s.Engine.PRQHighWater
+	}
+	c.CollNanos += s.CollNanos()
+}
+
+// summarize groups snapshots by component. The second return is the job-wide
+// total row.
+func summarize(snaps []perf.Snapshot) ([]componentSummary, componentSummary) {
+	byName := make(map[string]*componentSummary)
+	var order []string
+	for i := range snaps {
+		s := &snaps[i]
+		name := s.Component
+		if name == "" {
+			name = fmt.Sprintf("rank%d", s.WorldRank)
+		}
+		c, ok := byName[name]
+		if !ok {
+			c = &componentSummary{Name: name}
+			byName[name] = c
+			order = append(order, name)
+		}
+		c.add(s)
+	}
+	var totals componentSummary
+	totals.Name = "TOTAL"
+	out := make([]componentSummary, 0, len(order))
+	for _, name := range order {
+		c := byName[name]
+		out = append(out, *c)
+		totals.Ranks += c.Ranks
+		totals.SentMsgs += c.SentMsgs
+		totals.SentBytes += c.SentBytes
+		totals.RecvMsgs += c.RecvMsgs
+		totals.RecvBytes += c.RecvBytes
+		if c.MaxUMQHW > totals.MaxUMQHW {
+			totals.MaxUMQHW = c.MaxUMQHW
+		}
+		if c.MaxPRQHW > totals.MaxPRQHW {
+			totals.MaxPRQHW = c.MaxPRQHW
+		}
+		totals.CollNanos += c.CollNanos
+	}
+	return out, totals
+}
+
+// printStats renders the per-component summary table followed by the totals
+// row and a reconciliation line (total sent vs total received).
+func printStats(w io.Writer, snaps []perf.Snapshot) {
+	rows, totals := summarize(snaps)
+	fmt.Fprintf(w, "mphrun: performance summary (%d rank(s))\n", totals.Ranks)
+	fmt.Fprintf(w, "%-16s %5s %12s %14s %12s %14s %7s %7s %12s\n",
+		"component", "ranks", "sent msgs", "sent bytes", "recv msgs", "recv bytes", "umq-hw", "prq-hw", "coll time")
+	line := func(c componentSummary) {
+		fmt.Fprintf(w, "%-16s %5d %12d %14d %12d %14d %7d %7d %12s\n",
+			c.Name, c.Ranks, c.SentMsgs, c.SentBytes, c.RecvMsgs, c.RecvBytes,
+			c.MaxUMQHW, c.MaxPRQHW, time.Duration(c.CollNanos).Round(time.Microsecond))
+	}
+	for _, c := range rows {
+		line(c)
+	}
+	line(totals)
+	if totals.SentMsgs == totals.RecvMsgs {
+		fmt.Fprintf(w, "mphrun: totals reconcile: %d messages sent == %d received\n",
+			totals.SentMsgs, totals.RecvMsgs)
+	} else {
+		fmt.Fprintf(w, "mphrun: WARNING: totals do not reconcile: %d sent != %d received\n",
+			totals.SentMsgs, totals.RecvMsgs)
+	}
+}

@@ -1,0 +1,332 @@
+// Command mphtrace merges the per-rank event traces dumped by an
+// instrumented job (mphrun -trace DIR, or MPH_TRACE_DIR) into a single
+// Chrome trace_event timeline, loadable in chrome://tracing or Perfetto,
+// and prints quick textual summaries: the top talkers (sender→receiver byte
+// volume) and per-rank queue pressure (matching-engine high-water depths
+// observed in the event stream).
+//
+// Usage:
+//
+//	mphtrace [-o trace.json] [-top N] DIR|FILE...
+//
+// Each argument is either a directory holding trace.rank*.jsonl files or an
+// individual trace file. Timestamps from different OS processes are aligned
+// using the wall-clock base each rank records in its meta line.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mph/internal/mpi/perf"
+)
+
+func main() {
+	out := flag.String("o", "trace.json", "merged Chrome trace output path")
+	topN := flag.Int("top", 5, "number of sender→receiver pairs in the top-talkers summary")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "mphtrace: need at least one trace directory or file")
+		flag.Usage()
+		os.Exit(2)
+	}
+	paths, err := expandArgs(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphtrace: %v\n", err)
+		os.Exit(1)
+	}
+	traces, err := loadTraces(paths)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphtrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphtrace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := writeChromeTrace(f, traces); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "mphtrace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "mphtrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	total := 0
+	for _, rt := range traces {
+		total += len(rt.events)
+	}
+	fmt.Printf("mphtrace: merged %d event(s) from %d rank(s) into %s\n", total, len(traces), *out)
+	printSummaries(os.Stdout, traces, *topN)
+}
+
+// rankTrace is one rank's parsed dump.
+type rankTrace struct {
+	meta   perf.TraceMeta
+	events []perf.Event
+}
+
+// expandArgs resolves each argument to trace files: directories expand to
+// their trace.rank*.jsonl members, files pass through.
+func expandArgs(args []string) ([]string, error) {
+	var paths []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "trace.rank*.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("no trace.rank*.jsonl files in %s", a)
+		}
+		paths = append(paths, matches...)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// loadTraces parses every file, sorted by rank.
+func loadTraces(paths []string) ([]rankTrace, error) {
+	traces := make([]rankTrace, 0, len(paths))
+	for _, p := range paths {
+		rt, err := loadTrace(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		traces = append(traces, rt)
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].meta.Rank < traces[j].meta.Rank })
+	return traces, nil
+}
+
+func loadTrace(path string) (rankTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return rankTrace{}, err
+	}
+	defer f.Close()
+	var rt rankTrace
+	sawMeta := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		meta, ev, err := perf.ParseTraceLine(sc.Bytes())
+		switch {
+		case err != nil:
+			return rankTrace{}, err
+		case meta != nil:
+			rt.meta = *meta
+			sawMeta = true
+		case ev != nil:
+			rt.events = append(rt.events, *ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rankTrace{}, err
+	}
+	if !sawMeta {
+		return rankTrace{}, fmt.Errorf("no meta line")
+	}
+	return rt, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array. Timestamps
+// are microseconds; pid is the world rank so each rank gets its own row.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// buildChromeTrace converts the parsed per-rank streams into one timeline.
+// Each rank's monotonic timestamps are rebased onto a shared origin: the
+// earliest wall-clock base among all ranks.
+func buildChromeTrace(traces []rankTrace) []chromeEvent {
+	if len(traces) == 0 {
+		return nil
+	}
+	origin := traces[0].meta.BaseUnix
+	for _, rt := range traces[1:] {
+		if rt.meta.BaseUnix < origin {
+			origin = rt.meta.BaseUnix
+		}
+	}
+	var out []chromeEvent
+	for _, rt := range traces {
+		name := fmt.Sprintf("rank %d", rt.meta.Rank)
+		if rt.meta.Component != "" {
+			name += " (" + rt.meta.Component + ")"
+		}
+		out = append(out, chromeEvent{
+			Name: "process_name", Phase: "M", PID: rt.meta.Rank,
+			Args: map[string]any{"name": name},
+		})
+		offset := rt.meta.BaseUnix - origin
+		for _, e := range rt.events {
+			us := float64(offset+e.TS) / 1e3
+			ce := chromeEvent{TS: us, PID: rt.meta.Rank}
+			switch e.Kind {
+			case perf.KCollEnter:
+				ce.Name, ce.Phase = perf.CollOpName(e.A), "B"
+			case perf.KCollExit:
+				ce.Name, ce.Phase = perf.CollOpName(e.A), "E"
+			case perf.KPhaseBegin:
+				ce.Name, ce.Phase = perf.PhaseName(e.A), "B"
+			case perf.KPhaseEnd:
+				ce.Name, ce.Phase = perf.PhaseName(e.A), "E"
+			case perf.KSend:
+				ce.Name, ce.Phase, ce.Scope = "send", "i", "t"
+				ce.Args = map[string]any{"dst": e.A, "tag": e.B, "bytes": e.C}
+			case perf.KMatch:
+				ce.Name, ce.Phase, ce.Scope = "match", "i", "t"
+				ce.Args = map[string]any{"src": e.A, "tag": e.B, "bytes": e.C, "umq_depth": e.D}
+			case perf.KRecvPost:
+				ce.Name, ce.Phase, ce.Scope = "recv-post", "i", "t"
+				ce.Args = map[string]any{"src": e.A, "tag": e.B, "prq_depth": e.D}
+			case perf.KCommSplit:
+				ce.Name, ce.Phase, ce.Scope = "comm-split", "i", "t"
+				ce.Args = map[string]any{"color": e.A, "new_size": e.B}
+			case perf.KCommDup:
+				ce.Name, ce.Phase, ce.Scope = "comm-dup", "i", "t"
+			case perf.KCommJoin:
+				ce.Name, ce.Phase, ce.Scope = "comm-join", "i", "t"
+				ce.Args = map[string]any{"size": e.A}
+			default:
+				ce.Name, ce.Phase, ce.Scope = e.Kind.String(), "i", "t"
+			}
+			out = append(out, ce)
+		}
+	}
+	return out
+}
+
+// writeChromeTrace emits the timeline in the JSON object form
+// ({"traceEvents": [...]}) both viewers accept.
+func writeChromeTrace(w io.Writer, traces []rankTrace) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": buildChromeTrace(traces)})
+}
+
+// talker is one sender→receiver aggregate from the send events.
+type talker struct {
+	src, dst    int
+	msgs, bytes uint64
+}
+
+// topTalkers aggregates KSend events into sender→receiver volumes, sorted
+// by bytes descending, truncated to n.
+func topTalkers(traces []rankTrace, n int) []talker {
+	type key struct{ src, dst int }
+	agg := make(map[key]*talker)
+	for _, rt := range traces {
+		for _, e := range rt.events {
+			if e.Kind != perf.KSend {
+				continue
+			}
+			k := key{src: rt.meta.Rank, dst: int(e.A)}
+			t, ok := agg[k]
+			if !ok {
+				t = &talker{src: k.src, dst: k.dst}
+				agg[k] = t
+			}
+			t.msgs++
+			t.bytes += uint64(e.C)
+		}
+	}
+	out := make([]talker, 0, len(agg))
+	for _, t := range agg {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].bytes != out[j].bytes {
+			return out[i].bytes > out[j].bytes
+		}
+		if out[i].src != out[j].src {
+			return out[i].src < out[j].src
+		}
+		return out[i].dst < out[j].dst
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// pressure is one rank's queue-depth high water as seen in the event
+// stream: UMQ depth at match time, PRQ depth at post time.
+type pressure struct {
+	rank           int
+	component      string
+	maxUMQ, maxPRQ int64
+	recorded, lost uint64
+}
+
+// queuePressure extracts per-rank queue-depth maxima.
+func queuePressure(traces []rankTrace) []pressure {
+	out := make([]pressure, 0, len(traces))
+	for _, rt := range traces {
+		p := pressure{
+			rank:      rt.meta.Rank,
+			component: rt.meta.Component,
+			recorded:  rt.meta.Recorded,
+			lost:      rt.meta.Dropped,
+		}
+		for _, e := range rt.events {
+			switch e.Kind {
+			case perf.KMatch:
+				if e.D > p.maxUMQ {
+					p.maxUMQ = e.D
+				}
+			case perf.KRecvPost:
+				if e.D > p.maxPRQ {
+					p.maxPRQ = e.D
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// printSummaries renders the textual top-talkers and queue-pressure tables.
+func printSummaries(w io.Writer, traces []rankTrace, topN int) {
+	talkers := topTalkers(traces, topN)
+	if len(talkers) > 0 {
+		fmt.Fprintf(w, "\ntop talkers (by bytes):\n")
+		fmt.Fprintf(w, "  %-12s %10s %12s\n", "src -> dst", "msgs", "bytes")
+		for _, t := range talkers {
+			fmt.Fprintf(w, "  %4d -> %-4d %10d %12d\n", t.src, t.dst, t.msgs, t.bytes)
+		}
+	}
+	fmt.Fprintf(w, "\nqueue pressure:\n")
+	fmt.Fprintf(w, "  %-5s %-16s %10s %10s %10s %8s\n", "rank", "component", "max umq", "max prq", "events", "dropped")
+	for _, p := range queuePressure(traces) {
+		comp := p.component
+		if comp == "" {
+			comp = "-"
+		}
+		fmt.Fprintf(w, "  %-5d %-16s %10d %10d %10d %8d\n",
+			p.rank, comp, p.maxUMQ, p.maxPRQ, p.recorded, p.lost)
+	}
+}

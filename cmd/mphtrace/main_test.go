@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mph/internal/mpi/perf"
+)
+
+// writeRankTrace dumps a synthetic two-rank trace file via the same
+// WriteJSONL path the library uses at finalize.
+func writeRankTrace(t *testing.T, dir string, rank int, base time.Time, record func(tr *perf.Tracer)) string {
+	t.Helper()
+	tr := perf.NewTracer(64, base)
+	record(tr)
+	path := filepath.Join(dir, "trace.rank000"+string(rune('0'+rank))+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := "alpha"
+	if rank == 1 {
+		comp = "beta"
+	}
+	if err := tr.WriteJSONL(f, perf.Meta{Rank: rank, Size: 2, Component: comp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func makeTestTraces(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	base := time.Now()
+	writeRankTrace(t, dir, 0, base, func(tr *perf.Tracer) {
+		tr.Record(perf.KPhaseBegin, int64(perf.PhaseRegistry), 0, 0, 0)
+		tr.Record(perf.KPhaseEnd, int64(perf.PhaseRegistry), 0, 0, 0)
+		tr.Record(perf.KSend, 1, 7, 100, 0) // rank 0 -> rank 1, 100 bytes
+		tr.Record(perf.KSend, 1, 7, 50, 0)
+		tr.Record(perf.KCollEnter, int64(perf.CollBarrier), 0, 0, 0)
+		tr.Record(perf.KCollExit, int64(perf.CollBarrier), 1000, 0, 0)
+	})
+	// Rank 1's process started 1ms later: its monotonic timestamps must be
+	// shifted onto rank 0's origin in the merged timeline.
+	writeRankTrace(t, dir, 1, base.Add(time.Millisecond), func(tr *perf.Tracer) {
+		tr.Record(perf.KRecvPost, 0, 7, 0, 3)
+		tr.Record(perf.KMatch, 0, 7, 100, 5)
+		tr.Record(perf.KMatch, 0, 7, 50, 2)
+		tr.Record(perf.KSend, 0, 9, 10, 0)
+	})
+	return dir
+}
+
+func TestMergeProducesValidChromeTrace(t *testing.T) {
+	dir := makeTestTraces(t)
+	paths, err := expandArgs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("expanded to %d files, want 2", len(paths))
+	}
+	traces, err := loadTraces(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := writeChromeTrace(&sb, traces); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("merged output is not valid JSON: %v", err)
+	}
+	// 10 events + 2 process_name metadata records.
+	if len(doc.TraceEvents) != 12 {
+		t.Fatalf("got %d trace events, want 12", len(doc.TraceEvents))
+	}
+	var metas, begins, ends, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "M":
+			metas++
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "i":
+			instants++
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if metas != 2 || begins != 2 || ends != 2 || instants != 6 {
+		t.Errorf("phase counts M=%d B=%d E=%d i=%d, want 2/2/2/6", metas, begins, ends, instants)
+	}
+	// Rank 1's events are rebased onto rank 0's wall-clock origin: merged
+	// ts = (base offset + raw monotonic ts) in µs. Verify against the raw
+	// stream, first instant of each rank.
+	offset := traces[1].meta.BaseUnix - traces[0].meta.BaseUnix
+	if offset != int64(time.Millisecond) {
+		t.Fatalf("meta base offset %dns, want 1ms", offset)
+	}
+	wantTS := float64(offset+traces[1].events[0].TS) / 1e3
+	var got float64
+	for _, e := range doc.TraceEvents {
+		if e.PID == 1 && e.Name == "recv-post" {
+			got = e.TS
+			break
+		}
+	}
+	if got != wantTS {
+		t.Errorf("rank 1 first event at %.3fµs, want rebased %.3fµs", got, wantTS)
+	}
+}
+
+func TestTopTalkersAndQueuePressure(t *testing.T) {
+	dir := makeTestTraces(t)
+	paths, _ := expandArgs([]string{dir})
+	traces, err := loadTraces(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	talkers := topTalkers(traces, 5)
+	if len(talkers) != 2 {
+		t.Fatalf("got %d talker pairs, want 2", len(talkers))
+	}
+	if talkers[0].src != 0 || talkers[0].dst != 1 || talkers[0].bytes != 150 || talkers[0].msgs != 2 {
+		t.Errorf("top talker %+v, want 0->1 2 msgs 150 bytes", talkers[0])
+	}
+	if talkers[1].bytes != 10 {
+		t.Errorf("second talker %+v, want 10 bytes", talkers[1])
+	}
+	if got := topTalkers(traces, 1); len(got) != 1 {
+		t.Errorf("top-1 returned %d pairs", len(got))
+	}
+
+	qp := queuePressure(traces)
+	if len(qp) != 2 {
+		t.Fatalf("got %d pressure rows, want 2", len(qp))
+	}
+	if qp[1].maxUMQ != 5 || qp[1].maxPRQ != 3 {
+		t.Errorf("rank 1 pressure umq=%d prq=%d, want 5/3", qp[1].maxUMQ, qp[1].maxPRQ)
+	}
+	if qp[0].component != "alpha" || qp[1].component != "beta" {
+		t.Errorf("components %q/%q, want alpha/beta", qp[0].component, qp[1].component)
+	}
+
+	var sb strings.Builder
+	printSummaries(&sb, traces, 5)
+	out := sb.String()
+	if !strings.Contains(out, "top talkers") || !strings.Contains(out, "queue pressure") {
+		t.Errorf("summary output missing sections:\n%s", out)
+	}
+}
+
+func TestExpandArgsErrors(t *testing.T) {
+	if _, err := expandArgs([]string{filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("missing path accepted")
+	}
+	if _, err := expandArgs([]string{t.TempDir()}); err == nil {
+		t.Error("empty directory accepted")
+	}
+}
+
+func TestLoadTraceRejectsMissingMeta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.rank0000.jsonl")
+	if err := os.WriteFile(path, []byte("{\"t\":1,\"k\":\"send\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrace(path); err == nil {
+		t.Error("trace without meta line accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"mph/internal/iolog"
 	"mph/internal/mpi"
+	"mph/internal/mpi/perf"
 	"mph/internal/registry"
 )
 
@@ -92,10 +93,15 @@ func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registr
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// Phase markers bracket each handshake stage in the event trace. On an
+	// error return the open phase is left unclosed, which the timeline
+	// renders as running until the end — exactly where the abort happened.
+	pv := world.Perf()
 
 	// Phase 1: root reads the registration file and broadcasts the text;
 	// every rank parses the identical bytes, so parse failures are
 	// symmetric and need no coordination.
+	endPhase := pv.TracePhase(perf.PhaseRegistry)
 	var text string
 	var loadErr error
 	if world.Rank() == 0 {
@@ -123,11 +129,13 @@ func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registr
 	if err != nil {
 		return nil, err
 	}
+	endPhase()
 
 	// Phase 2: locate my executable entry and split the world by
 	// executable index (the paper's component_id coloring). Ranks whose
 	// resolution failed still participate, with color Undefined, then the
 	// failure is agreed on world-wide.
+	endPhase = pv.TracePhase(perf.PhaseSplit)
 	execIdx, resolveErr := resolve(reg)
 	color := execIdx
 	if resolveErr != nil {
@@ -140,8 +148,10 @@ func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registr
 	if err := agree(world, resolveErr); err != nil {
 		return nil, err
 	}
+	endPhase()
 
 	// Phase 3: establish component communicators inside my executable.
+	endPhase = pv.TracePhase(perf.PhaseComponents)
 	s := &Setup{
 		world:       world,
 		reg:         reg,
@@ -155,8 +165,17 @@ func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registr
 	if err := agree(world, compErr); err != nil {
 		return nil, err
 	}
+	if len(s.mine) > 0 {
+		names := make([]string, len(s.mine))
+		for i, c := range s.mine {
+			names[i] = c.Name
+		}
+		pv.SetComponent(strings.Join(names, "+"))
+	}
+	endPhase()
 
 	// Phase 4: publish the global layout — every rank contributes the
+	endPhase = pv.TracePhase(perf.PhaseLayout)
 	// component names covering it; the allgather order gives each
 	// component's world ranks in ascending order, which is exactly the
 	// local-rank order produced by the key-0 splits above.
@@ -181,11 +200,14 @@ func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registr
 	if err := agree(world, layoutErr); err != nil {
 		return nil, err
 	}
+	endPhase()
 
 	// Phase 5: a private duplicate of the world communicator carries
+	endPhase = pv.TracePhase(perf.PhaseGlobal)
 	// MPH's name-addressed point-to-point traffic (the paper's
 	// MPH_Global_World), isolated from user traffic on world.
 	s.global = world.Dup()
+	endPhase()
 
 	if cfg.logDir != "" {
 		// Shared per-directory so the ranks of an in-process world write

@@ -12,6 +12,7 @@
 package iolog
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -19,6 +20,10 @@ import (
 	"strings"
 	"sync"
 )
+
+// ErrClosed is returned by writes to a channel of a closed Mux, and by
+// writer-obtaining calls made after Close.
+var ErrClosed = errors.New("iolog: mux closed")
 
 // CombinedName is the file that collects writes from processors that are
 // not a component's designated logger.
@@ -87,7 +92,7 @@ func (m *Mux) ComponentWriter(component string) (io.Writer, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return nil, fmt.Errorf("iolog: mux closed")
+		return nil, ErrClosed
 	}
 	if w, ok := m.writers[component]; ok {
 		return w, nil
@@ -106,7 +111,7 @@ func (m *Mux) CombinedWriter() (io.Writer, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return nil, fmt.Errorf("iolog: mux closed")
+		return nil, ErrClosed
 	}
 	if m.combined == nil {
 		f, err := m.openLocked(filepath.Join(m.dir, CombinedName))
@@ -155,6 +160,17 @@ func (m *Mux) Close() error {
 		return nil
 	}
 	m.closed = true
+	// Mark every handed-out writer closed before the files go away, so a
+	// racing Write reports ErrClosed instead of an opaque os error on a
+	// closed descriptor.
+	for _, w := range m.writers {
+		if sw, ok := w.(*serialWriter); ok {
+			sw.close()
+		}
+	}
+	if sw, ok := m.combined.(*serialWriter); ok {
+		sw.close()
+	}
 	var first error
 	for _, f := range m.files {
 		if err := f.Close(); err != nil && first == nil {
@@ -168,17 +184,27 @@ func (m *Mux) Close() error {
 }
 
 // serialWriter makes a writer safe for concurrent use, with each Write
-// atomic. It also guards against use after the underlying file is closed by
-// translating write errors rather than panicking.
+// atomic. After its Mux closes, writes fail with ErrClosed instead of an
+// opaque error on the closed file descriptor.
 type serialWriter struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu     sync.Mutex
+	w      io.Writer
+	closed bool
 }
 
 func (s *serialWriter) Write(p []byte) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
 	return s.w.Write(p)
+}
+
+func (s *serialWriter) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
 }
 
 // Process-shared multiplexers: the ranks of an in-process world live in one

@@ -1,6 +1,7 @@
 package iolog
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -272,5 +273,67 @@ func TestSharedMuxAppendAcrossHandles(t *testing.T) {
 	}
 	if string(data) != "first\nsecond\n" {
 		t.Errorf("content %q", data)
+	}
+}
+
+func TestWriteAfterCloseReturnsErrClosed(t *testing.T) {
+	m, err := NewMux(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := m.ComponentWriter("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := m.CombinedWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.Write([]byte("before close\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cw.Write([]byte("after close\n")); !errors.Is(err, ErrClosed) || n != 0 {
+		t.Errorf("component write after Close: n=%d err=%v, want 0, ErrClosed", n, err)
+	}
+	if _, err := comb.Write([]byte("after close\n")); !errors.Is(err, ErrClosed) {
+		t.Errorf("combined write after Close: %v, want ErrClosed", err)
+	}
+	if _, err := m.ComponentWriter("x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("ComponentWriter after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestEnvVarOverrideNonAlphanumericName(t *testing.T) {
+	// Regression: components whose names contain '-', '.', etc. must map to
+	// the sanitized MPH_LOG_* variable, and the override must take effect.
+	const name = "ocean-v2.1"
+	if got := EnvVar(name); got != "MPH_LOG_OCEAN_V2_1" {
+		t.Fatalf("EnvVar(%q) = %q, want MPH_LOG_OCEAN_V2_1", name, got)
+	}
+	dir := t.TempDir()
+	override := filepath.Join(dir, "redirected.txt")
+	t.Setenv("MPH_LOG_OCEAN_V2_1", override)
+	m, err := NewMux(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.ComponentWriter(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(w, "hello")
+	m.Close()
+	data, err := os.ReadFile(override)
+	if err != nil {
+		t.Fatalf("override path not written: %v", err)
+	}
+	if string(data) != "hello\n" {
+		t.Errorf("override content %q", data)
+	}
+	if _, err := os.Stat(filepath.Join(dir, name+".log")); !os.IsNotExist(err) {
+		t.Error("default path written despite override")
 	}
 }

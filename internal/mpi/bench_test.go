@@ -122,6 +122,48 @@ func BenchmarkEngineMatching(b *testing.B) {
 	})
 }
 
+// BenchmarkTracerOverhead guards the tracer's off-path cost: the same
+// exact-match send/recv loop as BenchmarkEngineMatching/exact/pending=64,
+// with the tracer disabled (the default nil-pointer fast path) and enabled.
+// The "off" variant must stay within a few percent of the uninstrumented
+// engine; EXPERIMENTS.md P1 records the measured bound.
+func BenchmarkTracerOverhead(b *testing.B) {
+	const pending = 64
+	run := func(b *testing.B, traced bool) {
+		w, err := mpi.NewWorld(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		if traced {
+			w.EnableTracing(1 << 16)
+		}
+		err = w.Run(func(c *mpi.Comm) error {
+			for i := 0; i < pending; i++ {
+				if err := c.Send(0, 99, nil); err != nil {
+					return err
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(0, 0, nil); err != nil {
+					return err
+				}
+				if _, _, err := c.Recv(0, 0); err != nil {
+					return err
+				}
+			}
+			b.StopTimer()
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 func BenchmarkSendRecvLatency(b *testing.B) {
 	for _, size := range []int{0, 64, 1 << 10, 64 << 10, 1 << 20} {
 		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {

@@ -3,6 +3,8 @@ package mpi
 import (
 	"encoding/binary"
 	"fmt"
+
+	"mph/internal/mpi/perf"
 )
 
 // Internal tags for collective plumbing. Collectives run on a dedicated
@@ -19,10 +21,19 @@ const (
 	tagAllgather
 )
 
+// collBegin records entry into a collective op (invocation count, cumulative
+// latency, trace events) and returns the exit hook. Composite collectives
+// nest: only the outermost op on the rank accumulates count and latency.
+func (c *Comm) collBegin(op perf.CollOp) func() {
+	start, top := c.env.pv.CollEnter(op)
+	return func() { c.env.pv.CollExit(op, start, top) }
+}
+
 // Barrier blocks until every rank of the communicator has entered it.
 // It uses the dissemination algorithm: ceil(log2 P) rounds of paired
 // send/receive, with no root hotspot.
 func (c *Comm) Barrier() error {
+	defer c.collBegin(perf.CollBarrier)()
 	size := len(c.group)
 	for dist := 1; dist < size; dist *= 2 {
 		to := (c.rank + dist) % size
@@ -49,6 +60,7 @@ func rrank(vr, root, size int) int { return (vr + root) % size }
 // The root passes the payload; other ranks pass nil. Every rank receives
 // the broadcast value as the return.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	defer c.collBegin(perf.CollBcast)()
 	size := len(c.group)
 	if root < 0 || root >= size {
 		return nil, fmt.Errorf("%w: bcast root %d", ErrRank, root)
@@ -89,6 +101,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // entry per communicator rank, in rank order (the root's own entry is a
 // copy); other ranks get nil. Payload sizes may differ per rank (gatherv).
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	defer c.collBegin(perf.CollGather)()
 	size := len(c.group)
 	if root < 0 || root >= size {
 		return nil, fmt.Errorf("%w: gather root %d", ErrRank, root)
@@ -119,6 +132,7 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 // Allgather collects each rank's payload at every rank, in rank order.
 // Implemented as gather-to-0 followed by a broadcast of the framed result.
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	defer c.collBegin(perf.CollAllgather)()
 	parts, err := c.Gather(0, data)
 	if err != nil {
 		return nil, err
@@ -169,6 +183,7 @@ func (c *Comm) bcastOn(tag, root int, data []byte) ([]byte, error) {
 // with one entry per rank; other ranks pass nil. Every rank receives its
 // part.
 func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	defer c.collBegin(perf.CollScatter)()
 	size := len(c.group)
 	if root < 0 || root >= size {
 		return nil, fmt.Errorf("%w: scatter root %d", ErrRank, root)
@@ -200,6 +215,7 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 // every rank, in rank order. Sends are eager, so the send loop cannot
 // deadlock against the receive loop.
 func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	defer c.collBegin(perf.CollAlltoall)()
 	size := len(c.group)
 	if len(parts) != size {
 		return nil, fmt.Errorf("mpi: alltoall needs %d parts, got %d", size, len(parts))
@@ -225,6 +241,7 @@ func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
 // (accumulated, incoming) and returns the combined payload; it must not
 // retain its arguments. Non-root ranks return nil.
 func (c *Comm) Reduce(root int, data []byte, fn func(acc, in []byte) ([]byte, error)) ([]byte, error) {
+	defer c.collBegin(perf.CollReduce)()
 	size := len(c.group)
 	if root < 0 || root >= size {
 		return nil, fmt.Errorf("%w: reduce root %d", ErrRank, root)
@@ -260,6 +277,7 @@ func (c *Comm) Reduce(root int, data []byte, fn func(acc, in []byte) ([]byte, er
 // Allreduce combines every rank's payload with fn and delivers the result
 // to every rank (reduce-to-0 then broadcast).
 func (c *Comm) Allreduce(data []byte, fn func(acc, in []byte) ([]byte, error)) ([]byte, error) {
+	defer c.collBegin(perf.CollAllreduce)()
 	acc, err := c.Reduce(0, data, fn)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+
+	"mph/internal/mpi/perf"
 )
 
 // worldContext is the context of every world communicator. Child contexts
@@ -109,12 +111,17 @@ func (c *Comm) RankOfWorld(world int) (int, bool) {
 // exposed for diagnostics and tests.
 func (c *Comm) Context() uint64 { return c.ctx }
 
+// Perf returns this rank's performance-variable handle (shared by every
+// communicator of the rank).
+func (c *Comm) Perf() *perf.Rank { return c.env.pv }
+
 // Dup returns a communicator with the same group but an isolated context.
 // Like all communicator-creating operations it must be called collectively
 // (by every member, the same number of times, in the same order).
 func (c *Comm) Dup() *Comm {
 	c.seq++
 	ctx := deriveContext(c.ctx, c.seq, "dup")
+	c.env.pv.CountDup()
 	return newComm(c.env, ctx, c.rank, c.Group())
 }
 
@@ -127,6 +134,8 @@ type splitEntry struct {
 // (key, parent rank) — the MPI_Comm_split contract. Ranks passing
 // Undefined as color receive a nil communicator. The call is collective.
 func (c *Comm) Split(color, key int) (*Comm, error) {
+	start, top := c.env.pv.CollEnter(perf.CollSplit)
+	defer func() { c.env.pv.CollExit(perf.CollSplit, start, top) }()
 	// Exchange (color, key) among all members over the collective context.
 	mine := encodeInts([]int64{int64(color), int64(key)})
 	all, err := c.Allgather(mine)
@@ -174,6 +183,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		return nil, fmt.Errorf("mpi: comm split: calling rank missing from its own color group")
 	}
 	ctx := deriveContext(c.ctx, seq, fmt.Sprintf("split:%d", color))
+	c.env.pv.CountSplit(color, len(group))
 	return newComm(c.env, ctx, myRank, group), nil
 }
 
@@ -208,5 +218,6 @@ func CommFromGroup(parent *Comm, group []int, label string) (*Comm, error) {
 	g := make([]int, len(group))
 	copy(g, group)
 	ctx := deriveContext(worldContext, 0, "group:"+label)
+	parent.env.pv.CountJoin(len(g))
 	return newComm(parent.env, ctx, myRank, g), nil
 }

@@ -1,6 +1,10 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+
+	"mph/internal/mpi/perf"
+)
 
 // engine is the receive-side matching core owned by a single rank. It is the
 // canonical two-queue MPI design:
@@ -67,6 +71,28 @@ type engine struct {
 	// Blocked Probe waiters. Probes never consume, so they are kept apart
 	// from consuming receives and all matching waiters wake per arrival.
 	probes pwaitList
+
+	// Performance variables, all plain values mutated under mu (the hot
+	// paths already hold it, so counting costs a few integer adds — no
+	// extra synchronization). perfSnap copies them out for Snapshot.
+	umqHW, prqHW    int
+	matchUnexpected uint64 // receive consumed an already-queued message
+	matchPosted     uint64 // arrival completed a posted receive
+	matchWildcard   uint64 // matched receive carried AnySource/AnyTag
+	// (exact matches are derived: unexpected + posted - wildcard.)
+	recvFrom []peerCount // arrivals indexed by source world rank
+
+	// tr, when non-nil, receives match and recv-post events. It is set
+	// before traffic starts and never cleared, so the off path is a plain
+	// nil check.
+	tr *perf.Tracer
+}
+
+// peerCount is one source rank's arrival totals; keeping messages and bytes
+// adjacent makes the per-arrival accounting one bounds check and one cache
+// line.
+type peerCount struct {
+	msgs, bytes uint64
 }
 
 // matchKey identifies one fully-qualified envelope: a communicator context
@@ -232,11 +258,57 @@ func (l *pwaitList) remove(w *pwait) {
 	w.prev, w.next = nil, nil
 }
 
-func newEngine() *engine {
+func newEngine(worldSize int) *engine {
 	return &engine{
 		ubuckets: make(map[matchKey]*ulist),
 		pbuckets: make(map[matchKey]*plist),
+		recvFrom: make([]peerCount, worldSize),
 	}
+}
+
+// setTracer installs the event tracer; it must run before traffic starts
+// (the nil check in the hot paths is unsynchronized by design).
+func (e *engine) setTracer(tr *perf.Tracer) {
+	e.mu.Lock()
+	e.tr = tr
+	e.mu.Unlock()
+}
+
+// perfSnap copies the engine's performance variables; it is the collector
+// behind perf.Rank.Snapshot.
+func (e *engine) perfSnap() perf.EngineSnap {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	recvMsgs := make([]uint64, len(e.recvFrom))
+	recvBytes := make([]uint64, len(e.recvFrom))
+	for i, pc := range e.recvFrom {
+		recvMsgs[i] = pc.msgs
+		recvBytes[i] = pc.bytes
+	}
+	return perf.EngineSnap{
+		UMQDepth:          e.ucount,
+		UMQHighWater:      e.umqHW,
+		PRQDepth:          e.pcount,
+		PRQHighWater:      e.prqHW,
+		MatchesUnexpected: e.matchUnexpected,
+		MatchesPosted:     e.matchPosted,
+		MatchesWildcard:   e.matchWildcard,
+		MatchesExact:      e.matchUnexpected + e.matchPosted - e.matchWildcard,
+		RecvMsgs:          recvMsgs,
+		RecvBytes:         recvBytes,
+	}
+}
+
+// arrivalsFrom reports the messages and bytes this engine has received from
+// one source world rank. Transports derive "sent to d" from d's engine: an
+// eager send is delivered before it returns, so delivery counts are exact.
+func (e *engine) arrivalsFrom(src int) (msgs, bytes uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if src < 0 || src >= len(e.recvFrom) {
+		return 0, 0
+	}
+	return e.recvFrom[src].msgs, e.recvFrom[src].bytes
 }
 
 // sweepThreshold is the number of retained empty buckets beyond which a
@@ -251,10 +323,21 @@ func (e *engine) post(m *Packet) error {
 		e.mu.Unlock()
 		return ErrClosed
 	}
+	if s := m.SrcWorld; s >= 0 && s < len(e.recvFrom) {
+		e.recvFrom[s].msgs++
+		e.recvFrom[s].bytes += uint64(len(m.Data))
+	}
 	if e.pcount > 0 {
 		if pr := e.takePosted(m); pr != nil {
 			// Direct hand-off: complete exactly the oldest matching posted
 			// receive, nobody else wakes.
+			e.matchPosted++
+			if !pr.exact {
+				e.matchWildcard++
+			}
+			if e.tr != nil {
+				e.tr.Record(perf.KMatch, int64(m.SrcWorld), int64(m.Tag), int64(len(m.Data)), int64(e.ucount))
+			}
 			pr.pkt = m
 			if m.Ack != nil {
 				close(m.Ack)
@@ -383,6 +466,12 @@ func (e *engine) enqueuePosted(ctx uint64, src, tag int, reuse bool) *precv {
 		e.pwild.pushBack(r)
 	}
 	e.pcount++
+	if e.pcount > e.prqHW {
+		e.prqHW = e.pcount
+	}
+	if e.tr != nil {
+		e.tr.Record(perf.KRecvPost, int64(src), int64(tag), 0, int64(e.pcount))
+	}
 	return r
 }
 
@@ -410,6 +499,9 @@ func (e *engine) addUnexpected(m *Packet) {
 	}
 	e.uallTail = n
 	e.ucount++
+	if e.ucount > e.umqHW {
+		e.umqHW = e.ucount
+	}
 }
 
 // newUmsg takes a UMQ node off the free list or allocates one.
@@ -509,6 +601,13 @@ func (e *engine) takeUnexpected(ctx uint64, src, tag int) *Packet {
 	}
 	pkt := n.pkt
 	e.removeUnexpected(n)
+	e.matchUnexpected++
+	if src == AnySource || tag == AnyTag {
+		e.matchWildcard++
+	}
+	if e.tr != nil {
+		e.tr.Record(perf.KMatch, int64(pkt.SrcWorld), int64(pkt.Tag), int64(len(pkt.Data)), int64(e.ucount))
+	}
 	if pkt.Ack != nil {
 		close(pkt.Ack)
 	}

@@ -35,7 +35,7 @@ func waitPayload(t *testing.T, pr *precv) string {
 // must win the first message — the sequence number arbitrates between the
 // exact bucket head and the wildcard list. And vice versa.
 func TestExactVsWildcardArbitration(t *testing.T) {
-	e := newEngine()
+	e := newEngine(8)
 	_, wild, err := e.postRecv(1, AnySource, AnyTag)
 	if err != nil || wild == nil {
 		t.Fatalf("wildcard postRecv: %v %v", wild, err)
@@ -68,7 +68,7 @@ func TestExactVsWildcardArbitration(t *testing.T) {
 
 // Several receives posted on one envelope must drain in post order.
 func TestPostedOrderSameEnvelope(t *testing.T) {
-	e := newEngine()
+	e := newEngine(8)
 	const n = 8
 	prs := make([]*precv, n)
 	for i := range prs {
@@ -90,7 +90,7 @@ func TestPostedOrderSameEnvelope(t *testing.T) {
 
 // Queue depth accounting across post, match, and cancel.
 func TestQueueAccounting(t *testing.T) {
-	e := newEngine()
+	e := newEngine(8)
 	if u, p := e.pendingUnexpected(), e.pendingPosted(); u != 0 || p != 0 {
 		t.Fatalf("fresh engine queues %d/%d", u, p)
 	}
@@ -128,7 +128,7 @@ func TestQueueAccounting(t *testing.T) {
 // empty bucket per envelope forever: once empties dominate, a sweep drops
 // them, and the memoized last-bucket pointer must not dangle across it.
 func TestBucketSweep(t *testing.T) {
-	e := newEngine()
+	e := newEngine(8)
 	const envelopes = 4 * sweepThreshold
 	for i := 0; i < envelopes; i++ {
 		post(t, e, 1, 0, i, "x")
@@ -175,7 +175,7 @@ func TestBucketSweep(t *testing.T) {
 // close must fail every queued posted receive with ErrClosed and release
 // synchronous senders parked on unmatched messages.
 func TestCloseFailsPostedReceives(t *testing.T) {
-	e := newEngine()
+	e := newEngine(8)
 	_, exact, _ := e.postRecv(1, 0, 0)
 	_, wild, _ := e.postRecv(1, AnySource, AnyTag)
 	ack := make(chan struct{})
@@ -206,7 +206,7 @@ func TestCloseFailsPostedReceives(t *testing.T) {
 // A message entering the UMQ wakes every matching probe waiter and only
 // those; probes never consume the message.
 func TestProbeTargetedWakeups(t *testing.T) {
-	e := newEngine()
+	e := newEngine(8)
 	type res struct {
 		st  Status
 		err error

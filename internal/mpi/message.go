@@ -50,6 +50,9 @@ type Packet struct {
 	Ctx uint64
 	// Src is the sender's rank within that communicator.
 	Src int
+	// SrcWorld is the sender's world rank, carried for per-peer
+	// performance accounting (package perf); matching never consults it.
+	SrcWorld int
 	// Tag is the user or collective tag.
 	Tag int
 	// Data is the payload, owned by the packet.

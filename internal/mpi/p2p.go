@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"mph/internal/mpi/perf"
+)
 
 // Send delivers data to rank dst of the communicator with the given tag.
 // It is an eager send: it may complete before the matching receive is
@@ -39,7 +43,10 @@ func (c *Comm) sendCtx(ctx uint64, dst, tag int, data []byte, ack chan struct{})
 		buf = make([]byte, len(data))
 		copy(buf, data)
 	}
-	p := &Packet{Ctx: ctx, Src: c.rank, Tag: tag, Data: buf, Ack: ack}
+	if tr := c.env.tracer; tr != nil {
+		tr.Record(perf.KSend, int64(c.group[dst]), int64(tag), int64(len(data)), 0)
+	}
+	p := &Packet{Ctx: ctx, Src: c.rank, SrcWorld: c.env.worldRank, Tag: tag, Data: buf, Ack: ack}
 	return c.env.tr.Deliver(c.group[dst], p)
 }
 

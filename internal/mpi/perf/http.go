@@ -1,0 +1,67 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns an expvar-style debug handler serving the rank's live
+// Snapshot as indented JSON. Long-running multi-executable jobs expose it
+// via EnvDebugAddr so operators can inspect queue pressure and traffic
+// totals while the job runs.
+func Handler(r *Rank) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// DebugAddr resolves the per-rank listen address for a base EnvDebugAddr
+// value: a non-zero port is offset by the world rank so every process of a
+// job gets its own endpoint on one host; port 0 asks the kernel for an
+// ephemeral port per rank.
+func DebugAddr(base string, rank int) (string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return "", fmt.Errorf("perf: bad %s %q: %w", EnvDebugAddr, base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port < 0 || port > 65535 {
+		return "", fmt.Errorf("perf: bad port in %s %q", EnvDebugAddr, base)
+	}
+	if port != 0 {
+		port += rank
+		if port > 65535 {
+			return "", fmt.Errorf("perf: %s port %d + rank %d exceeds 65535", EnvDebugAddr, port-rank, rank)
+		}
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port)), nil
+}
+
+// Serve starts the debug HTTP endpoint for one rank on the resolved
+// per-rank address and returns the listener (close it to stop serving) and
+// the actual bound address. Serving runs on its own goroutine; errors after
+// startup are ignored (the endpoint is best-effort diagnostics).
+func Serve(baseAddr string, rank int, r *Rank) (net.Listener, string, error) {
+	addr, err := DebugAddr(baseAddr, rank)
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("perf: debug listen on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler(r))
+	mux.Handle("/perf", Handler(r))
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // exits when the listener closes
+	return ln, ln.Addr().String(), nil
+}

@@ -1,0 +1,242 @@
+package perf
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotDerivedTotals(t *testing.T) {
+	r := NewRank(1, 3)
+	r.SetComponent("ocean")
+	r.SetEngineCollector(func() EngineSnap {
+		return EngineSnap{
+			UMQDepth: 2, UMQHighWater: 7, PRQDepth: 1, PRQHighWater: 4,
+			MatchesUnexpected: 10, MatchesPosted: 5,
+			MatchesWildcard: 3, MatchesExact: 12,
+			RecvMsgs:  []uint64{4, 0, 11},
+			RecvBytes: []uint64{400, 0, 1100},
+		}
+	})
+	r.SetSentCollector(func() (msgs, bytes []uint64) {
+		return []uint64{1, 0, 2}, []uint64{10, 0, 200}
+	})
+
+	s := r.Snapshot()
+	if s.WorldRank != 1 || s.WorldSize != 3 || s.Component != "ocean" {
+		t.Errorf("identity: %+v", s)
+	}
+	if s.TotalSentMsgs != 3 || s.TotalSentBytes != 210 {
+		t.Errorf("sent totals %d/%d, want 3/210", s.TotalSentMsgs, s.TotalSentBytes)
+	}
+	if s.TotalRecvMsgs != 15 || s.TotalRecvBytes != 1500 {
+		t.Errorf("recv totals %d/%d, want 15/1500", s.TotalRecvMsgs, s.TotalRecvBytes)
+	}
+	if s.Engine.UMQHighWater != 7 || s.Engine.MatchesUnexpected != 10 {
+		t.Errorf("engine snap %+v", s.Engine)
+	}
+	if s.Trace.Enabled {
+		t.Error("trace reported enabled without a tracer")
+	}
+}
+
+func TestSnapshotWithoutCollectors(t *testing.T) {
+	r := NewRank(0, 4)
+	s := r.Snapshot()
+	if len(s.SentMsgs) != 4 || len(s.Engine.RecvMsgs) != 4 {
+		t.Errorf("per-peer arrays not sized to world: sent %d recv %d",
+			len(s.SentMsgs), len(s.Engine.RecvMsgs))
+	}
+	if s.TotalSentMsgs != 0 || s.TotalRecvMsgs != 0 {
+		t.Error("empty rank has nonzero totals")
+	}
+}
+
+func TestCollectiveCountingAndNesting(t *testing.T) {
+	r := NewRank(0, 1)
+
+	start, top := r.CollEnter(CollBarrier)
+	if !top {
+		t.Fatal("outermost collective not marked top")
+	}
+	r.CollExit(CollBarrier, start, top)
+
+	// Composite: Allreduce nests a Reduce; only the outer op may count.
+	oStart, oTop := r.CollEnter(CollAllreduce)
+	iStart, iTop := r.CollEnter(CollReduce)
+	if iTop {
+		t.Error("nested collective marked top")
+	}
+	r.CollExit(CollReduce, iStart, iTop)
+	r.CollExit(CollAllreduce, oStart, oTop)
+
+	s := r.Snapshot()
+	if c := s.Collectives["barrier"]; c.Count != 1 {
+		t.Errorf("barrier count %d, want 1", c.Count)
+	}
+	if c := s.Collectives["allreduce"]; c.Count != 1 {
+		t.Errorf("allreduce count %d, want 1", c.Count)
+	}
+	if _, ok := s.Collectives["reduce"]; ok {
+		t.Error("nested reduce leaked into the counters")
+	}
+	if s.CollNanos() < 0 {
+		t.Errorf("negative cumulative latency %d", s.CollNanos())
+	}
+
+	// After the nest unwound, the next collective is top again.
+	_, top = r.CollEnter(CollBcast)
+	if !top {
+		t.Error("collective after unwound nest not top")
+	}
+}
+
+func TestCommOpCounters(t *testing.T) {
+	r := NewRank(0, 2)
+	r.CountSplit(3, 2)
+	r.CountSplit(1, 1)
+	r.CountDup()
+	r.CountJoin(5)
+	s := r.Snapshot()
+	if s.CommSplits != 2 || s.CommDups != 1 || s.CommJoins != 1 {
+		t.Errorf("comm ops %d/%d/%d, want 2/1/1", s.CommSplits, s.CommDups, s.CommJoins)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRank(2, 4)
+	r.SetComponent("atm")
+	r.Net.FramesOut.Add(9)
+	r.Net.BytesOut.Add(512)
+	start, top := r.CollEnter(CollBcast)
+	r.CollExit(CollBcast, start, top)
+	r.EnableTracer(16)
+
+	s := r.Snapshot()
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.WorldRank != 2 || back.Component != "atm" {
+		t.Errorf("identity lost: %+v", back)
+	}
+	if back.Net.FramesOut != 9 || back.Net.BytesOut != 512 {
+		t.Errorf("net counters lost: %+v", back.Net)
+	}
+	if back.Collectives["bcast"].Count != 1 {
+		t.Errorf("collectives lost: %+v", back.Collectives)
+	}
+	if !back.Trace.Enabled || back.Trace.Capacity != 16 {
+		t.Errorf("trace state lost: %+v", back.Trace)
+	}
+}
+
+func TestCollEnterConcurrent(t *testing.T) {
+	// Distinct goroutines standing in for ranks each run their own
+	// non-nested collectives against one shared Rank is NOT the model —
+	// but CollEnter/CollExit must still be data-race-free when a
+	// transport goroutine records alongside. Exercise under -race.
+	r := NewRank(0, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				start, top := r.CollEnter(CollBarrier)
+				r.CollExit(CollBarrier, start, top)
+				r.CountDup()
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.CommDups != 400 {
+		t.Errorf("dups %d, want 400", s.CommDups)
+	}
+	if c := s.Collectives["barrier"]; c.Count == 0 || c.Count > 400 {
+		t.Errorf("barrier count %d out of range", c.Count)
+	}
+}
+
+func TestPhaseAndCollOpNames(t *testing.T) {
+	if PhaseName(int64(PhaseRegistry)) != "handshake:registry" {
+		t.Errorf("PhaseRegistry name %q", PhaseName(int64(PhaseRegistry)))
+	}
+	if PhaseName(99) == "" {
+		t.Error("unknown phase must still render")
+	}
+	if CollOpName(int64(CollAllreduce)) != "allreduce" {
+		t.Errorf("CollAllreduce name %q", CollOpName(int64(CollAllreduce)))
+	}
+	for op := CollOp(0); op < NumCollOps; op++ {
+		if op.String() == "unknown" || op.String() == "" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}
+
+func TestDebugAddr(t *testing.T) {
+	addr, err := DebugAddr("127.0.0.1:7070", 3)
+	if err != nil || addr != "127.0.0.1:7073" {
+		t.Errorf("got %q, %v; want port offset by rank", addr, err)
+	}
+	addr, err = DebugAddr("localhost:0", 5)
+	if err != nil || addr != "localhost:0" {
+		t.Errorf("ephemeral base: %q, %v", addr, err)
+	}
+	if _, err := DebugAddr("127.0.0.1:65535", 1); err == nil {
+		t.Error("port overflow accepted")
+	}
+	if _, err := DebugAddr("no-port", 0); err == nil {
+		t.Error("missing port accepted")
+	}
+}
+
+func TestServeSnapshotEndpoint(t *testing.T) {
+	r := NewRank(0, 2)
+	r.SetComponent("coupler")
+	r.Net.Dials.Add(3)
+	ln, addr, err := Serve("127.0.0.1:0", 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	resp, err := http.Get("http://" + addr + "/perf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("endpoint body is not a Snapshot: %v\n%s", err, body)
+	}
+	if s.Component != "coupler" || s.Net.Dials != 3 {
+		t.Errorf("served snapshot %+v", s)
+	}
+}
+
+func TestNowMonotonic(t *testing.T) {
+	r := NewRank(0, 1)
+	a := r.Now()
+	time.Sleep(time.Millisecond)
+	b := r.Now()
+	if b <= a {
+		t.Errorf("Now not monotonic: %d then %d", a, b)
+	}
+}

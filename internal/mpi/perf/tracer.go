@@ -1,0 +1,265 @@
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies one trace event.
+type Kind uint8
+
+// Trace event kinds. The A..D payload fields are kind-specific:
+//
+//	KSend:       A=destination world rank, B=tag, C=payload bytes
+//	KRecvPost:   A=requested source (-1 wildcard), B=tag (-1 wildcard), D=PRQ depth
+//	KMatch:      A=source world rank, B=tag, C=payload bytes, D=UMQ depth
+//	KCollEnter:  A=CollOp
+//	KCollExit:   A=CollOp, B=duration ns
+//	KCommSplit:  A=color, B=new communicator size
+//	KCommDup:    (none)
+//	KCommJoin:   A=group size
+//	KPhaseBegin: A=Phase
+//	KPhaseEnd:   A=Phase
+const (
+	KSend Kind = iota
+	KRecvPost
+	KMatch
+	KCollEnter
+	KCollExit
+	KCommSplit
+	KCommDup
+	KCommJoin
+	KPhaseBegin
+	KPhaseEnd
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"send", "recv-post", "match", "coll-enter", "coll-exit",
+	"comm-split", "comm-dup", "comm-join", "phase-begin", "phase-end",
+}
+
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString is the inverse of Kind.String; ok is false for unknown
+// names. cmd/mphtrace uses it when re-reading dumped event streams.
+func KindFromString(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one trace record: a monotonic timestamp (ns since the rank's
+// base) plus a kind and four kind-specific payload fields.
+type Event struct {
+	TS         int64
+	Kind       Kind
+	A, B, C, D int64
+}
+
+// Tracer is a fixed-size ring buffer of events. When full it overwrites the
+// oldest events, so a dump always holds the most recent Capacity() records;
+// Dropped() reports how many were overwritten. Record is safe for
+// concurrent use (transport readers and the rank goroutine both record);
+// the internal mutex keeps slot writes exclusive, which matters under the
+// race detector and when the ring wraps.
+type Tracer struct {
+	base         time.Time
+	baseUnixNano int64
+
+	mu    sync.Mutex
+	buf   []Event
+	total uint64
+}
+
+// NewTracer creates a tracer with the given ring capacity whose timestamps
+// are nanoseconds since base.
+func NewTracer(capacity int, base time.Time) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Tracer{
+		base:         base,
+		baseUnixNano: base.UnixNano(),
+		buf:          make([]Event, capacity),
+	}
+}
+
+// Capacity returns the ring size in events.
+func (t *Tracer) Capacity() int { return len(t.buf) }
+
+// Record appends an event stamped now.
+func (t *Tracer) Record(k Kind, a, b, c, d int64) {
+	t.record(int64(time.Since(t.base)), k, a, b, c, d)
+}
+
+// record appends an event with an explicit timestamp (callers that already
+// read the clock pass it through).
+func (t *Tracer) record(ts int64, k Kind, a, b, c, d int64) {
+	t.mu.Lock()
+	t.buf[t.total%uint64(len(t.buf))] = Event{TS: ts, Kind: k, A: a, B: b, C: c, D: d}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Recorded returns the total number of events recorded since creation.
+func (t *Tracer) Recorded() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many recorded events were overwritten by the ring.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.total - uint64(len(t.buf))
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	capacity := uint64(len(t.buf))
+	if n <= capacity {
+		return append([]Event(nil), t.buf[:n]...)
+	}
+	out := make([]Event, 0, capacity)
+	start := n % capacity
+	out = append(out, t.buf[start:]...)
+	out = append(out, t.buf[:start]...)
+	return out
+}
+
+// Meta is the per-rank header of a dumped event stream.
+type Meta struct {
+	Rank      int    `json:"rank"`
+	Size      int    `json:"size"`
+	Component string `json:"component,omitempty"`
+}
+
+// metaLine is the first JSONL line of a trace dump: rank identity plus the
+// wall-clock base that lets cmd/mphtrace align streams from different
+// processes on one timeline.
+type metaLine struct {
+	Meta      bool   `json:"meta"`
+	Rank      int    `json:"rank"`
+	Size      int    `json:"size"`
+	Component string `json:"component,omitempty"`
+	BaseUnix  int64  `json:"base_unix_ns"`
+	Capacity  int    `json:"capacity"`
+	Recorded  uint64 `json:"recorded"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// eventLine is one dumped event. Zero payload fields are omitted to keep
+// the files small; readers treat missing fields as zero.
+type eventLine struct {
+	T int64  `json:"t"`
+	K string `json:"k"`
+	A int64  `json:"a,omitempty"`
+	B int64  `json:"b,omitempty"`
+	C int64  `json:"c,omitempty"`
+	D int64  `json:"d,omitempty"`
+}
+
+// WriteJSONL dumps the retained events as JSON lines: one meta header line
+// followed by one line per event in chronological order.
+func (t *Tracer) WriteJSONL(w io.Writer, meta Meta) error {
+	events := t.Events()
+	t.mu.Lock()
+	header := metaLine{
+		Meta:      true,
+		Rank:      meta.Rank,
+		Size:      meta.Size,
+		Component: meta.Component,
+		BaseUnix:  t.baseUnixNano,
+		Capacity:  len(t.buf),
+		Recorded:  t.total,
+	}
+	if t.total > uint64(len(t.buf)) {
+		header.Dropped = t.total - uint64(len(t.buf))
+	}
+	t.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("perf: trace meta: %w", err)
+	}
+	for _, e := range events {
+		line := eventLine{T: e.TS, K: e.Kind.String(), A: e.A, B: e.B, C: e.C, D: e.D}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("perf: trace event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// TraceMeta is a parsed meta header line; see ParseTraceLine.
+type TraceMeta struct {
+	Rank      int
+	Size      int
+	Component string
+	BaseUnix  int64
+	Capacity  int
+	Recorded  uint64
+	Dropped   uint64
+}
+
+// ParseTraceLine parses one line of a WriteJSONL stream. Exactly one of
+// meta/event is returned non-nil; blank lines yield (nil, nil, nil).
+func ParseTraceLine(line []byte) (*TraceMeta, *Event, error) {
+	trimmed := false
+	for _, b := range line {
+		if b != ' ' && b != '\t' && b != '\r' && b != '\n' {
+			trimmed = true
+			break
+		}
+	}
+	if !trimmed {
+		return nil, nil, nil
+	}
+	var probe struct {
+		Meta bool `json:"meta"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return nil, nil, fmt.Errorf("perf: bad trace line: %w", err)
+	}
+	if probe.Meta {
+		var ml metaLine
+		if err := json.Unmarshal(line, &ml); err != nil {
+			return nil, nil, fmt.Errorf("perf: bad trace meta: %w", err)
+		}
+		return &TraceMeta{
+			Rank: ml.Rank, Size: ml.Size, Component: ml.Component,
+			BaseUnix: ml.BaseUnix, Capacity: ml.Capacity,
+			Recorded: ml.Recorded, Dropped: ml.Dropped,
+		}, nil, nil
+	}
+	var el eventLine
+	if err := json.Unmarshal(line, &el); err != nil {
+		return nil, nil, fmt.Errorf("perf: bad trace event: %w", err)
+	}
+	kind, ok := KindFromString(el.K)
+	if !ok {
+		return nil, nil, fmt.Errorf("perf: unknown trace event kind %q", el.K)
+	}
+	return nil, &Event{TS: el.T, Kind: kind, A: el.A, B: el.B, C: el.C, D: el.D}, nil
+}

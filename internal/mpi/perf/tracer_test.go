@@ -1,0 +1,217 @@
+package perf
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordAndEvents(t *testing.T) {
+	tr := NewTracer(8, time.Now())
+	tr.Record(KSend, 1, 2, 3, 0)
+	tr.Record(KMatch, 4, 5, 6, 7)
+	if tr.Recorded() != 2 || tr.Dropped() != 0 {
+		t.Errorf("recorded %d dropped %d, want 2/0", tr.Recorded(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Kind != KSend || evs[0].A != 1 || evs[0].C != 3 {
+		t.Errorf("event 0: %+v", evs[0])
+	}
+	if evs[1].Kind != KMatch || evs[1].D != 7 {
+		t.Errorf("event 1: %+v", evs[1])
+	}
+	if evs[0].TS > evs[1].TS {
+		t.Errorf("timestamps out of order: %d then %d", evs[0].TS, evs[1].TS)
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4, time.Now())
+	for i := int64(0); i < 10; i++ {
+		tr.Record(KSend, i, 0, 0, 0)
+	}
+	if tr.Recorded() != 10 {
+		t.Errorf("recorded %d, want 10", tr.Recorded())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want capacity 4", len(evs))
+	}
+	// The ring keeps the newest events, chronologically ordered.
+	for i, e := range evs {
+		if want := int64(6 + i); e.A != want {
+			t.Errorf("event %d payload %d, want %d (oldest overwritten first)", i, e.A, want)
+		}
+	}
+}
+
+func TestTracerZeroCapacityDefaults(t *testing.T) {
+	tr := NewTracer(0, time.Now())
+	if tr.Capacity() != DefaultTraceEvents {
+		t.Errorf("capacity %d, want default %d", tr.Capacity(), DefaultTraceEvents)
+	}
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(64, time.Now())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(KSend, 1, 2, 3, 4)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Recorded() != 4000 {
+		t.Errorf("recorded %d, want 4000", tr.Recorded())
+	}
+	if len(tr.Events()) != 64 {
+		t.Errorf("retained %d, want 64", len(tr.Events()))
+	}
+}
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	base := time.Now()
+	tr := NewTracer(8, base)
+	tr.Record(KPhaseBegin, int64(PhaseRegistry), 0, 0, 0)
+	tr.Record(KSend, 2, 9, 128, 0)
+	tr.Record(KPhaseEnd, int64(PhaseRegistry), 0, 0, 0)
+
+	var buf bytes.Buffer
+	meta := Meta{Rank: 3, Size: 8, Component: "ice"}
+	if err := tr.WriteJSONL(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotMeta *TraceMeta
+	var events []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		m, e, err := ParseTraceLine(sc.Bytes())
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if m != nil {
+			gotMeta = m
+		}
+		if e != nil {
+			events = append(events, *e)
+		}
+	}
+	if gotMeta == nil {
+		t.Fatal("no meta line")
+	}
+	if gotMeta.Rank != 3 || gotMeta.Size != 8 || gotMeta.Component != "ice" {
+		t.Errorf("meta %+v", gotMeta)
+	}
+	if gotMeta.BaseUnix != base.UnixNano() {
+		t.Errorf("base %d, want %d", gotMeta.BaseUnix, base.UnixNano())
+	}
+	if gotMeta.Capacity != 8 || gotMeta.Recorded != 3 || gotMeta.Dropped != 0 {
+		t.Errorf("meta counters %+v", gotMeta)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[1].Kind != KSend || events[1].A != 2 || events[1].B != 9 || events[1].C != 128 {
+		t.Errorf("event 1 round trip: %+v", events[1])
+	}
+}
+
+func TestWriteJSONLReportsDropped(t *testing.T) {
+	tr := NewTracer(2, time.Now())
+	for i := 0; i < 5; i++ {
+		tr.Record(KSend, 0, 0, 0, 0)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf, Meta{Rank: 0, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := ParseTraceLine([]byte(strings.SplitN(buf.String(), "\n", 2)[0]))
+	if err != nil || m == nil {
+		t.Fatalf("meta parse: %v", err)
+	}
+	if m.Recorded != 5 || m.Dropped != 3 {
+		t.Errorf("recorded %d dropped %d, want 5/3", m.Recorded, m.Dropped)
+	}
+}
+
+func TestParseTraceLineEdges(t *testing.T) {
+	if m, e, err := ParseTraceLine([]byte("   \t  ")); m != nil || e != nil || err != nil {
+		t.Error("blank line should yield all-nil")
+	}
+	if _, _, err := ParseTraceLine([]byte("{bad json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, _, err := ParseTraceLine([]byte(`{"t":1,"k":"no-such-kind"}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "unknown" || name == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		back, ok := KindFromString(name)
+		if !ok || back != k {
+			t.Errorf("KindFromString(%q) = %v, %v", name, back, ok)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Error("bogus kind resolved")
+	}
+	if numKinds.String() != "unknown" {
+		t.Error("out-of-range kind must print unknown")
+	}
+}
+
+func TestRankEnableTracerIntegration(t *testing.T) {
+	r := NewRank(0, 2)
+	if r.Tracer() != nil {
+		t.Fatal("tracer on by default")
+	}
+	end := r.TracePhase(PhaseRegistry)
+	end() // no-op with tracing off
+
+	tr := r.EnableTracer(32)
+	if tr == nil || r.Tracer() != tr {
+		t.Fatal("EnableTracer did not install")
+	}
+	end = r.TracePhase(PhaseSplit)
+	end()
+	start, top := r.CollEnter(CollBarrier)
+	r.CollExit(CollBarrier, start, top)
+	r.CountSplit(1, 2)
+
+	evs := tr.Events()
+	kinds := make(map[Kind]int)
+	for _, e := range evs {
+		kinds[e.Kind]++
+	}
+	if kinds[KPhaseBegin] != 1 || kinds[KPhaseEnd] != 1 {
+		t.Errorf("phase events %v", kinds)
+	}
+	if kinds[KCollEnter] != 1 || kinds[KCollExit] != 1 || kinds[KCommSplit] != 1 {
+		t.Errorf("collective/split events %v", kinds)
+	}
+	// The coll-exit event carries the duration in B.
+	for _, e := range evs {
+		if e.Kind == KCollExit && e.B < 0 {
+			t.Errorf("negative collective duration %d", e.B)
+		}
+	}
+}

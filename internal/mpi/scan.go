@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"mph/internal/mpi/perf"
+)
 
 // tagScan carries inclusive-scan traffic on the collective context.
 const tagScan = 100
@@ -12,6 +16,7 @@ const tagScan = 100
 // The implementation walks a hypercube: after round k, each rank holds the
 // combination of a 2^k-aligned block, giving O(log P) rounds.
 func (c *Comm) Scan(data []byte, fn func(low, high []byte) ([]byte, error)) ([]byte, error) {
+	defer c.collBegin(perf.CollScan)()
 	size := len(c.group)
 	rank := c.rank
 

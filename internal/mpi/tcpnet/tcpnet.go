@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mph/internal/mpi"
+	"mph/internal/mpi/perf"
 	"mph/internal/mpirun"
 )
 
@@ -64,7 +66,30 @@ type Transport struct {
 	ackMu   sync.Mutex
 	pending map[uint64]chan struct{}
 
+	// Per-destination send totals, indexed by world rank. Unlike the
+	// in-process transport — where sent totals are derived from sibling
+	// engines — a TCP sender cannot see the remote engine, so it counts on
+	// its own wire path with atomics (the syscall dominates the cost).
+	sentMsgs  []atomic.Uint64
+	sentBytes []atomic.Uint64
+
+	// net points at the rank's perf counters once the Env exists; frames
+	// read before then (none in practice: peers dial after rendezvous)
+	// fall back to a throwaway counter block.
+	net atomic.Pointer[perf.NetCounters]
+
+	debugLn net.Listener // MPH_DEBUG_ADDR endpoint, nil unless enabled
+
 	wg sync.WaitGroup
+}
+
+// netCounters returns the live counter block, or a discard block before the
+// environment is wired.
+func (t *Transport) netCounters() *perf.NetCounters {
+	if nc := t.net.Load(); nc != nil {
+		return nc
+	}
+	return &perf.NetCounters{}
 }
 
 // outConn serializes writes to one peer.
@@ -95,14 +120,36 @@ func Init(rank, size int, rendezvous string) (*mpi.Env, error) {
 		return nil, fmt.Errorf("tcpnet: address book has %d entries, world is %d", len(addrs), size)
 	}
 	t := &Transport{
-		rank:    rank,
-		addrs:   addrs,
-		ln:      ln,
-		out:     make(map[int]*outConn),
-		pending: make(map[uint64]chan struct{}),
+		rank:      rank,
+		addrs:     addrs,
+		ln:        ln,
+		out:       make(map[int]*outConn),
+		pending:   make(map[uint64]chan struct{}),
+		sentMsgs:  make([]atomic.Uint64, size),
+		sentBytes: make([]atomic.Uint64, size),
 	}
 	env := mpi.NewEnv(rank, size, t)
 	t.env = env
+	pv := env.Perf()
+	t.net.Store(&pv.Net)
+	pv.SetSentCollector(func() (msgs, bytes []uint64) {
+		msgs = make([]uint64, size)
+		bytes = make([]uint64, size)
+		for d := range msgs {
+			msgs[d] = t.sentMsgs[d].Load()
+			bytes[d] = t.sentBytes[d].Load()
+		}
+		return msgs, bytes
+	})
+	if base := os.Getenv(perf.EnvDebugAddr); base != "" {
+		dln, addr, err := perf.Serve(base, rank, pv)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcpnet: rank %d: debug endpoint: %v\n", rank, err)
+		} else {
+			t.debugLn = dln
+			fmt.Fprintf(os.Stderr, "tcpnet: rank %d: perf debug endpoint at http://%s/perf\n", rank, addr)
+		}
+	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return env, nil
@@ -124,6 +171,8 @@ func (t *Transport) Deliver(dst int, p *mpi.Packet) error {
 	if dst < 0 || dst >= len(t.addrs) {
 		return mpi.ErrRank
 	}
+	t.sentMsgs[dst].Add(1)
+	t.sentBytes[dst].Add(uint64(len(p.Data)))
 	if dst == t.rank {
 		// Local fast path; the engine takes ownership of the packet.
 		return t.env.Post(p)
@@ -139,7 +188,11 @@ func (t *Transport) Deliver(dst int, p *mpi.Packet) error {
 	fb.b = encodePacketInto(fb.b, t.rank, p, ackID)
 	oc, err := t.outbound(dst)
 	if err == nil {
-		err = oc.write(fb.b)
+		if err = oc.write(fb.b); err == nil {
+			nc := t.netCounters()
+			nc.FramesOut.Add(1)
+			nc.BytesOut.Add(uint64(len(fb.b)))
+		}
 	}
 	framePool.Put(fb)
 	if err != nil && ackID != 0 {
@@ -168,6 +221,9 @@ func (t *Transport) Close() error {
 	}
 	t.mu.Unlock()
 
+	if t.debugLn != nil {
+		t.debugLn.Close()
+	}
 	ln.Close()
 	for _, c := range conns {
 		c.Close()
@@ -199,6 +255,7 @@ func (t *Transport) outbound(dst int) (*outConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: dial rank %d at %s: %w", dst, t.addrs[dst], err)
 	}
+	t.netCounters().Dials.Add(1)
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
@@ -284,6 +341,9 @@ func (t *Transport) readLoop(conn net.Conn) {
 				}
 				p.Data = buf
 			}
+			nc := t.netCounters()
+			nc.FramesIn.Add(1)
+			nc.BytesIn.Add(uint64(4 + 1 + body))
 			if ackID != 0 {
 				ch := make(chan struct{})
 				p.Ack = ch
@@ -300,6 +360,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 				return
 			}
 			id := binary.LittleEndian.Uint64(scratch[5 : 5+8])
+			t.netCounters().AcksIn.Add(1)
 			t.ackMu.Lock()
 			if ch, ok := t.pending[id]; ok {
 				close(ch)
@@ -321,7 +382,9 @@ func (t *Transport) sendAckWhenMatched(srcWorld int, ackID uint64, matched <-cha
 	frame[4] = kindAck
 	binary.LittleEndian.PutUint64(frame[5:], ackID)
 	if oc, err := t.outbound(srcWorld); err == nil {
-		_ = oc.write(frame[:]) // best effort: the peer may already be gone
+		if oc.write(frame[:]) == nil { // best effort: the peer may already be gone
+			t.netCounters().AcksOut.Add(1)
+		}
 	}
 }
 
@@ -359,7 +422,7 @@ func parsePacketHeader(hdr []byte) (srcWorld int, p *mpi.Packet, ackID uint64) {
 	src := int(int64(binary.LittleEndian.Uint64(hdr[16:])))
 	tag := int(int64(binary.LittleEndian.Uint64(hdr[24:])))
 	ackID = binary.LittleEndian.Uint64(hdr[32:])
-	return srcWorld, &mpi.Packet{Ctx: ctx, Src: src, Tag: tag}, ackID
+	return srcWorld, &mpi.Packet{Ctx: ctx, Src: src, SrcWorld: srcWorld, Tag: tag}, ackID
 }
 
 // decodePacket parses the body of a kindPacket frame (after the length and

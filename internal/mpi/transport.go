@@ -1,5 +1,16 @@
 package mpi
 
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"mph/internal/mpi/perf"
+)
+
 // Transport moves a packet to the engine of another world rank. The
 // in-process World posts directly into the destination's engine; the TCP
 // transport serializes the packet onto a per-peer ordered stream.
@@ -21,12 +32,102 @@ type Env struct {
 	worldSize int
 	eng       *engine
 	tr        Transport
+
+	pv        *perf.Rank
+	tracer    *perf.Tracer // cached for the send-path nil check; nil = off
+	flushOnce sync.Once
 }
 
 // NewEnv assembles an environment from its parts. It is exported for
 // transport packages (tcpnet); in-process users should use World instead.
+// When perf.EnvTraceDir is set, event tracing is enabled from the start
+// with a ring of perf.EnvTraceEvents events (perf.DefaultTraceEvents if
+// unset).
 func NewEnv(worldRank, worldSize int, tr Transport) *Env {
-	return &Env{worldRank: worldRank, worldSize: worldSize, eng: newEngine(), tr: tr}
+	e := &Env{
+		worldRank: worldRank,
+		worldSize: worldSize,
+		eng:       newEngine(worldSize),
+		tr:        tr,
+		pv:        perf.NewRank(worldRank, worldSize),
+	}
+	e.pv.SetEngineCollector(e.eng.perfSnap)
+	if os.Getenv(perf.EnvTraceDir) != "" {
+		capacity := 0
+		if v := os.Getenv(perf.EnvTraceEvents); v != "" {
+			capacity, _ = strconv.Atoi(v)
+		}
+		e.EnableTracing(capacity)
+	}
+	return e
+}
+
+// Perf returns the rank's performance-variable handle.
+func (e *Env) Perf() *perf.Rank { return e.pv }
+
+// EnableTracing installs an event tracer with the given ring capacity
+// (perf.DefaultTraceEvents if capacity <= 0) and returns it. It must be
+// called before traffic starts: the hot paths cache the tracer pointer with
+// a plain nil check, which is what keeps tracer-off overhead at zero.
+func (e *Env) EnableTracing(capacity int) *perf.Tracer {
+	t := e.pv.EnableTracer(capacity)
+	e.tracer = t
+	e.eng.setTracer(t)
+	return t
+}
+
+// PeerArrivals reports the messages and bytes this rank's engine has
+// received from one source world rank. Transports use it to derive sent
+// totals for self-delivered traffic.
+func (e *Env) PeerArrivals(src int) (msgs, bytes uint64) {
+	return e.eng.arrivalsFrom(src)
+}
+
+// flushObservability writes the stats and trace files requested through
+// perf.EnvStatsDir / perf.EnvTraceDir, once, before the engine is torn
+// down. Failures are reported to stderr: diagnostics must never fail the
+// job.
+func (e *Env) flushObservability() {
+	e.flushOnce.Do(func() {
+		if dir := os.Getenv(perf.EnvStatsDir); dir != "" {
+			path := filepath.Join(dir, fmt.Sprintf("stats.rank%04d.json", e.worldRank))
+			if err := writeJSONFile(path, e.pv.Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "mpi: perf stats dump: %v\n", err)
+			}
+		}
+		dir := os.Getenv(perf.EnvTraceDir)
+		tr := e.pv.Tracer()
+		if dir == "" || tr == nil {
+			return
+		}
+		path := filepath.Join(dir, fmt.Sprintf("trace.rank%04d.jsonl", e.worldRank))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpi: perf trace dump: %v\n", err)
+			return
+		}
+		meta := perf.Meta{Rank: e.worldRank, Size: e.worldSize, Component: e.pv.ComponentName()}
+		if err := tr.WriteJSONL(f, meta); err != nil {
+			fmt.Fprintf(os.Stderr, "mpi: perf trace dump: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mpi: perf trace dump: %v\n", err)
+		}
+	})
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // WorldRank returns this process's rank in the world communicator.
@@ -42,8 +143,10 @@ func (e *Env) Post(p *Packet) error {
 	return e.eng.post(p)
 }
 
-// Close shuts down the engine and the transport.
+// Close flushes any requested observability dumps, then shuts down the
+// engine and the transport.
 func (e *Env) Close() error {
+	e.flushObservability()
 	e.eng.close()
 	return e.tr.Close()
 }

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"sync"
+
+	"mph/internal/mpi/perf"
 )
 
 // World is the in-process job: n ranks, each intended to run on its own
@@ -25,7 +27,39 @@ func NewWorld(n int) (*World, error) {
 		tr.engines[i] = env.eng
 		w.envs[i] = env
 	}
+	// Sent totals are derived, not counted: an in-process eager send is
+	// delivered into the destination engine before it returns, so "what
+	// rank i sent to d" is exactly what d's engine received from i. The
+	// collector reads sibling engines under their own locks at snapshot
+	// time, keeping the send hot path untouched.
+	for i, env := range w.envs {
+		src := i
+		env.pv.SetSentCollector(func() (msgs, bytes []uint64) {
+			msgs = make([]uint64, n)
+			bytes = make([]uint64, n)
+			for d, eng := range tr.engines {
+				msgs[d], bytes[d] = eng.arrivalsFrom(src)
+			}
+			return msgs, bytes
+		})
+	}
 	return w, nil
+}
+
+// EnableTracing installs an event tracer on every rank of the world with
+// the given ring capacity each. It must be called before traffic starts.
+func (w *World) EnableTracing(capacity int) {
+	for _, env := range w.envs {
+		env.EnableTracing(capacity)
+	}
+}
+
+// Perf returns rank's performance-variable handle.
+func (w *World) Perf(rank int) (*perf.Rank, error) {
+	if rank < 0 || rank >= w.size {
+		return nil, ErrRank
+	}
+	return w.envs[rank].pv, nil
 }
 
 // Size returns the number of ranks in the world.
@@ -44,6 +78,12 @@ func (w *World) Comm(rank int) (*Comm, error) {
 // ErrClosed, and synchronous senders blocked on unmatched messages are
 // released.
 func (w *World) Close() {
+	// Flush observability dumps for every rank before any engine closes:
+	// sent totals are derived from sibling engines, which must still hold
+	// their counters.
+	for _, env := range w.envs {
+		env.flushObservability()
+	}
 	for _, env := range w.envs {
 		env.eng.close()
 	}

@@ -2,11 +2,16 @@
 # Repository check suite: everything a change must pass before merging.
 # The race pass targets internal/mpi because the matching engine is the
 # concurrency-critical core; its stress tests are written to run under -race.
+# The perf package gets an explicit vet (it is the observability layer every
+# future perf PR reports through), and the tracer-overhead benchmark runs
+# once as a smoke test that both tracer paths still execute.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
+go vet ./internal/mpi/perf
 go build ./...
 go test ./...
 go test -race ./internal/mpi/...
+go test -run=NONE -bench=BenchmarkTracerOverhead -benchtime=1x ./internal/mpi
