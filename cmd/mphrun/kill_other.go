@@ -1,0 +1,15 @@
+//go:build !unix
+
+package main
+
+import "os/exec"
+
+// setProcGroup is a no-op on platforms without process groups.
+func setProcGroup(cmd *exec.Cmd) {}
+
+// killTree terminates the child process (no group semantics available).
+func killTree(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package main
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcGroup places a child in its own process group before it starts, so
+// the launcher can later terminate the whole tree — the component may have
+// forked helpers that would otherwise survive it.
+func setProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killTree terminates the child's whole process group, falling back to the
+// single process when the group signal fails.
+func killTree(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		_ = cmd.Process.Kill()
+	}
+}

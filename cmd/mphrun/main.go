@@ -21,10 +21,17 @@
 // rendezvous, spawns every process with MPH_RANK / MPH_NPROCS /
 // MPH_RENDEZVOUS / MPH_REGISTRATION set, prefixes each process's output
 // with its rank, and exits non-zero if any process fails.
+//
+// When a rank exits abnormally mid-job, mphrun broadcasts a launcher abort
+// to the surviving ranks (their blocked MPI calls return mpi.ErrAborted),
+// waits -grace for them to exit on their own, kills the remaining process
+// groups, and reports the failures grouped per component executable.
+// Exit status: 0 success, 1 job or launcher failure, 2 usage error.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"mph/internal/mpi/perf"
+	"mph/internal/mpi/tcpnet"
 	"mph/internal/mpirun"
 )
 
@@ -50,6 +58,7 @@ func main() {
 	cmdfile := flag.String("cmdfile", "", "MPMD command file")
 	registration := flag.String("registration", "", "registration file forwarded to every process")
 	timeout := flag.Duration("timeout", 120*time.Second, "rendezvous timeout")
+	grace := flag.Duration("grace", 5*time.Second, "after a rank fails, how long survivors get to exit before their process groups are killed")
 	stats := flag.Bool("stats", false, "collect per-rank performance variables and print a per-component summary at job end")
 	traceDir := flag.String("trace", "", "directory for per-rank event traces (trace.rank*.jsonl, mergeable with mphtrace)")
 	flag.Parse()
@@ -93,7 +102,7 @@ func main() {
 		extraEnv = append(extraEnv, perf.EnvTraceDir+"="+*traceDir)
 	}
 
-	if err := launch(entries, total, *registration, *timeout, extraEnv); err != nil {
+	if err := launch(entries, total, *registration, *timeout, *grace, extraEnv); err != nil {
 		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
 		if statsDir != "" {
 			os.RemoveAll(statsDir)
@@ -192,9 +201,25 @@ func parseCmdfile(path string) ([]entry, int, error) {
 	return entries, total, nil
 }
 
+// proc is one spawned rank: its command, world rank, and the index of the
+// cmdfile entry it belongs to (for the per-component failure report).
+type proc struct {
+	cmd  *exec.Cmd
+	rank int
+	exe  int
+}
+
+// procResult is one reaped child: its world rank and cmd.Wait error.
+type procResult struct {
+	rank int
+	err  error
+}
+
 // launch runs the job to completion. extraEnv entries ("KEY=VALUE") are
 // appended to every child's environment (observability dump directories).
-func launch(entries []entry, total int, registration string, timeout time.Duration, extraEnv []string) error {
+// grace bounds how long survivors of a failed rank get to exit after the
+// abort broadcast before their process groups are killed.
+func launch(entries []entry, total int, registration string, timeout, grace time.Duration, extraEnv []string) error {
 	rv, err := mpirun.NewRendezvous(total)
 	if err != nil {
 		return err
@@ -205,14 +230,6 @@ func launch(entries []entry, total int, registration string, timeout time.Durati
 	fmt.Fprintf(os.Stderr, "mphrun: world of %d ranks across %d executable(s); rendezvous %s\n",
 		total, len(entries), rv.Addr())
 
-	type proc struct {
-		cmd  *exec.Cmd
-		rank int
-	}
-	type procResult struct {
-		rank int
-		err  error
-	}
 	var procs []proc
 	var outWG sync.WaitGroup
 	rank := 0
@@ -228,6 +245,7 @@ func launch(entries []entry, total int, registration string, timeout time.Durati
 				cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%s", mpirun.EnvRegistration, registration))
 			}
 			cmd.Env = append(cmd.Env, extraEnv...)
+			setProcGroup(cmd)
 			prefix := fmt.Sprintf("[exe%d rank%d] ", ei, rank)
 			stdout, err := cmd.StdoutPipe()
 			if err != nil {
@@ -241,9 +259,13 @@ func launch(entries []entry, total int, registration string, timeout time.Durati
 			go relay(os.Stdout, stdout, prefix, &outWG)
 			go relay(os.Stderr, stderr, prefix, &outWG)
 			if err := cmd.Start(); err != nil {
+				rv.Close()
+				for _, p := range procs {
+					killTree(p.cmd)
+				}
 				return fmt.Errorf("start %q (rank %d): %w", strings.Join(e.argv, " "), rank, err)
 			}
-			procs = append(procs, proc{cmd: cmd, rank: rank})
+			procs = append(procs, proc{cmd: cmd, rank: rank, exe: ei})
 			rank++
 		}
 	}
@@ -259,64 +281,185 @@ func launch(entries []entry, total int, registration string, timeout time.Durati
 	}
 	killAll := func() {
 		for _, p := range procs {
-			_ = p.cmd.Process.Kill()
+			killTree(p.cmd)
 		}
-	}
-	drain := func(already int) error {
-		var firstErr error
-		for i := already; i < len(procs); i++ {
-			r := <-results
-			if r.err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("rank %d: %w", r.rank, r.err)
-			}
-		}
-		outWG.Wait()
-		return firstErr
 	}
 
+	// Exit bookkeeping; everything below runs on this goroutine only.
+	exitErr := make([]error, total)
+	exited := make([]bool, total)
 	reaped := 0
-	for {
+	primary := -1 // first abnormally-exiting rank
+	record := func(r procResult) {
+		reaped++
+		exited[r.rank] = true
+		exitErr[r.rank] = r.err
+		if r.err != nil && primary < 0 {
+			primary = r.rank
+		}
+	}
+	drainRest := func() {
+		for reaped < len(procs) {
+			record(<-results)
+		}
+		outWG.Wait()
+	}
+
+	// Phase 1: wait for the world to wire up, watching for children that
+	// die first.
+	wired := false
+	for !wired {
 		select {
 		case err := <-serveErr:
 			if err != nil {
 				killAll()
-				_ = drain(reaped)
+				drainRest()
 				return fmt.Errorf("rendezvous: %w", err)
 			}
-			// Wired up; from here the job just runs to completion.
-			return drain(reaped)
+			wired = true
 		case r := <-results:
-			reaped++
 			// A fast job can finish a rank between the rendezvous reply
 			// and Serve's return; check for that before declaring the
 			// exit premature.
 			select {
 			case err := <-serveErr:
 				if err != nil {
+					record(r)
 					killAll()
-					_ = drain(reaped)
+					drainRest()
 					return fmt.Errorf("rendezvous: %w", err)
 				}
-				firstErr := error(nil)
-				if r.err != nil {
-					firstErr = fmt.Errorf("rank %d: %w", r.rank, r.err)
-				}
-				if derr := drain(reaped); derr != nil && firstErr == nil {
-					firstErr = derr
-				}
-				return firstErr
+				wired = true
+				record(r)
 			default:
+				// A rank exited before the world was wired — whatever its
+				// status, the job cannot proceed. Cancel the rendezvous so
+				// Serve returns now rather than waiting out the full
+				// -timeout with the launcher blocked behind it.
+				record(r)
+				rv.Close()
+				if err := <-serveErr; err == nil {
+					// Serve completed in the closing window after all; the
+					// world is wired, supervise normally.
+					wired = true
+					break
+				}
+				killAll()
+				drainRest()
+				if r.err != nil {
+					return fmt.Errorf("rank %d exited before rendezvous completed: %w", r.rank, r.err)
+				}
+				return fmt.Errorf("rank %d exited before rendezvous completed", r.rank)
 			}
-			// A rank exited before the world was wired — whatever its
-			// status, the job cannot proceed.
-			killAll()
-			_ = drain(reaped)
-			if r.err != nil {
-				return fmt.Errorf("rank %d exited before rendezvous completed: %w", r.rank, r.err)
-			}
-			return fmt.Errorf("rank %d exited before rendezvous completed", r.rank)
 		}
 	}
+
+	// Phase 2: supervise the running job. On the first abnormal exit,
+	// broadcast a launcher abort so every survivor's blocked MPI calls
+	// fail with mpi.ErrAborted, then give them grace to exit on their own
+	// before killing the remaining process groups.
+	addrs := rv.Addrs()
+	aborted := false
+	var graceCh <-chan time.Time
+	maybeAbort := func() {
+		if primary < 0 || aborted {
+			return
+		}
+		aborted = true
+		survivors := 0
+		for _, p := range procs {
+			if !exited[p.rank] {
+				survivors++
+			}
+		}
+		if survivors == 0 {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "mphrun: rank %d failed; aborting %d surviving rank(s) (grace %v)\n",
+			primary, survivors, grace)
+		broadcastAbort(addrs, exited)
+		graceCh = time.After(grace)
+	}
+	maybeAbort()
+	for reaped < len(procs) {
+		select {
+		case r := <-results:
+			record(r)
+			maybeAbort()
+		case <-graceCh:
+			graceCh = nil
+			fmt.Fprintln(os.Stderr, "mphrun: grace period expired; killing surviving process groups")
+			for _, p := range procs {
+				if !exited[p.rank] {
+					killTree(p.cmd)
+				}
+			}
+		}
+	}
+	outWG.Wait()
+	return failureReport(entries, procs, exitErr, primary, total)
+}
+
+// broadcastAbort pushes a launcher abort (origin -1, code 1) to every rank
+// that has not exited yet. Best effort and parallel: a rank that died
+// without being reaped yet simply refuses the dial.
+func broadcastAbort(addrs []string, exited []bool) {
+	var wg sync.WaitGroup
+	for rank, addr := range addrs {
+		if rank < len(exited) && exited[rank] {
+			continue
+		}
+		wg.Add(1)
+		go func(rank int, addr string) {
+			defer wg.Done()
+			if err := tcpnet.SendAbort(addr, 1, -1, 2*time.Second); err != nil {
+				fmt.Fprintf(os.Stderr, "mphrun: abort to rank %d (%s): %v\n", rank, addr, err)
+			}
+		}(rank, addr)
+	}
+	wg.Wait()
+}
+
+// failureReport summarises abnormal exits grouped per component executable,
+// or returns nil when every rank exited cleanly. primary is the first rank
+// whose failure was observed (-1 if none); the others typically failed as
+// collateral — aborted by the launcher or killed after the grace period.
+func failureReport(entries []entry, procs []proc, exitErr []error, primary, total int) error {
+	failed := 0
+	for _, err := range exitErr {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "job failed: %d of %d rank(s) exited abnormally", failed, total)
+	for ei, e := range entries {
+		var bad []string
+		ranks := 0
+		for _, p := range procs {
+			if p.exe != ei {
+				continue
+			}
+			ranks++
+			if exitErr[p.rank] == nil {
+				continue
+			}
+			s := fmt.Sprintf("rank %d: %v", p.rank, exitErr[p.rank])
+			if p.rank == primary {
+				s += " (first failure)"
+			}
+			bad = append(bad, s)
+		}
+		status := "ok"
+		if len(bad) > 0 {
+			status = strings.Join(bad, "; ")
+		}
+		fmt.Fprintf(&b, "\n  exe%d [%s] (%d rank(s)): %s", ei, strings.Join(e.argv, " "), ranks, status)
+	}
+	return errors.New(b.String())
 }
 
 // relay copies a child stream line by line with a rank prefix.

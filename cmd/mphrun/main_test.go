@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -44,6 +45,13 @@ func worker() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	// Fault hook for the launcher tests: the designated rank dies abruptly
+	// after the handshake, while everyone else blocks in communication and
+	// must be released by the launcher's abort broadcast.
+	if fr := os.Getenv("MPH_TEST_FAIL_RANK"); fr == strconv.Itoa(world.Rank()) {
+		fmt.Fprintln(os.Stderr, "worker: injected failure, exiting 3")
+		os.Exit(3)
 	}
 	const tag = 4
 	switch {
@@ -142,7 +150,7 @@ func TestLaunchEndToEnd(t *testing.T) {
 		{nprocs: 2, argv: []string{self}},
 		{nprocs: 1, argv: []string{self}},
 	}
-	if err := launch(entries, 3, regPath, 60*time.Second, nil); err != nil {
+	if err := launch(entries, 3, regPath, 60*time.Second, 5*time.Second, nil); err != nil {
 		t.Fatalf("launch: %v", err)
 	}
 }
@@ -155,8 +163,77 @@ func TestLaunchReportsChildFailure(t *testing.T) {
 	entries := []entry{{nprocs: 1, argv: []string{"/bin/false"}}}
 	// /bin/false never registers, so the rendezvous times out — and the
 	// child's exit status is nonzero. Either way launch must error.
-	if err := launch(entries, 1, "", 2*time.Second, nil); err == nil {
+	if err := launch(entries, 1, "", 2*time.Second, time.Second, nil); err == nil {
 		t.Fatal("launch reported success for a failing job")
+	}
+}
+
+// TestLaunchChildFailureFast is the regression test for the rendezvous-leak
+// bug: when a child exits before registering, launch must cancel the
+// rendezvous and return promptly instead of waiting out the full -timeout
+// (here 60s) with the Serve goroutine blocked behind it.
+func TestLaunchChildFailureFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	entries := []entry{{nprocs: 1, argv: []string{"/bin/false"}}}
+	start := time.Now()
+	err := launch(entries, 1, "", 60*time.Second, time.Second, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("launch reported success for a failing job")
+	}
+	if !strings.Contains(err.Error(), "before rendezvous completed") {
+		t.Errorf("error %q does not mention the premature exit", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("launch took %v; the early child exit should cancel the 60s rendezvous", elapsed)
+	}
+}
+
+// TestLaunchFailureReport kills one rank of a live 3-rank job after the
+// handshake and checks that the launcher aborts the survivors, exits well
+// under the rendezvous timeout, and reports the failures grouped per
+// component with the primary failure called out.
+func TestLaunchFailureReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	regPath := filepath.Join(dir, "processors_map.in")
+	if err := os.WriteFile(regPath, []byte("BEGIN\nalpha\nbeta\nEND\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv("MPH_TEST_WORKER", "1")
+	t.Setenv("MPH_TEST_FAIL_RANK", "1")
+	entries := []entry{
+		{nprocs: 2, argv: []string{self}},
+		{nprocs: 1, argv: []string{self}},
+	}
+	const timeout = 60 * time.Second
+	start := time.Now()
+	err = launch(entries, 3, regPath, timeout, 10*time.Second, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("launch reported success for a job with a dying rank")
+	}
+	if elapsed > timeout/2 {
+		t.Fatalf("launch took %v; the abort broadcast should finish the job in well under timeout/2 (%v)", elapsed, timeout/2)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "job failed") {
+		t.Errorf("report %q lacks the job failed banner", msg)
+	}
+	if !strings.Contains(msg, "rank 1") || !strings.Contains(msg, "(first failure)") {
+		t.Errorf("report %q does not single out rank 1 as the first failure", msg)
+	}
+	if !strings.Contains(msg, "exe0") || !strings.Contains(msg, "exe1") {
+		t.Errorf("report %q is not grouped per executable", msg)
 	}
 }
 
@@ -226,7 +303,7 @@ func TestLaunchStats(t *testing.T) {
 		perf.EnvStatsDir + "=" + statsDir,
 		perf.EnvTraceDir + "=" + traceDir,
 	}
-	if err := launch(entries, 3, regPath, 60*time.Second, extraEnv); err != nil {
+	if err := launch(entries, 3, regPath, 60*time.Second, 5*time.Second, extraEnv); err != nil {
 		t.Fatalf("launch: %v", err)
 	}
 

@@ -113,7 +113,7 @@ func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registr
 	}
 	flags, err := world.AllreduceInts([]int64{okFlag}, mpi.OpSum)
 	if err != nil {
-		return nil, fmt.Errorf("mph: handshake: %w", err)
+		return nil, fmt.Errorf("mph: handshake: %w", escalate(world, err))
 	}
 	if flags[0] != 0 {
 		if loadErr != nil {
@@ -123,7 +123,7 @@ func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registr
 	}
 	text, err = world.BcastString(0, text)
 	if err != nil {
-		return nil, fmt.Errorf("mph: handshake: %w", err)
+		return nil, fmt.Errorf("mph: handshake: %w", escalate(world, err))
 	}
 	reg, err := registry.Parse(text)
 	if err != nil {
@@ -143,7 +143,7 @@ func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registr
 	}
 	execComm, err := world.Split(color, 0)
 	if err != nil {
-		return nil, fmt.Errorf("mph: handshake: executable split: %w", err)
+		return nil, fmt.Errorf("mph: handshake: executable split: %w", escalate(world, err))
 	}
 	if err := agree(world, resolveErr); err != nil {
 		return nil, err
@@ -185,7 +185,7 @@ func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registr
 	}
 	parts, err := world.Allgather([]byte(strings.Join(contribution, "\n")))
 	if err != nil {
-		return nil, fmt.Errorf("mph: handshake: layout exchange: %w", err)
+		return nil, fmt.Errorf("mph: handshake: layout exchange: %w", escalate(world, err))
 	}
 	s.layout = make(map[string][]int, reg.TotalComponents())
 	for rank, p := range parts {
@@ -226,6 +226,20 @@ func handshake(world *mpi.Comm, src Source, opts []Option, resolve func(*registr
 	return s, nil
 }
 
+// escalate turns a transport failure inside the handshake into a world-wide
+// abort. The handshake's agree coordination assumes the world communicator
+// still works; once a peer is lost that assumption is gone, so the rank that
+// noticed aborts the job to unblock every sibling still waiting inside a
+// collective. Abort is idempotent, so concurrent escalation from several
+// ranks is harmless, and ranks that failed because an abort is already in
+// flight (mpi.ErrAborted) do not re-broadcast.
+func escalate(world *mpi.Comm, err error) error {
+	if _, lost := mpi.IsPeerLost(err); lost {
+		world.Abort(1)
+	}
+	return err
+}
+
 // agree performs the coordinated abort: every rank contributes whether it
 // failed, and if any did, all ranks return an error (the local one where it
 // exists, a generic ErrHandshake elsewhere).
@@ -236,7 +250,7 @@ func agree(world *mpi.Comm, local error) error {
 	}
 	sum, err := world.AllreduceInts([]int64{flag}, mpi.OpSum)
 	if err != nil {
-		return fmt.Errorf("mph: handshake coordination: %w", err)
+		return fmt.Errorf("mph: handshake coordination: %w", escalate(world, err))
 	}
 	if sum[0] == 0 {
 		return nil

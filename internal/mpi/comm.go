@@ -41,13 +41,19 @@ func worldComm(env *Env) *Comm {
 }
 
 func newComm(env *Env, ctx uint64, rank int, group []int) *Comm {
-	return &Comm{
+	c := &Comm{
 		env:   env,
 		ctx:   ctx,
 		cctx:  deriveContext(ctx, 0, "collective"),
 		rank:  rank,
 		group: group,
 	}
+	// Register the group under both contexts so the engine can translate
+	// communicator-local ranks to world ranks when a peer dies (p2p traffic
+	// uses ctx, collectives use cctx).
+	env.eng.registerGroup(c.ctx, group)
+	env.eng.registerGroup(c.cctx, group)
+	return c
 }
 
 // deriveContext computes a child context from a parent context, a sequence
@@ -114,6 +120,12 @@ func (c *Comm) Context() uint64 { return c.ctx }
 // Perf returns this rank's performance-variable handle (shared by every
 // communicator of the rank).
 func (c *Comm) Perf() *perf.Rank { return c.env.pv }
+
+// Abort takes the whole job down with the given code: every reachable rank
+// unblocks its pending operations with an *AbortError wrapping ErrAborted
+// (MPI_Abort semantics). Unlike MPI_Abort it does not terminate the calling
+// process — callers decide how to exit once their blocked calls return.
+func (c *Comm) Abort(code int) { c.env.Abort(code) }
 
 // Dup returns a communicator with the same group but an isolated context.
 // Like all communicator-creating operations it must be called collectively

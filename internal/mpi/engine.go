@@ -40,9 +40,21 @@ import (
 // completion channel, so completing one operation wakes exactly one waiter
 // instead of broadcasting to all.
 type engine struct {
-	mu     sync.Mutex
-	closed bool
-	seq    uint64 // arrival/post sequence, monotone under mu
+	mu   sync.Mutex
+	fail error  // non-nil once the engine stopped: ErrClosed or an abort error
+	seq  uint64 // arrival/post sequence, monotone under mu
+
+	// groups maps a live message context to its communicator group
+	// (communicator rank -> world rank), registered by newComm. The engine
+	// needs it to translate peer loss — reported in world ranks by the
+	// transport — into the communicator-local source ranks that posted
+	// receives carry.
+	groups map[uint64][]int
+
+	// lost records every world rank the transport has declared dead, with
+	// the transport-level cause. Receives and probes naming a lost peer fail
+	// with *ErrPeerLost instead of waiting forever.
+	lost map[int]error
 
 	// Unexpected-message queue: exact-envelope buckets plus an engine-wide
 	// arrival-order list for wildcard matching. Emptied buckets are kept in
@@ -263,7 +275,73 @@ func newEngine(worldSize int) *engine {
 		ubuckets: make(map[matchKey]*ulist),
 		pbuckets: make(map[matchKey]*plist),
 		recvFrom: make([]peerCount, worldSize),
+		groups:   make(map[uint64][]int),
+		lost:     make(map[int]error),
 	}
+}
+
+// registerGroup records the communicator group behind a message context so
+// the engine can translate communicator-local source ranks to world ranks
+// when a peer is declared lost. Contexts are content-derived and stable, so
+// re-registering an existing context is a no-op.
+func (e *engine) registerGroup(ctx uint64, group []int) {
+	e.mu.Lock()
+	if e.groups != nil {
+		if _, ok := e.groups[ctx]; !ok {
+			g := make([]int, len(group))
+			copy(g, group)
+			e.groups[ctx] = g
+		}
+	}
+	e.mu.Unlock()
+}
+
+// worldOf translates a communicator-local source rank on ctx to a world
+// rank. It reports false for wildcard sources and unregistered contexts.
+// Caller holds e.mu.
+func (e *engine) worldOf(ctx uint64, src int) (int, bool) {
+	if src == AnySource {
+		return 0, false
+	}
+	g, ok := e.groups[ctx]
+	if !ok || src < 0 || src >= len(g) {
+		return 0, false
+	}
+	return g[src], true
+}
+
+// lostErrFor returns the *ErrPeerLost for a receive or probe naming a dead
+// peer, or nil when the source is live, wildcard, or untranslatable. Caller
+// holds e.mu.
+func (e *engine) lostErrFor(ctx uint64, src int) error {
+	if len(e.lost) == 0 {
+		return nil
+	}
+	w, ok := e.worldOf(ctx, src)
+	if !ok {
+		return nil
+	}
+	if cause, dead := e.lost[w]; dead {
+		return &ErrPeerLost{Rank: w, Cause: cause}
+	}
+	return nil
+}
+
+// failAck delivers a failure to a synchronous sender: the typed error is
+// sent (the channel has capacity 1 by contract; a full or contended channel
+// falls through to the close) and the channel is closed. A nil err is the
+// success path and reads as nil on the sender side.
+func failAck(ch chan error, err error) {
+	if ch == nil {
+		return
+	}
+	if err != nil {
+		select {
+		case ch <- err:
+		default:
+		}
+	}
+	close(ch)
 }
 
 // setTracer installs the event tracer; it must run before traffic starts
@@ -319,9 +397,11 @@ const sweepThreshold = 64
 // post delivers a message into the engine. It is called by transports.
 func (e *engine) post(m *Packet) error {
 	e.mu.Lock()
-	if e.closed {
+	if e.fail != nil {
+		err := e.fail
 		e.mu.Unlock()
-		return ErrClosed
+		failAck(m.Ack, err)
+		return err
 	}
 	if s := m.SrcWorld; s >= 0 && s < len(e.recvFrom) {
 		e.recvFrom[s].msgs++
@@ -619,13 +699,20 @@ func (e *engine) takeUnexpected(ctx uint64, src, tag int) *Packet {
 // the slow path posts a receive record and parks on its private channel.
 func (e *engine) recv(ctx uint64, src, tag int) (*Packet, error) {
 	e.mu.Lock()
-	if e.closed {
+	if e.fail != nil {
+		err := e.fail
 		e.mu.Unlock()
-		return nil, ErrClosed
+		return nil, err
 	}
 	if m := e.takeUnexpected(ctx, src, tag); m != nil {
 		e.mu.Unlock()
 		return m, nil
+	}
+	// The UMQ is consulted first so messages that arrived before the peer
+	// died remain consumable; only an empty queue for a dead source fails.
+	if err := e.lostErrFor(ctx, src); err != nil {
+		e.mu.Unlock()
+		return nil, err
 	}
 	pr := e.enqueuePosted(ctx, src, tag, true)
 	e.mu.Unlock()
@@ -641,11 +728,14 @@ func (e *engine) recv(ctx uint64, src, tag int) (*Packet, error) {
 func (e *engine) postRecv(ctx uint64, src, tag int) (m *Packet, pr *precv, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
-		return nil, nil, ErrClosed
+	if e.fail != nil {
+		return nil, nil, e.fail
 	}
 	if m := e.takeUnexpected(ctx, src, tag); m != nil {
 		return m, nil, nil
+	}
+	if err := e.lostErrFor(ctx, src); err != nil {
+		return nil, nil, err
 	}
 	return nil, e.enqueuePosted(ctx, src, tag, false), nil
 }
@@ -669,14 +759,19 @@ func (e *engine) cancel(r *precv) bool {
 // without removing it from the queue.
 func (e *engine) probe(ctx uint64, src, tag int) (Status, error) {
 	e.mu.Lock()
-	if e.closed {
+	if e.fail != nil {
+		err := e.fail
 		e.mu.Unlock()
-		return Status{}, ErrClosed
+		return Status{}, err
 	}
 	if n := e.findUnexpected(ctx, src, tag); n != nil {
 		st := Status{Source: n.pkt.Src, Tag: n.pkt.Tag, Len: len(n.pkt.Data)}
 		e.mu.Unlock()
 		return st, nil
+	}
+	if err := e.lostErrFor(ctx, src); err != nil {
+		e.mu.Unlock()
+		return Status{}, err
 	}
 	w := &pwait{ctx: ctx, src: src, tag: tag, ready: make(chan struct{})}
 	e.probes.pushBack(w)
@@ -727,18 +822,32 @@ func (e *engine) pendingPosted() int {
 
 // close shuts the engine down: pending and future receives fail with
 // ErrClosed, probe waiters are released, and synchronous senders blocked on
-// unmatched messages are released by closing their Ack channels.
+// unmatched messages are released by closing their Ack channels (reading as
+// a nil error: an orderly shutdown is not a send failure).
 func (e *engine) close() {
+	e.failAll(ErrClosed, nil)
+}
+
+// abort stops the engine for a job-wide abort: pending and future
+// operations fail with err, and blocked synchronous senders receive it
+// through their Ack channels.
+func (e *engine) abort(err error) {
+	e.failAll(err, err)
+}
+
+// failAll is the common teardown behind close and abort. opErr is what
+// pending and future operations return; ackErr is what blocked synchronous
+// senders read (nil on an orderly close, the abort error on an abort). The
+// first call wins; later calls are no-ops.
+func (e *engine) failAll(opErr, ackErr error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.fail != nil {
 		return
 	}
-	e.closed = true
+	e.fail = opErr
 	for n := e.uallHead; n != nil; n = n.allNext {
-		if n.pkt.Ack != nil {
-			close(n.pkt.Ack)
-		}
+		failAck(n.pkt.Ack, ackErr)
 	}
 	e.uallHead, e.uallTail = nil, nil
 	e.ubuckets = nil
@@ -751,7 +860,7 @@ func (e *engine) close() {
 		for r := l.head; r != nil; {
 			next := r.next
 			r.queued = false
-			r.err = ErrClosed
+			r.err = opErr
 			r.complete()
 			r = next
 		}
@@ -761,15 +870,66 @@ func (e *engine) close() {
 	for r := e.pwild.head; r != nil; {
 		next := r.next
 		r.queued = false
-		r.err = ErrClosed
+		r.err = opErr
 		r.complete()
 		r = next
 	}
 	e.pwild = plist{}
 	e.pcount = 0
 	for w := e.probes.head; w != nil; w = w.next {
-		w.err = ErrClosed
+		w.err = opErr
 		close(w.ready)
 	}
 	e.probes = pwaitList{}
+	e.groups = nil
+	e.lost = nil
+}
+
+// peerLost records the death of one world rank and fails every posted
+// receive and probe that can only be satisfied by that rank. Wildcard
+// (AnySource) operations are untouched — another peer may still satisfy
+// them — and messages the dead peer delivered before dying remain
+// consumable from the UMQ. Idempotent per rank; a no-op after close/abort.
+func (e *engine) peerLost(world int, cause error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fail != nil {
+		return
+	}
+	if _, dup := e.lost[world]; dup {
+		return
+	}
+	e.lost[world] = cause
+	lostErr := &ErrPeerLost{Rank: world, Cause: cause}
+	// Both PRQ homes can hold records naming a concrete source: exact
+	// buckets, and the wildcard list for concrete-source/AnyTag records.
+	for _, l := range e.pbuckets {
+		for r := l.head; r != nil; {
+			next := r.next
+			if w, ok := e.worldOf(r.ctx, r.src); ok && w == world {
+				e.unlinkPosted(r)
+				r.err = lostErr
+				r.complete()
+			}
+			r = next
+		}
+	}
+	for r := e.pwild.head; r != nil; {
+		next := r.next
+		if w, ok := e.worldOf(r.ctx, r.src); ok && w == world {
+			e.unlinkPosted(r)
+			r.err = lostErr
+			r.complete()
+		}
+		r = next
+	}
+	for w := e.probes.head; w != nil; {
+		next := w.next
+		if wr, ok := e.worldOf(w.ctx, w.src); ok && wr == world {
+			e.probes.remove(w)
+			w.err = lostErr
+			close(w.ready)
+		}
+		w = next
+	}
 }

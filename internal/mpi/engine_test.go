@@ -178,7 +178,7 @@ func TestCloseFailsPostedReceives(t *testing.T) {
 	e := newEngine(8)
 	_, exact, _ := e.postRecv(1, 0, 0)
 	_, wild, _ := e.postRecv(1, AnySource, AnyTag)
-	ack := make(chan struct{})
+	ack := make(chan error, 1)
 	if err := e.post(&Packet{Ctx: 2, Src: 0, Tag: 0, Ack: ack}); err != nil {
 		t.Fatal(err) // different ctx: goes unexpected, Ssend-style ack pends
 	}

@@ -57,11 +57,16 @@ type Packet struct {
 	Tag int
 	// Data is the payload, owned by the packet.
 	Data []byte
-	// Ack, when non-nil, is closed by the receiver at match time; it
-	// implements synchronous sends (Ssend).
-	Ack chan struct{}
+	// Ack, when non-nil, carries the message's completion back to a
+	// synchronous sender (Ssend). On a consuming match the engine closes the
+	// channel, which reads as a nil error; when the message can never be
+	// consumed (engine aborted, job torn down) the engine sends the typed
+	// failure before closing. Creators must allocate it with capacity 1 so
+	// the failure send never blocks the engine.
+	Ack chan error
 }
 
+// String formats the packet's matching envelope for diagnostics.
 func (p *Packet) String() string {
 	return fmt.Sprintf("packet{ctx=%x src=%d tag=%d len=%d}", p.Ctx, p.Src, p.Tag, len(p.Data))
 }

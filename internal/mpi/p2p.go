@@ -14,17 +14,19 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 }
 
 // Ssend is a synchronous send: it blocks until the matching receive has
-// consumed the message (MPI_Ssend semantics).
+// consumed the message (MPI_Ssend semantics). If the destination rank dies
+// or the job aborts before the message is consumed, Ssend returns the typed
+// failure (*ErrPeerLost, *AbortError) instead of blocking forever; an
+// orderly engine shutdown releases it with a nil error.
 func (c *Comm) Ssend(dst, tag int, data []byte) error {
-	ack := make(chan struct{})
+	ack := make(chan error, 1)
 	if err := c.send(dst, tag, data, ack); err != nil {
 		return err
 	}
-	<-ack
-	return nil
+	return <-ack
 }
 
-func (c *Comm) send(dst, tag int, data []byte, ack chan struct{}) error {
+func (c *Comm) send(dst, tag int, data []byte, ack chan error) error {
 	if tag < 0 {
 		return fmt.Errorf("%w: %d", ErrTag, tag)
 	}
@@ -33,7 +35,7 @@ func (c *Comm) send(dst, tag int, data []byte, ack chan struct{}) error {
 
 // sendCtx performs the transport-level send on an explicit context; the
 // collectives use it with the internal collective context.
-func (c *Comm) sendCtx(ctx uint64, dst, tag int, data []byte, ack chan struct{}) error {
+func (c *Comm) sendCtx(ctx uint64, dst, tag int, data []byte, ack chan error) error {
 	if dst < 0 || dst >= len(c.group) {
 		return fmt.Errorf("%w: send to rank %d of comm size %d", ErrRank, dst, len(c.group))
 	}

@@ -77,6 +77,7 @@ var collOpNames = [NumCollOps]string{
 	"alltoall", "reduce", "allreduce", "scan", "split",
 }
 
+// String names the collective operation for summaries and traces.
 func (op CollOp) String() string {
 	if op < NumCollOps {
 		return collOpNames[op]
@@ -139,6 +140,15 @@ type NetCounters struct {
 	BytesOut  atomic.Uint64 // total bytes written (frames + acks)
 	BytesIn   atomic.Uint64 // total bytes read
 	Dials     atomic.Uint64 // outbound connections established
+
+	// Fault-tolerance counters: retry, liveness, and failure traffic.
+	DialRetries    atomic.Uint64 // dial attempts after the first, per connection
+	HeartbeatsOut  atomic.Uint64 // heartbeat frames written on idle connections
+	HeartbeatsIn   atomic.Uint64 // heartbeat frames read
+	PeersLost      atomic.Uint64 // world ranks declared dead by the failure detector
+	AbortsOut      atomic.Uint64 // abort frames broadcast by this rank
+	AbortsIn       atomic.Uint64 // abort frames received
+	FaultsInjected atomic.Uint64 // MPH_FAULT rule firings (testing only)
 }
 
 // EngineSnap is the matching engine's contribution to a Snapshot, copied
@@ -176,6 +186,14 @@ type NetSnap struct {
 	BytesOut  uint64 `json:"bytes_out"`
 	BytesIn   uint64 `json:"bytes_in"`
 	Dials     uint64 `json:"dials"`
+
+	DialRetries    uint64 `json:"dial_retries,omitempty"`
+	HeartbeatsOut  uint64 `json:"heartbeats_out,omitempty"`
+	HeartbeatsIn   uint64 `json:"heartbeats_in,omitempty"`
+	PeersLost      uint64 `json:"peers_lost,omitempty"`
+	AbortsOut      uint64 `json:"aborts_out,omitempty"`
+	AbortsIn       uint64 `json:"aborts_in,omitempty"`
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
 }
 
 // TraceSnap reports the tracer's state in a Snapshot.
@@ -424,6 +442,14 @@ func (r *Rank) Snapshot() Snapshot {
 		BytesOut:  r.Net.BytesOut.Load(),
 		BytesIn:   r.Net.BytesIn.Load(),
 		Dials:     r.Net.Dials.Load(),
+
+		DialRetries:    r.Net.DialRetries.Load(),
+		HeartbeatsOut:  r.Net.HeartbeatsOut.Load(),
+		HeartbeatsIn:   r.Net.HeartbeatsIn.Load(),
+		PeersLost:      r.Net.PeersLost.Load(),
+		AbortsOut:      r.Net.AbortsOut.Load(),
+		AbortsIn:       r.Net.AbortsIn.Load(),
+		FaultsInjected: r.Net.FaultsInjected.Load(),
 	}
 	if tr := r.Tracer(); tr != nil {
 		s.Trace = TraceSnap{

@@ -24,6 +24,9 @@ type Kind uint8
 //	KCommJoin:   A=group size
 //	KPhaseBegin: A=Phase
 //	KPhaseEnd:   A=Phase
+//	KDialRetry:  A=destination world rank, B=attempt number, C=backoff ns
+//	KPeerLost:   A=lost world rank
+//	KAbort:      A=abort code, B=origin world rank (-1 launcher)
 const (
 	KSend Kind = iota
 	KRecvPost
@@ -35,14 +38,19 @@ const (
 	KCommJoin
 	KPhaseBegin
 	KPhaseEnd
+	KDialRetry
+	KPeerLost
+	KAbort
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"send", "recv-post", "match", "coll-enter", "coll-exit",
 	"comm-split", "comm-dup", "comm-join", "phase-begin", "phase-end",
+	"dial-retry", "peer-lost", "abort",
 }
 
+// String names the event kind as it appears in trace dumps.
 func (k Kind) String() string {
 	if k < numKinds {
 		return kindNames[k]

@@ -1,0 +1,126 @@
+package tcpnet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Environment variables tuning the transport's fault-tolerance behavior.
+// Every knob has a production-safe default; OPERATIONS.md documents when to
+// turn each one.
+const (
+	// EnvDialTimeout is the total budget for establishing one outbound
+	// connection, including every backoff retry (default 30s).
+	EnvDialTimeout = "MPH_DIAL_TIMEOUT"
+	// EnvDialBackoff is the base delay of the exponential dial backoff
+	// (default 50ms). Successive retries double it, with jitter.
+	EnvDialBackoff = "MPH_DIAL_BACKOFF"
+	// EnvDialBackoffMax caps the per-retry backoff delay (default 2s).
+	EnvDialBackoffMax = "MPH_DIAL_BACKOFF_MAX"
+	// EnvWriteTimeout bounds one frame write on an established connection
+	// (default 30s). A peer that stops draining its socket for longer is
+	// treated as failed.
+	EnvWriteTimeout = "MPH_WRITE_TIMEOUT"
+	// EnvHeartbeat is the idle interval after which a heartbeat frame is
+	// written on an established outbound connection (default 2s), keeping
+	// the peer's read-side failure detector fed.
+	EnvHeartbeat = "MPH_HEARTBEAT"
+	// EnvPeerTimeout is how long an inbound connection may stay silent —
+	// and how long a lost connection may stay unre-established — before the
+	// peer behind it is declared dead (default 8s). It must comfortably
+	// exceed EnvHeartbeat.
+	EnvPeerTimeout = "MPH_PEER_TIMEOUT"
+	// EnvFault injects deterministic transport faults for chaos testing;
+	// see ParseFaultSpec for the grammar. Never set it in production.
+	EnvFault = "MPH_FAULT"
+)
+
+// netConfig is the transport's resolved fault-tolerance tuning.
+type netConfig struct {
+	dialTimeout  time.Duration // total dial budget including retries
+	dialBase     time.Duration // backoff base delay
+	dialMax      time.Duration // backoff cap (also the per-attempt dial timeout)
+	writeTimeout time.Duration // per-frame write deadline
+	heartbeat    time.Duration // idle interval before a heartbeat is written
+	peerTimeout  time.Duration // inbound silence / reconnect window before peer death
+}
+
+// defaultConfig returns the built-in tuning.
+func defaultConfig() netConfig {
+	return netConfig{
+		dialTimeout:  DialTimeout,
+		dialBase:     50 * time.Millisecond,
+		dialMax:      2 * time.Second,
+		writeTimeout: 30 * time.Second,
+		heartbeat:    2 * time.Second,
+		peerTimeout:  8 * time.Second,
+	}
+}
+
+// configFromEnv resolves the tuning from the MPH_* environment variables,
+// falling back to defaults for unset or unparsable values.
+func configFromEnv() netConfig {
+	c := defaultConfig()
+	c.dialTimeout = envDuration(EnvDialTimeout, c.dialTimeout)
+	c.dialBase = envDuration(EnvDialBackoff, c.dialBase)
+	c.dialMax = envDuration(EnvDialBackoffMax, c.dialMax)
+	c.writeTimeout = envDuration(EnvWriteTimeout, c.writeTimeout)
+	c.heartbeat = envDuration(EnvHeartbeat, c.heartbeat)
+	c.peerTimeout = envDuration(EnvPeerTimeout, c.peerTimeout)
+	return c
+}
+
+// envDuration parses a duration environment variable, returning def when the
+// variable is unset, unparsable, or nonpositive (a broken knob must degrade
+// to the default, never to zero timeouts).
+func envDuration(name string, def time.Duration) time.Duration {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return def
+	}
+	return d
+}
+
+// backoff computes the retry delay schedule for dialing: exponential growth
+// from base, capped at max, with "equal jitter" (half the nominal delay is
+// kept, the other half is scaled by a uniform random factor) so a cohort of
+// ranks retrying against one slow peer does not arrive in lockstep.
+//
+// The zero delay schedule is deterministic given an injected jitter source,
+// which is what the table-driven tests exploit.
+type backoff struct {
+	base, max time.Duration
+	attempt   int
+	jitter    func() float64 // uniform in [0,1); nil selects math/rand
+}
+
+// next returns the delay to wait before the upcoming retry and advances the
+// schedule.
+func (b *backoff) next() time.Duration {
+	d := b.base
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	// Cap the shift: beyond 62 doublings the duration would overflow long
+	// before the max cap is consulted.
+	shift := b.attempt
+	if shift > 30 {
+		shift = 30
+	}
+	d <<= uint(shift)
+	if b.max > 0 && d > b.max {
+		d = b.max
+	}
+	b.attempt++
+	half := d / 2
+	j := b.jitter
+	if j == nil {
+		j = rand.Float64
+	}
+	return half + time.Duration(j()*float64(d-half))
+}

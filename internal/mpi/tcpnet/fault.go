@@ -1,0 +1,150 @@
+package tcpnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Deterministic fault injection, driven by the MPH_FAULT environment
+// variable. It exists for the chaos tests and for reproducing failure
+// scenarios by hand; production jobs never set it.
+//
+// A spec is a semicolon-separated list of rules. Each rule is a
+// comma-separated list whose first field is the action and whose remaining
+// fields are key=value filters:
+//
+//	action[,rank=R][,peer=P][,after=K][,times=N][,dur=D]
+//
+// Actions:
+//
+//	drop   — silently discard a matching outbound packet frame
+//	delay  — sleep dur (default 100ms) before sending a matching frame
+//	sever  — abruptly close the established connection to the peer just
+//	         before the matching send (the send then redials: this is the
+//	         mid-run connection-loss scenario)
+//	die    — sever every connection and terminate the process (simulates a
+//	         rank crash after K frames)
+//
+// Filters:
+//
+//	rank=R  — the rule only applies in the process whose world rank is R
+//	peer=P  — the rule only applies to sends addressed to world rank P
+//	after=K — the rule arms after K matching sends have passed unharmed
+//	times=N — the rule fires at most N times (default 1; 0 = unlimited)
+//	dur=D   — delay duration (delay action only), Go duration syntax
+//
+// Example: MPH_FAULT="sever,rank=1,peer=2,after=3" severs rank 1's
+// connection to rank 2 just before its 4th send to it.
+type faultRule struct {
+	action string
+	rank   int // -1 = any rank
+	peer   int // -1 = any peer
+	after  int // matching sends to let through before arming
+	times  int // max firings; 0 = unlimited
+	dur    time.Duration
+
+	seen  int // matching sends observed (guarded by faultSet.mu)
+	fired int // times the rule has fired
+}
+
+// faultSet is a parsed MPH_FAULT spec plus its firing state.
+type faultSet struct {
+	mu    sync.Mutex
+	rules []*faultRule
+}
+
+// faultAction is what the send path must do for one outbound frame.
+type faultAction struct {
+	kind string // "", "drop", "delay", "sever", "die"
+	dur  time.Duration
+}
+
+// ParseFaultSpec parses an MPH_FAULT specification. It is exported so tests
+// and tooling can validate specs; an empty spec yields a nil set.
+func ParseFaultSpec(spec string) (*faultSet, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	fs := &faultSet{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ",")
+		r := &faultRule{action: strings.TrimSpace(fields[0]), rank: -1, peer: -1, times: 1, dur: 100 * time.Millisecond}
+		switch r.action {
+		case "drop", "delay", "sever", "die":
+		default:
+			return nil, fmt.Errorf("tcpnet: unknown fault action %q in %q", r.action, part)
+		}
+		for _, f := range fields[1:] {
+			f = strings.TrimSpace(f)
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("tcpnet: bad fault field %q in %q", f, part)
+			}
+			switch key {
+			case "rank", "peer", "after", "times":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("tcpnet: bad fault field %q in %q", f, part)
+				}
+				switch key {
+				case "rank":
+					r.rank = n
+				case "peer":
+					r.peer = n
+				case "after":
+					r.after = n
+				case "times":
+					r.times = n
+				}
+			case "dur":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("tcpnet: bad fault duration %q in %q", f, part)
+				}
+				r.dur = d
+			default:
+				return nil, fmt.Errorf("tcpnet: unknown fault key %q in %q", key, part)
+			}
+		}
+		fs.rules = append(fs.rules, r)
+	}
+	if len(fs.rules) == 0 {
+		return nil, nil
+	}
+	return fs, nil
+}
+
+// sendAction consults the rules for one outbound packet frame from rank to
+// peer and returns the first firing action ("" kind when none fires). Each
+// matching rule's counters advance exactly once per call, which is what
+// makes after=K deterministic.
+func (fs *faultSet) sendAction(rank, peer int) faultAction {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, r := range fs.rules {
+		if r.rank >= 0 && r.rank != rank {
+			continue
+		}
+		if r.peer >= 0 && r.peer != peer {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.after {
+			continue
+		}
+		if r.times > 0 && r.fired >= r.times {
+			continue
+		}
+		r.fired++
+		return faultAction{kind: r.action, dur: r.dur}
+	}
+	return faultAction{}
+}

@@ -1,0 +1,464 @@
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mph/internal/core"
+	"mph/internal/mpi"
+	"mph/internal/mpirun"
+)
+
+func TestFaultSpecParse(t *testing.T) {
+	if fs, err := ParseFaultSpec(""); err != nil || fs != nil {
+		t.Errorf("empty spec: %v %v", fs, err)
+	}
+	if fs, err := ParseFaultSpec("  ;  "); err != nil || fs != nil {
+		t.Errorf("blank rules: %v %v", fs, err)
+	}
+
+	fs, err := ParseFaultSpec("sever,rank=1,peer=2,after=3,times=2; delay,dur=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.rules) != 2 {
+		t.Fatalf("got %d rules", len(fs.rules))
+	}
+	r := fs.rules[0]
+	if r.action != "sever" || r.rank != 1 || r.peer != 2 || r.after != 3 || r.times != 2 {
+		t.Errorf("rule 0 parsed as %+v", r)
+	}
+	if fs.rules[1].action != "delay" || fs.rules[1].dur != 5*time.Millisecond {
+		t.Errorf("rule 1 parsed as %+v", fs.rules[1])
+	}
+
+	for _, bad := range []string{
+		"explode",           // unknown action
+		"drop,shape=round",  // unknown key
+		"drop,rank=x",       // bad int
+		"drop,rank=-2",      // negative
+		"delay,dur=fast",    // bad duration
+		"drop,rank",         // no '='
+		"sever,peer=1;boom", // second rule bad
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestFaultSpecFiring drives sendAction through the after/times/filter
+// state machine: the rule lets `after` matching sends through, then fires
+// at most `times` times, and never advances on non-matching traffic.
+func TestFaultSpecFiring(t *testing.T) {
+	fs, err := ParseFaultSpec("drop,rank=0,peer=1,after=2,times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-matching traffic is invisible to the rule.
+	for i := 0; i < 5; i++ {
+		if act := fs.sendAction(0, 2); act.kind != "" {
+			t.Fatalf("rule fired for wrong peer: %+v", act)
+		}
+		if act := fs.sendAction(1, 1); act.kind != "" {
+			t.Fatalf("rule fired for wrong rank: %+v", act)
+		}
+	}
+	// Two matching sends pass unharmed, the third fires, the fourth passes
+	// again (times=1 exhausted).
+	for i, want := range []string{"", "", "drop", ""} {
+		if act := fs.sendAction(0, 1); act.kind != want {
+			t.Fatalf("matching send %d: got %q, want %q", i, act.kind, want)
+		}
+	}
+}
+
+// TestFaultDialRetrySucceedsOnceListenerAppears starts dialing before the
+// listener exists: the bounded backoff must keep retrying and connect as
+// soon as the address comes alive.
+func TestFaultDialRetrySucceedsOnceListenerAppears(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port; the dial now targets a dead address
+
+	lnCh := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			lnCh <- nil
+			return
+		}
+		lnCh <- ln2
+	}()
+
+	cfg := defaultConfig()
+	cfg.dialTimeout = 5 * time.Second
+	cfg.dialBase = 20 * time.Millisecond
+	cfg.dialMax = 200 * time.Millisecond
+	retries := 0
+	conn, err := dialRetry(addr, cfg, nil, func(attempt int, wait time.Duration) {
+		retries++
+		if wait <= 0 {
+			t.Errorf("retry %d scheduled with wait %v", attempt, wait)
+		}
+	})
+	ln2 := <-lnCh
+	if ln2 != nil {
+		defer ln2.Close()
+	}
+	if err != nil {
+		t.Fatalf("dialRetry gave up: %v (after %d retries)", err, retries)
+	}
+	conn.Close()
+	if retries == 0 {
+		t.Error("dial succeeded without retrying against a dead address")
+	}
+}
+
+// TestFaultDialRetryExhausts bounds the failure side: against an address
+// that never comes up, dialRetry must consume its budget — several attempts,
+// not one — and return an error instead of hanging.
+func TestFaultDialRetryExhausts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cfg := defaultConfig()
+	cfg.dialTimeout = 400 * time.Millisecond
+	cfg.dialBase = 20 * time.Millisecond
+	cfg.dialMax = 100 * time.Millisecond
+	retries := 0
+	start := time.Now()
+	_, err = dialRetry(addr, cfg, nil, func(int, time.Duration) { retries++ })
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial to a dead address succeeded")
+	}
+	if retries < 2 {
+		t.Errorf("only %d retries before giving up", retries)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("dialRetry overshot its 400ms budget by far: %v", elapsed)
+	}
+}
+
+// startWorld boots a rendezvous plus n in-process TCP endpoints and returns
+// each rank's transport and environment. Cleanup is the caller's problem —
+// chaos tests deliberately leave some ranks unclosed.
+func startWorld(t *testing.T, n int) ([]*Transport, []*mpi.Env) {
+	t.Helper()
+	rv, err := mpirun.NewRendezvous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(30 * time.Second) }()
+
+	trs := make([]*Transport, n)
+	envs := make([]*mpi.Env, n)
+	var wg sync.WaitGroup
+	var initErr error
+	var mu sync.Mutex
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, env, err := initTransport(rank, n, rv.Addr())
+			if err != nil {
+				mu.Lock()
+				initErr = fmt.Errorf("rank %d init: %w", rank, err)
+				mu.Unlock()
+				return
+			}
+			trs[rank] = tr
+			envs[rank] = env
+		}(r)
+	}
+	wg.Wait()
+	if initErr != nil {
+		t.Fatal(initErr)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("rendezvous: %v", err)
+	}
+	return trs, envs
+}
+
+// TestFaultSeverRecovery injects a mid-run connection loss on the send path
+// ("sever" action): the severed connection must be transparently redialed,
+// both messages must arrive, and the injection must be counted.
+func TestFaultSeverRecovery(t *testing.T) {
+	t.Setenv(EnvFault, "sever,rank=0,peer=1,after=1,times=1")
+	trs, envs := startWorld(t, 2)
+	defer envs[0].Close()
+	defer envs[1].Close()
+	if trs[0].faults == nil {
+		t.Fatal("MPH_FAULT was not picked up")
+	}
+
+	c0 := mpi.WorldComm(envs[0])
+	c1 := mpi.WorldComm(envs[1])
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 2; i++ {
+			data, _, err := c1.Recv(0, 3)
+			if err != nil {
+				done <- err
+				return
+			}
+			if string(data) != fmt.Sprintf("msg%d", i) {
+				done <- fmt.Errorf("got %q", data)
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	// Ssend so msg0 is matched before the severed-and-redialed msg1 can
+	// race it on a fresh connection: two TCP streams have no mutual order.
+	if err := c0.Ssend(1, 3, []byte("msg0")); err != nil {
+		t.Fatal(err)
+	}
+	// The second send hits the sever rule, loses its connection just before
+	// the write, and must redial-and-deliver without surfacing an error.
+	if err := c0.Ssend(1, 3, []byte("msg1")); err != nil {
+		t.Fatalf("send across severed connection: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receiver hung after sever")
+	}
+	if got := envs[0].Perf().Net.FaultsInjected.Load(); got != 1 {
+		t.Errorf("FaultsInjected = %d, want 1", got)
+	}
+}
+
+// TestFaultPeerSilenceDetected exercises the read-deadline detector: a
+// connection that identifies itself and then goes silent — no traffic, no
+// heartbeats — must get its rank declared dead within the peer timeout,
+// failing a blocked receive with *mpi.ErrPeerLost.
+func TestFaultPeerSilenceDetected(t *testing.T) {
+	t.Setenv(EnvPeerTimeout, "500ms")
+	rv, err := mpirun.NewRendezvous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(30 * time.Second) }()
+
+	// Rank 1 is a zombie: it registers a throwaway address with the
+	// rendezvous but never runs a transport.
+	zln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zln.Close()
+	go mpirun.Register(rv.Addr(), 1, zln.Addr().String(), 10*time.Second)
+
+	tr, env, err := initTransport(0, 2, rv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+
+	blocked := make(chan error, 1)
+	go func() {
+		_, _, err := mpi.WorldComm(env).Recv(1, 1)
+		blocked <- err
+	}()
+
+	// The zombie introduces itself to rank 0 and then says nothing more.
+	conn, err := net.Dial("tcp", tr.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(helloFrame(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-blocked:
+		if rank, ok := mpi.IsPeerLost(err); !ok || rank != 1 {
+			t.Fatalf("blocked recv returned %v, want ErrPeerLost{Rank: 1}", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("silent peer was never declared dead")
+	}
+}
+
+// TestFaultAbortFrameUnblocks delivers a launcher-style abort frame with
+// SendAbort — exactly what mphrun does when a child dies — and checks that a
+// blocked receive fails with the typed abort error.
+func TestFaultAbortFrameUnblocks(t *testing.T) {
+	rv, err := mpirun.NewRendezvous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(30 * time.Second) }()
+	zln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zln.Close()
+	go mpirun.Register(rv.Addr(), 1, zln.Addr().String(), 10*time.Second)
+
+	tr, env, err := initTransport(0, 2, rv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+
+	blocked := make(chan error, 1)
+	go func() {
+		_, _, err := mpi.WorldComm(env).Recv(1, 1)
+		blocked <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	if err := SendAbort(tr.ln.Addr().String(), 5, -1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-blocked:
+		var ae *mpi.AbortError
+		if !errors.As(err, &ae) || ae.Code != 5 || ae.Origin != -1 {
+			t.Fatalf("blocked recv returned %v, want AbortError{Code: 5, Origin: -1}", err)
+		}
+		if !errors.Is(err, mpi.ErrAborted) {
+			t.Errorf("%v is not ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort frame did not unblock the receive")
+	}
+	if got := env.Perf().Net.AbortsIn.Load(); got != 1 {
+		t.Errorf("AbortsIn = %d, want 1", got)
+	}
+}
+
+// TestChaosPeerDeathUnblocksSurvivors is the headline chaos scenario: a
+// 4-rank MCME job (alpha on ranks 0-1, beta on ranks 2-3) completes the MPH
+// handshake, then rank 3's network is severed as abruptly as a crash while
+// the survivors run an Alltoall that depends on it. Every survivor must
+// unblock with a typed peer-loss error well within the failure-detector
+// window — zero hangs.
+func TestChaosPeerDeathUnblocksSurvivors(t *testing.T) {
+	t.Setenv(EnvHeartbeat, "100ms")
+	t.Setenv(EnvPeerTimeout, "500ms")
+	t.Setenv(EnvDialTimeout, "1s")
+	t.Setenv(EnvDialBackoff, "20ms")
+
+	regPath := filepath.Join(t.TempDir(), "processors_map.in")
+	if err := os.WriteFile(regPath, []byte("BEGIN\nalpha\nbeta\nEND\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const n, victim = 4, 3
+	trs, envs := startWorld(t, n)
+	defer func() {
+		for r, env := range envs {
+			if r != victim {
+				env.Close()
+			}
+		}
+	}()
+
+	type outcome struct {
+		rank    int
+		err     error
+		elapsed time.Duration
+	}
+	outcomes := make(chan outcome, n-1)
+	var setupWG sync.WaitGroup
+	ready := make(chan struct{})
+	var wg sync.WaitGroup
+	setupWG.Add(n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			world := mpi.WorldComm(envs[rank])
+			name := "alpha"
+			if rank >= 2 {
+				name = "beta"
+			}
+			_, err := core.SingleComponentSetup(world, core.FileSource(regPath), name)
+			setupWG.Done()
+			if err != nil {
+				if rank != victim {
+					outcomes <- outcome{rank: rank, err: fmt.Errorf("setup: %w", err)}
+				}
+				return
+			}
+			<-ready
+			if rank == victim {
+				// The network-visible effect of a crash: listener and every
+				// connection gone, no goodbye.
+				trs[victim].severAll()
+				return
+			}
+			parts := make([][]byte, n)
+			for i := range parts {
+				parts[i] = []byte{byte(rank)}
+			}
+			start := time.Now()
+			_, err = world.Alltoall(parts)
+			outcomes <- outcome{rank: rank, err: err, elapsed: time.Since(start)}
+		}(r)
+	}
+	go func() { setupWG.Wait(); close(ready) }()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("chaos watchdog expired: a rank is hung")
+	}
+	close(outcomes)
+	got := 0
+	for o := range outcomes {
+		got++
+		if o.err == nil {
+			t.Errorf("rank %d: alltoall succeeded without rank %d", o.rank, victim)
+			continue
+		}
+		rank, lost := mpi.IsPeerLost(o.err)
+		if !lost || rank != victim {
+			t.Errorf("rank %d: error %v is not ErrPeerLost{Rank: %d}", o.rank, o.err, victim)
+		}
+		if o.elapsed > 5*time.Second {
+			t.Errorf("rank %d: unblocked only after %v", o.rank, o.elapsed)
+		}
+	}
+	if got != n-1 {
+		t.Fatalf("got %d survivor outcomes, want %d", got, n-1)
+	}
+	if lost := envs[0].Perf().Net.PeersLost.Load(); lost == 0 {
+		t.Error("rank 0 counted no lost peers")
+	}
+}

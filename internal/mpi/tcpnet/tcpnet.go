@@ -8,6 +8,33 @@
 // first-match scan yield the same non-overtaking guarantee as the
 // in-process transport. Synchronous sends (Ssend) are acknowledged with a
 // small control frame sent back when the receiver matches the packet.
+//
+// # Fault tolerance
+//
+// The transport assumes peers can die at any point and turns every such
+// death into a typed error instead of a hang:
+//
+//   - Outbound connections are established with bounded
+//     exponential-backoff-plus-jitter dial retry (MPH_DIAL_TIMEOUT /
+//     MPH_DIAL_BACKOFF / MPH_DIAL_BACKOFF_MAX) and every frame write
+//     carries a deadline (MPH_WRITE_TIMEOUT). A write failure triggers one
+//     transparent redial-and-resend before the peer is given up on.
+//   - Every new outbound connection introduces itself with a hello frame,
+//     and idle connections are kept warm with heartbeats (MPH_HEARTBEAT),
+//     so the receive side can attribute silence: an inbound stream quiet
+//     for longer than MPH_PEER_TIMEOUT means the peer is hung or
+//     partitioned, and a lost inbound stream that is not re-established
+//     within the same window means the peer is dead.
+//   - When the failure detector declares a world rank dead, pending
+//     synchronous sends to it fail, the engine fails receives that only it
+//     could satisfy (mpi.ErrPeerLost), and future sends to it fail fast.
+//   - Abort frames propagate mpi.Comm.Abort (and the launcher's abort on
+//     child failure) to every rank, failing all pending operations with
+//     mpi.ErrAborted.
+//
+// MPH_FAULT injects deterministic faults for chaos testing; see
+// ParseFaultSpec. All failure traffic is counted in perf.NetCounters and
+// recorded by the event tracer (dial-retry, peer-lost, abort events).
 package tcpnet
 
 import (
@@ -28,8 +55,11 @@ import (
 
 // frame kinds.
 const (
-	kindPacket = 1
-	kindAck    = 2
+	kindPacket    = 1 // a message: header + payload
+	kindAck       = 2 // Ssend release: u64 ack id
+	kindHello     = 3 // first frame on every outbound conn: u64 sender world rank
+	kindHeartbeat = 4 // idle-connection liveness signal, empty body
+	kindAbort     = 5 // job-wide abort: i64 code + i64 origin rank (-1 launcher)
 )
 
 // packetHdrLen is the fixed packet-frame header after the length prefix and
@@ -39,6 +69,10 @@ const packetHdrLen = 8 + 8 + 8 + 8 + 8
 // maxFrame bounds a frame's byte length as a corruption guard.
 const maxFrame = 1 << 30
 
+// abortSendTimeout bounds the per-peer effort of an abort broadcast: aborts
+// must go out promptly even when some peers are already unreachable.
+const abortSendTimeout = time.Second
+
 // frameBuf is a pooled outbound frame buffer. A frame is dead the moment its
 // blocking write returns, so Deliver recycles it for the next send instead
 // of allocating header+payload garbage per packet. The wrapper keeps the
@@ -47,8 +81,19 @@ type frameBuf struct{ b []byte }
 
 var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
 
-// DialTimeout bounds rendezvous registration and peer dialing.
+// DialTimeout is the default total budget for rendezvous registration and
+// for establishing one peer connection including all retries; MPH_DIAL_TIMEOUT
+// overrides it.
 const DialTimeout = 30 * time.Second
+
+// osExit is swapped out by tests of the "die" fault action.
+var osExit = os.Exit
+
+// pendingAck is one registered synchronous send awaiting its ack frame.
+type pendingAck struct {
+	ch  chan error
+	dst int
+}
 
 // Transport implements mpi.Transport over TCP.
 type Transport struct {
@@ -56,15 +101,24 @@ type Transport struct {
 	addrs []string
 	env   *mpi.Env
 	ln    net.Listener
+	cfg   netConfig
+
+	faults *faultSet // parsed MPH_FAULT rules, nil when no faults are injected
 
 	mu      sync.Mutex
 	out     map[int]*outConn
 	inbound []net.Conn
+	dead    map[int]error       // world rank -> cause, per failure-detector verdict
+	suspect map[int]*time.Timer // pending peer-death suspicions, cancelable by reconnect
 	closed  bool
+
+	stop chan struct{} // closed by Close; cancels dial backoff and heartbeats
+
+	abortErr atomic.Pointer[mpi.AbortError] // set once the job is aborting
 
 	ackSeq  atomic.Uint64
 	ackMu   sync.Mutex
-	pending map[uint64]chan struct{}
+	pending map[uint64]pendingAck
 
 	// Per-destination send totals, indexed by world rank. Unlike the
 	// in-process transport — where sent totals are derived from sibling
@@ -92,10 +146,43 @@ func (t *Transport) netCounters() *perf.NetCounters {
 	return &perf.NetCounters{}
 }
 
-// outConn serializes writes to one peer.
+// tracer returns the rank's event tracer, or nil when tracing is off or the
+// environment is not wired yet.
+func (t *Transport) tracer() *perf.Tracer {
+	if t.env == nil {
+		return nil
+	}
+	return t.env.Perf().Tracer()
+}
+
+// outConn serializes writes to one peer and tracks when the connection was
+// last written, which is what the heartbeat loop consults.
 type outConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu        sync.Mutex
+	conn      net.Conn
+	lastWrite time.Time
+}
+
+// write sends one frame under the connection's write lock with a deadline.
+func (oc *outConn) write(frame []byte, timeout time.Duration) error {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if timeout > 0 {
+		oc.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	_, err := oc.conn.Write(frame)
+	oc.lastWrite = time.Now()
+	if err != nil {
+		return fmt.Errorf("tcpnet: write: %w", err)
+	}
+	return nil
+}
+
+// idleFor reports whether the connection has gone unwritten for at least d.
+func (oc *outConn) idleFor(d time.Duration) bool {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return time.Since(oc.lastWrite) >= d
 }
 
 // Init bootstraps a TCP world endpoint: listen, register with the
@@ -103,28 +190,45 @@ type outConn struct {
 // job. Every process of the job must call it (workers do so via
 // InitFromEnv).
 func Init(rank, size int, rendezvous string) (*mpi.Env, error) {
+	_, env, err := initTransport(rank, size, rendezvous)
+	return env, err
+}
+
+// initTransport is Init returning the transport too; the chaos tests use
+// the handle to sever a live rank's network abruptly.
+func initTransport(rank, size int, rendezvous string) (*Transport, *mpi.Env, error) {
 	if rank < 0 || rank >= size {
-		return nil, fmt.Errorf("tcpnet: rank %d out of world of %d", rank, size)
+		return nil, nil, fmt.Errorf("tcpnet: rank %d out of world of %d", rank, size)
+	}
+	cfg := configFromEnv()
+	faults, err := ParseFaultSpec(os.Getenv(EnvFault))
+	if err != nil {
+		return nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, fmt.Errorf("tcpnet: listen: %w", err)
+		return nil, nil, fmt.Errorf("tcpnet: listen: %w", err)
 	}
-	addrs, err := mpirun.Register(rendezvous, rank, ln.Addr().String(), DialTimeout)
+	addrs, err := mpirun.Register(rendezvous, rank, ln.Addr().String(), cfg.dialTimeout)
 	if err != nil {
 		ln.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if len(addrs) != size {
 		ln.Close()
-		return nil, fmt.Errorf("tcpnet: address book has %d entries, world is %d", len(addrs), size)
+		return nil, nil, fmt.Errorf("tcpnet: address book has %d entries, world is %d", len(addrs), size)
 	}
 	t := &Transport{
 		rank:      rank,
 		addrs:     addrs,
 		ln:        ln,
+		cfg:       cfg,
+		faults:    faults,
 		out:       make(map[int]*outConn),
-		pending:   make(map[uint64]chan struct{}),
+		dead:      make(map[int]error),
+		suspect:   make(map[int]*time.Timer),
+		stop:      make(chan struct{}),
+		pending:   make(map[uint64]pendingAck),
 		sentMsgs:  make([]atomic.Uint64, size),
 		sentBytes: make([]atomic.Uint64, size),
 	}
@@ -150,9 +254,10 @@ func Init(rank, size int, rendezvous string) (*mpi.Env, error) {
 			fmt.Fprintf(os.Stderr, "tcpnet: rank %d: perf debug endpoint at http://%s/perf\n", rank, addr)
 		}
 	}
-	t.wg.Add(1)
+	t.wg.Add(2)
 	go t.acceptLoop()
-	return env, nil
+	go t.heartbeatLoop()
+	return t, env, nil
 }
 
 // InitFromEnv bootstraps from the mphrun environment variables and also
@@ -166,33 +271,58 @@ func InitFromEnv() (*mpi.Env, string, error) {
 	return env, registration, err
 }
 
-// Deliver implements mpi.Transport.
+// Deliver implements mpi.Transport. Sends to a rank the failure detector
+// has declared dead fail fast with *mpi.ErrPeerLost; sends after an abort
+// fail with the abort error.
 func (t *Transport) Deliver(dst int, p *mpi.Packet) error {
 	if dst < 0 || dst >= len(t.addrs) {
 		return mpi.ErrRank
 	}
-	t.sentMsgs[dst].Add(1)
-	t.sentBytes[dst].Add(uint64(len(p.Data)))
+	if ae := t.abortErr.Load(); ae != nil {
+		return ae
+	}
 	if dst == t.rank {
 		// Local fast path; the engine takes ownership of the packet.
+		t.sentMsgs[dst].Add(1)
+		t.sentBytes[dst].Add(uint64(len(p.Data)))
 		return t.env.Post(p)
 	}
+	if err := t.deadErr(dst); err != nil {
+		return err
+	}
+	if t.faults != nil {
+		switch act := t.faults.sendAction(t.rank, dst); act.kind {
+		case "drop":
+			t.netCounters().FaultsInjected.Add(1)
+			return nil // the frame vanishes; the send itself "succeeds"
+		case "delay":
+			t.netCounters().FaultsInjected.Add(1)
+			time.Sleep(act.dur)
+		case "sever":
+			t.netCounters().FaultsInjected.Add(1)
+			t.severPeer(dst)
+		case "die":
+			t.netCounters().FaultsInjected.Add(1)
+			t.severAll()
+			osExit(1)
+		}
+	}
+	t.sentMsgs[dst].Add(1)
+	t.sentBytes[dst].Add(uint64(len(p.Data)))
 	var ackID uint64
 	if p.Ack != nil {
 		ackID = t.ackSeq.Add(1)
 		t.ackMu.Lock()
-		t.pending[ackID] = p.Ack
+		t.pending[ackID] = pendingAck{ch: p.Ack, dst: dst}
 		t.ackMu.Unlock()
 	}
 	fb := framePool.Get().(*frameBuf)
 	fb.b = encodePacketInto(fb.b, t.rank, p, ackID)
-	oc, err := t.outbound(dst)
+	err := t.send(dst, fb.b)
 	if err == nil {
-		if err = oc.write(fb.b); err == nil {
-			nc := t.netCounters()
-			nc.FramesOut.Add(1)
-			nc.BytesOut.Add(uint64(len(fb.b)))
-		}
+		nc := t.netCounters()
+		nc.FramesOut.Add(1)
+		nc.BytesOut.Add(uint64(len(fb.b)))
 	}
 	framePool.Put(fb)
 	if err != nil && ackID != 0 {
@@ -205,8 +335,48 @@ func (t *Transport) Deliver(dst int, p *mpi.Packet) error {
 	return err
 }
 
-// Close implements mpi.Transport: it stops the accept loop, closes every
-// connection, and releases pending synchronous senders.
+// send writes one frame to dst, transparently redialing and resending once
+// when the established connection fails mid-write. Retrying a whole frame is
+// safe: the receiver discards partial frames on stream error, and a frame
+// that was fully flushed onto a broken connection was already counted as
+// delivered by TCP or lost with the peer.
+func (t *Transport) send(dst int, frame []byte) error {
+	oc, err := t.outbound(dst)
+	if err != nil {
+		return err
+	}
+	err = oc.write(frame, t.cfg.writeTimeout)
+	if err == nil {
+		return nil
+	}
+	t.dropOut(dst, oc)
+	oc, err2 := t.outbound(dst) // full retry budget for the redial
+	if err2 != nil {
+		return err2 // outbound already declared the peer down
+	}
+	if err3 := oc.write(frame, t.cfg.writeTimeout); err3 != nil {
+		t.dropOut(dst, oc)
+		t.peerDown(dst, err3)
+		return &mpi.ErrPeerLost{Rank: dst, Cause: err3}
+	}
+	return nil
+}
+
+// deadErr returns the typed failure for a send to dst if the failure
+// detector has declared it dead, or nil.
+func (t *Transport) deadErr(dst int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cause, dead := t.dead[dst]; dead {
+		return &mpi.ErrPeerLost{Rank: dst, Cause: cause}
+	}
+	return nil
+}
+
+// Close implements mpi.Transport: it stops the accept and heartbeat loops,
+// cancels pending suspicions, closes every connection, and releases pending
+// synchronous senders with a nil error (an orderly shutdown is not a send
+// failure).
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -214,6 +384,11 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
+	close(t.stop)
+	for r, tm := range t.suspect {
+		tm.Stop()
+		delete(t.suspect, r)
+	}
 	ln := t.ln
 	conns := append([]net.Conn(nil), t.inbound...)
 	for _, oc := range t.out {
@@ -229,8 +404,8 @@ func (t *Transport) Close() error {
 		c.Close()
 	}
 	t.ackMu.Lock()
-	for id, ch := range t.pending {
-		close(ch)
+	for id, pa := range t.pending {
+		close(pa.ch)
 		delete(t.pending, id)
 	}
 	t.ackMu.Unlock()
@@ -238,12 +413,18 @@ func (t *Transport) Close() error {
 	return nil
 }
 
-// outbound returns (dialing if necessary) the connection for sends to dst.
+// outbound returns (dialing with retry if necessary) the connection for
+// sends to dst. A dial that exhausts its retry budget declares the peer
+// dead.
 func (t *Transport) outbound(dst int) (*outConn, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil, mpi.ErrClosed
+	}
+	if cause, dead := t.dead[dst]; dead {
+		t.mu.Unlock()
+		return nil, &mpi.ErrPeerLost{Rank: dst, Cause: cause}
 	}
 	if oc, ok := t.out[dst]; ok {
 		t.mu.Unlock()
@@ -251,14 +432,23 @@ func (t *Transport) outbound(dst int) (*outConn, error) {
 	}
 	t.mu.Unlock()
 
-	conn, err := net.DialTimeout("tcp", t.addrs[dst], DialTimeout)
+	conn, err := t.dial(dst)
 	if err != nil {
-		return nil, fmt.Errorf("tcpnet: dial rank %d at %s: %w", dst, t.addrs[dst], err)
+		if errors.Is(err, mpi.ErrClosed) {
+			return nil, err
+		}
+		t.peerDown(dst, err)
+		return nil, &mpi.ErrPeerLost{Rank: dst, Cause: err}
 	}
-	t.netCounters().Dials.Add(1)
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
+	// Introduce ourselves before any traffic so the peer's failure detector
+	// can attribute this stream (and clear any suspicion) immediately.
+	conn.SetWriteDeadline(time.Now().Add(t.cfg.writeTimeout))
+	if _, err := conn.Write(helloFrame(t.rank)); err != nil {
+		conn.Close()
+		t.peerDown(dst, err)
+		return nil, &mpi.ErrPeerLost{Rank: dst, Cause: err}
 	}
+	conn.SetWriteDeadline(time.Time{})
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -270,16 +460,260 @@ func (t *Transport) outbound(dst int) (*outConn, error) {
 		conn.Close()
 		return oc, nil
 	}
-	oc := &outConn{conn: conn}
+	oc := &outConn{conn: conn, lastWrite: time.Now()}
 	t.out[dst] = oc
 	return oc, nil
 }
 
-func (oc *outConn) write(frame []byte) error {
-	oc.mu.Lock()
-	defer oc.mu.Unlock()
-	if _, err := oc.conn.Write(frame); err != nil {
-		return fmt.Errorf("tcpnet: write: %w", err)
+// dial establishes one connection to dst with the transport's retry budget,
+// counting retries and tracing them.
+func (t *Transport) dial(dst int) (net.Conn, error) {
+	return dialRetry(t.addrs[dst], t.cfg, t.stop, func(attempt int, wait time.Duration) {
+		t.netCounters().DialRetries.Add(1)
+		if tr := t.tracer(); tr != nil {
+			tr.Record(perf.KDialRetry, int64(dst), int64(attempt), int64(wait), 0)
+		}
+	})
+}
+
+// dialRetry dials addr until it succeeds or the cfg.dialTimeout budget is
+// spent, backing off exponentially with jitter between attempts. onRetry
+// (optional) observes each scheduled retry; stop (optional) cancels the
+// backoff wait. It is a standalone function so the schedule is testable
+// without a Transport.
+func dialRetry(addr string, cfg netConfig, stop <-chan struct{}, onRetry func(attempt int, wait time.Duration)) (net.Conn, error) {
+	bo := &backoff{base: cfg.dialBase, max: cfg.dialMax}
+	deadline := time.Now().Add(cfg.dialTimeout)
+	attempt := 0
+	for {
+		per := time.Until(deadline)
+		if per <= 0 {
+			return nil, fmt.Errorf("tcpnet: dial %s: budget exhausted after %d attempts", addr, attempt)
+		}
+		if cfg.dialMax > 0 && per > cfg.dialMax {
+			per = cfg.dialMax
+		}
+		conn, err := net.DialTimeout("tcp", addr, per)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return conn, nil
+		}
+		attempt++
+		wait := bo.next()
+		if time.Now().Add(wait).After(deadline) {
+			return nil, fmt.Errorf("tcpnet: dial %s: %w (after %d attempts)", addr, err, attempt)
+		}
+		if onRetry != nil {
+			onRetry(attempt, wait)
+		}
+		if stop != nil {
+			select {
+			case <-stop:
+				return nil, mpi.ErrClosed
+			case <-time.After(wait):
+			}
+		} else {
+			time.Sleep(wait)
+		}
+	}
+}
+
+// dropOut removes a failed outbound connection, leaving redial to the next
+// send; it is a no-op if the connection was already replaced.
+func (t *Transport) dropOut(dst int, oc *outConn) {
+	t.mu.Lock()
+	if t.out[dst] == oc {
+		delete(t.out, dst)
+	}
+	t.mu.Unlock()
+	oc.conn.Close()
+}
+
+// severPeer abruptly closes the established outbound connection to dst
+// without marking anything failed: the next send redials. It implements the
+// "sever" fault action.
+func (t *Transport) severPeer(dst int) {
+	t.mu.Lock()
+	oc := t.out[dst]
+	delete(t.out, dst)
+	t.mu.Unlock()
+	if oc != nil {
+		oc.conn.Close()
+	}
+}
+
+// severAll closes the listener and every connection without marking the
+// transport closed — the network-visible effect of a process crash. The
+// "die" fault action uses it before exiting, and the chaos tests call it
+// directly to simulate a rank's death inside one test process.
+func (t *Transport) severAll() {
+	t.mu.Lock()
+	ln := t.ln
+	conns := append([]net.Conn(nil), t.inbound...)
+	for _, oc := range t.out {
+		conns = append(conns, oc.conn)
+	}
+	t.out = make(map[int]*outConn)
+	t.inbound = nil
+	t.mu.Unlock()
+	ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// peerDown records the failure-detector verdict for one world rank: its
+// connection state is discarded, pending synchronous sends to it fail with
+// *mpi.ErrPeerLost, and the engine fails the receives only it could
+// satisfy. Idempotent; a no-op after Close.
+func (t *Transport) peerDown(rank int, cause error) {
+	if rank == t.rank {
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if _, dead := t.dead[rank]; dead {
+		t.mu.Unlock()
+		return
+	}
+	t.dead[rank] = cause
+	oc := t.out[rank]
+	delete(t.out, rank)
+	if tm := t.suspect[rank]; tm != nil {
+		tm.Stop()
+		delete(t.suspect, rank)
+	}
+	t.mu.Unlock()
+	if oc != nil {
+		oc.conn.Close()
+	}
+	lostErr := &mpi.ErrPeerLost{Rank: rank, Cause: cause}
+	t.ackMu.Lock()
+	for id, pa := range t.pending {
+		if pa.dst != rank {
+			continue
+		}
+		select {
+		case pa.ch <- lostErr:
+		default:
+		}
+		close(pa.ch)
+		delete(t.pending, id)
+	}
+	t.ackMu.Unlock()
+	t.netCounters().PeersLost.Add(1)
+	fmt.Fprintf(os.Stderr, "tcpnet: rank %d: peer rank %d lost: %v\n", t.rank, rank, cause)
+	t.env.PeerLost(rank, cause)
+}
+
+// suspectPeer starts the reconnect window for a rank whose inbound stream
+// was lost: if no new connection from it identifies itself within
+// cfg.peerTimeout, the peer is declared dead. A connection loss alone is
+// not death — a live peer redials (sends retry transparently), and its
+// hello cancels the suspicion.
+func (t *Transport) suspectPeer(rank int, cause error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if _, dead := t.dead[rank]; dead {
+		return
+	}
+	if _, ok := t.suspect[rank]; ok {
+		return
+	}
+	t.suspect[rank] = time.AfterFunc(t.cfg.peerTimeout, func() {
+		t.mu.Lock()
+		delete(t.suspect, rank)
+		t.mu.Unlock()
+		t.peerDown(rank, fmt.Errorf("tcpnet: connection lost and not re-established within %v: %w", t.cfg.peerTimeout, cause))
+	})
+}
+
+// clearSuspect cancels a pending suspicion: the rank proved itself alive.
+func (t *Transport) clearSuspect(rank int) {
+	t.mu.Lock()
+	if tm := t.suspect[rank]; tm != nil {
+		tm.Stop()
+		delete(t.suspect, rank)
+	}
+	t.mu.Unlock()
+}
+
+// BroadcastAbort implements the abort hook behind mpi.Comm.Abort: it pushes
+// an abort frame to every peer not already dead (briefly dialing peers with
+// no established connection) and fails this rank's pending synchronous
+// sends with the abort error. Best effort with a bounded per-peer timeout:
+// unreachable peers are skipped, and the launcher's process-group kill is
+// the backstop.
+func (t *Transport) BroadcastAbort(code, origin int) {
+	frame := abortFrame(code, origin)
+	var wg sync.WaitGroup
+	for dst := range t.addrs {
+		if dst == t.rank || t.deadErr(dst) != nil {
+			continue
+		}
+		t.mu.Lock()
+		oc, closed := t.out[dst], t.closed
+		t.mu.Unlock()
+		if closed {
+			break
+		}
+		wg.Add(1)
+		go func(dst int, oc *outConn) {
+			defer wg.Done()
+			if oc != nil && oc.write(frame, abortSendTimeout) == nil {
+				t.netCounters().AbortsOut.Add(1)
+				return
+			}
+			if SendAbort(t.addrs[dst], code, origin, abortSendTimeout) == nil {
+				t.netCounters().AbortsOut.Add(1)
+			}
+		}(dst, oc)
+	}
+	wg.Wait()
+	t.applyAbort(code, origin)
+}
+
+// applyAbort records the job-wide abort locally (first abort wins) and
+// fails every pending synchronous send with it. The engine-side failure is
+// applied separately by mpi.Env.
+func (t *Transport) applyAbort(code, origin int) *mpi.AbortError {
+	ae := &mpi.AbortError{Code: code, Origin: origin}
+	if !t.abortErr.CompareAndSwap(nil, ae) {
+		return t.abortErr.Load()
+	}
+	t.ackMu.Lock()
+	for id, pa := range t.pending {
+		select {
+		case pa.ch <- ae:
+		default:
+		}
+		close(pa.ch)
+		delete(t.pending, id)
+	}
+	t.ackMu.Unlock()
+	return ae
+}
+
+// SendAbort dials addr and delivers a single abort frame, telling that rank
+// the job is over. cmd/mphrun uses it to take surviving ranks down when a
+// child exits abnormally; origin -1 identifies the launcher.
+func SendAbort(addr string, code, origin int, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(abortFrame(code, origin)); err != nil {
+		return fmt.Errorf("tcpnet: send abort: %w", err)
 	}
 	return nil
 }
@@ -308,44 +742,115 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
+// heartbeatLoop keeps idle outbound connections warm so the peer's
+// read-side failure detector can distinguish "idle but alive" from "gone".
+// A heartbeat write failure just drops the connection; the next send (or
+// the peer's own detector) decides the peer's fate.
+func (t *Transport) heartbeatLoop() {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.cfg.heartbeat)
+	defer ticker.Stop()
+	hb := heartbeatFrame()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+		}
+		t.mu.Lock()
+		conns := make(map[int]*outConn, len(t.out))
+		for d, oc := range t.out {
+			conns[d] = oc
+		}
+		t.mu.Unlock()
+		for d, oc := range conns {
+			if !oc.idleFor(t.cfg.heartbeat) {
+				continue
+			}
+			if err := oc.write(hb, t.cfg.writeTimeout); err != nil {
+				t.dropOut(d, oc)
+				continue
+			}
+			nc := t.netCounters()
+			nc.HeartbeatsOut.Add(1)
+			nc.BytesOut.Add(uint64(len(hb)))
+		}
+	}
+}
+
 // readLoop decodes frames from one inbound stream and posts them to the
 // local engine, preserving stream order. Fixed-size frame parts (length
 // prefix, kind, packet header, ack body) land in a per-connection scratch
 // buffer so only the payload itself is allocated — exactly sized, because
 // the engine hands it to the application, which owns it from then on.
+//
+// Every read carries a cfg.peerTimeout deadline: the sender heartbeats when
+// idle, so prolonged silence on an open connection means the peer is hung
+// or partitioned and it is declared dead immediately. A closed or broken
+// connection only raises suspicion — the peer gets cfg.peerTimeout to
+// re-establish before the same verdict.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
+	peer := -1
+	var readErr error
+	defer func() {
+		if peer < 0 || readErr == nil {
+			return
+		}
+		if errors.Is(readErr, os.ErrDeadlineExceeded) {
+			t.peerDown(peer, fmt.Errorf("tcpnet: rank %d silent for %v", peer, t.cfg.peerTimeout))
+		} else {
+			t.suspectPeer(peer, readErr)
+		}
+	}()
+	identify := func(rank int) {
+		if peer < 0 && rank >= 0 && rank < len(t.addrs) {
+			peer = rank
+			t.clearSuspect(rank)
+		}
+	}
 	var scratch [5 + packetHdrLen]byte
+	readFull := func(buf []byte) error {
+		conn.SetReadDeadline(time.Now().Add(t.cfg.peerTimeout))
+		_, err := io.ReadFull(conn, buf)
+		return err
+	}
 	for {
-		if _, err := io.ReadFull(conn, scratch[:5]); err != nil {
-			return // peer closed or we shut down
+		if err := readFull(scratch[:5]); err != nil {
+			readErr = err
+			return
 		}
 		n := binary.LittleEndian.Uint32(scratch[:4])
 		if n == 0 || n > maxFrame {
+			readErr = fmt.Errorf("tcpnet: bad frame length %d", n)
 			return
 		}
 		kind, body := scratch[4], int(n)-1
+		nc := t.netCounters()
 		switch kind {
 		case kindPacket:
 			if body < packetHdrLen {
+				readErr = fmt.Errorf("tcpnet: short packet frame (%d bytes)", body)
 				return
 			}
-			if _, err := io.ReadFull(conn, scratch[5:5+packetHdrLen]); err != nil {
+			if err := readFull(scratch[5 : 5+packetHdrLen]); err != nil {
+				readErr = err
 				return
 			}
 			srcWorld, p, ackID := parsePacketHeader(scratch[5 : 5+packetHdrLen])
 			if payload := body - packetHdrLen; payload > 0 {
 				buf := make([]byte, payload)
-				if _, err := io.ReadFull(conn, buf); err != nil {
+				if err := readFull(buf); err != nil {
+					readErr = err
 					return
 				}
 				p.Data = buf
 			}
-			nc := t.netCounters()
+			identify(srcWorld)
 			nc.FramesIn.Add(1)
 			nc.BytesIn.Add(uint64(4 + 1 + body))
 			if ackID != 0 {
-				ch := make(chan struct{})
+				ch := make(chan error, 1)
 				p.Ack = ch
 				go t.sendAckWhenMatched(srcWorld, ackID, ch)
 			}
@@ -354,38 +859,108 @@ func (t *Transport) readLoop(conn net.Conn) {
 			}
 		case kindAck:
 			if body != 8 {
+				readErr = fmt.Errorf("tcpnet: bad ack frame length %d", body)
 				return
 			}
-			if _, err := io.ReadFull(conn, scratch[5:5+8]); err != nil {
+			if err := readFull(scratch[5 : 5+8]); err != nil {
+				readErr = err
 				return
 			}
 			id := binary.LittleEndian.Uint64(scratch[5 : 5+8])
-			t.netCounters().AcksIn.Add(1)
+			nc.AcksIn.Add(1)
+			nc.BytesIn.Add(4 + 1 + 8)
 			t.ackMu.Lock()
-			if ch, ok := t.pending[id]; ok {
-				close(ch)
+			if pa, ok := t.pending[id]; ok {
+				close(pa.ch)
 				delete(t.pending, id)
 			}
 			t.ackMu.Unlock()
+		case kindHello:
+			if body != 8 {
+				readErr = fmt.Errorf("tcpnet: bad hello frame length %d", body)
+				return
+			}
+			if err := readFull(scratch[5 : 5+8]); err != nil {
+				readErr = err
+				return
+			}
+			nc.BytesIn.Add(4 + 1 + 8)
+			identify(int(int64(binary.LittleEndian.Uint64(scratch[5 : 5+8]))))
+		case kindHeartbeat:
+			if body != 0 {
+				readErr = fmt.Errorf("tcpnet: bad heartbeat frame length %d", body)
+				return
+			}
+			nc.HeartbeatsIn.Add(1)
+			nc.BytesIn.Add(4 + 1)
+		case kindAbort:
+			if body != 16 {
+				readErr = fmt.Errorf("tcpnet: bad abort frame length %d", body)
+				return
+			}
+			if err := readFull(scratch[5 : 5+16]); err != nil {
+				readErr = err
+				return
+			}
+			code := int(int64(binary.LittleEndian.Uint64(scratch[5 : 5+8])))
+			origin := int(int64(binary.LittleEndian.Uint64(scratch[13 : 13+8])))
+			nc.AbortsIn.Add(1)
+			nc.BytesIn.Add(4 + 1 + 16)
+			t.applyAbort(code, origin)
+			t.env.AbortDelivered(code, origin)
+			return // the job is over; no suspicion for this stream
 		default:
+			readErr = fmt.Errorf("tcpnet: unknown frame kind %d", kind)
 			return
 		}
 	}
 }
 
 // sendAckWhenMatched waits for the local engine to match the packet, then
-// returns the acknowledgment to the synchronous sender.
-func (t *Transport) sendAckWhenMatched(srcWorld int, ackID uint64, matched <-chan struct{}) {
-	<-matched
+// returns the acknowledgment to the synchronous sender. A failed completion
+// (abort, shutdown) produces no ack: the sender's own failure path delivers
+// its error.
+func (t *Transport) sendAckWhenMatched(srcWorld int, ackID uint64, matched <-chan error) {
+	if err := <-matched; err != nil {
+		return
+	}
 	var frame [5 + 8]byte
 	binary.LittleEndian.PutUint32(frame[:], uint32(1+8))
 	frame[4] = kindAck
 	binary.LittleEndian.PutUint64(frame[5:], ackID)
 	if oc, err := t.outbound(srcWorld); err == nil {
-		if oc.write(frame[:]) == nil { // best effort: the peer may already be gone
+		if oc.write(frame[:], t.cfg.writeTimeout) == nil { // best effort: the peer may already be gone
 			t.netCounters().AcksOut.Add(1)
 		}
 	}
+}
+
+// helloFrame frames this rank's introduction, the first write on every
+// outbound connection.
+func helloFrame(rank int) []byte {
+	b := make([]byte, 5+8)
+	binary.LittleEndian.PutUint32(b, 1+8)
+	b[4] = kindHello
+	binary.LittleEndian.PutUint64(b[5:], uint64(rank))
+	return b
+}
+
+// heartbeatFrame frames one idle-connection liveness signal.
+func heartbeatFrame() []byte {
+	b := make([]byte, 5)
+	binary.LittleEndian.PutUint32(b, 1)
+	b[4] = kindHeartbeat
+	return b
+}
+
+// abortFrame frames a job-wide abort notice.
+func abortFrame(code, origin int) []byte {
+	b := make([]byte, 5+16)
+	binary.LittleEndian.PutUint32(b, 1+16)
+	b[4] = kindAbort
+	binary.LittleEndian.PutUint64(b[5:], uint64(int64(code)))
+	binary.LittleEndian.PutUint64(b[13:], uint64(int64(origin)))
+	return b
 }
 
 // encodePacketInto frames a packet into buf, reusing its capacity:

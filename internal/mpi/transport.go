@@ -24,6 +24,16 @@ type Transport interface {
 	Close() error
 }
 
+// abortBroadcaster is the optional transport capability behind Abort: a
+// transport that can reach every peer implements it to propagate a job-wide
+// abort. The in-process transport aborts sibling engines directly; the TCP
+// transport sends abort frames.
+type abortBroadcaster interface {
+	// BroadcastAbort tells every reachable peer that origin aborted the job
+	// with code. Best effort: unreachable peers are skipped.
+	BroadcastAbort(code, origin int)
+}
+
 // Env is the process-local endpoint of a job: this rank's identity within
 // the world, its receive engine, and the transport used to reach peers.
 // Every communicator held by a rank shares one Env.
@@ -143,6 +153,45 @@ func (e *Env) Post(p *Packet) error {
 	return e.eng.post(p)
 }
 
+// Abort takes the whole job down: the abort is broadcast to every reachable
+// peer (when the transport supports it) and this rank's pending and future
+// operations fail with an *AbortError wrapping ErrAborted. It corresponds
+// to MPI_Abort. Safe to call more than once; only the first abort's code is
+// observed locally.
+func (e *Env) Abort(code int) {
+	if b, ok := e.tr.(abortBroadcaster); ok {
+		b.BroadcastAbort(code, e.worldRank)
+	}
+	e.abortLocal(code, e.worldRank)
+}
+
+// AbortDelivered is the receive-side hook for transports: it applies an
+// abort that arrived over the wire without rebroadcasting it (the origin
+// already told everyone).
+func (e *Env) AbortDelivered(code, origin int) {
+	e.abortLocal(code, origin)
+}
+
+// abortLocal fails the engine with the typed abort error and records the
+// event for the tracer.
+func (e *Env) abortLocal(code, origin int) {
+	if tr := e.tracer; tr != nil {
+		tr.Record(perf.KAbort, int64(code), int64(origin), 0, 0)
+	}
+	e.eng.abort(&AbortError{Code: code, Origin: origin})
+}
+
+// PeerLost is the receive-side hook the transport calls when its failure
+// detector declares a world rank dead: operations that can only be
+// satisfied by that rank fail with *ErrPeerLost, traffic among surviving
+// ranks continues.
+func (e *Env) PeerLost(rank int, cause error) {
+	if tr := e.tracer; tr != nil {
+		tr.Record(perf.KPeerLost, int64(rank), 0, 0, 0)
+	}
+	e.eng.peerLost(rank, cause)
+}
+
 // Close flushes any requested observability dumps, then shuts down the
 // engine and the transport.
 func (e *Env) Close() error {
@@ -165,3 +214,15 @@ func (t *inprocTransport) Deliver(dst int, p *Packet) error {
 }
 
 func (t *inprocTransport) Close() error { return nil }
+
+// BroadcastAbort aborts every sibling engine in the process. The world
+// shares one address space, so "broadcast" is a direct call; engines that
+// already stopped ignore it.
+func (t *inprocTransport) BroadcastAbort(code, origin int) {
+	for rank, eng := range t.engines {
+		if rank == origin {
+			continue // the origin's Env aborts its own engine after the broadcast
+		}
+		eng.abort(&AbortError{Code: code, Origin: origin})
+	}
+}

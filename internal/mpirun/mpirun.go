@@ -15,13 +15,21 @@ package mpirun
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// ErrRendezvousClosed is returned by Serve when the exchange was canceled
+// with Close before every rank registered — the launcher's way of tearing
+// the rendezvous down promptly once a child has already failed.
+var ErrRendezvousClosed = errors.New("mpirun: rendezvous closed")
 
 // Environment variables carrying the launch context to worker processes.
 const (
@@ -73,6 +81,11 @@ func FromEnv() (rank, size int, rendezvous, registration string, err error) {
 type Rendezvous struct {
 	ln   net.Listener
 	size int
+
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	addrs []string // complete address book, set when Serve succeeds
 }
 
 // NewRendezvous starts the exchange for a world of the given size on a
@@ -90,6 +103,29 @@ func NewRendezvous(size int) (*Rendezvous, error) {
 
 // Addr returns the address workers should register with.
 func (r *Rendezvous) Addr() string { return r.ln.Addr().String() }
+
+// Close cancels the exchange: a Serve in progress returns
+// ErrRendezvousClosed instead of waiting out its timeout. Safe to call
+// concurrently with Serve and more than once.
+func (r *Rendezvous) Close() {
+	if r.closed.CompareAndSwap(false, true) {
+		r.ln.Close()
+	}
+}
+
+// Addrs returns the completed address book (indexed by world rank), or nil
+// if Serve has not finished successfully. The launcher uses it to reach
+// surviving ranks when broadcasting an abort.
+func (r *Rendezvous) Addrs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.addrs == nil {
+		return nil
+	}
+	out := make([]string, len(r.addrs))
+	copy(out, r.addrs)
+	return out
+}
 
 // Serve runs the exchange to completion: it accepts every rank's
 // registration, then answers each with the full address book, and closes
@@ -116,6 +152,9 @@ func (r *Rendezvous) Serve(timeout time.Duration) error {
 		}
 		conn, err := r.ln.Accept()
 		if err != nil {
+			if r.closed.Load() {
+				return ErrRendezvousClosed
+			}
 			return fmt.Errorf("mpirun: rendezvous accept (%d/%d registered): %w", got, r.size, err)
 		}
 		if err := conn.SetDeadline(deadline); err != nil {
@@ -151,6 +190,9 @@ func (r *Rendezvous) Serve(timeout time.Duration) error {
 			return fmt.Errorf("mpirun: rendezvous reply to rank %d: %w", rank, err)
 		}
 	}
+	r.mu.Lock()
+	r.addrs = addrs
+	r.mu.Unlock()
 	return nil
 }
 

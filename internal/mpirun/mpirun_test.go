@@ -1,6 +1,7 @@
 package mpirun
 
 import (
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -145,4 +146,67 @@ func TestRendezvousRejectsMalformedRegistration(t *testing.T) {
 // dial is a tiny helper for protocol-level tests.
 func dial(addr string) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, 5*time.Second)
+}
+
+// TestRendezvousClose is the regression test for the launcher leak: Close
+// must make a Serve blocked in Accept return ErrRendezvousClosed promptly
+// instead of waiting out its full timeout.
+func TestRendezvousClose(t *testing.T) {
+	rv, err := NewRendezvous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(60 * time.Second) }()
+
+	time.Sleep(20 * time.Millisecond) // let Serve block in Accept
+	start := time.Now()
+	rv.Close()
+	rv.Close() // idempotent
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, ErrRendezvousClosed) {
+			t.Fatalf("Serve returned %v, want ErrRendezvousClosed", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("Serve took %v to notice Close", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not cancel Serve")
+	}
+}
+
+// TestRendezvousAddrs checks the address-book accessor the launcher's abort
+// broadcast relies on: nil before the exchange completes, the full book in
+// rank order afterwards, and safely copied.
+func TestRendezvousAddrs(t *testing.T) {
+	const n = 2
+	rv, err := NewRendezvous(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Addrs() != nil {
+		t.Error("Addrs non-nil before Serve completed")
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(10 * time.Second) }()
+	for r := 0; r < n; r++ {
+		go Register(rv.Addr(), r, addrFor(r), 10*time.Second)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+	addrs := rv.Addrs()
+	if len(addrs) != n {
+		t.Fatalf("Addrs = %v", addrs)
+	}
+	for r := 0; r < n; r++ {
+		if addrs[r] != addrFor(r) {
+			t.Errorf("addrs[%d] = %q, want %q", r, addrs[r], addrFor(r))
+		}
+	}
+	addrs[0] = "mutated"
+	if rv.Addrs()[0] == "mutated" {
+		t.Error("Addrs returned the internal slice, not a copy")
+	}
 }

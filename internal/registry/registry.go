@@ -148,6 +148,7 @@ type ParseError struct {
 	Msg  string
 }
 
+// Error implements the error interface with the offending line number.
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("registry: line %d: %s", e.Line, e.Msg)
 }

@@ -4,14 +4,19 @@
 # concurrency-critical core; its stress tests are written to run under -race.
 # The perf package gets an explicit vet (it is the observability layer every
 # future perf PR reports through), and the tracer-overhead benchmark runs
-# once as a smoke test that both tracer paths still execute.
+# once as a smoke test that both tracer paths still execute. The chaos pass
+# repeats the fault-injection tests under -race: failure paths are the most
+# interleaving-sensitive code in the tree. lintdoc enforces doc comments on
+# every exported identifier (golint's exported rule, in-tree).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go vet ./internal/mpi/perf
+go run ./scripts/lintdoc .
 go build ./...
 go test ./...
 go test -race ./internal/mpi/...
+go test -run 'Fault|Chaos' -race -count=2 ./internal/mpi/...
 go test -run=NONE -bench=BenchmarkTracerOverhead -benchtime=1x ./internal/mpi

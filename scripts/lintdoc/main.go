@@ -1,0 +1,143 @@
+// Command lintdoc is the repository's exported-comment linter: every
+// exported identifier in non-test Go source must carry a doc comment, in the
+// style golint/revive enforce. It is kept in-tree (stdlib go/ast only, no
+// module downloads) so scripts/check.sh and CI can run it anywhere the Go
+// toolchain exists.
+//
+// Usage:
+//
+//	go run ./scripts/lintdoc [dir ...]
+//
+// With no arguments the current directory tree is linted. Exit status is 1
+// when any exported identifier lacks a comment, 2 on usage or parse errors.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := 0
+	for _, root := range roots {
+		n, err := lintTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintdoc: %v\n", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d exported identifier(s) without doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintTree walks one directory tree and lints every non-test Go file,
+// returning the number of findings.
+func lintTree(root string) (int, error) {
+	bad := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "vendor" || name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		n, err := lintFile(path)
+		bad += n
+		return err
+	})
+	return bad, err
+}
+
+// lintFile parses one file and reports exported identifiers lacking a doc
+// comment on their declaration (or, for grouped specs, on the spec itself).
+func lintFile(path string) (int, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	report := func(pos token.Pos, kind, name string) {
+		fmt.Printf("%s: exported %s %s should have a doc comment\n", fset.Position(pos), kind, name)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && !receiverExported(d.Recv) {
+				continue // method on an unexported type: not part of the API surface
+			}
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			report(d.Name.Pos(), kind, d.Name.Name)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Name.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							report(name.Pos(), kind, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad, nil
+}
+
+// receiverExported reports whether a method's receiver names an exported
+// type, unwrapping pointers and type parameters.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
