@@ -24,15 +24,17 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1, A2, P1) or \"all\"")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1, A2, P1, C1) or \"all\"")
 	repeat := flag.Int("repeat", 5, "repetitions per cell (minimum is reported)")
 	perfOut := flag.String("perfout", "BENCH_perf.json", "output file for the P1 tracer-overhead baseline")
+	collOut := flag.String("collout", "BENCH_coll.json", "output file for the C1 collective-crossover sweep")
 	flag.Parse()
 	benchPerfPath = *perfOut
+	benchCollPath = *collOut
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "A1", "A2", "P1"} {
+		for _, e := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "A1", "A2", "P1", "C1"} {
 			want[e] = true
 		}
 	} else {
@@ -46,7 +48,7 @@ func main() {
 		run func(repeat int) error
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6}, {"E8", e8},
-		{"A1", a1}, {"A2", a2}, {"P1", p1},
+		{"A1", a1}, {"A2", a2}, {"P1", p1}, {"C1", c1},
 	}
 	for _, r := range runners {
 		if !want[r.id] {
@@ -295,6 +297,114 @@ func p1(repeat int) error {
 		return err
 	}
 	fmt.Printf("baseline written to %s\n", benchPerfPath)
+	return nil
+}
+
+// benchCollPath is where c1 writes its JSON sweep (-collout).
+var benchCollPath string
+
+// c1 sweeps Allgather and Allreduce payload sizes on 8 ranks with the
+// tree and ring algorithms each pinned via MPH_COLL_RING_THRESHOLD, prints
+// the per-operation times side by side, and writes the sweep to
+// BENCH_coll.json so the crossover recorded in EXPERIMENTS.md stays
+// reproducible. The ratio column is tree/ring: above 1.0 the ring wins.
+func c1(repeat int) error {
+	fmt.Println("C1: collective algorithm crossover, tree vs ring (8 ranks)")
+	const ranks = 8
+	sizes := []int{256, 1 << 10, 4 << 10, 8 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+	// measure returns the best per-operation time for one (op, size,
+	// algorithm) cell. The world is created after pinning the threshold —
+	// the selector is read at environment construction.
+	measure := func(threshold string, size int, op func(c *mpi.Comm, size int) error) (time.Duration, error) {
+		old, had := os.LookupEnv(mpi.EnvCollRingThreshold)
+		os.Setenv(mpi.EnvCollRingThreshold, threshold)
+		defer func() {
+			if had {
+				os.Setenv(mpi.EnvCollRingThreshold, old)
+			} else {
+				os.Unsetenv(mpi.EnvCollRingThreshold)
+			}
+		}()
+		w, err := mpi.NewWorld(ranks)
+		if err != nil {
+			return 0, err
+		}
+		defer w.Close()
+		// Amortise per-call noise on small payloads without making the
+		// megabyte cells crawl.
+		rounds := 1 << 20 / size
+		if rounds < 2 {
+			rounds = 2
+		}
+		if rounds > 64 {
+			rounds = 64
+		}
+		d, err := timeIt(repeat, func() error {
+			return w.Run(func(c *mpi.Comm) error {
+				for i := 0; i < rounds; i++ {
+					if err := op(c, size); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		return d / time.Duration(rounds), err
+	}
+
+	allgather := func(c *mpi.Comm, size int) error {
+		_, err := c.Allgather(make([]byte, size))
+		return err
+	}
+	allreduce := func(c *mpi.Comm, size int) error {
+		_, err := c.AllreduceFloats(make([]float64, size/8), mpi.OpSum)
+		return err
+	}
+
+	type row struct {
+		Op           string  `json:"op"`
+		Ranks        int     `json:"ranks"`
+		PayloadBytes int     `json:"payload_bytes"`
+		TreeNsPerOp  int64   `json:"tree_ns_per_op"`
+		RingNsPerOp  int64   `json:"ring_ns_per_op"`
+		TreeOverRing float64 `json:"tree_over_ring"`
+	}
+	var rows []row
+	for _, op := range []struct {
+		name string
+		run  func(c *mpi.Comm, size int) error
+	}{{"allgather", allgather}, {"allreduce", allreduce}} {
+		fmt.Printf("%-10s %-10s %12s %12s %8s\n", "op", "payload", "tree", "ring", "t/r")
+		for _, size := range sizes {
+			tree, err := measure("-1", size, op.run)
+			if err != nil {
+				return err
+			}
+			ring, err := measure("0", size, op.run)
+			if err != nil {
+				return err
+			}
+			ratio := float64(tree) / float64(ring)
+			fmt.Printf("%-10s %-10d %12v %12v %8.2f\n", op.name, size, tree, ring, ratio)
+			rows = append(rows, row{op.name, ranks, size, tree.Nanoseconds(), ring.Nanoseconds(), ratio})
+		}
+	}
+
+	sweep := struct {
+		Experiment       string `json:"experiment"`
+		Repeat           int    `json:"repeat"`
+		DefaultThreshold int    `json:"default_threshold_bytes"`
+		Rows             []row  `json:"rows"`
+	}{"C1", repeat, mpi.DefaultRingThreshold, rows}
+	data, err := json.MarshalIndent(&sweep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchCollPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweep written to %s\n", benchCollPath)
 	return nil
 }
 

@@ -266,6 +266,35 @@ func BenchmarkAllreduce(b *testing.B) {
 	}
 }
 
+// BenchmarkAllgather pits the gather+bcast tree against the ring on both
+// sides of the crossover, with the threshold pinned so each sub-benchmark
+// measures exactly one algorithm. BENCH_coll.json (mphbench C1) is the
+// committed sweep; this is the in-tree spot check.
+func BenchmarkAllgather(b *testing.B) {
+	for _, alg := range []struct{ name, threshold string }{
+		{"tree", "-1"},
+		{"ring", "0"},
+	} {
+		for _, n := range []int{4, 8} {
+			for _, size := range []int{64, 64 << 10} {
+				b.Run(fmt.Sprintf("%s/n=%d/%dB", alg.name, n, size), func(b *testing.B) {
+					b.Setenv(mpi.EnvCollRingThreshold, alg.threshold)
+					payload := make([]byte, size)
+					b.SetBytes(int64(size))
+					benchWorld(b, n, func(c *mpi.Comm) error {
+						for i := 0; i < b.N; i++ {
+							if _, err := c.Allgather(payload); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+				})
+			}
+		}
+	}
+}
+
 func BenchmarkAlltoall(b *testing.B) {
 	for _, n := range []int{4, 8} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

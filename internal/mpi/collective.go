@@ -19,6 +19,7 @@ const (
 	tagReduce
 	tagAlltoall
 	tagAllgather
+	tagAllreduce
 )
 
 // collBegin records entry into a collective op (invocation count, cumulative
@@ -58,41 +59,21 @@ func rrank(vr, root, size int) int { return (vr + root) % size }
 
 // Bcast broadcasts data from root to every rank using a binomial tree.
 // The root passes the payload; other ranks pass nil. Every rank receives
-// the broadcast value as the return.
+// the broadcast value as the return. The returned slice is a private copy
+// on every rank, root included: mutating it never changes the caller's
+// input, and mutating the input after Bcast never changes the result.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	defer c.collBegin(perf.CollBcast)()
-	size := len(c.group)
-	if root < 0 || root >= size {
-		return nil, fmt.Errorf("%w: bcast root %d", ErrRank, root)
-	}
-	vr := vrank(c.rank, root, size)
-	buf := data
-
-	// Receive phase: find my parent in the binomial tree.
-	mask := 1
-	for ; mask < size; mask <<= 1 {
-		if vr&mask != 0 {
-			src := rrank(vr-mask, root, size)
-			got, _, err := c.recvCtx(c.cctx, src, tagBcast)
-			if err != nil {
-				return nil, fmt.Errorf("mpi: bcast recv: %w", err)
-			}
-			buf = got
-			break
-		}
-	}
-	// Forward phase: relay to my subtree.
-	mask >>= 1
-	for ; mask > 0; mask >>= 1 {
-		if vr+mask < size {
-			dst := rrank(vr+mask, root, size)
-			if err := c.sendCtx(c.cctx, dst, tagBcast, buf, nil); err != nil {
-				return nil, fmt.Errorf("mpi: bcast send: %w", err)
-			}
-		}
+	buf, err := c.bcastOn(tagBcast, root, data)
+	if err != nil {
+		return nil, err
 	}
 	if c.rank == root {
-		return data, nil
+		// Non-root ranks get a fresh buffer from the transport; copy at root
+		// so the aliasing behaviour is identical on every rank.
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, nil
 	}
 	return buf, nil
 }
@@ -100,6 +81,9 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // Gather collects each rank's payload at root. At root the result holds one
 // entry per communicator rank, in rank order (the root's own entry is a
 // copy); other ranks get nil. Payload sizes may differ per rank (gatherv).
+// The root posts every receive up front (irecv) so arrivals complete in
+// whatever order they land, instead of head-of-line blocking on the
+// lowest-numbered slow rank.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	defer c.collBegin(perf.CollGather)()
 	size := len(c.group)
@@ -116,12 +100,26 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	own := make([]byte, len(data))
 	copy(own, data)
 	out[root] = own
+	reqs := make([]*Request, size)
+	for r := 0; r < size; r++ {
+		if r != root {
+			reqs[r] = c.irecvCtx(c.cctx, r, tagGather)
+		}
+	}
 	for r := 0; r < size; r++ {
 		if r == root {
 			continue
 		}
-		got, _, err := c.recvCtx(c.cctx, r, tagGather)
+		got, _, err := reqs[r].Wait()
 		if err != nil {
+			// Withdraw the still-pending receives so they cannot steal
+			// messages from a later gather; one that completed while being
+			// cancelled is consumed and discarded.
+			for q := r + 1; q < size; q++ {
+				if q != root && !reqs[q].Cancel() {
+					reqs[q].Wait()
+				}
+			}
 			return nil, fmt.Errorf("mpi: gather recv from %d: %w", r, err)
 		}
 		out[r] = got
@@ -130,9 +128,35 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 }
 
 // Allgather collects each rank's payload at every rank, in rank order.
-// Implemented as gather-to-0 followed by a broadcast of the framed result.
+// Payload sizes may differ per rank (allgatherv); a Bruck size exchange
+// first gives every rank the full size vector, from which all ranks make
+// the same algorithm choice: payloads whose largest block is under the ring
+// threshold (EnvCollRingThreshold) take the latency-optimal gather-to-0 +
+// framed-broadcast tree, larger ones take the bandwidth-optimal ring in
+// which each rank forwards one block per step to its successor.
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 	defer c.collBegin(perf.CollAllgather)()
+	size := len(c.group)
+	if size == 1 {
+		own := make([]byte, len(data))
+		copy(own, data)
+		return [][]byte{own}, nil
+	}
+	sizes, err := c.exchangeSizes(len(data))
+	if err != nil {
+		return nil, err
+	}
+	maxBlock := 0
+	for _, s := range sizes {
+		if s > maxBlock {
+			maxBlock = s
+		}
+	}
+	if c.useRing(maxBlock) {
+		c.env.pv.CollAlgo(perf.CollAllgather, perf.AlgRing)
+		return c.allgatherRing(data, sizes)
+	}
+	c.env.pv.CollAlgo(perf.CollAllgather, perf.AlgTree)
 	parts, err := c.Gather(0, data)
 	if err != nil {
 		return nil, err
@@ -148,11 +172,16 @@ func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 	return unframeSlices(framed)
 }
 
-// bcastOn is Bcast with a caller-chosen internal tag, so composite
-// collectives (Allgather, Allreduce) do not interleave with plain Bcasts
-// issued between their internal phases on other ranks.
+// bcastOn is the binomial-tree broadcast with a caller-chosen internal tag,
+// so composite collectives (Allgather, Allreduce) do not interleave with
+// plain Bcasts issued between their internal phases on other ranks. It is
+// the single place the broadcast root is validated; at root it returns data
+// itself (callers that expose the result copy it, see Bcast).
 func (c *Comm) bcastOn(tag, root int, data []byte) ([]byte, error) {
 	size := len(c.group)
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("%w: bcast root %d", ErrRank, root)
+	}
 	vr := vrank(c.rank, root, size)
 	buf := data
 	mask := 1
@@ -275,14 +304,37 @@ func (c *Comm) Reduce(root int, data []byte, fn func(acc, in []byte) ([]byte, er
 }
 
 // Allreduce combines every rank's payload with fn and delivers the result
-// to every rank (reduce-to-0 then broadcast).
+// to every rank. fn sees only whole payloads, which pins the algorithm to
+// reduce-to-0 + broadcast; use AllreduceWith with an element size to unlock
+// the bandwidth-optimal ring for large payloads (the typed wrappers
+// AllreduceInts/AllreduceFloats do).
 func (c *Comm) Allreduce(data []byte, fn func(acc, in []byte) ([]byte, error)) ([]byte, error) {
+	return c.AllreduceWith(data, 0, fn)
+}
+
+// AllreduceWith combines every rank's payload with fn and delivers the
+// result to every rank, choosing the algorithm by payload size. elem > 0
+// declares the payload a sequence of elem-byte elements and fn an
+// elementwise, associative, commutative, length-preserving combination that
+// accepts any elem-aligned subrange; that contract is what allows the
+// Rabenseifner path (ring reduce-scatter + ring allgather of chunks) for
+// payloads at or above the ring threshold (EnvCollRingThreshold). elem == 0
+// keeps the whole-payload tree path (reduce-to-0 then broadcast) at every
+// size. Every rank must pass the same payload length — the standard
+// reduction contract — which is also what keeps the size-based selection
+// identical on all ranks.
+func (c *Comm) AllreduceWith(data []byte, elem int, fn func(acc, in []byte) ([]byte, error)) ([]byte, error) {
 	defer c.collBegin(perf.CollAllreduce)()
+	if elem > 0 && len(data)%elem == 0 && c.useRing(len(data)) {
+		c.env.pv.CollAlgo(perf.CollAllreduce, perf.AlgRing)
+		return c.allreduceRing(data, elem, fn)
+	}
+	c.env.pv.CollAlgo(perf.CollAllreduce, perf.AlgTree)
 	acc, err := c.Reduce(0, data, fn)
 	if err != nil {
 		return nil, err
 	}
-	return c.bcastOn(tagAllgather, 0, acc)
+	return c.bcastOn(tagAllreduce, 0, acc)
 }
 
 // frameSlices packs a list of byte slices into one payload:

@@ -159,6 +159,104 @@ func TestFaultWorldAbort(t *testing.T) {
 	}
 }
 
+// TestChaosAbortDuringRingCollective aborts a 4-rank world while the other
+// three ranks sit mid-ring inside a forced-ring Allreduce (each blocked on a
+// reduce-scatter step); every one of them must return a typed abort error
+// instead of hanging — the same contract the binomial trees honour.
+func TestChaosAbortDuringRingCollective(t *testing.T) {
+	t.Setenv(EnvCollRingThreshold, "0")
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	results := make(chan error, 3)
+	for r := 1; r < 4; r++ {
+		c, _ := w.Comm(r)
+		go func(c *Comm) {
+			_, err := c.AllreduceFloats(make([]float64, 1024), OpSum)
+			results <- err
+		}(c)
+	}
+	time.Sleep(20 * time.Millisecond) // let the ring stall on absent rank 0
+
+	c0, _ := w.Comm(0)
+	c0.Abort(4)
+
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-results:
+			if !errors.Is(err, ErrAborted) {
+				t.Fatalf("ring allreduce returned %v, want ErrAborted", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("abort left a rank blocked mid-ring")
+		}
+	}
+}
+
+// TestChaosPeerLostMidRing injects the failure detector's verdict while
+// survivors sit mid-ring: rank 0 never enters the forced-ring Allreduce, so
+// its ring successor blocks on a receive only rank 0 could satisfy. Declaring
+// rank 0 dead must fail that receive with *ErrPeerLost; the observing rank
+// escalates to Abort exactly as the MPH handshake does, which unblocks the
+// remaining survivors with the typed abort error. Every survivor must end
+// with one of the two typed failures — zero hangs.
+func TestChaosPeerLostMidRing(t *testing.T) {
+	t.Setenv(EnvCollRingThreshold, "0")
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	type outcome struct {
+		rank int
+		err  error
+	}
+	results := make(chan outcome, 3)
+	for r := 1; r < 4; r++ {
+		c, _ := w.Comm(r)
+		go func(c *Comm) {
+			_, err := c.AllreduceFloats(make([]float64, 1024), OpSum)
+			if _, lost := IsPeerLost(err); lost {
+				c.Abort(3) // escalate collective peer-loss, like core.handshake
+			}
+			results <- outcome{rank: c.Rank(), err: err}
+		}(c)
+	}
+	time.Sleep(20 * time.Millisecond) // let the ring stall on absent rank 0
+
+	cause := errors.New("injected: rank 0 crashed")
+	for r := 1; r < 4; r++ {
+		w.envs[r].PeerLost(0, cause)
+	}
+
+	sawPeerLost := false
+	for i := 0; i < 3; i++ {
+		select {
+		case o := <-results:
+			if o.err == nil {
+				t.Fatalf("rank %d: ring allreduce succeeded without rank 0", o.rank)
+			}
+			if rank, lost := IsPeerLost(o.err); lost {
+				sawPeerLost = true
+				if rank != 0 {
+					t.Errorf("rank %d: lost rank %d, want 0", o.rank, rank)
+				}
+			} else if !errors.Is(o.err, ErrAborted) {
+				t.Errorf("rank %d: error %v is neither ErrPeerLost nor ErrAborted", o.rank, o.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("peer loss left a survivor blocked mid-ring")
+		}
+	}
+	if !sawPeerLost {
+		t.Error("no survivor observed ErrPeerLost (rank 0's ring successor should)")
+	}
+}
+
 // TestChaosAbortDuringCollective aborts a 4-rank world while the other
 // three ranks sit inside a Barrier; every one of them must return a typed
 // abort error instead of hanging.

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // Op names an elementwise reduction operation for the typed reduce
 // wrappers.
@@ -30,74 +34,83 @@ func (op Op) String() string {
 	}
 }
 
+// The combine closures work directly on the 8-byte little-endian wire form
+// and write the result into the incoming side's storage: reductions run once
+// per received message, so a decode/combine/encode round trip here is the
+// dominant allocation source of every typed reduction (and of the ring
+// allreduce, which combines one chunk per ring step). The result must not be
+// written into the accumulator argument — Scan feeds the same accumulated
+// slice to two consecutive combines.
+
 func combineFloats(op Op) func(acc, in []byte) ([]byte, error) {
 	return func(acc, in []byte) ([]byte, error) {
-		a, err := decodeFloats(acc)
-		if err != nil {
+		if err := combineCheck(op, acc, in); err != nil {
 			return nil, err
 		}
-		b, err := decodeFloats(in)
-		if err != nil {
-			return nil, err
-		}
-		if len(a) != len(b) {
-			return nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(a), len(b))
-		}
-		for i := range a {
+		for i := 0; i < len(in); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(in[i:]))
 			switch op {
 			case OpSum:
-				a[i] += b[i]
+				b = a + b
 			case OpProd:
-				a[i] *= b[i]
+				b = a * b
 			case OpMax:
-				if b[i] > a[i] {
-					a[i] = b[i]
+				if a > b {
+					b = a
 				}
 			case OpMin:
-				if b[i] < a[i] {
-					a[i] = b[i]
+				if a < b {
+					b = a
 				}
-			default:
-				return nil, fmt.Errorf("mpi: unknown op %v", op)
 			}
+			binary.LittleEndian.PutUint64(in[i:], math.Float64bits(b))
 		}
-		return encodeFloats(a), nil
+		return in, nil
 	}
 }
 
 func combineInts(op Op) func(acc, in []byte) ([]byte, error) {
 	return func(acc, in []byte) ([]byte, error) {
-		a, err := decodeInts(acc)
-		if err != nil {
+		if err := combineCheck(op, acc, in); err != nil {
 			return nil, err
 		}
-		b, err := decodeInts(in)
-		if err != nil {
-			return nil, err
-		}
-		if len(a) != len(b) {
-			return nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(a), len(b))
-		}
-		for i := range a {
+		for i := 0; i < len(in); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(acc[i:]))
+			b := int64(binary.LittleEndian.Uint64(in[i:]))
 			switch op {
 			case OpSum:
-				a[i] += b[i]
+				b = a + b
 			case OpProd:
-				a[i] *= b[i]
+				b = a * b
 			case OpMax:
-				if b[i] > a[i] {
-					a[i] = b[i]
+				if a > b {
+					b = a
 				}
 			case OpMin:
-				if b[i] < a[i] {
-					a[i] = b[i]
+				if a < b {
+					b = a
 				}
-			default:
-				return nil, fmt.Errorf("mpi: unknown op %v", op)
 			}
+			binary.LittleEndian.PutUint64(in[i:], uint64(b))
 		}
-		return encodeInts(a), nil
+		return in, nil
 	}
+}
+
+// combineCheck validates one elementwise combine up front so the loops stay
+// branch-light.
+func combineCheck(op Op, acc, in []byte) error {
+	if op < OpSum || op > OpMin {
+		return fmt.Errorf("mpi: unknown op %v", op)
+	}
+	if len(acc) != len(in) {
+		return fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(acc)/8, len(in)/8)
+	}
+	if len(in)%8 != 0 {
+		return fmt.Errorf("mpi: reduce payload length %d not a multiple of 8", len(in))
+	}
+	return nil
 }
 
 // ReduceFloats combines xs elementwise across ranks at root. Non-root ranks
@@ -111,9 +124,10 @@ func (c *Comm) ReduceFloats(root int, xs []float64, op Op) ([]float64, error) {
 }
 
 // AllreduceFloats combines xs elementwise across ranks and returns the
-// result at every rank.
+// result at every rank. The 8-byte element encoding lets the size-based
+// selector use the ring algorithm for large slices.
 func (c *Comm) AllreduceFloats(xs []float64, op Op) ([]float64, error) {
-	out, err := c.Allreduce(encodeFloats(xs), combineFloats(op))
+	out, err := c.AllreduceWith(encodeFloats(xs), 8, combineFloats(op))
 	if err != nil {
 		return nil, err
 	}
@@ -131,9 +145,10 @@ func (c *Comm) ReduceInts(root int, xs []int64, op Op) ([]int64, error) {
 }
 
 // AllreduceInts combines xs elementwise across ranks and returns the result
-// at every rank.
+// at every rank. The 8-byte element encoding lets the size-based selector
+// use the ring algorithm for large slices.
 func (c *Comm) AllreduceInts(xs []int64, op Op) ([]int64, error) {
-	out, err := c.Allreduce(encodeInts(xs), combineInts(op))
+	out, err := c.AllreduceWith(encodeInts(xs), 8, combineInts(op))
 	if err != nil {
 		return nil, err
 	}

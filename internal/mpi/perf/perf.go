@@ -85,6 +85,30 @@ func (op CollOp) String() string {
 	return "unknown"
 }
 
+// CollAlg identifies the algorithm family a collective invocation was routed
+// to by the size-based selector (DESIGN.md "Collective algorithms").
+type CollAlg uint8
+
+// Algorithm families tracked per collective op. Tree covers the
+// latency-optimal binomial-tree/gather+bcast shapes; Ring covers the
+// bandwidth-optimal ring (allgather) and reduce-scatter+ring (allreduce)
+// shapes.
+const (
+	AlgTree CollAlg = iota
+	AlgRing
+	NumCollAlgs // count sentinel, not an algorithm
+)
+
+var collAlgNames = [NumCollAlgs]string{"tree", "ring"}
+
+// String names the algorithm family for summaries.
+func (a CollAlg) String() string {
+	if a < NumCollAlgs {
+		return collAlgNames[a]
+	}
+	return "unknown"
+}
+
 // Phase identifies one MPH handshake phase for trace markers (paper §6: the
 // five-phase algorithm in core.handshake).
 type Phase uint8
@@ -171,10 +195,16 @@ type EngineSnap struct {
 	RecvBytes []uint64 `json:"recv_bytes_by_peer"`
 }
 
-// CollSnap is one collective op's counters in a Snapshot.
+// CollSnap is one collective op's counters in a Snapshot. Count and Nanos
+// cover only outermost invocations (composites nest); Tree and Ring count
+// every algorithm-selection decision, including those made inside composite
+// collectives, so Tree+Ring may exceed Count for ops used as building
+// blocks.
 type CollSnap struct {
 	Count uint64 `json:"count"`
 	Nanos int64  `json:"nanos"`
+	Tree  uint64 `json:"tree,omitempty"`
+	Ring  uint64 `json:"ring,omitempty"`
 }
 
 // NetSnap is the wire counters' value in a Snapshot.
@@ -254,6 +284,7 @@ type Rank struct {
 
 	collDepth atomic.Int32
 	coll      [NumCollOps]collCounter
+	collAlg   [NumCollOps][NumCollAlgs]atomic.Uint64
 
 	splits atomic.Uint64
 	dups   atomic.Uint64
@@ -348,6 +379,15 @@ func (r *Rank) CollExit(op CollOp, startNS int64, top bool) {
 	r.collDepth.Add(-1)
 }
 
+// CollAlgo records which algorithm family the size-based selector routed one
+// collective invocation to. It is called at every selection point, including
+// selections made inside composite collectives.
+func (r *Rank) CollAlgo(op CollOp, alg CollAlg) {
+	if op < NumCollOps && alg < NumCollAlgs {
+		r.collAlg[op][alg].Add(1)
+	}
+}
+
 // CountSplit records a communicator split (also traced).
 func (r *Rank) CountSplit(color int, newSize int) {
 	r.splits.Add(1)
@@ -422,13 +462,20 @@ func (r *Rank) Snapshot() Snapshot {
 
 	for op := CollOp(0); op < NumCollOps; op++ {
 		count := r.coll[op].count.Load()
-		if count == 0 {
+		tree := r.collAlg[op][AlgTree].Load()
+		ring := r.collAlg[op][AlgRing].Load()
+		if count == 0 && tree == 0 && ring == 0 {
 			continue
 		}
 		if s.Collectives == nil {
 			s.Collectives = make(map[string]CollSnap)
 		}
-		s.Collectives[op.String()] = CollSnap{Count: count, Nanos: r.coll[op].ns.Load()}
+		s.Collectives[op.String()] = CollSnap{
+			Count: count,
+			Nanos: r.coll[op].ns.Load(),
+			Tree:  tree,
+			Ring:  ring,
+		}
 	}
 	s.CommSplits = r.splits.Load()
 	s.CommDups = r.dups.Load()

@@ -104,7 +104,9 @@ func (c *Comm) ExclusiveScanInts(xs []int64, op Op) ([]int64, error) {
 	return out, nil
 }
 
-// AllgatherInts gathers one int64 slice per rank at every rank.
+// AllgatherInts gathers one int64 slice per rank at every rank. Like every
+// Allgather it is routed between the tree and ring algorithms by payload
+// size (see EnvCollRingThreshold).
 func (c *Comm) AllgatherInts(xs []int64) ([][]int64, error) {
 	parts, err := c.Allgather(encodeInts(xs))
 	if err != nil {
@@ -119,7 +121,9 @@ func (c *Comm) AllgatherInts(xs []int64) ([][]int64, error) {
 	return out, nil
 }
 
-// AllgatherFloats gathers one float64 slice per rank at every rank.
+// AllgatherFloats gathers one float64 slice per rank at every rank. Like
+// every Allgather it is routed between the tree and ring algorithms by
+// payload size (see EnvCollRingThreshold).
 func (c *Comm) AllgatherFloats(xs []float64) ([][]float64, error) {
 	parts, err := c.Allgather(encodeFloats(xs))
 	if err != nil {

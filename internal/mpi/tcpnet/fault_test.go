@@ -1,11 +1,13 @@
 package tcpnet
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -357,6 +359,109 @@ func TestFaultAbortFrameUnblocks(t *testing.T) {
 	}
 	if got := env.Perf().Net.AbortsIn.Load(); got != 1 {
 		t.Errorf("AbortsIn = %d, want 1", got)
+	}
+}
+
+// TestChaosDieFaultMidRing injects the MPH_FAULT "die" action so rank 3
+// crashes between two steps of a forced-ring Allgather: its connections
+// vanish mid-ring exactly as a process crash. The victim's ring successor
+// (rank 0, blocked on a block only rank 3 can supply) must unblock with
+// *mpi.ErrPeerLost and escalates to Abort — the handshake's policy — which
+// must unblock the remaining survivors with the typed abort error. The
+// survivors run two rounds because a ring pipelines: the victim's own block
+// is already in the relay chain when it dies, so the survivor farthest
+// downstream can legitimately finish round 1; round 2's size exchange makes
+// every survivor depend on the dead rank directly. Every survivor must end
+// with one of the two typed failures; zero hangs.
+func TestChaosDieFaultMidRing(t *testing.T) {
+	t.Setenv(EnvHeartbeat, "100ms")
+	t.Setenv(EnvPeerTimeout, "500ms")
+	t.Setenv(EnvDialTimeout, "1s")
+	t.Setenv(EnvDialBackoff, "20ms")
+	t.Setenv(mpi.EnvCollRingThreshold, "0")
+	// Frames from rank 3: two Bruck size-exchange sends, then one ring block
+	// per step. after=3 lets the size exchange and ring step 0 through and
+	// kills the rank on its ring step 1 send — genuinely mid-ring, and after
+	// its step-0 send gave rank 0 the inbound stream whose abrupt loss feeds
+	// rank 0's failure detector.
+	t.Setenv(EnvFault, "die,rank=3,after=3")
+
+	// The die action calls osExit after severing; in-test the "process" is a
+	// goroutine, so death is modelled as goroutine exit.
+	oldExit := osExit
+	osExit = func(int) { runtime.Goexit() }
+	t.Cleanup(func() { osExit = oldExit })
+
+	const n, victim = 4, 3
+	trs, envs := startWorld(t, n)
+	defer func() {
+		for r, env := range envs {
+			if r != victim {
+				env.Close()
+			}
+		}
+	}()
+	if trs[victim].faults == nil {
+		t.Fatal("MPH_FAULT was not picked up")
+	}
+
+	type outcome struct {
+		rank int
+		err  error
+	}
+	outcomes := make(chan outcome, n-1)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			world := mpi.WorldComm(envs[rank])
+			var err error
+			for round := 0; round < 2 && err == nil; round++ {
+				_, err = world.Allgather(bytes.Repeat([]byte{byte(rank)}, 2048))
+			}
+			if rank == victim {
+				return // unreachable: the die fault Goexits this goroutine
+			}
+			if _, lost := mpi.IsPeerLost(err); lost {
+				world.Abort(3) // escalate collective peer-loss, like core.handshake
+			}
+			outcomes <- outcome{rank: rank, err: err}
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("chaos watchdog expired: a rank is hung mid-ring")
+	}
+	close(outcomes)
+	got, sawPeerLost := 0, false
+	for o := range outcomes {
+		got++
+		if o.err == nil {
+			t.Errorf("rank %d: ring allgather succeeded without rank %d", o.rank, victim)
+			continue
+		}
+		if rank, lost := mpi.IsPeerLost(o.err); lost {
+			sawPeerLost = true
+			if rank != victim {
+				t.Errorf("rank %d: lost rank %d, want %d", o.rank, rank, victim)
+			}
+		} else if !errors.Is(o.err, mpi.ErrAborted) {
+			t.Errorf("rank %d: error %v is neither ErrPeerLost nor ErrAborted", o.rank, o.err)
+		}
+	}
+	if got != n-1 {
+		t.Fatalf("got %d survivor outcomes, want %d", got, n-1)
+	}
+	if !sawPeerLost {
+		t.Error("no survivor observed ErrPeerLost (the victim's ring successor should)")
+	}
+	if injected := envs[victim].Perf().Net.FaultsInjected.Load(); injected != 1 {
+		t.Errorf("FaultsInjected = %d, want 1", injected)
 	}
 }
 

@@ -46,6 +46,12 @@ type Env struct {
 	pv        *perf.Rank
 	tracer    *perf.Tracer // cached for the send-path nil check; nil = off
 	flushOnce sync.Once
+
+	// ringThreshold is the tree-to-ring collective crossover in bytes,
+	// parsed once from EnvCollRingThreshold (negative = rings disabled).
+	// Every rank of a job must see the same value or collective algorithm
+	// choices diverge; the launcher propagates the environment.
+	ringThreshold int
 }
 
 // NewEnv assembles an environment from its parts. It is exported for
@@ -55,11 +61,12 @@ type Env struct {
 // unset).
 func NewEnv(worldRank, worldSize int, tr Transport) *Env {
 	e := &Env{
-		worldRank: worldRank,
-		worldSize: worldSize,
-		eng:       newEngine(worldSize),
-		tr:        tr,
-		pv:        perf.NewRank(worldRank, worldSize),
+		worldRank:     worldRank,
+		worldSize:     worldSize,
+		eng:           newEngine(worldSize),
+		tr:            tr,
+		pv:            perf.NewRank(worldRank, worldSize),
+		ringThreshold: ringThresholdFromEnv(),
 	}
 	e.pv.SetEngineCollector(e.eng.perfSnap)
 	if os.Getenv(perf.EnvTraceDir) != "" {

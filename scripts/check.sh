@@ -7,7 +7,9 @@
 # once as a smoke test that both tracer paths still execute. The chaos pass
 # repeats the fault-injection tests under -race: failure paths are the most
 # interleaving-sensitive code in the tree. lintdoc enforces doc comments on
-# every exported identifier (golint's exported rule, in-tree).
+# every exported identifier (golint's exported rule, in-tree). The collective
+# bench smoke runs one tree and one ring Allgather iteration so both
+# algorithm paths of the size-based selector stay executable.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -20,3 +22,4 @@ go test ./...
 go test -race ./internal/mpi/...
 go test -run 'Fault|Chaos' -race -count=2 ./internal/mpi/...
 go test -run=NONE -bench=BenchmarkTracerOverhead -benchtime=1x ./internal/mpi
+go test -run=NONE -bench=BenchmarkAllgather -benchtime=1x ./internal/mpi
