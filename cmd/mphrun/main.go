@@ -9,12 +9,14 @@
 // Usage:
 //
 //	mphrun -cmdfile job.cmd [-registration processors_map.in] [-timeout 120s]
+//	mphrun [flags] N cmd [args] : N cmd [args] ...
 //
-// The cmdfile lists one executable per line, IBM SP style:
+// The cmdfile lists one executable per line, IBM SP style, with an optional
+// host pin between the count and the command:
 //
-//	# nprocs command [args...]
+//	# nprocs [host=NAME] command [args...]
 //	3 ./atm -flag
-//	2 ./ocn
+//	2 host=node-b ./ocn
 //	1 ./coupler
 //
 // mphrun assigns world ranks 0-2 to atm, 3-4 to ocn, 5 to coupler, starts a
@@ -22,57 +24,78 @@
 // MPH_RENDEZVOUS / MPH_REGISTRATION set, prefixes each process's output
 // with its rank, and exits non-zero if any process fails.
 //
+// # Multi-host jobs
+//
+// A hostfile (-hostfile, one "host [slots=N]" per line) or inline host list
+// (-hosts node-a:2,node-b) places unpinned ranks across hosts under a
+// -placement policy (block or cyclic); host= pins override the policy. Ranks
+// on other hosts are spawned through the mphrun agent ("mphrun agent-exec",
+// run via ssh by default, or locally with -backend exec for single-machine
+// testing of the multi-host path). See OPERATIONS.md for the full story.
+//
 // When a rank exits abnormally mid-job, mphrun broadcasts a launcher abort
-// to the surviving ranks (their blocked MPI calls return mpi.ErrAborted),
-// waits -grace for them to exit on their own, kills the remaining process
-// groups, and reports the failures grouped per component executable.
+// to the surviving ranks on every host (their blocked MPI calls return
+// mpi.ErrAborted), waits -grace for them to exit on their own, kills the
+// remaining process groups — through the agents for remote ranks — and
+// reports the failures grouped per component executable.
 // Exit status: 0 success, 1 job or launcher failure, 2 usage error.
 package main
 
 import (
-	"bufio"
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"os/exec"
-	"strconv"
 	"strings"
-	"sync"
-	"time"
 
 	"mph/internal/mpi/perf"
-	"mph/internal/mpi/tcpnet"
 	"mph/internal/mpirun"
 )
 
-// entry is one cmdfile line: an executable and its processor count.
-type entry struct {
-	nprocs int
-	argv   []string
-	line   int
+// sshOpts collects repeated -sshopt flags.
+type sshOpts []string
+
+// String renders the collected options for flag diagnostics.
+func (o *sshOpts) String() string { return strings.Join(*o, " ") }
+
+// Set appends one ssh option.
+func (o *sshOpts) Set(v string) error {
+	*o = append(*o, v)
+	return nil
 }
 
 func main() {
+	// The agent subcommand must bypass the launcher flag set: its arguments
+	// belong to agent-exec, and it must never recurse into launching.
+	if len(os.Args) > 1 && os.Args[1] == "agent-exec" {
+		os.Exit(mpirun.AgentExec(os.Args[2:], os.Stderr))
+	}
+
 	cmdfile := flag.String("cmdfile", "", "MPMD command file")
 	registration := flag.String("registration", "", "registration file forwarded to every process")
-	timeout := flag.Duration("timeout", 120*time.Second, "rendezvous timeout")
-	grace := flag.Duration("grace", 5*time.Second, "after a rank fails, how long survivors get to exit before their process groups are killed")
+	timeout := flag.Duration("timeout", mpirun.DefaultTimeout, "rendezvous timeout")
+	grace := flag.Duration("grace", mpirun.DefaultGrace, "after a rank fails, how long survivors get to exit before their process groups are killed")
 	stats := flag.Bool("stats", false, "collect per-rank performance variables and print a per-component summary at job end")
 	traceDir := flag.String("trace", "", "directory for per-rank event traces (trace.rank*.jsonl, mergeable with mphtrace)")
+	hostfile := flag.String("hostfile", "", "hostfile for multi-host placement (one \"host [slots=N]\" per line)")
+	hostList := flag.String("hosts", "", "inline host list for multi-host placement (\"node-a:2,node-b\")")
+	placement := flag.String("placement", "block", "placement policy for unpinned ranks: block or cyclic")
+	backendName := flag.String("backend", "", "spawn backend: local, exec, or ssh (default: ssh when hosts are given, local otherwise)")
+	bind := flag.String("bind", "", "host or IP the rendezvous and rank listeners bind (default: loopback, or all interfaces for ssh)")
+	agentPath := flag.String("agent", "", "mphrun binary to run as the remote agent (default: this executable; must exist on every remote host)")
+	var sshOptions sshOpts
+	flag.Var(&sshOptions, "sshopt", "extra ssh option for the ssh backend (repeatable, e.g. -sshopt -i -sshopt key.pem)")
 	flag.Parse()
 
-	var entries []entry
-	var total int
+	var entries []mpirun.Entry
 	var err error
 	switch {
 	case *cmdfile != "" && flag.NArg() > 0:
 		err = fmt.Errorf("give either -cmdfile or a colon-separated command line, not both")
 	case *cmdfile != "":
-		entries, total, err = parseCmdfile(*cmdfile)
+		entries, _, err = mpirun.ParseCmdfile(*cmdfile)
 	case flag.NArg() > 0:
-		entries, total, err = parseColonSpec(flag.Args())
+		entries, _, err = mpirun.ParseColonSpec(flag.Args())
 	default:
 		fmt.Fprintln(os.Stderr, "mphrun: need -cmdfile FILE, or: mphrun [flags] N cmd [args] : N cmd [args] ...")
 		flag.Usage()
@@ -83,7 +106,50 @@ func main() {
 		os.Exit(1)
 	}
 
-	var extraEnv []string
+	var hosts []mpirun.HostSlot
+	switch {
+	case *hostfile != "" && *hostList != "":
+		err = fmt.Errorf("give either -hostfile or -hosts, not both")
+	case *hostfile != "":
+		hosts, err = mpirun.ParseHostfile(*hostfile)
+	case *hostList != "":
+		hosts, err = mpirun.ParseHostList(*hostList)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+		os.Exit(1)
+	}
+	policy, err := mpirun.ParsePlacement(*placement)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+		os.Exit(1)
+	}
+	backend, err := mpirun.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+		os.Exit(1)
+	}
+	pinned := false
+	for _, e := range entries {
+		pinned = pinned || e.Host != ""
+	}
+	if *backendName == "" && (len(hosts) > 0 || pinned) {
+		backend = mpirun.BackendSSH
+	}
+
+	spec, err := mpirun.NewLaunchSpec(entries, hosts, policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+		os.Exit(1)
+	}
+	spec.Registration = *registration
+	spec.Timeout = *timeout
+	spec.Grace = *grace
+	spec.Bind = *bind
+	spec.Backend = backend
+	spec.AgentPath = *agentPath
+	spec.SSHOptions = sshOptions
+
 	statsDir := ""
 	if *stats {
 		statsDir, err = os.MkdirTemp("", "mph-stats-*")
@@ -92,17 +158,17 @@ func main() {
 			os.Exit(1)
 		}
 		defer os.RemoveAll(statsDir)
-		extraEnv = append(extraEnv, perf.EnvStatsDir+"="+statsDir)
+		spec.ExtraEnv = append(spec.ExtraEnv, perf.EnvStatsDir+"="+statsDir)
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
 			os.Exit(1)
 		}
-		extraEnv = append(extraEnv, perf.EnvTraceDir+"="+*traceDir)
+		spec.ExtraEnv = append(spec.ExtraEnv, perf.EnvTraceDir+"="+*traceDir)
 	}
 
-	if err := launch(entries, total, *registration, *timeout, *grace, extraEnv); err != nil {
+	if err := mpirun.Launch(context.Background(), spec); err != nil {
 		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
 		if statsDir != "" {
 			os.RemoveAll(statsDir)
@@ -121,353 +187,5 @@ func main() {
 	if *traceDir != "" {
 		fmt.Fprintf(os.Stderr, "mphrun: event traces in %s (merge with: mphtrace -o trace.json %s)\n",
 			*traceDir, *traceDir)
-	}
-}
-
-// parseColonSpec reads the mpirun-style inline MPMD spec: colon-separated
-// segments of "nprocs command [args...]" (the SGI/Compaq launch idiom the
-// paper mentions alongside the IBM cmdfile, §6).
-func parseColonSpec(args []string) ([]entry, int, error) {
-	var entries []entry
-	total := 0
-	seg := []string{}
-	flush := func() error {
-		if len(seg) == 0 {
-			return fmt.Errorf("empty segment in colon-separated command line")
-		}
-		if len(seg) < 2 {
-			return fmt.Errorf("segment %q: expected \"nprocs command [args...]\"", strings.Join(seg, " "))
-		}
-		n, err := strconv.Atoi(seg[0])
-		if err != nil || n <= 0 {
-			return fmt.Errorf("segment %q: bad processor count %q", strings.Join(seg, " "), seg[0])
-		}
-		entries = append(entries, entry{nprocs: n, argv: append([]string(nil), seg[1:]...)})
-		total += n
-		seg = seg[:0]
-		return nil
-	}
-	for _, a := range args {
-		if a == ":" {
-			if err := flush(); err != nil {
-				return nil, 0, err
-			}
-			continue
-		}
-		seg = append(seg, a)
-	}
-	if err := flush(); err != nil {
-		return nil, 0, err
-	}
-	return entries, total, nil
-}
-
-// parseCmdfile reads the MPMD command file.
-func parseCmdfile(path string) ([]entry, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-
-	var entries []entry
-	total := 0
-	sc := bufio.NewScanner(f)
-	for lineNo := 1; sc.Scan(); lineNo++ {
-		line := sc.Text()
-		if idx := strings.IndexByte(line, '#'); idx >= 0 {
-			line = line[:idx]
-		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
-			continue
-		}
-		if len(fields) < 2 {
-			return nil, 0, fmt.Errorf("%s:%d: expected \"nprocs command [args...]\"", path, lineNo)
-		}
-		n, err := strconv.Atoi(fields[0])
-		if err != nil || n <= 0 {
-			return nil, 0, fmt.Errorf("%s:%d: bad processor count %q", path, lineNo, fields[0])
-		}
-		entries = append(entries, entry{nprocs: n, argv: fields[1:], line: lineNo})
-		total += n
-	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, err
-	}
-	if len(entries) == 0 {
-		return nil, 0, fmt.Errorf("%s: no executables", path)
-	}
-	return entries, total, nil
-}
-
-// proc is one spawned rank: its command, world rank, and the index of the
-// cmdfile entry it belongs to (for the per-component failure report).
-type proc struct {
-	cmd  *exec.Cmd
-	rank int
-	exe  int
-}
-
-// procResult is one reaped child: its world rank and cmd.Wait error.
-type procResult struct {
-	rank int
-	err  error
-}
-
-// launch runs the job to completion. extraEnv entries ("KEY=VALUE") are
-// appended to every child's environment (observability dump directories).
-// grace bounds how long survivors of a failed rank get to exit after the
-// abort broadcast before their process groups are killed.
-func launch(entries []entry, total int, registration string, timeout, grace time.Duration, extraEnv []string) error {
-	rv, err := mpirun.NewRendezvous(total)
-	if err != nil {
-		return err
-	}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- rv.Serve(timeout) }()
-
-	fmt.Fprintf(os.Stderr, "mphrun: world of %d ranks across %d executable(s); rendezvous %s\n",
-		total, len(entries), rv.Addr())
-
-	var procs []proc
-	var outWG sync.WaitGroup
-	rank := 0
-	for ei, e := range entries {
-		for i := 0; i < e.nprocs; i++ {
-			cmd := exec.Command(e.argv[0], e.argv[1:]...)
-			cmd.Env = append(os.Environ(),
-				fmt.Sprintf("%s=%d", mpirun.EnvRank, rank),
-				fmt.Sprintf("%s=%d", mpirun.EnvSize, total),
-				fmt.Sprintf("%s=%s", mpirun.EnvRendezvous, rv.Addr()),
-			)
-			if registration != "" {
-				cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%s", mpirun.EnvRegistration, registration))
-			}
-			cmd.Env = append(cmd.Env, extraEnv...)
-			setProcGroup(cmd)
-			prefix := fmt.Sprintf("[exe%d rank%d] ", ei, rank)
-			stdout, err := cmd.StdoutPipe()
-			if err != nil {
-				return err
-			}
-			stderr, err := cmd.StderrPipe()
-			if err != nil {
-				return err
-			}
-			outWG.Add(2)
-			go relay(os.Stdout, stdout, prefix, &outWG)
-			go relay(os.Stderr, stderr, prefix, &outWG)
-			if err := cmd.Start(); err != nil {
-				rv.Close()
-				for _, p := range procs {
-					killTree(p.cmd)
-				}
-				return fmt.Errorf("start %q (rank %d): %w", strings.Join(e.argv, " "), rank, err)
-			}
-			procs = append(procs, proc{cmd: cmd, rank: rank, exe: ei})
-			rank++
-		}
-	}
-
-	// Reap each child on its own goroutine so a process that dies before
-	// the rendezvous completes aborts the job immediately instead of
-	// leaving the launcher waiting out the timeout.
-	results := make(chan procResult, len(procs))
-	for _, p := range procs {
-		go func(p proc) {
-			results <- procResult{rank: p.rank, err: p.cmd.Wait()}
-		}(p)
-	}
-	killAll := func() {
-		for _, p := range procs {
-			killTree(p.cmd)
-		}
-	}
-
-	// Exit bookkeeping; everything below runs on this goroutine only.
-	exitErr := make([]error, total)
-	exited := make([]bool, total)
-	reaped := 0
-	primary := -1 // first abnormally-exiting rank
-	record := func(r procResult) {
-		reaped++
-		exited[r.rank] = true
-		exitErr[r.rank] = r.err
-		if r.err != nil && primary < 0 {
-			primary = r.rank
-		}
-	}
-	drainRest := func() {
-		for reaped < len(procs) {
-			record(<-results)
-		}
-		outWG.Wait()
-	}
-
-	// Phase 1: wait for the world to wire up, watching for children that
-	// die first.
-	wired := false
-	for !wired {
-		select {
-		case err := <-serveErr:
-			if err != nil {
-				killAll()
-				drainRest()
-				return fmt.Errorf("rendezvous: %w", err)
-			}
-			wired = true
-		case r := <-results:
-			// A fast job can finish a rank between the rendezvous reply
-			// and Serve's return; check for that before declaring the
-			// exit premature.
-			select {
-			case err := <-serveErr:
-				if err != nil {
-					record(r)
-					killAll()
-					drainRest()
-					return fmt.Errorf("rendezvous: %w", err)
-				}
-				wired = true
-				record(r)
-			default:
-				// A rank exited before the world was wired — whatever its
-				// status, the job cannot proceed. Cancel the rendezvous so
-				// Serve returns now rather than waiting out the full
-				// -timeout with the launcher blocked behind it.
-				record(r)
-				rv.Close()
-				if err := <-serveErr; err == nil {
-					// Serve completed in the closing window after all; the
-					// world is wired, supervise normally.
-					wired = true
-					break
-				}
-				killAll()
-				drainRest()
-				if r.err != nil {
-					return fmt.Errorf("rank %d exited before rendezvous completed: %w", r.rank, r.err)
-				}
-				return fmt.Errorf("rank %d exited before rendezvous completed", r.rank)
-			}
-		}
-	}
-
-	// Phase 2: supervise the running job. On the first abnormal exit,
-	// broadcast a launcher abort so every survivor's blocked MPI calls
-	// fail with mpi.ErrAborted, then give them grace to exit on their own
-	// before killing the remaining process groups.
-	addrs := rv.Addrs()
-	aborted := false
-	var graceCh <-chan time.Time
-	maybeAbort := func() {
-		if primary < 0 || aborted {
-			return
-		}
-		aborted = true
-		survivors := 0
-		for _, p := range procs {
-			if !exited[p.rank] {
-				survivors++
-			}
-		}
-		if survivors == 0 {
-			return
-		}
-		fmt.Fprintf(os.Stderr, "mphrun: rank %d failed; aborting %d surviving rank(s) (grace %v)\n",
-			primary, survivors, grace)
-		broadcastAbort(addrs, exited)
-		graceCh = time.After(grace)
-	}
-	maybeAbort()
-	for reaped < len(procs) {
-		select {
-		case r := <-results:
-			record(r)
-			maybeAbort()
-		case <-graceCh:
-			graceCh = nil
-			fmt.Fprintln(os.Stderr, "mphrun: grace period expired; killing surviving process groups")
-			for _, p := range procs {
-				if !exited[p.rank] {
-					killTree(p.cmd)
-				}
-			}
-		}
-	}
-	outWG.Wait()
-	return failureReport(entries, procs, exitErr, primary, total)
-}
-
-// broadcastAbort pushes a launcher abort (origin -1, code 1) to every rank
-// that has not exited yet. Best effort and parallel: a rank that died
-// without being reaped yet simply refuses the dial.
-func broadcastAbort(addrs []string, exited []bool) {
-	var wg sync.WaitGroup
-	for rank, addr := range addrs {
-		if rank < len(exited) && exited[rank] {
-			continue
-		}
-		wg.Add(1)
-		go func(rank int, addr string) {
-			defer wg.Done()
-			if err := tcpnet.SendAbort(addr, 1, -1, 2*time.Second); err != nil {
-				fmt.Fprintf(os.Stderr, "mphrun: abort to rank %d (%s): %v\n", rank, addr, err)
-			}
-		}(rank, addr)
-	}
-	wg.Wait()
-}
-
-// failureReport summarises abnormal exits grouped per component executable,
-// or returns nil when every rank exited cleanly. primary is the first rank
-// whose failure was observed (-1 if none); the others typically failed as
-// collateral — aborted by the launcher or killed after the grace period.
-func failureReport(entries []entry, procs []proc, exitErr []error, primary, total int) error {
-	failed := 0
-	for _, err := range exitErr {
-		if err != nil {
-			failed++
-		}
-	}
-	if failed == 0 {
-		return nil
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "job failed: %d of %d rank(s) exited abnormally", failed, total)
-	for ei, e := range entries {
-		var bad []string
-		ranks := 0
-		for _, p := range procs {
-			if p.exe != ei {
-				continue
-			}
-			ranks++
-			if exitErr[p.rank] == nil {
-				continue
-			}
-			s := fmt.Sprintf("rank %d: %v", p.rank, exitErr[p.rank])
-			if p.rank == primary {
-				s += " (first failure)"
-			}
-			bad = append(bad, s)
-		}
-		status := "ok"
-		if len(bad) > 0 {
-			status = strings.Join(bad, "; ")
-		}
-		fmt.Fprintf(&b, "\n  exe%d [%s] (%d rank(s)): %s", ei, strings.Join(e.argv, " "), ranks, status)
-	}
-	return errors.New(b.String())
-}
-
-// relay copies a child stream line by line with a rank prefix.
-func relay(dst io.Writer, src io.Reader, prefix string, wg *sync.WaitGroup) {
-	defer wg.Done()
-	sc := bufio.NewScanner(src)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		fmt.Fprintf(dst, "%s%s\n", prefix, sc.Text())
 	}
 }

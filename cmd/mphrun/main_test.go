@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,21 +14,36 @@ import (
 	"mph/internal/mpi"
 	"mph/internal/mpi/perf"
 	"mph/internal/mpi/tcpnet"
+	"mph/internal/mpirun"
 )
 
-// TestMain doubles as the MPMD worker: when mphrun (driven by the test
-// below) spawns this test binary with MPH_TEST_WORKER set, it behaves as
-// one executable of a three-component job instead of running tests.
+// TestMain doubles as the MPMD worker and the remote agent: when mphrun
+// (driven by the tests below) spawns this test binary with MPH_TEST_WORKER
+// set it behaves as one executable of a multi-component job, and when it is
+// invoked as "agent-exec" it runs the launcher's agent protocol — which is
+// how the exec-backend tests cover the remote spawn path without an sshd.
 func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "agent-exec" {
+		os.Exit(mpirun.AgentExec(os.Args[2:], os.Stderr))
+	}
 	if os.Getenv("MPH_TEST_WORKER") == "1" {
 		os.Exit(worker())
 	}
 	os.Exit(m.Run())
 }
 
-// worker is one executable of the launched job: ranks 0-1 are "alpha",
-// rank 2 is "beta". They handshake over the TCP world and exchange one
-// name-addressed message.
+// worker is one executable of the launched job: the last rank is "beta",
+// every other rank "alpha". They handshake over the TCP world and exchange
+// one name-addressed message.
+//
+// Test hooks, all read from the environment (the launcher forwards MPH_*
+// variables to every rank on every host):
+//
+//	MPH_TEST_FAIL_RANK     this rank exits 3 right after the handshake
+//	MPH_TEST_HANG_RANK     this rank sleeps instead of participating, so
+//	                       only the launcher's grace kill can end it
+//	MPH_TEST_EXPECT_HOSTS  comma-separated host of each rank; the worker
+//	                       verifies the published topology and SplitByHost
 func worker() int {
 	env, regPath, err := tcpnet.InitFromEnv()
 	if err != nil {
@@ -38,7 +54,7 @@ func worker() int {
 	world := mpi.WorldComm(env)
 
 	name := "alpha"
-	if world.Rank() == 2 {
+	if world.Rank() == world.Size()-1 {
 		name = "beta"
 	}
 	s, err := core.SingleComponentSetup(world, core.FileSource(regPath), name)
@@ -46,12 +62,25 @@ func worker() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	// Fault hook for the launcher tests: the designated rank dies abruptly
-	// after the handshake, while everyone else blocks in communication and
-	// must be released by the launcher's abort broadcast.
+	if expect := os.Getenv("MPH_TEST_EXPECT_HOSTS"); expect != "" {
+		if err := checkTopology(world, strings.Split(expect, ",")); err != nil {
+			fmt.Fprintf(os.Stderr, "rank %d: topology: %v\n", world.Rank(), err)
+			return 1
+		}
+	}
+	// Fault hooks for the launcher tests: the fail rank dies abruptly after
+	// the handshake while everyone else blocks in communication and must be
+	// released by the launcher's abort broadcast; the hang rank sleeps
+	// outside any MPI call, so only the launcher's grace-expiry kill —
+	// reaching through the agent for remote ranks — can end it.
 	if fr := os.Getenv("MPH_TEST_FAIL_RANK"); fr == strconv.Itoa(world.Rank()) {
 		fmt.Fprintln(os.Stderr, "worker: injected failure, exiting 3")
 		os.Exit(3)
+	}
+	if hr := os.Getenv("MPH_TEST_HANG_RANK"); hr == strconv.Itoa(world.Rank()) {
+		fmt.Fprintln(os.Stderr, "worker: injected hang")
+		time.Sleep(5 * time.Minute)
+		os.Exit(0)
 	}
 	const tag = 4
 	switch {
@@ -75,82 +104,88 @@ func worker() int {
 	return 0
 }
 
-func TestParseCmdfile(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "job.cmd")
-	content := `
-# a comment
-3 ./atm -x   # trailing comment
-2 ./ocn
-1 ./coupler
-`
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+// checkTopology verifies the rank's view of the published host topology
+// against the expected per-rank host list and exercises SplitByHost: the
+// host-local communicator must contain exactly the ranks sharing this
+// rank's host.
+func checkTopology(world *mpi.Comm, expect []string) error {
+	if len(expect) != world.Size() {
+		return fmt.Errorf("expect list has %d entries, world is %d", len(expect), world.Size())
+	}
+	for r, want := range expect {
+		if got := world.HostOf(r); got != want {
+			return fmt.Errorf("HostOf(%d) = %q, want %q", r, got, want)
+		}
+	}
+	local, err := world.SplitByHost()
+	if err != nil {
+		return fmt.Errorf("SplitByHost: %w", err)
+	}
+	mine := expect[world.Rank()]
+	want := 0
+	for _, h := range expect {
+		if h == mine {
+			want++
+		}
+	}
+	if local.Size() != want {
+		return fmt.Errorf("SplitByHost comm has %d ranks on %s, want %d", local.Size(), mine, want)
+	}
+	for r := 0; r < local.Size(); r++ {
+		wr, err := local.WorldRankOf(r)
+		if err != nil {
+			return err
+		}
+		if expect[wr] != mine {
+			return fmt.Errorf("SplitByHost comm contains rank %d on %s, want only %s", wr, expect[wr], mine)
+		}
+	}
+	return nil
+}
+
+// writeRegistration drops the two-component registration file used by every
+// end-to-end test into a temp dir.
+func writeRegistration(t *testing.T) string {
+	t.Helper()
+	regPath := filepath.Join(t.TempDir(), "processors_map.in")
+	if err := os.WriteFile(regPath, []byte("BEGIN\nalpha\nbeta\nEND\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	entries, total, err := parseCmdfile(path)
+	return regPath
+}
+
+// selfSpec builds a LaunchSpec that runs this test binary as nAlpha alpha
+// ranks plus one beta rank, placed on hosts under the policy.
+func selfSpec(t *testing.T, nAlpha int, hosts []mpirun.HostSlot, policy mpirun.Placement) *mpirun.LaunchSpec {
+	t.Helper()
+	self, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if total != 6 || len(entries) != 3 {
-		t.Fatalf("total %d, entries %d", total, len(entries))
+	entries := []mpirun.Entry{
+		{Nprocs: nAlpha, Argv: []string{self}},
+		{Nprocs: 1, Argv: []string{self}},
 	}
-	if entries[0].nprocs != 3 || entries[0].argv[0] != "./atm" || entries[0].argv[1] != "-x" {
-		t.Errorf("entry 0: %+v", entries[0])
+	spec, err := mpirun.NewLaunchSpec(entries, hosts, policy)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if entries[2].argv[0] != "./coupler" {
-		t.Errorf("entry 2: %+v", entries[2])
-	}
+	return spec
 }
 
-func TestParseCmdfileErrors(t *testing.T) {
-	dir := t.TempDir()
-	cases := map[string]string{
-		"empty":     "# nothing\n",
-		"bad count": "x ./atm\n",
-		"zero":      "0 ./atm\n",
-		"negative":  "-2 ./atm\n",
-		"no cmd":    "3\n",
-	}
-	for name, content := range cases {
-		t.Run(name, func(t *testing.T) {
-			path := filepath.Join(dir, strings.ReplaceAll(name, " ", "_")+".cmd")
-			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-				t.Fatal(err)
-			}
-			if _, _, err := parseCmdfile(path); err == nil {
-				t.Fatalf("accepted %q", content)
-			}
-		})
-	}
-	if _, _, err := parseCmdfile(filepath.Join(dir, "missing.cmd")); err == nil {
-		t.Fatal("missing file accepted")
-	}
-}
-
-// TestLaunchEndToEnd runs a real MPMD job: mphrun's launch() spawns three
-// OS processes of this test binary (two executables), which bootstrap a TCP
+// TestLaunchEndToEnd runs a real MPMD job: mpirun.Launch spawns three OS
+// processes of this test binary (two executables), which bootstrap a TCP
 // world, perform the MPH handshake against a registration file, and
 // exchange a message (experiment E10).
 func TestLaunchEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns subprocesses")
 	}
-	self, err := os.Executable()
-	if err != nil {
-		t.Fatal(err)
-	}
-	dir := t.TempDir()
-	regPath := filepath.Join(dir, "processors_map.in")
-	if err := os.WriteFile(regPath, []byte("BEGIN\nalpha\nbeta\nEND\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-
 	t.Setenv("MPH_TEST_WORKER", "1")
-	entries := []entry{
-		{nprocs: 2, argv: []string{self}},
-		{nprocs: 1, argv: []string{self}},
-	}
-	if err := launch(entries, 3, regPath, 60*time.Second, 5*time.Second, nil); err != nil {
+	spec := selfSpec(t, 2, nil, mpirun.PlaceBlock)
+	spec.Registration = writeRegistration(t)
+	spec.Timeout = 60 * time.Second
+	if err := mpirun.Launch(context.Background(), spec); err != nil {
 		t.Fatalf("launch: %v", err)
 	}
 }
@@ -160,25 +195,33 @@ func TestLaunchReportsChildFailure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns subprocesses")
 	}
-	entries := []entry{{nprocs: 1, argv: []string{"/bin/false"}}}
+	spec := &mpirun.LaunchSpec{
+		Procs:   []mpirun.Proc{{Rank: 0, Argv: []string{"/bin/false"}}},
+		Timeout: 2 * time.Second,
+		Grace:   time.Second,
+	}
 	// /bin/false never registers, so the rendezvous times out — and the
-	// child's exit status is nonzero. Either way launch must error.
-	if err := launch(entries, 1, "", 2*time.Second, time.Second, nil); err == nil {
+	// child's exit status is nonzero. Either way Launch must error.
+	if err := mpirun.Launch(context.Background(), spec); err == nil {
 		t.Fatal("launch reported success for a failing job")
 	}
 }
 
 // TestLaunchChildFailureFast is the regression test for the rendezvous-leak
-// bug: when a child exits before registering, launch must cancel the
+// bug: when a child exits before registering, Launch must cancel the
 // rendezvous and return promptly instead of waiting out the full -timeout
 // (here 60s) with the Serve goroutine blocked behind it.
 func TestLaunchChildFailureFast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns subprocesses")
 	}
-	entries := []entry{{nprocs: 1, argv: []string{"/bin/false"}}}
+	spec := &mpirun.LaunchSpec{
+		Procs:   []mpirun.Proc{{Rank: 0, Argv: []string{"/bin/false"}}},
+		Timeout: 60 * time.Second,
+		Grace:   time.Second,
+	}
 	start := time.Now()
-	err := launch(entries, 1, "", 60*time.Second, time.Second, nil)
+	err := mpirun.Launch(context.Background(), spec)
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("launch reported success for a failing job")
@@ -199,25 +242,15 @@ func TestLaunchFailureReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns subprocesses")
 	}
-	self, err := os.Executable()
-	if err != nil {
-		t.Fatal(err)
-	}
-	dir := t.TempDir()
-	regPath := filepath.Join(dir, "processors_map.in")
-	if err := os.WriteFile(regPath, []byte("BEGIN\nalpha\nbeta\nEND\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-
 	t.Setenv("MPH_TEST_WORKER", "1")
 	t.Setenv("MPH_TEST_FAIL_RANK", "1")
-	entries := []entry{
-		{nprocs: 2, argv: []string{self}},
-		{nprocs: 1, argv: []string{self}},
-	}
+	spec := selfSpec(t, 2, nil, mpirun.PlaceBlock)
+	spec.Registration = writeRegistration(t)
 	const timeout = 60 * time.Second
+	spec.Timeout = timeout
+	spec.Grace = 10 * time.Second
 	start := time.Now()
-	err = launch(entries, 3, regPath, timeout, 10*time.Second, nil)
+	err := mpirun.Launch(context.Background(), spec)
 	elapsed := time.Since(start)
 	if err == nil {
 		t.Fatal("launch reported success for a job with a dying rank")
@@ -237,35 +270,85 @@ func TestLaunchFailureReport(t *testing.T) {
 	}
 }
 
-func TestParseColonSpec(t *testing.T) {
-	entries, total, err := parseColonSpec([]string{"3", "./atm", "-x", ":", "2", "./ocn", ":", "1", "./cpl"})
-	if err != nil {
+// TestLaunchMultiHostExec runs a 4-rank job placed on two hosts (2 slots
+// each) through the exec backend: every rank is spawned via the agent-exec
+// protocol exactly as an ssh launch would, minus the ssh hop. The workers
+// verify the published host topology (HostOf, SplitByHost), the registration
+// file travels by value through the agent, and the stats dumps must still
+// reconcile across the "hosts".
+func TestLaunchMultiHostExec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	hosts := []mpirun.HostSlot{{Name: "nodeA", Slots: 2}, {Name: "nodeB", Slots: 2}}
+	t.Setenv("MPH_TEST_WORKER", "1")
+	t.Setenv("MPH_TEST_EXPECT_HOSTS", "nodeA,nodeA,nodeB,nodeB")
+	statsDir := filepath.Join(t.TempDir(), "stats")
+	if err := os.MkdirAll(statsDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if total != 6 || len(entries) != 3 {
-		t.Fatalf("total %d, entries %d", total, len(entries))
+	spec := selfSpec(t, 3, hosts, mpirun.PlaceBlock)
+	spec.Registration = writeRegistration(t)
+	spec.Timeout = 60 * time.Second
+	spec.Backend = mpirun.BackendExec
+	spec.ExtraEnv = []string{perf.EnvStatsDir + "=" + statsDir}
+	for r, want := range []string{"nodeA", "nodeA", "nodeB", "nodeB"} {
+		if got := spec.Procs[r].Host; got != want {
+			t.Fatalf("placement: rank %d on %q, want %q", r, got, want)
+		}
 	}
-	if entries[0].nprocs != 3 || entries[0].argv[1] != "-x" {
-		t.Errorf("entry 0 %+v", entries[0])
+	if err := mpirun.Launch(context.Background(), spec); err != nil {
+		t.Fatalf("launch: %v", err)
 	}
-	if entries[2].argv[0] != "./cpl" {
-		t.Errorf("entry 2 %+v", entries[2])
+	snaps, err := readStats(statsDir)
+	if err != nil {
+		t.Fatalf("readStats: %v", err)
+	}
+	if len(snaps) != 4 {
+		t.Fatalf("got %d snapshots, want 4", len(snaps))
+	}
+	_, totals := summarize(snaps)
+	if totals.SentMsgs == 0 || totals.SentMsgs != totals.RecvMsgs {
+		t.Errorf("totals do not reconcile: sent %d, recv %d", totals.SentMsgs, totals.RecvMsgs)
 	}
 }
 
-func TestParseColonSpecErrors(t *testing.T) {
-	cases := [][]string{
-		{":"},
-		{"3", "./atm", ":"},
-		{":", "3", "./atm"},
-		{"x", "./atm"},
-		{"0", "./atm"},
-		{"3"},
+// TestLaunchMultiHostChaos is the cross-host failure-semantics test: in a
+// 4-rank exec-backend job spanning two hosts, rank 1 (nodeA) dies right
+// after the handshake and rank 3 (nodeB) hangs outside any MPI call. The
+// launcher must abort the survivors across the host boundary, kill the
+// hanging remote rank through its agent once -grace expires, finish in
+// bounded time, and name both casualties with their hosts in the report.
+func TestLaunchMultiHostChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
 	}
-	for _, args := range cases {
-		if _, _, err := parseColonSpec(args); err == nil {
-			t.Errorf("accepted %v", args)
-		}
+	hosts := []mpirun.HostSlot{{Name: "nodeA", Slots: 2}, {Name: "nodeB", Slots: 2}}
+	t.Setenv("MPH_TEST_WORKER", "1")
+	t.Setenv("MPH_TEST_FAIL_RANK", "1")
+	t.Setenv("MPH_TEST_HANG_RANK", "3")
+	spec := selfSpec(t, 3, hosts, mpirun.PlaceBlock)
+	spec.Registration = writeRegistration(t)
+	spec.Timeout = 60 * time.Second
+	spec.Grace = 2 * time.Second
+	spec.Backend = mpirun.BackendExec
+	start := time.Now()
+	err := mpirun.Launch(context.Background(), spec)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("launch reported success for a chaos job")
+	}
+	// The hang rank sleeps for minutes; anything close to that means the
+	// grace kill never reached the remote process group.
+	if elapsed > 30*time.Second {
+		t.Fatalf("launch took %v; the grace kill should bound the job to seconds", elapsed)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "rank 1@nodeA") || !strings.Contains(msg, "(first failure)") {
+		t.Errorf("report %q does not name rank 1@nodeA as the first failure", msg)
+	}
+	if !strings.Contains(msg, "rank 3@nodeB") {
+		t.Errorf("report %q does not name the killed hanging rank 3@nodeB", msg)
 	}
 }
 
@@ -277,15 +360,7 @@ func TestLaunchStats(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns subprocesses")
 	}
-	self, err := os.Executable()
-	if err != nil {
-		t.Fatal(err)
-	}
 	dir := t.TempDir()
-	regPath := filepath.Join(dir, "processors_map.in")
-	if err := os.WriteFile(regPath, []byte("BEGIN\nalpha\nbeta\nEND\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
 	statsDir := filepath.Join(dir, "stats")
 	traceDir := filepath.Join(dir, "trace")
 	for _, d := range []string{statsDir, traceDir} {
@@ -295,15 +370,14 @@ func TestLaunchStats(t *testing.T) {
 	}
 
 	t.Setenv("MPH_TEST_WORKER", "1")
-	entries := []entry{
-		{nprocs: 2, argv: []string{self}},
-		{nprocs: 1, argv: []string{self}},
-	}
-	extraEnv := []string{
+	spec := selfSpec(t, 2, nil, mpirun.PlaceBlock)
+	spec.Registration = writeRegistration(t)
+	spec.Timeout = 60 * time.Second
+	spec.ExtraEnv = []string{
 		perf.EnvStatsDir + "=" + statsDir,
 		perf.EnvTraceDir + "=" + traceDir,
 	}
-	if err := launch(entries, 3, regPath, 60*time.Second, 5*time.Second, extraEnv); err != nil {
+	if err := mpirun.Launch(context.Background(), spec); err != nil {
 		t.Fatalf("launch: %v", err)
 	}
 

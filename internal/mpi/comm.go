@@ -113,6 +113,39 @@ func (c *Comm) RankOfWorld(world int) (int, bool) {
 	return 0, false
 }
 
+// HostOf returns the host label of the given communicator rank, or "" when
+// the rank is out of range or the transport has not published a host
+// topology (single-host jobs).
+func (c *Comm) HostOf(rank int) string {
+	if rank < 0 || rank >= len(c.group) {
+		return ""
+	}
+	return c.env.HostOf(c.group[rank])
+}
+
+// SplitByHost partitions the communicator into one sub-communicator per
+// host, ordered by parent rank within each host — the analog of
+// MPI_Comm_split_type(MPI_COMM_TYPE_SHARED). Ranks without a published host
+// label (single-host transports) all land in one communicator. The call is
+// collective.
+func (c *Comm) SplitByHost() (*Comm, error) {
+	// Color = index of this rank's host among the sorted distinct host
+	// labels of the group. Every member computes the same ordering from the
+	// published topology, so colors agree without extra communication beyond
+	// the Split exchange itself.
+	distinct := make(map[string]bool, len(c.group))
+	for r := range c.group {
+		distinct[c.HostOf(r)] = true
+	}
+	hosts := make([]string, 0, len(distinct))
+	for h := range distinct {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	color := sort.SearchStrings(hosts, c.HostOf(c.rank))
+	return c.Split(color, 0)
+}
+
 // Context returns the communicator's point-to-point message context. It is
 // exposed for diagnostics and tests.
 func (c *Comm) Context() uint64 { return c.ctx }

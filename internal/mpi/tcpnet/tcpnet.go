@@ -205,18 +205,35 @@ func initTransport(rank, size int, rendezvous string) (*Transport, *mpi.Env, err
 	if err != nil {
 		return nil, nil, err
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// Bind where the launcher said to (MPH_BIND; loopback by default) and
+	// advertise an address peers on other hosts can dial: the wildcard bind
+	// advertises the routable interface address, not 0.0.0.0.
+	bind := os.Getenv(mpirun.EnvBind)
+	ln, err := net.Listen("tcp", mpirun.ListenAddr(bind))
 	if err != nil {
 		return nil, nil, fmt.Errorf("tcpnet: listen: %w", err)
 	}
-	addrs, err := mpirun.Register(rendezvous, rank, ln.Addr().String(), cfg.dialTimeout)
+	host := os.Getenv(mpirun.EnvHost)
+	if host == "" {
+		if host, err = os.Hostname(); err != nil || host == "" {
+			host = "localhost"
+		}
+	}
+	self := mpirun.Endpoint{Addr: mpirun.AdvertiseAddr(bind, ln.Addr()), Host: host}
+	book, err := mpirun.RegisterEndpoint(rendezvous, rank, self, cfg.dialTimeout)
 	if err != nil {
 		ln.Close()
 		return nil, nil, err
 	}
-	if len(addrs) != size {
+	if len(book) != size {
 		ln.Close()
-		return nil, nil, fmt.Errorf("tcpnet: address book has %d entries, world is %d", len(addrs), size)
+		return nil, nil, fmt.Errorf("tcpnet: address book has %d entries, world is %d", len(book), size)
+	}
+	addrs := make([]string, size)
+	hosts := make([]string, size)
+	for r, ep := range book {
+		addrs[r] = ep.Addr
+		hosts[r] = ep.Host
 	}
 	t := &Transport{
 		rank:      rank,
@@ -233,6 +250,7 @@ func initTransport(rank, size int, rendezvous string) (*Transport, *mpi.Env, err
 		sentBytes: make([]atomic.Uint64, size),
 	}
 	env := mpi.NewEnv(rank, size, t)
+	env.SetHosts(hosts)
 	t.env = env
 	pv := env.Perf()
 	t.net.Store(&pv.Net)
@@ -263,12 +281,12 @@ func initTransport(rank, size int, rendezvous string) (*Transport, *mpi.Env, err
 // InitFromEnv bootstraps from the mphrun environment variables and also
 // returns the registration file path the launcher forwarded.
 func InitFromEnv() (*mpi.Env, string, error) {
-	rank, size, rendezvous, registration, err := mpirun.FromEnv()
+	le, err := mpirun.EnvFromOS()
 	if err != nil {
 		return nil, "", err
 	}
-	env, err := Init(rank, size, rendezvous)
-	return env, registration, err
+	env, err := Init(le.Rank, le.Size, le.Rendezvous)
+	return env, le.Registration, err
 }
 
 // Deliver implements mpi.Transport. Sends to a rank the failure detector
@@ -703,19 +721,11 @@ func (t *Transport) applyAbort(code, origin int) *mpi.AbortError {
 }
 
 // SendAbort dials addr and delivers a single abort frame, telling that rank
-// the job is over. cmd/mphrun uses it to take surviving ranks down when a
-// child exits abnormally; origin -1 identifies the launcher.
+// the job is over; origin -1 (mpirun.AbortOriginLauncher) identifies the
+// launcher. It delegates to mpirun.SendAbort, which owns the frame encoding
+// (the launcher cannot import tcpnet without a cycle).
 func SendAbort(addr string, code, origin int, timeout time.Duration) error {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	conn.SetWriteDeadline(time.Now().Add(timeout))
-	if _, err := conn.Write(abortFrame(code, origin)); err != nil {
-		return fmt.Errorf("tcpnet: send abort: %w", err)
-	}
-	return nil
+	return mpirun.SendAbort(addr, code, origin, timeout)
 }
 
 // acceptLoop receives inbound connections and spawns a reader per peer.
@@ -953,14 +963,11 @@ func heartbeatFrame() []byte {
 	return b
 }
 
-// abortFrame frames a job-wide abort notice.
+// abortFrame frames a job-wide abort notice. The encoding is owned by
+// package mpirun (the launcher sends the same frame); kindAbort must equal
+// mpirun.AbortFrameKind.
 func abortFrame(code, origin int) []byte {
-	b := make([]byte, 5+16)
-	binary.LittleEndian.PutUint32(b, 1+16)
-	b[4] = kindAbort
-	binary.LittleEndian.PutUint64(b[5:], uint64(int64(code)))
-	binary.LittleEndian.PutUint64(b[13:], uint64(int64(origin)))
-	return b
+	return mpirun.AbortFrame(code, origin)
 }
 
 // encodePacketInto frames a packet into buf, reusing its capacity:

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"mph/internal/mpi/perf"
 )
@@ -52,6 +53,11 @@ type Env struct {
 	// Every rank of a job must see the same value or collective algorithm
 	// choices diverge; the launcher propagates the environment.
 	ringThreshold int
+
+	// hosts maps world rank -> host label, published by the transport once
+	// the rendezvous book is known. Atomic because transports learn the
+	// topology on their own goroutine while ranks may already be asking.
+	hosts atomic.Pointer[[]string]
 }
 
 // NewEnv assembles an environment from its parts. It is exported for
@@ -145,6 +151,28 @@ func writeJSONFile(path string, v any) error {
 		return err
 	}
 	return f.Close()
+}
+
+// SetHosts publishes the job's host topology: hosts[r] is the host label of
+// world rank r. Transports call it once the rendezvous address book is
+// known; a nil or wrongly-sized slice is ignored. The slice is retained —
+// callers must not mutate it afterwards.
+func (e *Env) SetHosts(hosts []string) {
+	if len(hosts) != e.worldSize {
+		return
+	}
+	e.hosts.Store(&hosts)
+}
+
+// HostOf returns the host label of world rank r, or "" when the topology is
+// unknown (single-host transports, or before the transport published it) or
+// r is out of range.
+func (e *Env) HostOf(r int) string {
+	p := e.hosts.Load()
+	if p == nil || r < 0 || r >= len(*p) {
+		return ""
+	}
+	return (*p)[r]
 }
 
 // WorldRank returns this process's rank in the world communicator.

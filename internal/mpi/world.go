@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"mph/internal/mpi/perf"
@@ -43,7 +44,27 @@ func NewWorld(n int) (*World, error) {
 			return msgs, bytes
 		})
 	}
+	// Every in-process rank shares one host; publish that so HostOf and
+	// SplitByHost behave uniformly across transports.
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "localhost"
+	}
+	hosts := make([]string, n)
+	for i := range hosts {
+		hosts[i] = host
+	}
+	w.SetHosts(hosts)
 	return w, nil
+}
+
+// SetHosts overrides the host topology published to every rank: hosts[r] is
+// the host label of world rank r. Tests use it to model multi-host layouts
+// in-process; a wrongly-sized slice is ignored.
+func (w *World) SetHosts(hosts []string) {
+	for _, env := range w.envs {
+		env.SetHosts(hosts)
+	}
 }
 
 // EnableTracing installs an event tracer on every rank of the world with

@@ -1,0 +1,137 @@
+package mpirun
+
+import (
+	"bufio"
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// AgentExec implements the launcher's remote agent: `mphrun agent-exec
+// -rank N -size N -rendezvous ADDR [flags] -- command [args...]`. The
+// launcher runs it on the rank's host (directly for the exec backend, via
+// ssh for the ssh backend); the agent materializes the launch environment,
+// starts the rank in its own process group, mirrors its stdout/stderr (which
+// flow back to the launcher's per-rank relay), and mirrors its exit status.
+//
+// Control protocol, one line per command on the agent's stdin:
+//
+//	kill\n    SIGKILL the rank's process group and exit
+//
+// Closing stdin (the launcher died, or ssh tore the connection down) is an
+// implicit kill: a rank must never outlive its launcher. The exit status is
+// the rank's own, 128+signal when it died to a signal, or 127 when the
+// agent could not start it.
+//
+// It returns the process exit code instead of calling os.Exit so tests can
+// drive it in-process.
+func AgentExec(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("agent-exec", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rank := fs.Int("rank", -1, "world rank of the spawned process")
+	size := fs.Int("size", 0, "world size")
+	rendezvous := fs.String("rendezvous", "", "launcher rendezvous address")
+	registration := fs.String("registration", "", "registration file path (must exist on this host)")
+	regdata := fs.String("regdata", "", "base64 registration-file contents, written to a temp file")
+	host := fs.String("host", "", "placement host label assigned by the launcher")
+	bind := fs.String("bind", "", "listener bind host for the spawned process")
+	var extra stringList
+	fs.Var(&extra, "env", "extra KEY=VALUE for the spawned process (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	argv := fs.Args()
+	if len(argv) == 0 {
+		fmt.Fprintln(stderr, "mphrun agent-exec: no command after flags (use -- to separate)")
+		return 2
+	}
+
+	env := Env{
+		Rank:         *rank,
+		Size:         *size,
+		Rendezvous:   *rendezvous,
+		Registration: *registration,
+		Host:         *host,
+		Bind:         *bind,
+	}
+	if err := env.Validate(); err != nil {
+		fmt.Fprintf(stderr, "mphrun agent-exec: %v\n", err)
+		return 2
+	}
+	if *regdata != "" {
+		path, cleanup, err := materializeRegistration(*regdata)
+		if err != nil {
+			fmt.Fprintf(stderr, "mphrun agent-exec: %v\n", err)
+			return 2
+		}
+		defer cleanup()
+		env.Registration = path
+	}
+
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), env.Environ()...)
+	cmd.Env = append(cmd.Env, extra...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	setProcGroup(cmd)
+	if err := cmd.Start(); err != nil {
+		fmt.Fprintf(stderr, "mphrun agent-exec: start %q: %v\n", strings.Join(argv, " "), err)
+		return 127
+	}
+	go watchControl(os.Stdin, cmd)
+	return exitStatus(cmd.Wait())
+}
+
+// materializeRegistration writes shipped registration contents to a temp
+// file, returning its path and a cleanup func.
+func materializeRegistration(b64 string) (string, func(), error) {
+	data, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return "", nil, fmt.Errorf("bad -regdata: %w", err)
+	}
+	f, err := os.CreateTemp("", "mph-registration-*")
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", nil, err
+	}
+	return f.Name(), func() { os.Remove(f.Name()) }, nil
+}
+
+// watchControl reads launcher commands from the agent's stdin. A "kill"
+// line or EOF terminates the rank's process group: the first is the
+// launcher's grace-expiry kill reaching across the host boundary, the
+// second is orphan cleanup when the launcher or the ssh connection died.
+func watchControl(in io.Reader, cmd *exec.Cmd) {
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "kill" {
+			killTree(cmd)
+			return
+		}
+	}
+	killTree(cmd)
+}
+
+// stringList is a repeatable flag.Value collecting strings in order.
+type stringList []string
+
+// String renders the collected values for flag diagnostics.
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+// Set appends one value.
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}

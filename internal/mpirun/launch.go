@@ -1,0 +1,339 @@
+package mpirun
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Launch defaults, applied when the corresponding LaunchSpec field is zero.
+const (
+	// DefaultTimeout bounds the rendezvous exchange.
+	DefaultTimeout = 120 * time.Second
+	// DefaultGrace is how long survivors of a failed rank get to exit
+	// after the abort broadcast before their process groups are killed.
+	DefaultGrace = 5 * time.Second
+)
+
+// abortSendTimeout bounds the launcher's per-rank abort delivery; remote
+// hosts can be slower than loopback but an abort must never stall the
+// teardown.
+const abortSendTimeout = 2 * time.Second
+
+// procResult is one reaped child: its world rank and cmd.Wait error.
+type procResult struct {
+	rank int
+	err  error
+}
+
+// Launch runs a placed MPMD job to completion: it starts the rendezvous,
+// spawns every rank on its host through the spec's backend, supervises the
+// job, and returns nil only if every rank exited cleanly.
+//
+// Failure semantics span hosts: a rank that exits before the world is wired
+// cancels the rendezvous and fails the job immediately; after wiring, the
+// first abnormal exit triggers an abort broadcast to every surviving rank's
+// advertised address (their blocked MPI calls return mpi.ErrAborted), and
+// once spec.Grace expires the remaining process groups are killed — through
+// the remote agent for ranks on other hosts. Canceling ctx aborts and kills
+// the job the same way and returns ctx.Err().
+func Launch(ctx context.Context, spec *LaunchSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	backend, _ := ParseBackend(string(spec.Backend)) // validated by spec.Validate
+	timeout := spec.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	grace := spec.Grace
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+
+	total := len(spec.Procs)
+	rvBind := spec.Bind
+	if rvBind == "" && backend == BackendSSH {
+		// Remote ranks must be able to dial back; loopback would strand them.
+		rvBind = "0.0.0.0"
+	}
+	rv, err := NewRendezvousBind(rvBind, total)
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(timeout) }()
+
+	st, err := newStarter(spec, backend, rv.Advertised())
+	if err != nil {
+		rv.Close()
+		<-serveErr
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "mphrun: world of %d ranks across %d executable(s) on %d host(s) [%s backend]; rendezvous %s\n",
+		total, countExes(spec), len(spec.Hosts()), backend, rv.Advertised())
+
+	var children []*child
+	var outWG sync.WaitGroup
+	killAll := func() {
+		for _, c := range children {
+			c.kill()
+		}
+	}
+	for _, p := range spec.Procs {
+		c, err := st.start(p, &outWG)
+		if err != nil {
+			rv.Close()
+			killAll()
+			return err
+		}
+		children = append(children, c)
+	}
+
+	// Reap each child on its own goroutine so a process that dies before
+	// the rendezvous completes aborts the job immediately instead of
+	// leaving the launcher waiting out the timeout.
+	results := make(chan procResult, len(children))
+	for _, c := range children {
+		go func(c *child) {
+			err := c.cmd.Wait()
+			close(c.done)
+			results <- procResult{rank: c.rank, err: err}
+		}(c)
+	}
+
+	// Exit bookkeeping; everything below runs on this goroutine only.
+	exitErr := make([]error, total)
+	exited := make([]bool, total)
+	reaped := 0
+	primary := -1 // first abnormally-exiting rank
+	record := func(r procResult) {
+		reaped++
+		exited[r.rank] = true
+		exitErr[r.rank] = r.err
+		if r.err != nil && primary < 0 {
+			primary = r.rank
+		}
+	}
+	drainRest := func() {
+		for reaped < len(children) {
+			record(<-results)
+		}
+		outWG.Wait()
+	}
+
+	// Phase 1: wait for the world to wire up, watching for children that
+	// die first and for ctx cancellation.
+	wired := false
+	for !wired {
+		select {
+		case <-ctx.Done():
+			rv.Close()
+			<-serveErr
+			killAll()
+			drainRest()
+			return ctx.Err()
+		case err := <-serveErr:
+			if err != nil {
+				killAll()
+				drainRest()
+				return fmt.Errorf("rendezvous: %w", err)
+			}
+			wired = true
+		case r := <-results:
+			// A fast job can finish a rank between the rendezvous reply
+			// and Serve's return; check for that before declaring the
+			// exit premature.
+			select {
+			case err := <-serveErr:
+				if err != nil {
+					record(r)
+					killAll()
+					drainRest()
+					return fmt.Errorf("rendezvous: %w", err)
+				}
+				wired = true
+				record(r)
+			default:
+				// A rank exited before the world was wired — whatever its
+				// status, the job cannot proceed. Cancel the rendezvous so
+				// Serve returns now rather than waiting out the full
+				// timeout with the launcher blocked behind it.
+				record(r)
+				rv.Close()
+				if err := <-serveErr; err == nil {
+					// Serve completed in the closing window after all; the
+					// world is wired, supervise normally.
+					wired = true
+					break
+				}
+				killAll()
+				drainRest()
+				if r.err != nil {
+					return fmt.Errorf("rank %d exited before rendezvous completed: %w", r.rank, r.err)
+				}
+				return fmt.Errorf("rank %d exited before rendezvous completed", r.rank)
+			}
+		}
+	}
+
+	// Phase 2: supervise the running job. On the first abnormal exit,
+	// broadcast a launcher abort so every survivor's blocked MPI calls —
+	// on every host — fail with mpi.ErrAborted, then give them grace to
+	// exit on their own before killing the remaining process groups
+	// (through the agents for remote ranks).
+	book := rv.Book()
+	aborted := false
+	var graceCh <-chan time.Time
+	maybeAbort := func() {
+		if primary < 0 || aborted {
+			return
+		}
+		aborted = true
+		survivors := 0
+		for _, c := range children {
+			if !exited[c.rank] {
+				survivors++
+			}
+		}
+		if survivors == 0 {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "mphrun: rank %d%s failed; aborting %d surviving rank(s) (grace %v)\n",
+			primary, hostTag(children[primary].host), survivors, grace)
+		broadcastAbort(book, exited)
+		graceCh = time.After(grace)
+	}
+	maybeAbort()
+	canceled := false
+	for reaped < len(children) {
+		select {
+		case <-ctx.Done():
+			if !canceled {
+				canceled = true
+				broadcastAbort(book, exited)
+				killAll()
+			}
+			record(<-results)
+		case r := <-results:
+			record(r)
+			maybeAbort()
+		case <-graceCh:
+			graceCh = nil
+			fmt.Fprintln(os.Stderr, "mphrun: grace period expired; killing surviving process groups")
+			for _, c := range children {
+				if !exited[c.rank] {
+					c.kill()
+				}
+			}
+		}
+	}
+	outWG.Wait()
+	if canceled {
+		return ctx.Err()
+	}
+	return failureReport(spec, children, exitErr, primary)
+}
+
+// countExes returns the number of distinct spec entries among the procs.
+func countExes(spec *LaunchSpec) int {
+	max := -1
+	for _, p := range spec.Procs {
+		if p.Exe > max {
+			max = p.Exe
+		}
+	}
+	return max + 1
+}
+
+// hostTag renders "@host" for remote ranks, "" for local ones.
+func hostTag(host string) string {
+	if host == "" {
+		return ""
+	}
+	return "@" + host
+}
+
+// broadcastAbort pushes a launcher abort (origin AbortOriginLauncher, code
+// 1) to the advertised address of every rank that has not exited yet. Best
+// effort and parallel: a rank that died without being reaped yet simply
+// refuses the dial.
+func broadcastAbort(book []Endpoint, exited []bool) {
+	var wg sync.WaitGroup
+	for rank, ep := range book {
+		if rank < len(exited) && exited[rank] {
+			continue
+		}
+		wg.Add(1)
+		go func(rank int, ep Endpoint) {
+			defer wg.Done()
+			if err := SendAbort(ep.Addr, 1, AbortOriginLauncher, abortSendTimeout); err != nil {
+				fmt.Fprintf(os.Stderr, "mphrun: abort to rank %d%s (%s): %v\n", rank, hostTag(ep.Host), ep.Addr, err)
+			}
+		}(rank, ep)
+	}
+	wg.Wait()
+}
+
+// failureReport summarises abnormal exits grouped per component executable,
+// or returns nil when every rank exited cleanly. primary is the first rank
+// whose failure was observed (-1 if none); the others typically failed as
+// collateral — aborted by the launcher or killed after the grace period.
+func failureReport(spec *LaunchSpec, children []*child, exitErr []error, primary int) error {
+	failed := 0
+	for _, err := range exitErr {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "job failed: %d of %d rank(s) exited abnormally", failed, len(spec.Procs))
+	for ei := 0; ei < countExes(spec); ei++ {
+		var bad []string
+		ranks := 0
+		var argv []string
+		for _, c := range children {
+			if c.exe != ei {
+				continue
+			}
+			ranks++
+			if argv == nil {
+				argv = spec.Procs[c.rank].Argv
+			}
+			if exitErr[c.rank] == nil {
+				continue
+			}
+			s := fmt.Sprintf("rank %d%s: %v", c.rank, hostTag(c.host), exitErr[c.rank])
+			if c.rank == primary {
+				s += " (first failure)"
+			}
+			bad = append(bad, s)
+		}
+		status := "ok"
+		if len(bad) > 0 {
+			status = strings.Join(bad, "; ")
+		}
+		fmt.Fprintf(&b, "\n  exe%d [%s] (%d rank(s)): %s", ei, strings.Join(argv, " "), ranks, status)
+	}
+	return errors.New(b.String())
+}
+
+// relay copies a child stream line by line with a rank prefix.
+func relay(dst io.Writer, src io.Reader, prefix string, wg *sync.WaitGroup) {
+	defer wg.Done()
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fmt.Fprintf(dst, "%s%s\n", prefix, sc.Text())
+	}
+}

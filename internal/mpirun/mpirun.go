@@ -1,16 +1,18 @@
 // Package mpirun holds the process-bootstrap protocol shared by the mphrun
-// launcher and the worker processes of a true multi-executable (MPMD) job:
+// launcher and the worker processes of a true multi-executable (MPMD) job —
 // environment-variable conventions and the rendezvous exchange that wires
-// the TCP world together.
+// the TCP world together — plus the launcher itself: LaunchSpec describes a
+// placed job and Launch runs it, locally or across hosts.
 //
 // The launcher plays the role of the paper's vendor MPP-run command
 // ("poe -pgmmodel mpmd -cmdfile ..." on the IBM SP, §6): it assigns
-// contiguous world-rank blocks to the executables of a cmdfile, then acts
-// as the rendezvous point through which every rank learns every other
-// rank's listen address. After rendezvous the launcher is out of the data
-// path: ranks talk directly over their own TCP connections, and — exactly
-// as the paper describes — share nothing but the world communicator until
-// MPH hands them component communicators.
+// contiguous world-rank blocks to the executables of a cmdfile, places each
+// rank on a host (block, cyclic, or pinned placement over a hostfile), then
+// acts as the rendezvous point through which every rank learns every other
+// rank's listen address and host. After rendezvous the launcher is out of
+// the data path: ranks talk directly over their own TCP connections, and —
+// exactly as the paper describes — share nothing but the world communicator
+// until MPH hands them component communicators.
 package mpirun
 
 import (
@@ -42,7 +44,96 @@ const (
 	// EnvRegistration is the path of the registration file, forwarded so
 	// every executable can name the same file.
 	EnvRegistration = "MPH_REGISTRATION"
+	// EnvHost is the placement host label the launcher assigned this rank.
+	// It feeds the per-rank host topology (mpi.Comm.HostOf); transports fall
+	// back to os.Hostname when it is unset.
+	EnvHost = "MPH_HOST"
+	// EnvBind is the host or IP worker listeners bind ("" = loopback). The
+	// launcher sets it for multi-host jobs so rank listen addresses are
+	// routable from other hosts; a wildcard value (0.0.0.0, ::, *) binds all
+	// interfaces and advertises a detected routable IP.
+	EnvBind = "MPH_BIND"
 )
+
+// Env is the typed launch context a worker process reads from its
+// environment. It replaces the positional (rank, size, rendezvous,
+// registration) quadruple that every new launch variable previously forced
+// through the whole call chain.
+type Env struct {
+	// Rank is the process's world rank.
+	Rank int
+	// Size is the world size.
+	Size int
+	// Rendezvous is the launcher's rendezvous address.
+	Rendezvous string
+	// Registration is the registration-file path ("" = none forwarded).
+	Registration string
+	// Host is the launcher-assigned placement host label ("" = unset).
+	Host string
+	// Bind is the listener bind host ("" = loopback).
+	Bind string
+}
+
+// Validate checks the launch context for internal consistency.
+func (e Env) Validate() error {
+	if e.Size <= 0 {
+		return fmt.Errorf("mpirun: world size %d", e.Size)
+	}
+	if e.Rank < 0 || e.Rank >= e.Size {
+		return fmt.Errorf("mpirun: rank %d out of world of %d", e.Rank, e.Size)
+	}
+	if e.Rendezvous == "" {
+		return fmt.Errorf("mpirun: %s not set", EnvRendezvous)
+	}
+	return nil
+}
+
+// Environ renders the context as KEY=VALUE pairs, omitting unset optional
+// fields. It is the single place the launcher and the remote agent build a
+// worker environment from, so adding a launch variable cannot miss a spawn
+// path.
+func (e Env) Environ() []string {
+	env := []string{
+		fmt.Sprintf("%s=%d", EnvRank, e.Rank),
+		fmt.Sprintf("%s=%d", EnvSize, e.Size),
+		fmt.Sprintf("%s=%s", EnvRendezvous, e.Rendezvous),
+	}
+	if e.Registration != "" {
+		env = append(env, fmt.Sprintf("%s=%s", EnvRegistration, e.Registration))
+	}
+	if e.Host != "" {
+		env = append(env, fmt.Sprintf("%s=%s", EnvHost, e.Host))
+	}
+	if e.Bind != "" {
+		env = append(env, fmt.Sprintf("%s=%s", EnvBind, e.Bind))
+	}
+	return env
+}
+
+// EnvFromOS reads and validates the launch context from the process
+// environment.
+func EnvFromOS() (Env, error) {
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return Env{}, fmt.Errorf("mpirun: bad %s: %w", EnvRank, err)
+	}
+	size, err := strconv.Atoi(os.Getenv(EnvSize))
+	if err != nil {
+		return Env{}, fmt.Errorf("mpirun: bad %s: %w", EnvSize, err)
+	}
+	e := Env{
+		Rank:         rank,
+		Size:         size,
+		Rendezvous:   os.Getenv(EnvRendezvous),
+		Registration: os.Getenv(EnvRegistration),
+		Host:         os.Getenv(EnvHost),
+		Bind:         os.Getenv(EnvBind),
+	}
+	if err := e.Validate(); err != nil {
+		return Env{}, err
+	}
+	return e, nil
+}
 
 // Launched reports whether the process was started by mphrun (or an
 // equivalent launcher) and should bootstrap a TCP world.
@@ -50,59 +141,151 @@ func Launched() bool {
 	return os.Getenv(EnvRank) != "" && os.Getenv(EnvSize) != "" && os.Getenv(EnvRendezvous) != ""
 }
 
-// FromEnv reads the launch context.
+// FromEnv reads the launch context as four positional values.
+//
+// Deprecated: use EnvFromOS, which also carries the host/bind fields and
+// validates in one place.
 func FromEnv() (rank, size int, rendezvous, registration string, err error) {
-	rank, err = strconv.Atoi(os.Getenv(EnvRank))
+	e, err := EnvFromOS()
 	if err != nil {
-		return 0, 0, "", "", fmt.Errorf("mpirun: bad %s: %w", EnvRank, err)
+		return 0, 0, "", "", err
 	}
-	size, err = strconv.Atoi(os.Getenv(EnvSize))
+	return e.Rank, e.Size, e.Rendezvous, e.Registration, nil
+}
+
+// Endpoint is one rank's advertised network identity: the routable address
+// of its listener and the placement host label it runs on.
+type Endpoint struct {
+	// Addr is the rank's listener address ("ip:port"), routable from every
+	// other host of the job.
+	Addr string
+	// Host is the placement host label ("" = unknown).
+	Host string
+}
+
+// noHost is the wire placeholder for an empty host label (the exchange is
+// whitespace-delimited, so empty strings need a stand-in).
+const noHost = "-"
+
+// ListenAddr maps a bind host to the address a job listener should listen
+// on: "" keeps the loopback default, anything else (including wildcards)
+// binds that host on an ephemeral port.
+func ListenAddr(bind string) string {
+	switch bind {
+	case "":
+		return "127.0.0.1:0"
+	case "*":
+		return net.JoinHostPort("", "0") // ":0" — all interfaces
+	default:
+		return net.JoinHostPort(bind, "0")
+	}
+}
+
+// AdvertiseAddr derives the address peers should dial from the bind host
+// and the actual listen address: loopback binds advertise themselves,
+// wildcard binds substitute a detected routable IP, and explicit binds
+// advertise the bound host.
+func AdvertiseAddr(bind string, actual net.Addr) string {
+	_, port, err := net.SplitHostPort(actual.String())
 	if err != nil {
-		return 0, 0, "", "", fmt.Errorf("mpirun: bad %s: %w", EnvSize, err)
+		return actual.String()
 	}
-	rendezvous = os.Getenv(EnvRendezvous)
-	if rendezvous == "" {
-		return 0, 0, "", "", fmt.Errorf("mpirun: %s not set", EnvRendezvous)
+	switch {
+	case bind == "":
+		return actual.String()
+	case isWildcard(bind):
+		return net.JoinHostPort(RoutableIP(), port)
+	default:
+		return net.JoinHostPort(bind, port)
 	}
-	if rank < 0 || rank >= size {
-		return 0, 0, "", "", fmt.Errorf("mpirun: rank %d out of world of %d", rank, size)
+}
+
+// isWildcard reports whether a bind host means "all interfaces".
+func isWildcard(bind string) bool {
+	switch bind {
+	case "*", "0.0.0.0", "::", "[::]":
+		return true
 	}
-	return rank, size, rendezvous, os.Getenv(EnvRegistration), nil
+	return false
+}
+
+// RoutableIP returns this host's primary non-loopback IP, the address other
+// hosts of a job should dial. It prefers the source address of the default
+// route (no packet is sent), falls back to the first global unicast
+// interface address, and degrades to loopback on single-interface machines.
+func RoutableIP() string {
+	if conn, err := net.Dial("udp", "192.0.2.1:9"); err == nil { // TEST-NET-1: route lookup only
+		ip := conn.LocalAddr().(*net.UDPAddr).IP
+		conn.Close()
+		if ip != nil && !ip.IsLoopback() {
+			return ip.String()
+		}
+	}
+	if addrs, err := net.InterfaceAddrs(); err == nil {
+		for _, a := range addrs {
+			ipn, ok := a.(*net.IPNet)
+			if !ok || ipn.IP.IsLoopback() || !ipn.IP.IsGlobalUnicast() {
+				continue
+			}
+			return ipn.IP.String()
+		}
+	}
+	return "127.0.0.1"
 }
 
 // Rendezvous is the launcher-side address exchange: it accepts one
-// connection per rank, collects (rank, listen address) pairs, and answers
-// each with the complete address book.
+// connection per rank, collects (rank, listen address, host) triples, and
+// answers each with the complete endpoint book.
 //
-// Wire protocol, one line each way:
+// Wire protocol, line-oriented:
 //
-//	worker:   "<rank> <host:port>\n"
+//	worker:   "<rank> <addr> [host]\n"        (host "-" or absent = unknown)
 //	launcher: "<addr0> <addr1> ... <addrN-1>\n"
+//	          "<host0> <host1> ... <hostN-1>\n"
+//
+// The first reply line alone is the pre-host protocol, so a worker that only
+// reads addresses still interoperates.
 type Rendezvous struct {
-	ln   net.Listener
-	size int
+	ln         net.Listener
+	size       int
+	advertised string
 
 	closed atomic.Bool
 
-	mu    sync.Mutex
-	addrs []string // complete address book, set when Serve succeeds
+	mu   sync.Mutex
+	book []Endpoint // complete endpoint book, set when Serve succeeds
 }
 
 // NewRendezvous starts the exchange for a world of the given size on a
-// loopback port.
+// loopback port, the right default for single-host jobs.
 func NewRendezvous(size int) (*Rendezvous, error) {
+	return NewRendezvousBind("", size)
+}
+
+// NewRendezvousBind starts the exchange on the given bind host ("" =
+// loopback, wildcard = all interfaces with a detected routable IP
+// advertised) so workers on other hosts can reach it.
+func NewRendezvousBind(bind string, size int) (*Rendezvous, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mpirun: rendezvous for world of %d", size)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", ListenAddr(bind))
 	if err != nil {
 		return nil, fmt.Errorf("mpirun: rendezvous listen: %w", err)
 	}
-	return &Rendezvous{ln: ln, size: size}, nil
+	return &Rendezvous{ln: ln, size: size, advertised: AdvertiseAddr(bind, ln.Addr())}, nil
 }
 
+// Advertised returns the routable address workers should register with. It
+// is the single advertised-address accessor; with the default loopback bind
+// it equals the listen address.
+func (r *Rendezvous) Advertised() string { return r.advertised }
+
 // Addr returns the address workers should register with.
-func (r *Rendezvous) Addr() string { return r.ln.Addr().String() }
+//
+// Deprecated: use Advertised, which makes explicit that the address is the
+// routable advertised one, not necessarily the bound one.
+func (r *Rendezvous) Addr() string { return r.Advertised() }
 
 // Close cancels the exchange: a Serve in progress returns
 // ErrRendezvousClosed instead of waiting out its timeout. Safe to call
@@ -113,28 +296,45 @@ func (r *Rendezvous) Close() {
 	}
 }
 
-// Addrs returns the completed address book (indexed by world rank), or nil
-// if Serve has not finished successfully. The launcher uses it to reach
-// surviving ranks when broadcasting an abort.
-func (r *Rendezvous) Addrs() []string {
+// Book returns the completed endpoint book (indexed by world rank), or nil
+// if Serve has not finished successfully. The launcher uses the addresses to
+// reach surviving ranks when broadcasting an abort, and the hosts for its
+// per-host failure report.
+func (r *Rendezvous) Book() []Endpoint {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.addrs == nil {
+	if r.book == nil {
 		return nil
 	}
-	out := make([]string, len(r.addrs))
-	copy(out, r.addrs)
+	out := make([]Endpoint, len(r.book))
+	copy(out, r.book)
 	return out
 }
 
+// Addrs returns the completed address book (indexed by world rank), or nil
+// if Serve has not finished successfully.
+//
+// Deprecated: use Book, which also carries each rank's host label.
+func (r *Rendezvous) Addrs() []string {
+	book := r.Book()
+	if book == nil {
+		return nil
+	}
+	addrs := make([]string, len(book))
+	for i, ep := range book {
+		addrs[i] = ep.Addr
+	}
+	return addrs
+}
+
 // Serve runs the exchange to completion: it accepts every rank's
-// registration, then answers each with the full address book, and closes
+// registration, then answers each with the full endpoint book, and closes
 // the listener. The timeout bounds the whole exchange.
 func (r *Rendezvous) Serve(timeout time.Duration) error {
 	defer r.ln.Close()
 	deadline := time.Now().Add(timeout)
 
-	addrs := make([]string, r.size)
+	book := make([]Endpoint, r.size)
 	conns := make([]net.Conn, r.size)
 	defer func() {
 		for _, c := range conns {
@@ -167,7 +367,7 @@ func (r *Rendezvous) Serve(timeout time.Duration) error {
 			return fmt.Errorf("mpirun: rendezvous read: %w", err)
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 2 {
+		if len(fields) != 2 && len(fields) != 3 {
 			conn.Close()
 			return fmt.Errorf("mpirun: malformed registration %q", strings.TrimSpace(line))
 		}
@@ -180,25 +380,45 @@ func (r *Rendezvous) Serve(timeout time.Duration) error {
 			conn.Close()
 			return fmt.Errorf("mpirun: rank %d registered twice", rank)
 		}
-		addrs[rank] = fields[1]
+		ep := Endpoint{Addr: fields[1]}
+		if len(fields) == 3 && fields[2] != noHost {
+			ep.Host = fields[2]
+		}
+		book[rank] = ep
 		conns[rank] = conn
 	}
 
-	book := strings.Join(addrs, " ") + "\n"
+	reply := bookReply(book)
 	for rank, conn := range conns {
-		if _, err := conn.Write([]byte(book)); err != nil {
+		if _, err := conn.Write([]byte(reply)); err != nil {
 			return fmt.Errorf("mpirun: rendezvous reply to rank %d: %w", rank, err)
 		}
 	}
 	r.mu.Lock()
-	r.addrs = addrs
+	r.book = book
 	r.mu.Unlock()
 	return nil
 }
 
-// Register is the worker side: it reports this rank's listen address to the
-// rendezvous and returns the full address book (indexed by rank).
-func Register(rendezvous string, rank int, listenAddr string, timeout time.Duration) ([]string, error) {
+// bookReply renders the two-line endpoint book reply.
+func bookReply(book []Endpoint) string {
+	addrs := make([]string, len(book))
+	hosts := make([]string, len(book))
+	for i, ep := range book {
+		addrs[i] = ep.Addr
+		if ep.Host == "" {
+			hosts[i] = noHost
+		} else {
+			hosts[i] = ep.Host
+		}
+	}
+	return strings.Join(addrs, " ") + "\n" + strings.Join(hosts, " ") + "\n"
+}
+
+// RegisterEndpoint is the worker side of the exchange: it reports this
+// rank's advertised endpoint to the rendezvous and returns the full
+// endpoint book (indexed by rank).
+func RegisterEndpoint(rendezvous string, rank int, ep Endpoint, timeout time.Duration) ([]Endpoint, error) {
 	conn, err := net.DialTimeout("tcp", rendezvous, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("mpirun: dial rendezvous %s: %w", rendezvous, err)
@@ -207,16 +427,53 @@ func Register(rendezvous string, rank int, listenAddr string, timeout time.Durat
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, err
 	}
-	if _, err := fmt.Fprintf(conn, "%d %s\n", rank, listenAddr); err != nil {
+	host := ep.Host
+	if host == "" {
+		host = noHost
+	}
+	if _, err := fmt.Fprintf(conn, "%d %s %s\n", rank, ep.Addr, host); err != nil {
 		return nil, fmt.Errorf("mpirun: register rank %d: %w", rank, err)
 	}
-	line, err := bufio.NewReader(conn).ReadString('\n')
+	rd := bufio.NewReader(conn)
+	addrLine, err := rd.ReadString('\n')
 	if err != nil {
 		return nil, fmt.Errorf("mpirun: read address book: %w", err)
 	}
-	addrs := strings.Fields(line)
+	hostLine, err := rd.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("mpirun: read host book: %w", err)
+	}
+	addrs := strings.Fields(addrLine)
+	hosts := strings.Fields(hostLine)
+	if len(hosts) != len(addrs) {
+		return nil, fmt.Errorf("mpirun: host book has %d entries, address book %d", len(hosts), len(addrs))
+	}
 	if rank >= len(addrs) {
 		return nil, fmt.Errorf("mpirun: address book has %d entries, rank is %d", len(addrs), rank)
+	}
+	book := make([]Endpoint, len(addrs))
+	for i := range addrs {
+		book[i] = Endpoint{Addr: addrs[i]}
+		if hosts[i] != noHost {
+			book[i].Host = hosts[i]
+		}
+	}
+	return book, nil
+}
+
+// Register reports this rank's listen address to the rendezvous and returns
+// the full address book (indexed by rank).
+//
+// Deprecated: use RegisterEndpoint, which also carries the rank's host
+// label for the job's host topology.
+func Register(rendezvous string, rank int, listenAddr string, timeout time.Duration) ([]string, error) {
+	book, err := RegisterEndpoint(rendezvous, rank, Endpoint{Addr: listenAddr}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	addrs := make([]string, len(book))
+	for i, ep := range book {
+		addrs[i] = ep.Addr
 	}
 	return addrs, nil
 }

@@ -1,0 +1,470 @@
+package mpirun
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one parsed component of an MPMD spec: an executable, its
+// processor count, and an optional explicit host pin ("host=NAME" between
+// the count and the command).
+type Entry struct {
+	// Nprocs is the number of world ranks this executable owns.
+	Nprocs int
+	// Host pins every rank of the entry to one host ("" = policy-placed).
+	Host string
+	// Argv is the command and its arguments.
+	Argv []string
+	// Line is the cmdfile line the entry came from (0 for colon specs).
+	Line int
+}
+
+// parseEntryFields turns the token list of one spec segment —
+// "nprocs [host=NAME] command [args...]" — into an Entry.
+func parseEntryFields(fields []string, line int) (Entry, error) {
+	joined := strings.Join(fields, " ")
+	if len(fields) < 2 {
+		return Entry{}, fmt.Errorf("segment %q: expected \"nprocs [host=NAME] command [args...]\"", joined)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n <= 0 {
+		return Entry{}, fmt.Errorf("segment %q: bad processor count %q", joined, fields[0])
+	}
+	e := Entry{Nprocs: n, Line: line}
+	rest := fields[1:]
+	if strings.HasPrefix(rest[0], "host=") {
+		e.Host = strings.TrimPrefix(rest[0], "host=")
+		if e.Host == "" {
+			return Entry{}, fmt.Errorf("segment %q: empty host= pin", joined)
+		}
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		return Entry{}, fmt.Errorf("segment %q: no command", joined)
+	}
+	e.Argv = append([]string(nil), rest...)
+	return e, nil
+}
+
+// ParseColonSpec reads the mpirun-style inline MPMD spec: colon-separated
+// segments of "nprocs [host=NAME] command [args...]" (the SGI/Compaq launch
+// idiom the paper mentions alongside the IBM cmdfile, §6). It returns the
+// entries and the total rank count.
+func ParseColonSpec(args []string) ([]Entry, int, error) {
+	var entries []Entry
+	total := 0
+	seg := []string{}
+	flush := func() error {
+		if len(seg) == 0 {
+			return fmt.Errorf("empty segment in colon-separated command line")
+		}
+		e, err := parseEntryFields(seg, 0)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+		total += e.Nprocs
+		seg = seg[:0]
+		return nil
+	}
+	for _, a := range args {
+		if a == ":" {
+			if err := flush(); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		seg = append(seg, a)
+	}
+	if err := flush(); err != nil {
+		return nil, 0, err
+	}
+	return entries, total, nil
+}
+
+// ParseCmdfile reads the MPMD command file: one "nprocs [host=NAME] command
+// [args...]" entry per line, '#' comments, blank lines ignored.
+func ParseCmdfile(path string) ([]Entry, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	var entries []Entry
+	total := 0
+	sc := bufio.NewScanner(f)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		e, err := parseEntryFields(fields, lineNo)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		entries = append(entries, e)
+		total += e.Nprocs
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(entries) == 0 {
+		return nil, 0, fmt.Errorf("%s: no executables", path)
+	}
+	return entries, total, nil
+}
+
+// HostSlot is one host of a hostfile: a name and the number of ranks the
+// placement policies schedule onto it before moving on (its "slots").
+type HostSlot struct {
+	// Name is the host name or address ssh reaches it by; under the exec
+	// backend it is only a label.
+	Name string
+	// Slots is the rank capacity used by the placement policies (>= 1).
+	Slots int
+}
+
+// ParseHostfile reads a hostfile: one "host [slots=N]" entry per line, '#'
+// comments and blank lines ignored, default one slot per host.
+//
+//	# cluster nodes
+//	node-a slots=2
+//	node-b            # one slot
+func ParseHostfile(path string) ([]HostSlot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var hosts []HostSlot
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		hs := HostSlot{Name: fields[0], Slots: 1}
+		for _, tok := range fields[1:] {
+			val, ok := strings.CutPrefix(tok, "slots=")
+			if !ok {
+				return nil, fmt.Errorf("%s:%d: unknown token %q (want \"host [slots=N]\")", path, lineNo, tok)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("%s:%d: bad slot count %q", path, lineNo, val)
+			}
+			hs.Slots = n
+		}
+		if seen[hs.Name] {
+			return nil, fmt.Errorf("%s:%d: host %q listed twice", path, lineNo, hs.Name)
+		}
+		seen[hs.Name] = true
+		hosts = append(hosts, hs)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("%s: no hosts", path)
+	}
+	return hosts, nil
+}
+
+// ParseHostList reads the inline -hosts form: comma-separated host names,
+// each with an optional ":slots" suffix ("node-a:2,node-b").
+func ParseHostList(s string) ([]HostSlot, error) {
+	var hosts []HostSlot
+	seen := make(map[string]bool)
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("empty host in list %q", s)
+		}
+		hs := HostSlot{Name: item, Slots: 1}
+		if name, slots, ok := strings.Cut(item, ":"); ok {
+			n, err := strconv.Atoi(slots)
+			if err != nil || n <= 0 || name == "" {
+				return nil, fmt.Errorf("bad host entry %q (want \"host[:slots]\")", item)
+			}
+			hs = HostSlot{Name: name, Slots: n}
+		}
+		if seen[hs.Name] {
+			return nil, fmt.Errorf("host %q listed twice", hs.Name)
+		}
+		seen[hs.Name] = true
+		hosts = append(hosts, hs)
+	}
+	return hosts, nil
+}
+
+// Placement selects how unpinned ranks are assigned to hostfile hosts.
+type Placement int
+
+const (
+	// PlaceBlock fills each host's slots with consecutive ranks before
+	// moving to the next host — components land on as few hosts as possible.
+	PlaceBlock Placement = iota
+	// PlaceCyclic deals ranks round-robin across the hosts (skipping hosts
+	// whose slots are full) — components spread over as many hosts as
+	// possible.
+	PlaceCyclic
+)
+
+// String returns the CLI spelling of the placement policy.
+func (p Placement) String() string {
+	switch p {
+	case PlaceBlock:
+		return "block"
+	case PlaceCyclic:
+		return "cyclic"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// ParsePlacement reads a placement policy name ("block" or "cyclic").
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "block", "":
+		return PlaceBlock, nil
+	case "cyclic":
+		return PlaceCyclic, nil
+	}
+	return 0, fmt.Errorf("unknown placement %q (want block or cyclic)", s)
+}
+
+// Backend selects how ranks are spawned.
+type Backend string
+
+const (
+	// BackendLocal spawns every rank directly on the launcher's host — the
+	// classic single-host mode. Host assignments are not allowed.
+	BackendLocal Backend = "local"
+	// BackendExec spawns every rank through the agent command on the
+	// launcher's own host, treating host assignments as labels only. It
+	// exercises the full remote path (agent protocol, env forwarding,
+	// host topology, remote kill) without an ssh daemon, which is what CI
+	// runs.
+	BackendExec Backend = "exec"
+	// BackendSSH spawns each rank by running the agent command on its
+	// assigned host via ssh.
+	BackendSSH Backend = "ssh"
+)
+
+// ParseBackend reads a backend name ("local", "exec", or "ssh"; "" selects
+// local).
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "":
+		return BackendLocal, nil
+	case BackendLocal, BackendExec, BackendSSH:
+		return Backend(s), nil
+	}
+	return "", fmt.Errorf("unknown backend %q (want local, exec, or ssh)", s)
+}
+
+// Proc is one placed rank of a LaunchSpec.
+type Proc struct {
+	// Rank is the world rank.
+	Rank int
+	// Host is the placement host ("" = the launcher's host).
+	Host string
+	// Argv is the command and arguments.
+	Argv []string
+	// Env holds extra KEY=VALUE pairs for this rank only.
+	Env []string
+	// Exe is the index of the spec entry the rank belongs to, for the
+	// per-component failure report.
+	Exe int
+}
+
+// LaunchSpec is a fully placed MPMD job: every rank with its host, command,
+// and environment, plus the job-level knobs. It is the typed replacement for
+// the (entries, total, registration, timeout, grace, extraEnv) parameter
+// trail the launcher used to thread, and it lets tests drive launches
+// without building a binary.
+type LaunchSpec struct {
+	// Procs lists every rank in world order.
+	Procs []Proc
+	// Registration is the registration-file path forwarded to every rank
+	// ("" = none). Remote backends ship the file's contents through the
+	// agent, so it only needs to exist on the launcher's host.
+	Registration string
+	// Timeout bounds the rendezvous exchange (default 120s).
+	Timeout time.Duration
+	// Grace is how long survivors of a failed rank get to exit after the
+	// abort broadcast before their process groups are killed — on every
+	// host (default 5s).
+	Grace time.Duration
+	// ExtraEnv entries (KEY=VALUE) are appended to every rank's environment
+	// (observability dump directories and the like).
+	ExtraEnv []string
+	// Bind is the host or IP the rendezvous and every rank's listener bind
+	// ("" = backend default: loopback for local and exec, all interfaces
+	// with a detected routable IP for ssh).
+	Bind string
+	// Backend selects how ranks are spawned ("" = BackendLocal).
+	Backend Backend
+	// AgentPath is the mphrun binary to run as the remote agent ("" = this
+	// executable). Under BackendSSH the path must exist on every remote
+	// host.
+	AgentPath string
+	// SSHOptions are extra ssh arguments inserted before the host (after
+	// the built-in BatchMode options).
+	SSHOptions []string
+}
+
+// NewLaunchSpec places the ranks of the parsed entries onto hosts with the
+// given policy and returns the resulting spec. With no hosts, unpinned
+// ranks stay on the launcher's host; pinned entries always land on their
+// pin. When ranks outnumber the hostfile's total slots, placement wraps
+// around (oversubscription), matching what the paper's vendor launchers do
+// when a node list is shorter than the job.
+func NewLaunchSpec(entries []Entry, hosts []HostSlot, policy Placement) (*LaunchSpec, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("mpirun: no executables")
+	}
+	total := 0
+	for _, e := range entries {
+		if e.Nprocs <= 0 {
+			return nil, fmt.Errorf("mpirun: entry %q: processor count %d", strings.Join(e.Argv, " "), e.Nprocs)
+		}
+		if len(e.Argv) == 0 {
+			return nil, fmt.Errorf("mpirun: entry with no command")
+		}
+		total += e.Nprocs
+	}
+	assign, err := placeRanks(entries, hosts, policy, total)
+	if err != nil {
+		return nil, err
+	}
+	spec := &LaunchSpec{Procs: make([]Proc, 0, total)}
+	rank := 0
+	for ei, e := range entries {
+		for i := 0; i < e.Nprocs; i++ {
+			spec.Procs = append(spec.Procs, Proc{
+				Rank: rank,
+				Host: assign[rank],
+				Argv: e.Argv,
+				Exe:  ei,
+			})
+			rank++
+		}
+	}
+	return spec, nil
+}
+
+// placeRanks computes the host of every rank: pins first, then the policy
+// over the hostfile for the rest.
+func placeRanks(entries []Entry, hosts []HostSlot, policy Placement, total int) ([]string, error) {
+	assign := make([]string, total)
+	var unpinned []int
+	rank := 0
+	for _, e := range entries {
+		for i := 0; i < e.Nprocs; i++ {
+			if e.Host != "" {
+				assign[rank] = e.Host
+			} else {
+				unpinned = append(unpinned, rank)
+			}
+			rank++
+		}
+	}
+	if len(hosts) == 0 || len(unpinned) == 0 {
+		return assign, nil
+	}
+	seq := placementSequence(hosts, policy, len(unpinned))
+	for i, r := range unpinned {
+		assign[r] = seq[i]
+	}
+	return assign, nil
+}
+
+// placementSequence expands a hostfile into the host of each of n unpinned
+// ranks under the policy. Both policies wrap around once every slot is
+// used, ignoring slot counts from then on (oversubscription).
+func placementSequence(hosts []HostSlot, policy Placement, n int) []string {
+	seq := make([]string, 0, n)
+	switch policy {
+	case PlaceCyclic:
+		used := make([]int, len(hosts))
+		for len(seq) < n {
+			progressed := false
+			for i, h := range hosts {
+				if len(seq) == n {
+					break
+				}
+				if used[i] < h.Slots {
+					used[i]++
+					seq = append(seq, h.Name)
+					progressed = true
+				}
+			}
+			if !progressed { // every slot used: wrap, plain round robin
+				for i := range used {
+					used[i] = 0
+				}
+			}
+		}
+	default: // PlaceBlock
+		for len(seq) < n {
+			for _, h := range hosts {
+				for s := 0; s < h.Slots && len(seq) < n; s++ {
+					seq = append(seq, h.Name)
+				}
+			}
+		}
+	}
+	return seq
+}
+
+// Validate checks the spec for internal consistency and backend fit.
+func (s *LaunchSpec) Validate() error {
+	if len(s.Procs) == 0 {
+		return fmt.Errorf("mpirun: spec has no ranks")
+	}
+	backend, err := ParseBackend(string(s.Backend))
+	if err != nil {
+		return fmt.Errorf("mpirun: %w", err)
+	}
+	for i, p := range s.Procs {
+		if p.Rank != i {
+			return fmt.Errorf("mpirun: spec rank %d at index %d (ranks must be dense and ordered)", p.Rank, i)
+		}
+		if len(p.Argv) == 0 {
+			return fmt.Errorf("mpirun: rank %d has no command", i)
+		}
+		if p.Host != "" && backend == BackendLocal {
+			return fmt.Errorf("mpirun: rank %d placed on host %q but the backend is local; use -backend exec or ssh", i, p.Host)
+		}
+	}
+	return nil
+}
+
+// Hosts returns the distinct placement hosts of the spec in first-use
+// order, with "" (the launcher's host) included if any rank runs there.
+func (s *LaunchSpec) Hosts() []string {
+	var hosts []string
+	seen := make(map[string]bool)
+	for _, p := range s.Procs {
+		if !seen[p.Host] {
+			seen[p.Host] = true
+			hosts = append(hosts, p.Host)
+		}
+	}
+	return hosts
+}

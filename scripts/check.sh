@@ -9,7 +9,10 @@
 # interleaving-sensitive code in the tree. lintdoc enforces doc comments on
 # every exported identifier (golint's exported rule, in-tree). The collective
 # bench smoke runs one tree and one ring Allgather iteration so both
-# algorithm paths of the size-based selector stay executable.
+# algorithm paths of the size-based selector stay executable. The multi-host
+# smoke launches the climate example across two placement hosts through the
+# exec backend (the full agent spawn path, minus ssh) with stats on, so the
+# remote-launch machinery stays exercised end to end without an sshd.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -23,3 +26,19 @@ go test -race ./internal/mpi/...
 go test -run 'Fault|Chaos' -race -count=2 ./internal/mpi/...
 go test -run=NONE -bench=BenchmarkTracerOverhead -benchtime=1x ./internal/mpi
 go test -run=NONE -bench=BenchmarkAllgather -benchtime=1x ./internal/mpi
+
+# Multi-host exec-backend smoke: 5 ranks on two 2-slot hosts (rank 4 wraps).
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go build -o "$smoke/mphrun" ./cmd/mphrun
+go build -o "$smoke/climate" ./examples/climate
+cat > "$smoke/job.cmd" <<EOF
+1 $smoke/climate -component atmosphere -periods 2 -logdir $smoke
+1 $smoke/climate -component ocean      -periods 2 -logdir $smoke
+1 $smoke/climate -component land       -periods 2 -logdir $smoke
+1 $smoke/climate -component ice        -periods 2 -logdir $smoke
+1 $smoke/climate -component coupler    -periods 2 -logdir $smoke
+EOF
+"$smoke/mphrun" -hosts nodeA:2,nodeB:2 -backend exec -placement block -stats \
+    -cmdfile "$smoke/job.cmd" -registration examples/climate/processors_map.in
+grep -q "period" "$smoke/coupler.log"
