@@ -17,24 +17,30 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"mph/internal/bench"
 	"mph/internal/mpi"
+	"mph/internal/mpi/perf"
+	"mph/internal/mpi/tcpnet"
+	"mph/internal/mpirun"
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1, A2, P1, C1) or \"all\"")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1, A2, P1, P2, C1) or \"all\"")
 	repeat := flag.Int("repeat", 5, "repetitions per cell (minimum is reported)")
 	perfOut := flag.String("perfout", "BENCH_perf.json", "output file for the P1 tracer-overhead baseline")
 	collOut := flag.String("collout", "BENCH_coll.json", "output file for the C1 collective-crossover sweep")
+	transportOut := flag.String("transportout", "BENCH_transport.json", "output file for the P2 eager/rendezvous sweep")
 	flag.Parse()
 	benchPerfPath = *perfOut
 	benchCollPath = *collOut
+	benchTransportPath = *transportOut
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "A1", "A2", "P1", "C1"} {
+		for _, e := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "A1", "A2", "P1", "P2", "C1"} {
 			want[e] = true
 		}
 	} else {
@@ -48,7 +54,7 @@ func main() {
 		run func(repeat int) error
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6}, {"E8", e8},
-		{"A1", a1}, {"A2", a2}, {"P1", p1}, {"C1", c1},
+		{"A1", a1}, {"A2", a2}, {"P1", p1}, {"P2", p2}, {"C1", c1},
 	}
 	for _, r := range runners {
 		if !want[r.id] {
@@ -226,15 +232,29 @@ var benchPerfPath string
 
 // p1 measures the event tracer's cost on the exact-match hot path — the
 // same loop as BenchmarkEngineMatching/exact/pending=64 — with the tracer
-// off (default nil-check fast path) and on, and writes the baseline to
-// BENCH_perf.json so later PRs can diff against it.
+// off (nil-check fast path), on with the default 1-in-N sampling, and on
+// recording every event (MPH_TRACE_SAMPLE=1). The headline overhead is the
+// sampled configuration, which is what a job gets by enabling tracing; the
+// full-fidelity row documents what opting out of sampling costs. The
+// baseline goes to BENCH_perf.json so later PRs can diff against it.
 func p1(repeat int) error {
 	fmt.Println("P1: tracer overhead on the exact-match path (64 pending, in-process)")
 	const (
 		pending = 64
 		iters   = 500_000
 	)
-	measure := func(traced bool) (nsPerOp float64, err error) {
+	measure := func(traced bool, sample string) (nsPerOp float64, err error) {
+		if traced {
+			old, had := os.LookupEnv(perf.EnvTraceSample)
+			os.Setenv(perf.EnvTraceSample, sample)
+			defer func() {
+				if had {
+					os.Setenv(perf.EnvTraceSample, old)
+				} else {
+					os.Unsetenv(perf.EnvTraceSample)
+				}
+			}()
+		}
 		d, err := timeIt(repeat, func() error {
 			w, err := mpi.NewWorld(1)
 			if err != nil {
@@ -266,29 +286,37 @@ func p1(repeat int) error {
 		}
 		return float64(d.Nanoseconds()) / iters, nil
 	}
-	off, err := measure(false)
+	off, err := measure(false, "")
 	if err != nil {
 		return err
 	}
-	on, err := measure(true)
+	on, err := measure(true, fmt.Sprint(perf.DefaultTraceSample))
+	if err != nil {
+		return err
+	}
+	onFull, err := measure(true, "1")
 	if err != nil {
 		return err
 	}
 	overhead := (on - off) / off * 100
-	fmt.Printf("%-10s %12s\n", "tracer", "ns/op")
-	fmt.Printf("%-10s %12.1f\n", "off", off)
-	fmt.Printf("%-10s %12.1f\n", "on", on)
-	fmt.Printf("on/off ratio %.2f\n", on/off)
+	fullOverhead := (onFull - off) / off * 100
+	fmt.Printf("%-22s %12s %10s\n", "tracer", "ns/op", "overhead")
+	fmt.Printf("%-22s %12.1f %10s\n", "off", off, "-")
+	fmt.Printf("%-22s %12.1f %9.1f%%\n", fmt.Sprintf("on (sample=%d)", perf.DefaultTraceSample), on, overhead)
+	fmt.Printf("%-22s %12.1f %9.1f%%\n", "on (sample=1, full)", onFull, fullOverhead)
 
 	baseline := struct {
-		Experiment string  `json:"experiment"`
-		Pending    int     `json:"pending"`
-		Iters      int     `json:"iters"`
-		Repeat     int     `json:"repeat"`
-		OffNsPerOp float64 `json:"off_ns_per_op"`
-		OnNsPerOp  float64 `json:"on_ns_per_op"`
-		OverheadPc float64 `json:"tracer_on_overhead_pct"`
-	}{"P1", pending, iters, repeat, off, on, overhead}
+		Experiment   string  `json:"experiment"`
+		Pending      int     `json:"pending"`
+		Iters        int     `json:"iters"`
+		Repeat       int     `json:"repeat"`
+		Sample       int     `json:"sample"`
+		OffNsPerOp   float64 `json:"off_ns_per_op"`
+		OnNsPerOp    float64 `json:"on_ns_per_op"`
+		OnFullNsOp   float64 `json:"on_full_ns_per_op"`
+		OverheadPc   float64 `json:"tracer_on_overhead_pct"`
+		FullOverhead float64 `json:"tracer_full_overhead_pct"`
+	}{"P1", pending, iters, repeat, perf.DefaultTraceSample, off, on, onFull, overhead, fullOverhead}
 	data, err := json.MarshalIndent(&baseline, "", "  ")
 	if err != nil {
 		return err
@@ -297,6 +325,144 @@ func p1(repeat int) error {
 		return err
 	}
 	fmt.Printf("baseline written to %s\n", benchPerfPath)
+	return nil
+}
+
+// benchTransportPath is where p2 writes its JSON sweep (-transportout).
+var benchTransportPath string
+
+// p2 sweeps one-directional TCP message sizes with the rendezvous protocol
+// pinned off (MPH_EAGER_THRESHOLD=-1, pure eager) and pinned on for every
+// payload (=0), and reports per-message time and bandwidth side by side. The
+// crossover visible in the table is what motivates the 64 KiB default
+// threshold: below it the extra RTS/CTS round trip dominates, above it the
+// copy savings win. The sweep goes to BENCH_transport.json.
+func p2(repeat int) error {
+	fmt.Println("P2: TCP eager vs rendezvous send, 2 ranks over loopback")
+	sizes := []int{256, 4 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20}
+
+	// measure times `rounds` back-to-back sends of one size under the given
+	// threshold, returning the per-message time. A fresh 2-rank world per
+	// cell: the threshold is read at transport construction.
+	measure := func(threshold string, size int) (time.Duration, error) {
+		old, had := os.LookupEnv(tcpnet.EnvEagerThreshold)
+		os.Setenv(tcpnet.EnvEagerThreshold, threshold)
+		defer func() {
+			if had {
+				os.Setenv(tcpnet.EnvEagerThreshold, old)
+			} else {
+				os.Unsetenv(tcpnet.EnvEagerThreshold)
+			}
+		}()
+		rounds := 64 << 20 / size
+		if rounds > 512 {
+			rounds = 512
+		}
+		if rounds < 4 {
+			rounds = 4
+		}
+		payload := make([]byte, size)
+		d, err := timeIt(repeat, func() error {
+			return tcpPair(func(c *mpi.Comm) error {
+				for i := 0; i < rounds; i++ {
+					if err := c.Send(1, 2, payload); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, func(c *mpi.Comm) error {
+				for i := 0; i < rounds; i++ {
+					if _, _, err := c.Recv(0, 2); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		return d / time.Duration(rounds), err
+	}
+
+	type row struct {
+		PayloadBytes int     `json:"payload_bytes"`
+		EagerNsPerOp int64   `json:"eager_ns_per_op"`
+		RdvNsPerOp   int64   `json:"rendezvous_ns_per_op"`
+		EagerOverRdv float64 `json:"eager_over_rendezvous"`
+	}
+	var rows []row
+	fmt.Printf("%-10s %12s %12s %8s %14s\n", "payload", "eager", "rendezvous", "e/r", "rdv bandwidth")
+	for _, size := range sizes {
+		eager, err := measure("-1", size)
+		if err != nil {
+			return err
+		}
+		rdv, err := measure("0", size)
+		if err != nil {
+			return err
+		}
+		ratio := float64(eager) / float64(rdv)
+		mbs := float64(size) / rdv.Seconds() / 1e6
+		fmt.Printf("%-10d %12v %12v %8.2f %11.1f MB/s\n", size, eager, rdv, ratio, mbs)
+		rows = append(rows, row{size, eager.Nanoseconds(), rdv.Nanoseconds(), ratio})
+	}
+
+	sweep := struct {
+		Experiment       string `json:"experiment"`
+		Repeat           int    `json:"repeat"`
+		DefaultThreshold int    `json:"default_threshold_bytes"`
+		Rows             []row  `json:"rows"`
+	}{"P2", repeat, tcpnet.DefaultEagerThreshold, rows}
+	data, err := json.MarshalIndent(&sweep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchTransportPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweep written to %s\n", benchTransportPath)
+	return nil
+}
+
+// tcpPair boots a rendezvous server plus two TCP endpoints over loopback
+// (goroutines standing in for OS processes; the wire path is identical) and
+// runs fn0 on rank 0 and fn1 on rank 1.
+func tcpPair(fn0, fn1 func(c *mpi.Comm) error) error {
+	rv, err := mpirun.NewRendezvous(2)
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rv.Serve(30 * time.Second) }()
+
+	fns := []func(c *mpi.Comm) error{fn0, fn1}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			env, err := tcpnet.Init(rank, 2, rv.Addr())
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer env.Close()
+			c := mpi.WorldComm(env)
+			if err := fns[rank](c); err != nil {
+				errs[rank] = err
+				return
+			}
+			errs[rank] = c.Barrier() // drain in-flight traffic before teardown
+		}(r)
+	}
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

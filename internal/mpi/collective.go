@@ -241,22 +241,31 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 }
 
 // Alltoall sends parts[j] to rank j and returns the payloads received from
-// every rank, in rank order. Sends are eager, so the send loop cannot
-// deadlock against the receive loop.
+// every rank, in rank order. All receives are posted before any send starts:
+// large payloads ride the rendezvous protocol, whose sends block until the
+// receiver matches, so a send-first exchange of big rows would deadlock in a
+// cycle of senders (DESIGN.md §12).
 func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
 	defer c.collBegin(perf.CollAlltoall)()
 	size := len(c.group)
 	if len(parts) != size {
 		return nil, fmt.Errorf("mpi: alltoall needs %d parts, got %d", size, len(parts))
 	}
+	reqs := make([]*Request, size)
+	for j := 0; j < size; j++ {
+		reqs[j] = c.irecvCtx(c.cctx, j, tagAlltoall)
+	}
 	for j := 0; j < size; j++ {
 		if err := c.sendCtx(c.cctx, j, tagAlltoall, parts[j], nil); err != nil {
+			for _, r := range reqs {
+				r.Cancel() // withdraw unmatched receives; don't leak PRQ slots
+			}
 			return nil, fmt.Errorf("mpi: alltoall send to %d: %w", j, err)
 		}
 	}
 	out := make([][]byte, size)
 	for j := 0; j < size; j++ {
-		got, _, err := c.recvCtx(c.cctx, j, tagAlltoall)
+		got, _, err := reqs[j].Wait()
 		if err != nil {
 			return nil, fmt.Errorf("mpi: alltoall recv from %d: %w", j, err)
 		}

@@ -405,7 +405,7 @@ func (e *engine) post(m *Packet) error {
 	}
 	if s := m.SrcWorld; s >= 0 && s < len(e.recvFrom) {
 		e.recvFrom[s].msgs++
-		e.recvFrom[s].bytes += uint64(len(m.Data))
+		e.recvFrom[s].bytes += uint64(m.PayloadLen())
 	}
 	if e.pcount > 0 {
 		if pr := e.takePosted(m); pr != nil {
@@ -416,11 +416,14 @@ func (e *engine) post(m *Packet) error {
 				e.matchWildcard++
 			}
 			if e.tr != nil {
-				e.tr.Record(perf.KMatch, int64(m.SrcWorld), int64(m.Tag), int64(len(m.Data)), int64(e.ucount))
+				e.tr.Record(perf.KMatch, int64(m.SrcWorld), int64(m.Tag), int64(m.PayloadLen()), int64(e.ucount))
 			}
 			pr.pkt = m
 			if m.Ack != nil {
 				close(m.Ack)
+			}
+			if m.Rdv != nil {
+				m.Rdv.signalMatched() // consuming match: transport may send CTS
 			}
 			pr.complete()
 			e.mu.Unlock()
@@ -686,10 +689,13 @@ func (e *engine) takeUnexpected(ctx uint64, src, tag int) *Packet {
 		e.matchWildcard++
 	}
 	if e.tr != nil {
-		e.tr.Record(perf.KMatch, int64(pkt.SrcWorld), int64(pkt.Tag), int64(len(pkt.Data)), int64(e.ucount))
+		e.tr.Record(perf.KMatch, int64(pkt.SrcWorld), int64(pkt.Tag), int64(pkt.PayloadLen()), int64(e.ucount))
 	}
 	if pkt.Ack != nil {
 		close(pkt.Ack)
+	}
+	if pkt.Rdv != nil {
+		pkt.Rdv.signalMatched() // consuming match: transport may send CTS
 	}
 	return pkt
 }
@@ -706,7 +712,7 @@ func (e *engine) recv(ctx uint64, src, tag int) (*Packet, error) {
 	}
 	if m := e.takeUnexpected(ctx, src, tag); m != nil {
 		e.mu.Unlock()
-		return m, nil
+		return awaitPayload(m)
 	}
 	// The UMQ is consulted first so messages that arrived before the peer
 	// died remain consumable; only an empty queue for a dead source fails.
@@ -719,7 +725,22 @@ func (e *engine) recv(ctx uint64, src, tag int) (*Packet, error) {
 	<-pr.ready
 	m, err := pr.pkt, pr.err
 	precvPool.Put(pr)
-	return m, err
+	if err != nil {
+		return m, err
+	}
+	return awaitPayload(m)
+}
+
+// awaitPayload blocks until a matched packet's payload is actually present:
+// an eager packet returns immediately, a rendezvous placeholder waits for the
+// transport to finish (or fail) the transfer. Called without engine.mu held.
+func awaitPayload(m *Packet) (*Packet, error) {
+	if m != nil && m.Rdv != nil {
+		if err := m.Rdv.await(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // postRecv is the nonblocking receive entry: it either consumes an
@@ -765,7 +786,7 @@ func (e *engine) probe(ctx uint64, src, tag int) (Status, error) {
 		return Status{}, err
 	}
 	if n := e.findUnexpected(ctx, src, tag); n != nil {
-		st := Status{Source: n.pkt.Src, Tag: n.pkt.Tag, Len: len(n.pkt.Data)}
+		st := Status{Source: n.pkt.Src, Tag: n.pkt.Tag, Len: n.pkt.PayloadLen()}
 		e.mu.Unlock()
 		return st, nil
 	}
@@ -787,7 +808,7 @@ func (e *engine) notifyProbes(m *Packet) {
 	for w := e.probes.head; w != nil; {
 		next := w.next
 		if m.matches(w.ctx, w.src, w.tag) {
-			w.st = Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}
+			w.st = Status{Source: m.Src, Tag: m.Tag, Len: m.PayloadLen()}
 			e.probes.remove(w)
 			close(w.ready)
 		}
@@ -801,7 +822,7 @@ func (e *engine) tryProbe(ctx uint64, src, tag int) (Status, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if n := e.findUnexpected(ctx, src, tag); n != nil {
-		return Status{Source: n.pkt.Src, Tag: n.pkt.Tag, Len: len(n.pkt.Data)}, true
+		return Status{Source: n.pkt.Src, Tag: n.pkt.Tag, Len: n.pkt.PayloadLen()}, true
 	}
 	return Status{}, false
 }
@@ -848,6 +869,9 @@ func (e *engine) failAll(opErr, ackErr error) {
 	e.fail = opErr
 	for n := e.uallHead; n != nil; n = n.allNext {
 		failAck(n.pkt.Ack, ackErr)
+		if n.pkt.Rdv != nil {
+			n.pkt.Rdv.Fail(opErr) // no-op if the payload already landed
+		}
 	}
 	e.uallHead, e.uallTail = nil, nil
 	e.ubuckets = nil
@@ -901,6 +925,19 @@ func (e *engine) peerLost(world int, cause error) {
 	}
 	e.lost[world] = cause
 	lostErr := &ErrPeerLost{Rank: world, Cause: cause}
+	// Rendezvous placeholders announced by the dead peer whose payload never
+	// landed are unconsumable: drop them from the UMQ so they cannot poison a
+	// wildcard receive that a live peer could still satisfy. Eager messages
+	// (and finished rendezvous) delivered before death stay consumable.
+	for n := e.uallHead; n != nil; {
+		next := n.allNext
+		if n.pkt.Rdv != nil && n.pkt.SrcWorld == world && !n.pkt.Rdv.delivered() {
+			rdv := n.pkt.Rdv
+			e.removeUnexpected(n)
+			rdv.Fail(lostErr)
+		}
+		n = next
+	}
 	// Both PRQ homes can hold records naming a concrete source: exact
 	// buckets, and the wildcard list for concrete-source/AnyTag records.
 	for _, l := range e.pbuckets {

@@ -64,11 +64,17 @@ type Packet struct {
 	// failure before closing. Creators must allocate it with capacity 1 so
 	// the failure send never blocks the engine.
 	Ack chan error
+	// Rdv, when non-nil, marks this packet as a rendezvous placeholder: the
+	// payload has been announced (RTS) but not transferred yet. The engine
+	// signals the consuming match through it, and the receive that matched
+	// the packet waits on it before touching Data. Only transports with a
+	// two-protocol wire path (tcpnet) set it.
+	Rdv *Rendezvous
 }
 
 // String formats the packet's matching envelope for diagnostics.
 func (p *Packet) String() string {
-	return fmt.Sprintf("packet{ctx=%x src=%d tag=%d len=%d}", p.Ctx, p.Src, p.Tag, len(p.Data))
+	return fmt.Sprintf("packet{ctx=%x src=%d tag=%d len=%d}", p.Ctx, p.Src, p.Tag, p.PayloadLen())
 }
 
 // matches reports whether the packet satisfies a receive posted for

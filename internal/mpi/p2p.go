@@ -39,11 +39,19 @@ func (c *Comm) sendCtx(ctx uint64, dst, tag int, data []byte, ack chan error) er
 	if dst < 0 || dst >= len(c.group) {
 		return fmt.Errorf("%w: send to rank %d of comm size %d", ErrRank, dst, len(c.group))
 	}
-	// Copy the payload: ranks must not share mutable memory.
+	// Copy the payload: ranks must not share mutable memory. The copy is
+	// elided when the transport's rendezvous path will write the bytes
+	// straight from the caller's slice (writev) and hand ownership back at
+	// Deliver's return — that is the zero-copy half of the eager/rendezvous
+	// protocol (DESIGN.md §12).
 	var buf []byte
 	if len(data) > 0 {
-		buf = make([]byte, len(data))
-		copy(buf, data)
+		if b := c.env.borrower; b != nil && b.BorrowsPayload(c.group[dst], len(data)) {
+			buf = data
+		} else {
+			buf = make([]byte, len(data))
+			copy(buf, data)
+		}
 	}
 	if tr := c.env.tracer; tr != nil {
 		tr.Record(perf.KSend, int64(c.group[dst]), int64(tag), int64(len(data)), 0)
@@ -92,36 +100,52 @@ func (c *Comm) IProbe(src, tag int) (Status, bool) {
 // several goroutines.
 type Request struct {
 	pr   *precv  // nil when the operation completed inline
+	pkt  *Packet // inline-matched rendezvous placeholder awaiting its payload
 	eng  *engine // engine the record is posted on, for Cancel
 	data []byte
 	st   Status
 	err  error
 }
 
-// Wait blocks until the operation completes.
+// Wait blocks until the operation completes. For a receive that matched a
+// rendezvous placeholder it also waits for the payload transfer itself, so a
+// successful Wait always returns the full message.
 func (r *Request) Wait() ([]byte, Status, error) {
-	if r.pr == nil {
+	m := r.pkt
+	if r.pr != nil {
+		<-r.pr.ready
+		if r.pr.err != nil {
+			return nil, Status{}, r.pr.err
+		}
+		m = r.pr.pkt
+	} else if m == nil {
 		return r.data, r.st, r.err
 	}
-	<-r.pr.ready
-	if r.pr.err != nil {
-		return nil, Status{}, r.pr.err
+	if m.Rdv != nil {
+		if err := m.Rdv.await(); err != nil {
+			return nil, Status{}, err
+		}
 	}
-	m := r.pr.pkt
 	return m.Data, Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}, nil
 }
 
-// Done reports whether the operation has completed, without blocking.
+// Done reports whether the operation has completed, without blocking. A
+// receive that matched a rendezvous placeholder is not done until its
+// payload has landed (or the transfer failed).
 func (r *Request) Done() bool {
-	if r.pr == nil {
-		return true
+	m := r.pkt
+	if r.pr != nil {
+		select {
+		case <-r.pr.ready:
+		default:
+			return false
+		}
+		if r.pr.err != nil {
+			return true
+		}
+		m = r.pr.pkt
 	}
-	select {
-	case <-r.pr.ready:
-		return true
-	default:
-		return false
-	}
+	return m == nil || m.Rdv == nil || m.Rdv.completed()
 }
 
 // Cancel withdraws a receive that has not matched yet and reports whether
@@ -167,6 +191,10 @@ func (c *Comm) irecvCtx(ctx uint64, src, tag int) *Request {
 		return &Request{err: err}
 	case pr != nil:
 		return &Request{pr: pr, eng: c.env.eng}
+	case m.Rdv != nil:
+		// Matched a rendezvous placeholder: completion means the payload
+		// landed, which Wait/Done observe through the packet.
+		return &Request{pkt: m}
 	default:
 		return &Request{data: m.Data, st: Status{Source: m.Src, Tag: m.Tag, Len: len(m.Data)}}
 	}

@@ -25,6 +25,8 @@
 package perf
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +45,10 @@ const (
 	// EnvTraceEvents overrides the tracer ring capacity (default
 	// DefaultTraceEvents).
 	EnvTraceEvents = "MPH_TRACE_EVENTS"
+	// EnvTraceSample overrides the tracer's 1-in-N sampling divisor for the
+	// per-message hot-path events (default DefaultTraceSample; 1 records
+	// every event). Structural events are never sampled.
+	EnvTraceSample = "MPH_TRACE_SAMPLE"
 	// EnvDebugAddr, when set for a TCP-transport job, starts a per-rank
 	// HTTP endpoint serving the live Snapshot as JSON (see Serve).
 	EnvDebugAddr = "MPH_DEBUG_ADDR"
@@ -51,6 +57,14 @@ const (
 // DefaultTraceEvents is the tracer ring capacity when EnvTraceEvents does
 // not override it.
 const DefaultTraceEvents = 1 << 16
+
+// DefaultTraceSample is the 1-in-N sampling divisor applied to the
+// per-message hot-path events (send, recv-post, match) when EnvTraceSample
+// does not override it. 16 keeps tracer-on overhead on the p2p fast path
+// under the 25% budget (BENCH_perf.json P1) while retaining a statistically
+// useful event stream; set MPH_TRACE_SAMPLE=1 to record everything when
+// debugging message-level ordering.
+const DefaultTraceSample = 16
 
 // CollOp identifies one collective operation for invocation counting.
 type CollOp uint8
@@ -173,6 +187,15 @@ type NetCounters struct {
 	AbortsOut      atomic.Uint64 // abort frames broadcast by this rank
 	AbortsIn       atomic.Uint64 // abort frames received
 	FaultsInjected atomic.Uint64 // MPH_FAULT rule firings (testing only)
+
+	// Rendezvous-protocol counters (payloads at or above the eager
+	// threshold; DESIGN.md §12).
+	RTSOut   atomic.Uint64 // request-to-send frames written
+	RTSIn    atomic.Uint64 // request-to-send frames read
+	CTSOut   atomic.Uint64 // clear-to-send frames written
+	CTSIn    atomic.Uint64 // clear-to-send frames read
+	RDataOut atomic.Uint64 // rendezvous payload frames written
+	RDataIn  atomic.Uint64 // rendezvous payload frames read
 }
 
 // EngineSnap is the matching engine's contribution to a Snapshot, copied
@@ -224,6 +247,13 @@ type NetSnap struct {
 	AbortsOut      uint64 `json:"aborts_out,omitempty"`
 	AbortsIn       uint64 `json:"aborts_in,omitempty"`
 	FaultsInjected uint64 `json:"faults_injected,omitempty"`
+
+	RTSOut   uint64 `json:"rts_out,omitempty"`
+	RTSIn    uint64 `json:"rts_in,omitempty"`
+	CTSOut   uint64 `json:"cts_out,omitempty"`
+	CTSIn    uint64 `json:"cts_in,omitempty"`
+	RDataOut uint64 `json:"rdata_out,omitempty"`
+	RDataIn  uint64 `json:"rdata_in,omitempty"`
 }
 
 // TraceSnap reports the tracer's state in a Snapshot.
@@ -232,6 +262,7 @@ type TraceSnap struct {
 	Capacity int    `json:"capacity,omitempty"`
 	Recorded uint64 `json:"recorded,omitempty"`
 	Dropped  uint64 `json:"dropped,omitempty"`
+	Sample   int    `json:"sample,omitempty"` // 1-in-N divisor for per-message events
 }
 
 // Snapshot is one rank's performance variables at a point in time. It is
@@ -342,11 +373,23 @@ func (r *Rank) SetSentCollector(fn func() (msgs, bytes []uint64)) {
 // EnableTracer installs a fresh event tracer with the given ring capacity
 // (DefaultTraceEvents if capacity <= 0) and returns it. The caller must
 // install it before traffic starts; the hot paths cache the pointer.
+//
+// The per-message sampling divisor is resolved from EnvTraceSample, falling
+// back to DefaultTraceSample when unset, unparsable, or nonpositive — jobs
+// that enable tracing get the low-overhead sampled stream unless they ask
+// for full fidelity with MPH_TRACE_SAMPLE=1.
 func (r *Rank) EnableTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceEvents
 	}
 	t := NewTracer(capacity, r.base)
+	sample := DefaultTraceSample
+	if v := os.Getenv(EnvTraceSample); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			sample = n
+		}
+	}
+	t.SetSample(sample)
 	r.tracer.Store(t)
 	return t
 }
@@ -497,6 +540,13 @@ func (r *Rank) Snapshot() Snapshot {
 		AbortsOut:      r.Net.AbortsOut.Load(),
 		AbortsIn:       r.Net.AbortsIn.Load(),
 		FaultsInjected: r.Net.FaultsInjected.Load(),
+
+		RTSOut:   r.Net.RTSOut.Load(),
+		RTSIn:    r.Net.RTSIn.Load(),
+		CTSOut:   r.Net.CTSOut.Load(),
+		CTSIn:    r.Net.CTSIn.Load(),
+		RDataOut: r.Net.RDataOut.Load(),
+		RDataIn:  r.Net.RDataIn.Load(),
 	}
 	if tr := r.Tracer(); tr != nil {
 		s.Trace = TraceSnap{
@@ -504,6 +554,7 @@ func (r *Rank) Snapshot() Snapshot {
 			Capacity: tr.Capacity(),
 			Recorded: tr.Recorded(),
 			Dropped:  tr.Dropped(),
+			Sample:   tr.Sample(),
 		}
 	}
 	return s

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +30,10 @@ type Kind uint8
 //	KDialRetry:  A=destination world rank, B=attempt number, C=backoff ns
 //	KPeerLost:   A=lost world rank
 //	KAbort:      A=abort code, B=origin world rank (-1 launcher)
+//	KRendezvous: A=destination world rank, B=tag, C=payload bytes, D=rendezvous id
+//
+// The per-message hot-path kinds — KSend, KRecvPost, KMatch — are subject to
+// 1-in-N sampling (SetSample); every other kind is always recorded.
 const (
 	KSend Kind = iota
 	KRecvPost
@@ -41,13 +48,14 @@ const (
 	KDialRetry
 	KPeerLost
 	KAbort
+	KRendezvous
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"send", "recv-post", "match", "coll-enter", "coll-exit",
 	"comm-split", "comm-dup", "comm-join", "phase-begin", "phase-end",
-	"dial-retry", "peer-lost", "abort",
+	"dial-retry", "peer-lost", "abort", "rendezvous",
 }
 
 // String names the event kind as it appears in trace dumps.
@@ -77,81 +85,189 @@ type Event struct {
 	A, B, C, D int64
 }
 
-// Tracer is a fixed-size ring buffer of events. When full it overwrites the
-// oldest events, so a dump always holds the most recent Capacity() records;
-// Dropped() reports how many were overwritten. Record is safe for
-// concurrent use (transport readers and the rank goroutine both record);
-// the internal mutex keeps slot writes exclusive, which matters under the
-// race detector and when the ring wraps.
-type Tracer struct {
-	base         time.Time
-	baseUnixNano int64
+// Tracer sharding. A single mutex-guarded ring doubles the cost of the
+// matching hot path under concurrency (BENCH_perf.json P1 before this
+// design), so large rings are split into independently locked shards merged
+// at dump time. Small rings keep one shard — splitting a 64-event ring would
+// change which events survive, and the contention it avoids only matters at
+// sizes where events pour in from several goroutines.
+const (
+	// tracerShardMin is the minimum per-shard ring size; rings smaller than
+	// two shards' worth stay unsharded, preserving exact single-ring
+	// overwrite semantics for small capacities.
+	tracerShardMin = 1024
+	// tracerMaxShards caps the shard count; beyond the typical number of
+	// concurrently recording goroutines, more shards just fragment the ring.
+	tracerMaxShards = 8
+)
 
+// tracerShard is one independently locked event ring. The trailing pad keeps
+// adjacent shards' mutexes off one cache line, which is the point of
+// sharding.
+type tracerShard struct {
 	mu    sync.Mutex
 	buf   []Event
 	total uint64
+	_     [64]byte
+}
+
+// Tracer is a fixed-size ring buffer of events. When full it overwrites the
+// oldest events, so a dump always holds the most recent Capacity() records;
+// Dropped() reports how many were overwritten. Record is safe for concurrent
+// use (transport readers and the rank goroutine both record); internally the
+// ring is split into per-goroutine-affine shards so concurrent recorders
+// rarely contend on one mutex, and Events merges the shards back into one
+// chronological stream.
+//
+// The per-message kinds (KSend, KRecvPost, KMatch) can additionally be
+// sampled 1-in-N (SetSample) to bound tracer overhead on the p2p fast path;
+// structural events (collectives, phases, failures, rendezvous) are always
+// recorded.
+type Tracer struct {
+	base         time.Time
+	baseUnixNano int64
+	sample       atomic.Uint64 // 1-in-N divisor for hot kinds; 1 = record all
+	keep         atomic.Uint64 // sampling threshold: keep a draw r iff r <= keep
+	capacity     int
+	shards       []tracerShard
 }
 
 // NewTracer creates a tracer with the given ring capacity whose timestamps
-// are nanoseconds since base.
+// are nanoseconds since base. Sampling starts at 1 (record everything);
+// Rank.EnableTracer applies the MPH_TRACE_SAMPLE default.
 func NewTracer(capacity int, base time.Time) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceEvents
 	}
-	return &Tracer{
+	nshards := capacity / tracerShardMin
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > tracerMaxShards {
+		nshards = tracerMaxShards
+	}
+	t := &Tracer{
 		base:         base,
 		baseUnixNano: base.UnixNano(),
-		buf:          make([]Event, capacity),
+		capacity:     capacity,
+		shards:       make([]tracerShard, nshards),
 	}
+	t.SetSample(1)
+	// Shard sizes sum exactly to capacity: the remainder goes to the first
+	// shards one event at a time.
+	size, rem := capacity/nshards, capacity%nshards
+	for i := range t.shards {
+		n := size
+		if i < rem {
+			n++
+		}
+		t.shards[i].buf = make([]Event, n)
+	}
+	return t
 }
 
-// Capacity returns the ring size in events.
-func (t *Tracer) Capacity() int { return len(t.buf) }
+// Capacity returns the ring size in events (summed across shards).
+func (t *Tracer) Capacity() int { return t.capacity }
 
-// Record appends an event stamped now.
+// SetSample sets 1-in-N sampling for the per-message hot-path kinds (send,
+// recv-post, match): each such event is kept with probability 1/n. n <= 1
+// records everything. Other kinds are never sampled. Safe to call
+// concurrently with Record.
+func (t *Tracer) SetSample(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.sample.Store(uint64(n))
+	// The hot path compares the random draw against a precomputed threshold
+	// instead of dividing by n: keep r iff r <= MaxUint64/n, which holds with
+	// probability 1/n (and always when n is 1).
+	t.keep.Store(^uint64(0) / uint64(n))
+}
+
+// Sample returns the current 1-in-N sampling divisor (1 = record all).
+func (t *Tracer) Sample() int { return int(t.sample.Load()) }
+
+// Record appends an event stamped now. Hot-path kinds are subject to the
+// tracer's sampling divisor.
 func (t *Tracer) Record(k Kind, a, b, c, d int64) {
-	t.record(int64(time.Since(t.base)), k, a, b, c, d)
+	// One random draw serves both decisions: the draw itself decides
+	// sampling (threshold comparison, no division), the high bits pick the
+	// shard. Sampled-out calls return before touching the clock or any lock.
+	r := rand.Uint64()
+	if k <= KMatch && r > t.keep.Load() {
+		return
+	}
+	t.recordAt(int64(time.Since(t.base)), r, k, a, b, c, d)
 }
 
 // record appends an event with an explicit timestamp (callers that already
-// read the clock pass it through).
+// read the clock pass it through). Never sampled: the callers are the
+// structural collective-timing paths.
 func (t *Tracer) record(ts int64, k Kind, a, b, c, d int64) {
-	t.mu.Lock()
-	t.buf[t.total%uint64(len(t.buf))] = Event{TS: ts, Kind: k, A: a, B: b, C: c, D: d}
-	t.total++
-	t.mu.Unlock()
+	t.recordAt(ts, rand.Uint64(), k, a, b, c, d)
 }
 
-// Recorded returns the total number of events recorded since creation.
+// recordAt stores one event in the shard selected by the random draw's high
+// bits.
+func (t *Tracer) recordAt(ts int64, r uint64, k Kind, a, b, c, d int64) {
+	s := &t.shards[0]
+	if len(t.shards) > 1 {
+		s = &t.shards[(r>>32)%uint64(len(t.shards))]
+	}
+	s.mu.Lock()
+	s.buf[s.total%uint64(len(s.buf))] = Event{TS: ts, Kind: k, A: a, B: b, C: c, D: d}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Recorded returns the total number of events recorded since creation
+// (events skipped by sampling are not recorded).
 func (t *Tracer) Recorded() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.total
+	var n uint64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += s.total
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Dropped returns how many recorded events were overwritten by the ring.
 func (t *Tracer) Dropped() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.total <= uint64(len(t.buf)) {
-		return 0
+	var n uint64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		if s.total > uint64(len(s.buf)) {
+			n += s.total - uint64(len(s.buf))
+		}
+		s.mu.Unlock()
 	}
-	return t.total - uint64(len(t.buf))
+	return n
 }
 
-// Events returns the retained events in chronological order.
+// Events returns the retained events in chronological order, merging the
+// shards by timestamp. The merge is stable, so events within one shard keep
+// their insertion order even under equal timestamps.
 func (t *Tracer) Events() []Event {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n := t.total
-	capacity := uint64(len(t.buf))
-	if n <= capacity {
-		return append([]Event(nil), t.buf[:n]...)
+	out := make([]Event, 0, t.capacity)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n, capacity := s.total, uint64(len(s.buf))
+		if n <= capacity {
+			out = append(out, s.buf[:n]...)
+		} else {
+			start := n % capacity
+			out = append(out, s.buf[start:]...)
+			out = append(out, s.buf[:start]...)
+		}
+		s.mu.Unlock()
 	}
-	out := make([]Event, 0, capacity)
-	start := n % capacity
-	out = append(out, t.buf[start:]...)
-	out = append(out, t.buf[:start]...)
+	if len(t.shards) > 1 {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	}
 	return out
 }
 
@@ -164,7 +280,8 @@ type Meta struct {
 
 // metaLine is the first JSONL line of a trace dump: rank identity plus the
 // wall-clock base that lets cmd/mphtrace align streams from different
-// processes on one timeline.
+// processes on one timeline. Sample records the 1-in-N divisor in force, so
+// readers can scale per-message event counts back up.
 type metaLine struct {
 	Meta      bool   `json:"meta"`
 	Rank      int    `json:"rank"`
@@ -174,6 +291,7 @@ type metaLine struct {
 	Capacity  int    `json:"capacity"`
 	Recorded  uint64 `json:"recorded"`
 	Dropped   uint64 `json:"dropped"`
+	Sample    int    `json:"sample,omitempty"`
 }
 
 // eventLine is one dumped event. Zero payload fields are omitted to keep
@@ -191,20 +309,19 @@ type eventLine struct {
 // followed by one line per event in chronological order.
 func (t *Tracer) WriteJSONL(w io.Writer, meta Meta) error {
 	events := t.Events()
-	t.mu.Lock()
 	header := metaLine{
 		Meta:      true,
 		Rank:      meta.Rank,
 		Size:      meta.Size,
 		Component: meta.Component,
 		BaseUnix:  t.baseUnixNano,
-		Capacity:  len(t.buf),
-		Recorded:  t.total,
+		Capacity:  t.capacity,
+		Recorded:  t.Recorded(),
+		Dropped:   t.Dropped(),
 	}
-	if t.total > uint64(len(t.buf)) {
-		header.Dropped = t.total - uint64(len(t.buf))
+	if s := t.Sample(); s > 1 {
+		header.Sample = s
 	}
-	t.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -220,7 +337,9 @@ func (t *Tracer) WriteJSONL(w io.Writer, meta Meta) error {
 	return bw.Flush()
 }
 
-// TraceMeta is a parsed meta header line; see ParseTraceLine.
+// TraceMeta is a parsed meta header line; see ParseTraceLine. A Sample
+// greater than 1 means per-message events (send, recv-post, match) were
+// 1-in-Sample sampled when recorded.
 type TraceMeta struct {
 	Rank      int
 	Size      int
@@ -229,6 +348,7 @@ type TraceMeta struct {
 	Capacity  int
 	Recorded  uint64
 	Dropped   uint64
+	Sample    int
 }
 
 // ParseTraceLine parses one line of a WriteJSONL stream. Exactly one of
@@ -258,7 +378,7 @@ func ParseTraceLine(line []byte) (*TraceMeta, *Event, error) {
 		return &TraceMeta{
 			Rank: ml.Rank, Size: ml.Size, Component: ml.Component,
 			BaseUnix: ml.BaseUnix, Capacity: ml.Capacity,
-			Recorded: ml.Recorded, Dropped: ml.Dropped,
+			Recorded: ml.Recorded, Dropped: ml.Dropped, Sample: ml.Sample,
 		}, nil, nil
 	}
 	var el eventLine

@@ -1,0 +1,143 @@
+package mpi
+
+import "sync"
+
+// Rendezvous is the receive-side state of one large-message rendezvous
+// transfer (DESIGN.md §12). The TCP transport posts a placeholder Packet
+// carrying a Rendezvous when an RTS frame arrives: the placeholder occupies
+// the sender's position in the engine's match order (preserving the
+// non-overtaking invariant) while promising PayloadLen bytes that have not
+// crossed the wire yet. The engine signals the match through the Rendezvous,
+// the transport answers with a CTS frame, and once the payload lands in its
+// final buffer the transport finishes the rendezvous, releasing the receive
+// that matched the placeholder.
+//
+// The type is exported only for transport implementations; in-process
+// traffic never creates one.
+type Rendezvous struct {
+	n int // promised payload length in bytes
+
+	mu      sync.Mutex
+	matched bool
+	done    bool
+	err     error // first failure wins; set before doneCh closes
+
+	matchCh chan struct{} // closed at the consuming match, or on failure
+	doneCh  chan struct{} // closed when the payload landed, or on failure
+}
+
+// NewRendezvous creates the receive-side record for a transfer promising n
+// payload bytes.
+func NewRendezvous(n int) *Rendezvous {
+	return &Rendezvous{
+		n:       n,
+		matchCh: make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+}
+
+// PayloadLen returns the promised payload length in bytes.
+func (r *Rendezvous) PayloadLen() int { return r.n }
+
+// Matched returns a channel closed when the placeholder has been consumed by
+// a matching receive — the transport's cue to send CTS — or when the
+// rendezvous failed first; MatchErr distinguishes the two.
+func (r *Rendezvous) Matched() <-chan struct{} { return r.matchCh }
+
+// MatchErr reports the failure that ended the rendezvous before (or instead
+// of) a match, or nil after a genuine match.
+func (r *Rendezvous) MatchErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// signalMatched records the consuming match. Called by the engine under its
+// own lock; idempotent, and a no-op after a failure.
+func (r *Rendezvous) signalMatched() {
+	r.mu.Lock()
+	if !r.matched && r.err == nil {
+		r.matched = true
+		close(r.matchCh)
+	}
+	r.mu.Unlock()
+}
+
+// Fail ends the rendezvous with err: the payload will never arrive (peer
+// died, job aborted, transport closed). Waiters on both channels unblock and
+// observe err. Idempotent; a no-op after successful completion.
+func (r *Rendezvous) Fail(err error) {
+	if err == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done || r.err != nil {
+		return
+	}
+	r.err = err
+	r.done = true
+	if !r.matched {
+		r.matched = true
+		close(r.matchCh)
+	}
+	close(r.doneCh)
+}
+
+// await blocks until the payload is delivered or the rendezvous fails. The
+// engine's receive paths call it after a receive consumes a placeholder
+// packet; a nil return guarantees the packet's Data is the full payload.
+func (r *Rendezvous) await() error {
+	<-r.doneCh
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// completed reports whether await would return without blocking (payload
+// landed or transfer failed).
+func (r *Rendezvous) completed() bool {
+	select {
+	case <-r.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// delivered reports whether the payload actually landed (as opposed to the
+// rendezvous failing or still being in flight). The engine's peer-loss sweep
+// uses it to tell consumable placeholders from poisoned ones.
+func (r *Rendezvous) delivered() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done && r.err == nil
+}
+
+// FinishRendezvous installs the delivered payload and releases the matched
+// receive. data must be exactly the promised length and is owned by the
+// packet from then on. It reports false for a duplicate delivery (redial
+// replay) whose buffer the caller must discard.
+func (p *Packet) FinishRendezvous(data []byte) bool {
+	p.Rdv.mu.Lock()
+	if p.Rdv.done || p.Rdv.err != nil {
+		p.Rdv.mu.Unlock()
+		return false
+	}
+	p.Data = data
+	p.Rdv.done = true
+	close(p.Rdv.doneCh)
+	p.Rdv.mu.Unlock()
+	return true
+}
+
+// PayloadLen returns the packet's payload length: the promised length for a
+// rendezvous placeholder whose data is still in flight, the actual data
+// length otherwise. Matching, probes, and per-peer accounting use it so a
+// placeholder is indistinguishable from a delivered message.
+func (p *Packet) PayloadLen() int {
+	if p.Rdv != nil && p.Data == nil {
+		return p.Rdv.n
+	}
+	return len(p.Data)
+}

@@ -3,6 +3,7 @@ package tcpnet
 import (
 	"math/rand"
 	"os"
+	"strconv"
 	"time"
 )
 
@@ -34,7 +35,22 @@ const (
 	// EnvFault injects deterministic transport faults for chaos testing;
 	// see ParseFaultSpec for the grammar. Never set it in production.
 	EnvFault = "MPH_FAULT"
+	// EnvEagerThreshold is the eager/rendezvous protocol switch in payload
+	// bytes (default DefaultEagerThreshold): payloads of at least this many
+	// bytes are sent with the RTS/CTS rendezvous protocol, smaller ones with
+	// the eager copy-into-frame path. 0 forces rendezvous for every non-empty
+	// payload; a negative value disables rendezvous entirely. Every rank of a
+	// job should see the same value (the launcher propagates the
+	// environment), though nothing breaks if they differ — the protocol is
+	// chosen per sender.
+	EnvEagerThreshold = "MPH_EAGER_THRESHOLD"
 )
+
+// DefaultEagerThreshold is the built-in eager/rendezvous switch point. 64 KiB
+// keeps latency-sensitive control traffic on the one-round-trip eager path
+// while the extra RTS/CTS round trip amortizes to noise on payloads whose
+// copy cost dominates; DESIGN.md §12 shows the P2 sweep behind the number.
+const DefaultEagerThreshold = 64 << 10
 
 // netConfig is the transport's resolved fault-tolerance tuning.
 type netConfig struct {
@@ -44,6 +60,8 @@ type netConfig struct {
 	writeTimeout time.Duration // per-frame write deadline
 	heartbeat    time.Duration // idle interval before a heartbeat is written
 	peerTimeout  time.Duration // inbound silence / reconnect window before peer death
+
+	eagerThreshold int // rendezvous switch in payload bytes; negative disables
 }
 
 // defaultConfig returns the built-in tuning.
@@ -55,6 +73,8 @@ func defaultConfig() netConfig {
 		writeTimeout: 30 * time.Second,
 		heartbeat:    2 * time.Second,
 		peerTimeout:  8 * time.Second,
+
+		eagerThreshold: DefaultEagerThreshold,
 	}
 }
 
@@ -68,6 +88,11 @@ func configFromEnv() netConfig {
 	c.writeTimeout = envDuration(EnvWriteTimeout, c.writeTimeout)
 	c.heartbeat = envDuration(EnvHeartbeat, c.heartbeat)
 	c.peerTimeout = envDuration(EnvPeerTimeout, c.peerTimeout)
+	if v := os.Getenv(EnvEagerThreshold); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			c.eagerThreshold = n // negative means "rendezvous disabled", so no clamp
+		}
+	}
 	return c
 }
 

@@ -16,11 +16,11 @@ import (
 // comma-separated list whose first field is the action and whose remaining
 // fields are key=value filters:
 //
-//	action[,rank=R][,peer=P][,after=K][,times=N][,dur=D]
+//	action[,rank=R][,peer=P][,frame=F][,after=K][,times=N][,dur=D]
 //
 // Actions:
 //
-//	drop   — silently discard a matching outbound packet frame
+//	drop   — silently discard a matching outbound frame
 //	delay  — sleep dur (default 100ms) before sending a matching frame
 //	sever  — abruptly close the established connection to the peer just
 //	         before the matching send (the send then redials: this is the
@@ -32,18 +32,24 @@ import (
 //
 //	rank=R  — the rule only applies in the process whose world rank is R
 //	peer=P  — the rule only applies to sends addressed to world rank P
+//	frame=F — the outbound frame kind the rule applies to: packet (eager
+//	          message, the default), rts / cts / data (the rendezvous
+//	          protocol frames), or any
 //	after=K — the rule arms after K matching sends have passed unharmed
 //	times=N — the rule fires at most N times (default 1; 0 = unlimited)
 //	dur=D   — delay duration (delay action only), Go duration syntax
 //
 // Example: MPH_FAULT="sever,rank=1,peer=2,after=3" severs rank 1's
-// connection to rank 2 just before its 4th send to it.
+// connection to rank 2 just before its 4th send to it, and
+// MPH_FAULT="sever,rank=0,frame=data" severs rank 0's connection between
+// receiving a CTS and writing the rendezvous payload.
 type faultRule struct {
 	action string
-	rank   int // -1 = any rank
-	peer   int // -1 = any peer
-	after  int // matching sends to let through before arming
-	times  int // max firings; 0 = unlimited
+	rank   int    // -1 = any rank
+	peer   int    // -1 = any peer
+	frame  string // frame kind filter: "packet", "rts", "cts", "data", "any"
+	after  int    // matching sends to let through before arming
+	times  int    // max firings; 0 = unlimited
 	dur    time.Duration
 
 	seen  int // matching sends observed (guarded by faultSet.mu)
@@ -62,6 +68,17 @@ type faultAction struct {
 	dur  time.Duration
 }
 
+// Fault-point frame kinds, the values of the frame= filter. frameAny matches
+// every fault point; the default framePacket preserves the pre-rendezvous
+// grammar, where every injectable send was an eager packet frame.
+const (
+	framePacket = "packet"
+	frameRTS    = "rts"
+	frameCTS    = "cts"
+	frameData   = "data"
+	frameAny    = "any"
+)
+
 // ParseFaultSpec parses an MPH_FAULT specification. It is exported so tests
 // and tooling can validate specs; an empty spec yields a nil set.
 func ParseFaultSpec(spec string) (*faultSet, error) {
@@ -76,7 +93,7 @@ func ParseFaultSpec(spec string) (*faultSet, error) {
 			continue
 		}
 		fields := strings.Split(part, ",")
-		r := &faultRule{action: strings.TrimSpace(fields[0]), rank: -1, peer: -1, times: 1, dur: 100 * time.Millisecond}
+		r := &faultRule{action: strings.TrimSpace(fields[0]), rank: -1, peer: -1, frame: framePacket, times: 1, dur: 100 * time.Millisecond}
 		switch r.action {
 		case "drop", "delay", "sever", "die":
 		default:
@@ -104,6 +121,13 @@ func ParseFaultSpec(spec string) (*faultSet, error) {
 				case "times":
 					r.times = n
 				}
+			case "frame":
+				switch val {
+				case framePacket, frameRTS, frameCTS, frameData, frameAny:
+					r.frame = val
+				default:
+					return nil, fmt.Errorf("tcpnet: bad fault frame kind %q in %q", val, part)
+				}
 			case "dur":
 				d, err := time.ParseDuration(val)
 				if err != nil || d < 0 {
@@ -122,11 +146,12 @@ func ParseFaultSpec(spec string) (*faultSet, error) {
 	return fs, nil
 }
 
-// sendAction consults the rules for one outbound packet frame from rank to
-// peer and returns the first firing action ("" kind when none fires). Each
-// matching rule's counters advance exactly once per call, which is what
-// makes after=K deterministic.
-func (fs *faultSet) sendAction(rank, peer int) faultAction {
+// sendAction consults the rules for one outbound frame of the given kind
+// from rank to peer and returns the first firing action ("" kind when none
+// fires). Each matching rule's counters advance exactly once per call, which
+// is what makes after=K deterministic — a rule only observes sends of its
+// own frame kind, so after= counts within that kind.
+func (fs *faultSet) sendAction(rank, peer int, frame string) faultAction {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	for _, r := range fs.rules {
@@ -134,6 +159,9 @@ func (fs *faultSet) sendAction(rank, peer int) faultAction {
 			continue
 		}
 		if r.peer >= 0 && r.peer != peer {
+			continue
+		}
+		if r.frame != frameAny && r.frame != frame {
 			continue
 		}
 		r.seen++

@@ -36,8 +36,21 @@ func TestFaultSpecParse(t *testing.T) {
 	if r.action != "sever" || r.rank != 1 || r.peer != 2 || r.after != 3 || r.times != 2 {
 		t.Errorf("rule 0 parsed as %+v", r)
 	}
+	if r.frame != framePacket {
+		t.Errorf("frame filter should default to packet, got %q", r.frame)
+	}
 	if fs.rules[1].action != "delay" || fs.rules[1].dur != 5*time.Millisecond {
 		t.Errorf("rule 1 parsed as %+v", fs.rules[1])
+	}
+
+	for _, kind := range []string{framePacket, frameRTS, frameCTS, frameData, frameAny} {
+		fs, err := ParseFaultSpec("drop,frame=" + kind)
+		if err != nil {
+			t.Fatalf("frame=%s rejected: %v", kind, err)
+		}
+		if fs.rules[0].frame != kind {
+			t.Errorf("frame=%s parsed as %q", kind, fs.rules[0].frame)
+		}
 	}
 
 	for _, bad := range []string{
@@ -48,6 +61,7 @@ func TestFaultSpecParse(t *testing.T) {
 		"delay,dur=fast",    // bad duration
 		"drop,rank",         // no '='
 		"sever,peer=1;boom", // second rule bad
+		"drop,frame=ssend",  // unknown frame kind
 	} {
 		if _, err := ParseFaultSpec(bad); err == nil {
 			t.Errorf("spec %q accepted", bad)
@@ -65,18 +79,57 @@ func TestFaultSpecFiring(t *testing.T) {
 	}
 	// Non-matching traffic is invisible to the rule.
 	for i := 0; i < 5; i++ {
-		if act := fs.sendAction(0, 2); act.kind != "" {
+		if act := fs.sendAction(0, 2, framePacket); act.kind != "" {
 			t.Fatalf("rule fired for wrong peer: %+v", act)
 		}
-		if act := fs.sendAction(1, 1); act.kind != "" {
+		if act := fs.sendAction(1, 1, framePacket); act.kind != "" {
 			t.Fatalf("rule fired for wrong rank: %+v", act)
+		}
+		if act := fs.sendAction(0, 1, frameRTS); act.kind != "" {
+			t.Fatalf("packet rule fired for rts frame: %+v", act)
 		}
 	}
 	// Two matching sends pass unharmed, the third fires, the fourth passes
 	// again (times=1 exhausted).
 	for i, want := range []string{"", "", "drop", ""} {
-		if act := fs.sendAction(0, 1); act.kind != want {
+		if act := fs.sendAction(0, 1, framePacket); act.kind != want {
 			t.Fatalf("matching send %d: got %q, want %q", i, act.kind, want)
+		}
+	}
+}
+
+// TestFaultSpecFrameFiring exercises the frame= filter: a frame-scoped rule
+// counts only sends of its own kind toward after=, and frame=any matches
+// every fault point.
+func TestFaultSpecFrameFiring(t *testing.T) {
+	fs, err := ParseFaultSpec("sever,frame=cts,after=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packet and data traffic never advances a cts-scoped rule.
+	for i := 0; i < 4; i++ {
+		if act := fs.sendAction(0, 1, framePacket); act.kind != "" {
+			t.Fatalf("cts rule fired for packet: %+v", act)
+		}
+		if act := fs.sendAction(0, 1, frameData); act.kind != "" {
+			t.Fatalf("cts rule fired for data: %+v", act)
+		}
+	}
+	// First CTS passes (after=1), second fires.
+	if act := fs.sendAction(0, 1, frameCTS); act.kind != "" {
+		t.Fatalf("cts rule armed too early: %+v", act)
+	}
+	if act := fs.sendAction(0, 1, frameCTS); act.kind != "sever" {
+		t.Fatalf("cts rule did not fire: %+v", act)
+	}
+
+	any, err := ParseFaultSpec("delay,frame=any,times=0,dur=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{framePacket, frameRTS, frameCTS, frameData} {
+		if act := any.sendAction(3, 4, kind); act.kind != "delay" {
+			t.Fatalf("frame=any missed %s: %+v", kind, act)
 		}
 	}
 }
@@ -160,7 +213,7 @@ func TestFaultDialRetryExhausts(t *testing.T) {
 // startWorld boots a rendezvous plus n in-process TCP endpoints and returns
 // each rank's transport and environment. Cleanup is the caller's problem —
 // chaos tests deliberately leave some ranks unclosed.
-func startWorld(t *testing.T, n int) ([]*Transport, []*mpi.Env) {
+func startWorld(t testing.TB, n int) ([]*Transport, []*mpi.Env) {
 	t.Helper()
 	rv, err := mpirun.NewRendezvous(n)
 	if err != nil {

@@ -92,6 +92,88 @@ func TestDecodePacketShortBody(t *testing.T) {
 	}
 }
 
+func TestRTSFrameRoundTrip(t *testing.T) {
+	prop := func(srcWorld uint8, ctx uint64, src, tag int16, id uint64, plen uint16) bool {
+		n := int(plen) + 1 // promised length must be positive
+		p := &mpi.Packet{Ctx: ctx, Src: int(src), Tag: int(tag), Data: make([]byte, n)}
+		frame := encodeRTS(int(srcWorld), p, id)
+
+		kind, body, err := readFrame(bytes.NewReader(frame))
+		if err != nil || kind != kindRTS {
+			return false
+		}
+		gotWorld, got, gotID, gotLen, err := decodeRTS(body)
+		if err != nil {
+			return false
+		}
+		return gotWorld == int(srcWorld) && gotID == id && gotLen == n &&
+			got.Ctx == ctx && got.Src == int(src) && got.Tag == int(tag) &&
+			got.SrcWorld == int(srcWorld) && got.Data == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTSFrameRejectsBadLengths(t *testing.T) {
+	// A zero or over-bound promised length must be rejected at parse time,
+	// before any receive buffer is sized from it.
+	for _, plen := range []uint64{0, maxFrame, 1 << 62} {
+		p := &mpi.Packet{Ctx: 1, Src: 0, Tag: 0, Data: nil}
+		frame := encodeRTS(0, p, 7)
+		binary.LittleEndian.PutUint64(frame[45:], plen)
+		_, body, err := readFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, _, err := decodeRTS(body); err == nil {
+			t.Errorf("rts payload length %d accepted", plen)
+		}
+	}
+	// A body of the wrong size is rejected outright.
+	if _, _, _, _, err := decodeRTS(make([]byte, rtsHdrLen-1)); err == nil {
+		t.Error("short rts body accepted")
+	}
+}
+
+func TestRDataFrameRoundTrip(t *testing.T) {
+	payload := []byte("rendezvous payload bytes")
+	hdr := make([]byte, 5+rdataHdrLen)
+	encodeRDataHeader(hdr, 3, 0xABCD, len(payload))
+	frame := append(hdr, payload...)
+
+	kind, body, err := readFrame(bytes.NewReader(frame))
+	if err != nil || kind != kindRData {
+		t.Fatalf("kind=%d err=%v", kind, err)
+	}
+	srcWorld, id, got, err := decodeRData(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srcWorld != 3 || id != 0xABCD || !bytes.Equal(got, payload) {
+		t.Fatalf("srcWorld=%d id=%#x payload=%q", srcWorld, id, got)
+	}
+	if _, _, _, err := decodeRData(make([]byte, rdataHdrLen-1)); err == nil {
+		t.Error("short rdata body accepted")
+	}
+}
+
+func TestCTSFrameShape(t *testing.T) {
+	// The CTS frame built in sendCTSWhenMatched must round-trip through
+	// readFrame as kindCTS with an 8-byte rendezvous-id body.
+	frame := make([]byte, 5+8)
+	binary.LittleEndian.PutUint32(frame, uint32(1+8))
+	frame[4] = kindCTS
+	binary.LittleEndian.PutUint64(frame[5:], 42)
+	kind, body, err := readFrame(bytes.NewReader(frame))
+	if err != nil || kind != kindCTS || len(body) != 8 {
+		t.Fatalf("kind=%d len=%d err=%v", kind, len(body), err)
+	}
+	if binary.LittleEndian.Uint64(body) != 42 {
+		t.Fatal("cts rendezvous id mangled")
+	}
+}
+
 func TestAckFrameShape(t *testing.T) {
 	// The ack frame built in sendAckWhenMatched must round-trip through
 	// readFrame as kindAck with an 8-byte body.

@@ -9,6 +9,22 @@
 // in-process transport. Synchronous sends (Ssend) are acknowledged with a
 // small control frame sent back when the receiver matches the packet.
 //
+// # Eager/rendezvous protocol
+//
+// Payloads below MPH_EAGER_THRESHOLD (default 64 KiB) are sent eagerly:
+// copied into a pooled frame and written in one shot, completing before the
+// receiver has matched. Payloads at or above the threshold use a rendezvous
+// (DESIGN.md §12): the sender writes a small RTS frame carrying only the
+// envelope and promised length, the receiver posts a placeholder packet that
+// holds the sender's position in the match order, and once a receive
+// consumes the placeholder the receiver answers with CTS. The sender then
+// writes the payload with scatter-gather I/O (net.Buffers, writev) straight
+// from the caller's slice — no intermediate copy on either side: the
+// receiver reads the payload into its final exactly-sized buffer. A
+// rendezvous send therefore blocks until the receiver has matched, giving
+// Send Ssend-like synchronous semantics above the threshold (permitted by
+// the MPI standard, which lets any send block until the matching receive).
+//
 // # Fault tolerance
 //
 // The transport assumes peers can die at any point and turns every such
@@ -60,11 +76,29 @@ const (
 	kindHello     = 3 // first frame on every outbound conn: u64 sender world rank
 	kindHeartbeat = 4 // idle-connection liveness signal, empty body
 	kindAbort     = 5 // job-wide abort: i64 code + i64 origin rank (-1 launcher)
+	kindRTS       = 6 // rendezvous request-to-send: envelope + promised length
+	kindCTS       = 7 // rendezvous clear-to-send: u64 rendezvous id
+	kindRData     = 8 // rendezvous payload: u64 srcWorld + u64 id + payload
 )
 
 // packetHdrLen is the fixed packet-frame header after the length prefix and
 // kind byte: srcWorld, ctx, src, tag, ackID (u64/i64 each).
 const packetHdrLen = 8 + 8 + 8 + 8 + 8
+
+// rtsHdrLen is the fixed body of a kindRTS frame: srcWorld, ctx, src, tag,
+// rendezvous id, promised payload length (u64/i64 each). An RTS frame has no
+// payload — that is its entire point.
+const rtsHdrLen = 8 + 8 + 8 + 8 + 8 + 8
+
+// rdataHdrLen is the fixed header of a kindRData frame before the payload:
+// srcWorld and rendezvous id. srcWorld is carried so the frame decodes
+// standalone (and so a redialed stream needs no prior context).
+const rdataHdrLen = 8 + 8
+
+// rdvChunk is the read granularity for rendezvous payloads: each chunk read
+// refreshes the peer-silence deadline, so a slow multi-megabyte transfer is
+// judged by per-chunk progress, not whole-payload time.
+const rdvChunk = 256 << 10
 
 // maxFrame bounds a frame's byte length as a corruption guard.
 const maxFrame = 1 << 30
@@ -81,6 +115,23 @@ type frameBuf struct{ b []byte }
 
 var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
 
+// maxPooledFrame caps the capacity a recycled frame buffer may keep. The
+// eager path only frames payloads below the rendezvous threshold, but a job
+// that disables rendezvous (negative MPH_EAGER_THRESHOLD) can push
+// arbitrarily large eager frames, and one such send used to pin its whole
+// buffer in the pool forever. Oversized buffers are dropped on Put instead.
+const maxPooledFrame = DefaultEagerThreshold + 4 + 1 + packetHdrLen
+
+// putFrame recycles a frame buffer, dropping (not pooling) one that grew
+// beyond maxPooledFrame so a single large send cannot pin payload-sized
+// memory for the life of the process.
+func putFrame(fb *frameBuf) {
+	if cap(fb.b) > maxPooledFrame {
+		fb.b = nil
+	}
+	framePool.Put(fb)
+}
+
 // DialTimeout is the default total budget for rendezvous registration and
 // for establishing one peer connection including all retries; MPH_DIAL_TIMEOUT
 // overrides it.
@@ -89,10 +140,18 @@ const DialTimeout = 30 * time.Second
 // osExit is swapped out by tests of the "die" fault action.
 var osExit = os.Exit
 
-// pendingAck is one registered synchronous send awaiting its ack frame.
+// pendingAck is one registered synchronous send awaiting its ack frame (or
+// a rendezvous send awaiting its CTS frame).
 type pendingAck struct {
 	ch  chan error
 	dst int
+}
+
+// rdvKey identifies one inbound rendezvous transfer: ids are allocated
+// per-sender, so the sender's world rank qualifies them globally.
+type rdvKey struct {
+	src int
+	id  uint64
 }
 
 // Transport implements mpi.Transport over TCP.
@@ -119,6 +178,22 @@ type Transport struct {
 	ackSeq  atomic.Uint64
 	ackMu   sync.Mutex
 	pending map[uint64]pendingAck
+	// rdvOut holds this rank's rendezvous sends between RTS and CTS, keyed
+	// by rendezvous id and guarded by ackMu (the same failure sweeps that
+	// release pending Ssend acks release CTS waiters). The channel closes on
+	// CTS (nil) or carries the typed failure.
+	rdvOut map[uint64]pendingAck
+
+	// rdvSeq numbers this rank's outbound rendezvous transfers; ids are
+	// per-sender, so (srcWorld, id) is globally unique.
+	rdvSeq atomic.Uint64
+
+	// rdvIn holds inbound rendezvous placeholders between RTS and the full
+	// payload landing, keyed by (sender world rank, id). An entry is removed
+	// only after its payload is completely read — a duplicate RData from a
+	// redialed connection then misses the map and is drained harmlessly.
+	rdvMu sync.Mutex
+	rdvIn map[rdvKey]*mpi.Packet
 
 	// Per-destination send totals, indexed by world rank. Unlike the
 	// in-process transport — where sent totals are derived from sibling
@@ -174,6 +249,25 @@ func (oc *outConn) write(frame []byte, timeout time.Duration) error {
 	oc.lastWrite = time.Now()
 	if err != nil {
 		return fmt.Errorf("tcpnet: write: %w", err)
+	}
+	return nil
+}
+
+// writev sends one frame split across two iovecs — header and payload —
+// under the connection's write lock with a deadline. net.Buffers on a TCP
+// connection reaches the kernel as a single writev call, so the payload is
+// never copied into an intermediate frame buffer.
+func (oc *outConn) writev(hdr, payload []byte, timeout time.Duration) error {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if timeout > 0 {
+		oc.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	bufs := net.Buffers{hdr, payload}
+	_, err := bufs.WriteTo(oc.conn)
+	oc.lastWrite = time.Now()
+	if err != nil {
+		return fmt.Errorf("tcpnet: writev: %w", err)
 	}
 	return nil
 }
@@ -246,6 +340,8 @@ func initTransport(rank, size int, rendezvous string) (*Transport, *mpi.Env, err
 		suspect:   make(map[int]*time.Timer),
 		stop:      make(chan struct{}),
 		pending:   make(map[uint64]pendingAck),
+		rdvOut:    make(map[uint64]pendingAck),
+		rdvIn:     make(map[rdvKey]*mpi.Packet),
 		sentMsgs:  make([]atomic.Uint64, size),
 		sentBytes: make([]atomic.Uint64, size),
 	}
@@ -308,22 +404,11 @@ func (t *Transport) Deliver(dst int, p *mpi.Packet) error {
 	if err := t.deadErr(dst); err != nil {
 		return err
 	}
-	if t.faults != nil {
-		switch act := t.faults.sendAction(t.rank, dst); act.kind {
-		case "drop":
-			t.netCounters().FaultsInjected.Add(1)
-			return nil // the frame vanishes; the send itself "succeeds"
-		case "delay":
-			t.netCounters().FaultsInjected.Add(1)
-			time.Sleep(act.dur)
-		case "sever":
-			t.netCounters().FaultsInjected.Add(1)
-			t.severPeer(dst)
-		case "die":
-			t.netCounters().FaultsInjected.Add(1)
-			t.severAll()
-			osExit(1)
-		}
+	if t.rendezvousEligible(len(p.Data)) {
+		return t.deliverRendezvous(dst, p)
+	}
+	if act, fired := t.sendFault(dst, framePacket); fired && act.kind == "drop" {
+		return nil // the frame vanishes; the send itself "succeeds"
 	}
 	t.sentMsgs[dst].Add(1)
 	t.sentBytes[dst].Add(uint64(len(p.Data)))
@@ -342,7 +427,7 @@ func (t *Transport) Deliver(dst int, p *mpi.Packet) error {
 		nc.FramesOut.Add(1)
 		nc.BytesOut.Add(uint64(len(fb.b)))
 	}
-	framePool.Put(fb)
+	putFrame(fb)
 	if err != nil && ackID != 0 {
 		// The packet never left, so no ack will come back; drop the
 		// registration rather than stranding it until Close.
@@ -373,6 +458,129 @@ func (t *Transport) send(dst int, frame []byte) error {
 		return err2 // outbound already declared the peer down
 	}
 	if err3 := oc.write(frame, t.cfg.writeTimeout); err3 != nil {
+		t.dropOut(dst, oc)
+		t.peerDown(dst, err3)
+		return &mpi.ErrPeerLost{Rank: dst, Cause: err3}
+	}
+	return nil
+}
+
+// sendFault consults the fault rules for one outbound frame of the given
+// kind and applies the side-effectful actions (delay, sever, die) inline.
+// It reports the chosen action and whether any rule fired; the caller
+// implements "drop" itself, because what a vanished frame means differs per
+// frame kind.
+func (t *Transport) sendFault(dst int, frame string) (faultAction, bool) {
+	if t.faults == nil {
+		return faultAction{}, false
+	}
+	act := t.faults.sendAction(t.rank, dst, frame)
+	if act.kind == "" {
+		return faultAction{}, false
+	}
+	t.netCounters().FaultsInjected.Add(1)
+	switch act.kind {
+	case "delay":
+		time.Sleep(act.dur)
+	case "sever":
+		t.severPeer(dst)
+	case "die":
+		t.severAll()
+		osExit(1)
+	}
+	return act, true
+}
+
+// rendezvousEligible reports whether a payload of n bytes takes the
+// rendezvous path: at or above the configured threshold, non-empty, and
+// rendezvous not disabled (negative threshold).
+func (t *Transport) rendezvousEligible(n int) bool {
+	return t.cfg.eagerThreshold >= 0 && n > 0 && n >= t.cfg.eagerThreshold
+}
+
+// BorrowsPayload implements the mpi payload-borrower capability: a
+// rendezvous-eligible send to a remote peer writes the payload straight from
+// the caller's slice (writev) and returns only after the bytes are handed to
+// the kernel, so the mpi send layer skips its defensive copy. Self-sends
+// hand the slice to the local engine and must still be copied.
+func (t *Transport) BorrowsPayload(dst, n int) bool {
+	return dst != t.rank && t.rendezvousEligible(n)
+}
+
+// deliverRendezvous sends one payload with the rendezvous protocol: RTS with
+// the envelope, block until the receiver's CTS proves the consuming match,
+// then the payload as a header iovec plus the caller's slice (writev). The
+// CTS wait is released with a typed error by the failure sweeps when the
+// peer dies, the job aborts, or the transport closes — a rendezvous send
+// never hangs on a dead receiver.
+func (t *Transport) deliverRendezvous(dst int, p *mpi.Packet) error {
+	if act, fired := t.sendFault(dst, frameRTS); fired && act.kind == "drop" {
+		return nil // the announcement vanishes; chaos semantics as for packet drop
+	}
+	t.sentMsgs[dst].Add(1)
+	t.sentBytes[dst].Add(uint64(len(p.Data)))
+	id := t.rdvSeq.Add(1)
+	ch := make(chan error, 1)
+	t.ackMu.Lock()
+	t.rdvOut[id] = pendingAck{ch: ch, dst: dst}
+	t.ackMu.Unlock()
+	var rts [5 + rtsHdrLen]byte
+	encodeRTSInto(rts[:], t.rank, p, id)
+	if err := t.send(dst, rts[:]); err != nil {
+		t.ackMu.Lock()
+		delete(t.rdvOut, id)
+		t.ackMu.Unlock()
+		return err
+	}
+	nc := t.netCounters()
+	nc.FramesOut.Add(1)
+	nc.RTSOut.Add(1)
+	nc.BytesOut.Add(5 + rtsHdrLen)
+	if tr := t.tracer(); tr != nil {
+		tr.Record(perf.KRendezvous, int64(dst), int64(p.Tag), int64(len(p.Data)), int64(id))
+	}
+	if err := <-ch; err != nil {
+		return err
+	}
+	// CTS received: the receiver has matched. Ship the payload.
+	if act, fired := t.sendFault(dst, frameData); fired && act.kind == "drop" {
+		return nil
+	}
+	var hdr [5 + rdataHdrLen]byte
+	encodeRDataHeader(hdr[:], t.rank, id, len(p.Data))
+	if err := t.sendv(dst, hdr[:], p.Data); err != nil {
+		return err
+	}
+	nc.FramesOut.Add(1)
+	nc.RDataOut.Add(1)
+	nc.BytesOut.Add(uint64(5 + rdataHdrLen + len(p.Data)))
+	// The CTS already proved the consuming match, which is exactly what an
+	// Ssend waits for; release it locally, no wire ack needed.
+	if p.Ack != nil {
+		close(p.Ack)
+	}
+	return nil
+}
+
+// sendv writes one frame as two iovecs — a small header and the caller's
+// payload slice — with scatter-gather I/O (net.Buffers → writev), redialing
+// once on failure exactly like send. The payload crosses from the user's
+// buffer to the kernel with no intermediate copy.
+func (t *Transport) sendv(dst int, hdr, payload []byte) error {
+	oc, err := t.outbound(dst)
+	if err != nil {
+		return err
+	}
+	err = oc.writev(hdr, payload, t.cfg.writeTimeout)
+	if err == nil {
+		return nil
+	}
+	t.dropOut(dst, oc)
+	oc, err2 := t.outbound(dst) // full retry budget for the redial
+	if err2 != nil {
+		return err2 // outbound already declared the peer down
+	}
+	if err3 := oc.writev(hdr, payload, t.cfg.writeTimeout); err3 != nil {
 		t.dropOut(dst, oc)
 		t.peerDown(dst, err3)
 		return &mpi.ErrPeerLost{Rank: dst, Cause: err3}
@@ -426,7 +634,19 @@ func (t *Transport) Close() error {
 		close(pa.ch)
 		delete(t.pending, id)
 	}
+	for id, pa := range t.rdvOut {
+		// Closing reads as nil; the sender's data write then fails with
+		// ErrClosed through the closed transport, so no payload escapes.
+		close(pa.ch)
+		delete(t.rdvOut, id)
+	}
 	t.ackMu.Unlock()
+	t.rdvMu.Lock()
+	for k, p := range t.rdvIn {
+		delete(t.rdvIn, k)
+		p.Rdv.Fail(mpi.ErrClosed)
+	}
+	t.rdvMu.Unlock()
 	t.wg.Wait()
 	return nil
 }
@@ -623,7 +843,24 @@ func (t *Transport) peerDown(rank int, cause error) {
 		close(pa.ch)
 		delete(t.pending, id)
 	}
+	for id, pa := range t.rdvOut {
+		if pa.dst != rank {
+			continue
+		}
+		pa.ch <- lostErr // capacity 1, sole send
+		close(pa.ch)
+		delete(t.rdvOut, id)
+	}
 	t.ackMu.Unlock()
+	t.rdvMu.Lock()
+	for k, p := range t.rdvIn {
+		if k.src != rank {
+			continue
+		}
+		delete(t.rdvIn, k)
+		p.Rdv.Fail(lostErr)
+	}
+	t.rdvMu.Unlock()
 	t.netCounters().PeersLost.Add(1)
 	fmt.Fprintf(os.Stderr, "tcpnet: rank %d: peer rank %d lost: %v\n", t.rank, rank, cause)
 	t.env.PeerLost(rank, cause)
@@ -716,7 +953,18 @@ func (t *Transport) applyAbort(code, origin int) *mpi.AbortError {
 		close(pa.ch)
 		delete(t.pending, id)
 	}
+	for id, pa := range t.rdvOut {
+		pa.ch <- ae
+		close(pa.ch)
+		delete(t.rdvOut, id)
+	}
 	t.ackMu.Unlock()
+	t.rdvMu.Lock()
+	for k, p := range t.rdvIn {
+		delete(t.rdvIn, k)
+		p.Rdv.Fail(ae)
+	}
+	t.rdvMu.Unlock()
 	return ae
 }
 
@@ -819,11 +1067,27 @@ func (t *Transport) readLoop(conn net.Conn) {
 			t.clearSuspect(rank)
 		}
 	}
-	var scratch [5 + packetHdrLen]byte
+	var scratch [5 + rtsHdrLen]byte
 	readFull := func(buf []byte) error {
 		conn.SetReadDeadline(time.Now().Add(t.cfg.peerTimeout))
 		_, err := io.ReadFull(conn, buf)
 		return err
+	}
+	// readPayload fills buf in rdvChunk pieces so each chunk read refreshes
+	// the silence deadline: a large transfer is judged by progress, not total
+	// time.
+	readPayload := func(buf []byte) error {
+		for off := 0; off < len(buf); {
+			end := off + rdvChunk
+			if end > len(buf) {
+				end = len(buf)
+			}
+			if err := readFull(buf[off:end]); err != nil {
+				return err
+			}
+			off = end
+		}
+		return nil
 	}
 	for {
 		if err := readFull(scratch[:5]); err != nil {
@@ -867,6 +1131,115 @@ func (t *Transport) readLoop(conn net.Conn) {
 			if err := t.env.Post(p); err != nil {
 				return
 			}
+		case kindRTS:
+			if body != rtsHdrLen {
+				readErr = fmt.Errorf("tcpnet: bad rts frame length %d", body)
+				return
+			}
+			if err := readFull(scratch[5 : 5+rtsHdrLen]); err != nil {
+				readErr = err
+				return
+			}
+			srcWorld, p, id, plen, err := parseRTSHeader(scratch[5 : 5+rtsHdrLen])
+			if err != nil {
+				readErr = err
+				return
+			}
+			identify(srcWorld)
+			nc.FramesIn.Add(1)
+			nc.RTSIn.Add(1)
+			nc.BytesIn.Add(4 + 1 + rtsHdrLen)
+			key := rdvKey{src: srcWorld, id: id}
+			t.rdvMu.Lock()
+			_, dup := t.rdvIn[key]
+			if !dup {
+				p.Rdv = mpi.NewRendezvous(plen)
+				t.rdvIn[key] = p
+			}
+			t.rdvMu.Unlock()
+			if dup {
+				// A redial replayed an RTS whose first copy did arrive; the
+				// original placeholder already holds the match slot.
+				continue
+			}
+			rdv := p.Rdv
+			if err := t.env.Post(p); err != nil {
+				t.rdvMu.Lock()
+				delete(t.rdvIn, key)
+				t.rdvMu.Unlock()
+				rdv.Fail(err)
+				return
+			}
+			go t.sendCTSWhenMatched(srcWorld, id, rdv)
+		case kindCTS:
+			if body != 8 {
+				readErr = fmt.Errorf("tcpnet: bad cts frame length %d", body)
+				return
+			}
+			if err := readFull(scratch[5 : 5+8]); err != nil {
+				readErr = err
+				return
+			}
+			id := binary.LittleEndian.Uint64(scratch[5 : 5+8])
+			nc.FramesIn.Add(1)
+			nc.CTSIn.Add(1)
+			nc.BytesIn.Add(4 + 1 + 8)
+			t.ackMu.Lock()
+			if pa, ok := t.rdvOut[id]; ok {
+				close(pa.ch) // reads as nil: clear to send
+				delete(t.rdvOut, id)
+			}
+			t.ackMu.Unlock()
+		case kindRData:
+			if body < rdataHdrLen {
+				readErr = fmt.Errorf("tcpnet: short rdata frame (%d bytes)", body)
+				return
+			}
+			if err := readFull(scratch[5 : 5+rdataHdrLen]); err != nil {
+				readErr = err
+				return
+			}
+			srcWorld := int(int64(binary.LittleEndian.Uint64(scratch[5 : 5+8])))
+			id := binary.LittleEndian.Uint64(scratch[13 : 13+8])
+			plen := body - rdataHdrLen
+			identify(srcWorld)
+			key := rdvKey{src: srcWorld, id: id}
+			t.rdvMu.Lock()
+			p := t.rdvIn[key]
+			t.rdvMu.Unlock()
+			if p == nil {
+				// Duplicate delivery after a redial replay, or a transfer the
+				// failure sweeps already gave up on: drain and discard.
+				if err := drainPayload(plen, readFull); err != nil {
+					readErr = err
+					return
+				}
+				nc.FramesIn.Add(1)
+				nc.BytesIn.Add(uint64(4 + 1 + body))
+				continue
+			}
+			if plen != p.Rdv.PayloadLen() {
+				readErr = fmt.Errorf("tcpnet: rendezvous %d/%d payload is %d bytes, rts promised %d", srcWorld, id, plen, p.Rdv.PayloadLen())
+				p.Rdv.Fail(readErr)
+				t.rdvMu.Lock()
+				delete(t.rdvIn, key)
+				t.rdvMu.Unlock()
+				return
+			}
+			// Read straight into the final buffer: this is the buffer the
+			// matched receive hands to the application.
+			buf := make([]byte, plen)
+			if err := readPayload(buf); err != nil {
+				readErr = err
+				return // entry stays: a sender-side retry may still complete it
+			}
+			nc.FramesIn.Add(1)
+			nc.RDataIn.Add(1)
+			nc.BytesIn.Add(uint64(4 + 1 + body))
+			t.rdvMu.Lock()
+			delete(t.rdvIn, key)
+			t.rdvMu.Unlock()
+			p.FinishRendezvous(buf)
 		case kindAck:
 			if body != 8 {
 				readErr = fmt.Errorf("tcpnet: bad ack frame length %d", body)
@@ -945,6 +1318,49 @@ func (t *Transport) sendAckWhenMatched(srcWorld int, ackID uint64, matched <-cha
 	}
 }
 
+// sendCTSWhenMatched waits for the local engine to match a rendezvous
+// placeholder, then tells the sender it is clear to ship the payload. A
+// failed rendezvous (peer lost, abort, shutdown) produces no CTS: the
+// sender's own failure sweeps deliver its error. CTS uses the full
+// redial-once send path — a lost CTS would strand the sender until its
+// failure detector fires, so it is worth a retry.
+func (t *Transport) sendCTSWhenMatched(srcWorld int, id uint64, rdv *mpi.Rendezvous) {
+	<-rdv.Matched()
+	if rdv.MatchErr() != nil {
+		return
+	}
+	if act, fired := t.sendFault(srcWorld, frameCTS); fired && act.kind == "drop" {
+		return
+	}
+	var frame [5 + 8]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(1+8))
+	frame[4] = kindCTS
+	binary.LittleEndian.PutUint64(frame[5:], id)
+	if err := t.send(srcWorld, frame[:]); err == nil {
+		nc := t.netCounters()
+		nc.CTSOut.Add(1)
+		nc.BytesOut.Add(uint64(len(frame)))
+	}
+}
+
+// drainPayload discards n payload bytes from the stream in deadline-refreshed
+// chunks, keeping the connection usable after a rendezvous data frame whose
+// transfer this side no longer tracks.
+func drainPayload(n int, readFull func([]byte) error) error {
+	if n <= 0 {
+		return nil
+	}
+	buf := make([]byte, min(n, 32<<10))
+	for n > 0 {
+		c := min(n, len(buf))
+		if err := readFull(buf[:c]); err != nil {
+			return err
+		}
+		n -= c
+	}
+	return nil
+}
+
 // helloFrame frames this rank's introduction, the first write on every
 // outbound connection.
 func helloFrame(rank int) []byte {
@@ -1017,6 +1433,80 @@ func decodePacket(body []byte) (srcWorld int, p *mpi.Packet, ackID uint64, err e
 	srcWorld, p, ackID = parsePacketHeader(body[:packetHdrLen])
 	p.Data = body[packetHdrLen:]
 	return srcWorld, p, ackID, nil
+}
+
+// encodeRTSInto frames a rendezvous request-to-send into buf, which must be
+// exactly 5+rtsHdrLen bytes:
+//
+//	u32 length | u8 kind | u64 srcWorld | u64 ctx | i64 src | i64 tag |
+//	u64 rdvID | u64 payloadLen
+func encodeRTSInto(buf []byte, srcWorld int, p *mpi.Packet, id uint64) {
+	binary.LittleEndian.PutUint32(buf, uint32(1+rtsHdrLen))
+	buf[4] = kindRTS
+	binary.LittleEndian.PutUint64(buf[5:], uint64(srcWorld))
+	binary.LittleEndian.PutUint64(buf[13:], p.Ctx)
+	binary.LittleEndian.PutUint64(buf[21:], uint64(int64(p.Src)))
+	binary.LittleEndian.PutUint64(buf[29:], uint64(int64(p.Tag)))
+	binary.LittleEndian.PutUint64(buf[37:], id)
+	binary.LittleEndian.PutUint64(buf[45:], uint64(len(p.Data)))
+}
+
+// encodeRTS frames a request-to-send into a fresh buffer (tests).
+func encodeRTS(srcWorld int, p *mpi.Packet, id uint64) []byte {
+	buf := make([]byte, 5+rtsHdrLen)
+	encodeRTSInto(buf, srcWorld, p, id)
+	return buf
+}
+
+// parseRTSHeader decodes the body of a kindRTS frame; hdr must be exactly
+// rtsHdrLen bytes. The returned packet is the receive-side placeholder
+// envelope, without its Rendezvous attached yet. The promised length is
+// validated against the frame-size bound the payload's own data frame must
+// later satisfy.
+func parseRTSHeader(hdr []byte) (srcWorld int, p *mpi.Packet, id uint64, plen int, err error) {
+	srcWorld = int(binary.LittleEndian.Uint64(hdr))
+	ctx := binary.LittleEndian.Uint64(hdr[8:])
+	src := int(int64(binary.LittleEndian.Uint64(hdr[16:])))
+	tag := int(int64(binary.LittleEndian.Uint64(hdr[24:])))
+	id = binary.LittleEndian.Uint64(hdr[32:])
+	n := int64(binary.LittleEndian.Uint64(hdr[40:]))
+	if n <= 0 || n > maxFrame-1-rdataHdrLen {
+		return 0, nil, 0, 0, fmt.Errorf("tcpnet: bad rts payload length %d", n)
+	}
+	return srcWorld, &mpi.Packet{Ctx: ctx, Src: src, SrcWorld: srcWorld, Tag: tag}, id, int(n), nil
+}
+
+// decodeRTS parses the body of a kindRTS frame (after the length and kind
+// bytes were consumed); the whole-buffer form used by tests and fuzzing.
+func decodeRTS(body []byte) (srcWorld int, p *mpi.Packet, id uint64, plen int, err error) {
+	if len(body) != rtsHdrLen {
+		return 0, nil, 0, 0, errors.New("tcpnet: bad rts frame length")
+	}
+	return parseRTSHeader(body)
+}
+
+// encodeRDataHeader frames the fixed prefix of a rendezvous data frame into
+// buf, which must be exactly 5+rdataHdrLen bytes; the payload follows as its
+// own iovec:
+//
+//	u32 length | u8 kind | u64 srcWorld | u64 rdvID | payload
+func encodeRDataHeader(buf []byte, srcWorld int, id uint64, payloadLen int) {
+	binary.LittleEndian.PutUint32(buf, uint32(1+rdataHdrLen+payloadLen))
+	buf[4] = kindRData
+	binary.LittleEndian.PutUint64(buf[5:], uint64(srcWorld))
+	binary.LittleEndian.PutUint64(buf[13:], id)
+}
+
+// decodeRData parses the body of a kindRData frame: the sender's world rank,
+// the rendezvous id, and the payload (aliasing body). The whole-buffer form
+// of readLoop's streaming parse, used by tests and fuzzing.
+func decodeRData(body []byte) (srcWorld int, id uint64, payload []byte, err error) {
+	if len(body) < rdataHdrLen {
+		return 0, 0, nil, errors.New("tcpnet: short rdata frame")
+	}
+	srcWorld = int(int64(binary.LittleEndian.Uint64(body)))
+	id = binary.LittleEndian.Uint64(body[8:])
+	return srcWorld, id, body[rdataHdrLen:], nil
 }
 
 // readFrame reads one length-prefixed frame.

@@ -25,6 +25,20 @@ type Transport interface {
 	Close() error
 }
 
+// payloadBorrower is the optional transport capability behind zero-copy
+// sends. A transport reports true from BorrowsPayload when a Deliver of n
+// payload bytes to dst will write the packet's Data straight from the
+// caller's slice and not retain it past Deliver's return (the TCP
+// transport's rendezvous path: writev from the user buffer, blocking until
+// the payload is on the wire). The send layer then skips its defensive copy.
+// A transport that answers true but delivers by another route must still not
+// retain the slice.
+type payloadBorrower interface {
+	// BorrowsPayload reports whether Deliver(dst, p) with len(p.Data) == n
+	// would write the payload directly from p.Data without retaining it.
+	BorrowsPayload(dst, n int) bool
+}
+
 // abortBroadcaster is the optional transport capability behind Abort: a
 // transport that can reach every peer implements it to propagate a job-wide
 // abort. The in-process transport aborts sibling engines directly; the TCP
@@ -47,6 +61,11 @@ type Env struct {
 	pv        *perf.Rank
 	tracer    *perf.Tracer // cached for the send-path nil check; nil = off
 	flushOnce sync.Once
+
+	// borrower caches the transport's payloadBorrower capability (nil when
+	// the transport always copies); the send hot path checks a field, not a
+	// type assertion.
+	borrower payloadBorrower
 
 	// ringThreshold is the tree-to-ring collective crossover in bytes,
 	// parsed once from EnvCollRingThreshold (negative = rings disabled).
@@ -73,6 +92,9 @@ func NewEnv(worldRank, worldSize int, tr Transport) *Env {
 		tr:            tr,
 		pv:            perf.NewRank(worldRank, worldSize),
 		ringThreshold: ringThresholdFromEnv(),
+	}
+	if b, ok := tr.(payloadBorrower); ok {
+		e.borrower = b
 	}
 	e.pv.SetEngineCollector(e.eng.perfSnap)
 	if os.Getenv(perf.EnvTraceDir) != "" {

@@ -9,10 +9,15 @@
 # interleaving-sensitive code in the tree. lintdoc enforces doc comments on
 # every exported identifier (golint's exported rule, in-tree). The collective
 # bench smoke runs one tree and one ring Allgather iteration so both
-# algorithm paths of the size-based selector stay executable. The multi-host
-# smoke launches the climate example across two placement hosts through the
-# exec backend (the full agent spawn path, minus ssh) with stats on, so the
-# remote-launch machinery stays exercised end to end without an sshd.
+# algorithm paths of the size-based selector stay executable. The rendezvous
+# alloc guard runs the large-send benchmark with -benchmem and fails if the
+# send path regrows a payload-sized copy (B/op must stay near one payload —
+# the receiver's buffer — for 1 MiB messages). The P2 smoke runs one cell of
+# the eager/rendezvous sweep so the mphbench TCP-pair harness stays
+# executable. The multi-host smoke launches the climate example across two
+# placement hosts through the exec backend (the full agent spawn path, minus
+# ssh) with stats on, so the remote-launch machinery stays exercised end to
+# end without an sshd.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -26,6 +31,21 @@ go test -race ./internal/mpi/...
 go test -run 'Fault|Chaos' -race -count=2 ./internal/mpi/...
 go test -run=NONE -bench=BenchmarkTracerOverhead -benchtime=1x ./internal/mpi
 go test -run=NONE -bench=BenchmarkAllgather -benchtime=1x ./internal/mpi
+
+# Rendezvous alloc-regression guard: 1 MiB sends must not allocate beyond
+# ~1.7 payloads per op (receiver buffer + slack); 2+ means a sender-side
+# payload copy crept back in.
+go test -run=NONE -bench=BenchmarkRendezvousSend -benchtime=100x -benchmem \
+    ./internal/mpi/tcpnet | tee /tmp/rdvbench.$$
+awk '/BenchmarkRendezvousSend/ { for (i = 1; i <= NF; i++) if ($(i+1) == "B/op") bop = $i }
+     END { if (bop == "") { print "no B/op reported"; exit 1 }
+           if (bop + 0 > 1.7 * 1048576) { print "rendezvous send allocates " bop " B/op, budget 1.7 MiB"; exit 1 } }' \
+    /tmp/rdvbench.$$
+rm -f /tmp/rdvbench.$$
+
+# P2 smoke: one cell of the eager/rendezvous transport sweep.
+go run ./cmd/mphbench -exp P2 -repeat 1 -transportout /tmp/bench_transport.$$.json
+rm -f /tmp/bench_transport.$$.json
 
 # Multi-host exec-backend smoke: 5 ranks on two 2-slot hosts (rank 4 wraps).
 smoke=$(mktemp -d)
