@@ -286,6 +286,77 @@ func p1(repeat int) error {
 		}
 		return float64(d.Nanoseconds()) / iters, nil
 	}
+	// measureTelemetry runs the same hot loop while a background reporter
+	// snapshots the rank's pvars every interval and pushes them to a live
+	// telemetry aggregator over TCP — the exact work MPH_STATS_INTERVAL adds
+	// to a job. The hot path itself is untouched (snapshots are atomic
+	// reads on another goroutine), so the budget in ISSUE/DESIGN is ≤5%.
+	measureTelemetry := func(interval time.Duration) (nsPerOp float64, err error) {
+		tele, err := mpirun.NewTelemetry("", 1)
+		if err != nil {
+			return 0, err
+		}
+		defer tele.Close()
+		d, err := timeIt(repeat, func() error {
+			w, err := mpi.NewWorld(1)
+			if err != nil {
+				return err
+			}
+			defer w.Close()
+			pv, err := w.Perf(0)
+			if err != nil {
+				return err
+			}
+			client, err := mpirun.DialTelemetry(tele.Addr(), 0, "bench", os.Getpid(), 5*time.Second)
+			if err != nil {
+				return err
+			}
+			defer client.Close()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tick := time.NewTicker(interval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						client.Report(pv.Snapshot(), false)
+					}
+				}
+			}()
+			runErr := w.Run(func(c *mpi.Comm) error {
+				for i := 0; i < pending; i++ {
+					if err := c.Send(0, 99, nil); err != nil {
+						return err
+					}
+				}
+				for i := 0; i < iters; i++ {
+					if err := c.Send(0, 0, nil); err != nil {
+						return err
+					}
+					if _, _, err := c.Recv(0, 0); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			close(stop)
+			wg.Wait()
+			if runErr != nil {
+				return runErr
+			}
+			return client.Report(pv.Snapshot(), true)
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(d.Nanoseconds()) / iters, nil
+	}
+
 	off, err := measure(false, "")
 	if err != nil {
 		return err
@@ -298,12 +369,19 @@ func p1(repeat int) error {
 	if err != nil {
 		return err
 	}
+	const teleInterval = 50 * time.Millisecond
+	teleOn, err := measureTelemetry(teleInterval)
+	if err != nil {
+		return err
+	}
 	overhead := (on - off) / off * 100
 	fullOverhead := (onFull - off) / off * 100
+	teleOverhead := (teleOn - off) / off * 100
 	fmt.Printf("%-22s %12s %10s\n", "tracer", "ns/op", "overhead")
 	fmt.Printf("%-22s %12.1f %10s\n", "off", off, "-")
 	fmt.Printf("%-22s %12.1f %9.1f%%\n", fmt.Sprintf("on (sample=%d)", perf.DefaultTraceSample), on, overhead)
 	fmt.Printf("%-22s %12.1f %9.1f%%\n", "on (sample=1, full)", onFull, fullOverhead)
+	fmt.Printf("%-22s %12.1f %9.1f%%\n", fmt.Sprintf("telemetry (%v)", teleInterval), teleOn, teleOverhead)
 
 	baseline := struct {
 		Experiment   string  `json:"experiment"`
@@ -314,9 +392,13 @@ func p1(repeat int) error {
 		OffNsPerOp   float64 `json:"off_ns_per_op"`
 		OnNsPerOp    float64 `json:"on_ns_per_op"`
 		OnFullNsOp   float64 `json:"on_full_ns_per_op"`
+		TeleNsPerOp  float64 `json:"telemetry_ns_per_op"`
+		TeleMs       int64   `json:"telemetry_interval_ms"`
 		OverheadPc   float64 `json:"tracer_on_overhead_pct"`
 		FullOverhead float64 `json:"tracer_full_overhead_pct"`
-	}{"P1", pending, iters, repeat, perf.DefaultTraceSample, off, on, onFull, overhead, fullOverhead}
+		TeleOverhead float64 `json:"telemetry_on_overhead_pct"`
+	}{"P1", pending, iters, repeat, perf.DefaultTraceSample, off, on, onFull,
+		teleOn, teleInterval.Milliseconds(), overhead, fullOverhead, teleOverhead}
 	data, err := json.MarshalIndent(&baseline, "", "  ")
 	if err != nil {
 		return err

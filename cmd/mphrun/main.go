@@ -45,6 +45,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
@@ -76,6 +78,8 @@ func main() {
 	timeout := flag.Duration("timeout", mpirun.DefaultTimeout, "rendezvous timeout")
 	grace := flag.Duration("grace", mpirun.DefaultGrace, "after a rank fails, how long survivors get to exit before their process groups are killed")
 	stats := flag.Bool("stats", false, "collect per-rank performance variables and print a per-component summary at job end")
+	statsInterval := flag.Duration("stats-interval", 0, "how often each rank pushes a live telemetry report to the launcher (0 = final report only)")
+	httpAddr := flag.String("http", "", "serve the live job view on this address while the job runs: Prometheus /metrics, JSON /status, /debug/pprof")
 	traceDir := flag.String("trace", "", "directory for per-rank event traces (trace.rank*.jsonl, mergeable with mphtrace)")
 	hostfile := flag.String("hostfile", "", "hostfile for multi-host placement (one \"host [slots=N]\" per line)")
 	hostList := flag.String("hosts", "", "inline host list for multi-host placement (\"node-a:2,node-b\")")
@@ -168,8 +172,47 @@ func main() {
 		spec.ExtraEnv = append(spec.ExtraEnv, perf.EnvTraceDir+"="+*traceDir)
 	}
 
+	// The telemetry plane rides along whenever any observability output is
+	// requested: -http and -stats-interval need it for live reports, and
+	// -stats/-trace benefit from the handshake clock sync it performs (clock
+	// offsets end up in the snapshots and trace metadata, which is what lets
+	// mphtrace align per-host timelines).
+	var tele *mpirun.Telemetry
+	if *httpAddr != "" || *statsInterval > 0 || *stats || *traceDir != "" {
+		tele, err = mpirun.NewTelemetry(*bind, len(spec.Procs))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+			os.Exit(1)
+		}
+		defer tele.Close()
+		spec.ExtraEnv = append(spec.ExtraEnv, mpirun.EnvTelemetry+"="+tele.Addr())
+		if *statsInterval > 0 {
+			spec.ExtraEnv = append(spec.ExtraEnv, perf.EnvStatsInterval+"="+statsInterval.String())
+		}
+	}
+	if *httpAddr != "" {
+		srv := &http.Server{Addr: *httpAddr, Handler: tele.Handler()}
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mphrun: -http: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "mphrun: live job view on http://%s/status (Prometheus /metrics, profiles /debug/pprof)\n", ln.Addr())
+	}
+
 	if err := mpirun.Launch(context.Background(), spec); err != nil {
 		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+		// A failed job still has a story to tell: print whatever the
+		// telemetry plane collected before the crash.
+		if *stats && tele != nil {
+			if snaps := tele.Snapshots(); len(snaps) > 0 {
+				fmt.Fprintf(os.Stderr, "mphrun: post-mortem telemetry (%d of %d rank(s) reported):\n",
+					len(snaps), len(spec.Procs))
+				printStats(os.Stderr, snaps)
+			}
+		}
 		if statsDir != "" {
 			os.RemoveAll(statsDir)
 		}
@@ -177,12 +220,21 @@ func main() {
 	}
 	if statsDir != "" {
 		snaps, err := readStats(statsDir)
+		if err != nil && tele != nil {
+			// Rank dumps can go missing on shared-nothing multi-host runs
+			// (the files land on the remote hosts); the telemetry plane's
+			// final reports carry the same snapshots.
+			if ts := tele.Snapshots(); len(ts) > 0 {
+				snaps, err = ts, nil
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mphrun: stats: %v\n", err)
 			os.RemoveAll(statsDir)
 			os.Exit(1)
 		}
 		printStats(os.Stdout, snaps)
+		printStragglers(os.Stdout, snaps)
 	}
 	if *traceDir != "" {
 		fmt.Fprintf(os.Stderr, "mphrun: event traces in %s (merge with: mphtrace -o trace.json %s)\n",

@@ -3,6 +3,9 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -44,6 +47,9 @@ func TestMain(m *testing.M) {
 //	                       only the launcher's grace kill can end it
 //	MPH_TEST_EXPECT_HOSTS  comma-separated host of each rank; the worker
 //	                       verifies the published topology and SplitByHost
+//	MPH_TEST_SPIN          per-rank imbalance: every rank sleeps rank×SPIN
+//	                       before the final barrier, making the highest rank
+//	                       the straggler the telemetry tests look for
 func worker() int {
 	env, regPath, err := tcpnet.InitFromEnv()
 	if err != nil {
@@ -96,6 +102,11 @@ func worker() int {
 			return 1
 		}
 		fmt.Println("beta received the message")
+	}
+	if spin := os.Getenv("MPH_TEST_SPIN"); spin != "" {
+		if d, err := time.ParseDuration(spin); err == nil {
+			time.Sleep(time.Duration(world.Rank()) * d)
+		}
 	}
 	if err := world.Barrier(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -349,6 +360,155 @@ func TestLaunchMultiHostChaos(t *testing.T) {
 	}
 	if !strings.Contains(msg, "rank 3@nodeB") {
 		t.Errorf("report %q does not name the killed hanging rank 3@nodeB", msg)
+	}
+}
+
+// TestLaunchTelemetryMetrics is the end-to-end telemetry-plane test: a
+// 4-rank exec-backend job on two fake hosts pushes periodic snapshot reports
+// to a launcher-side aggregator whose /metrics endpoint is scraped MID-RUN
+// (live Prometheus series with not-yet-final ranks), and after the job the
+// aggregated totals must reconcile job-wide and agree with the file-based
+// stats dumps. The deliberate per-rank imbalance (MPH_TEST_SPIN) makes the
+// last rank the straggler, which the stats summary must name.
+func TestLaunchTelemetryMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	hosts := []mpirun.HostSlot{{Name: "nodeA", Slots: 2}, {Name: "nodeB", Slots: 2}}
+	t.Setenv("MPH_TEST_WORKER", "1")
+	t.Setenv("MPH_TEST_SPIN", "250ms")
+	statsDir := filepath.Join(t.TempDir(), "stats")
+	if err := os.MkdirAll(statsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	tele, err := mpirun.NewTelemetry("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+	srv := httptest.NewServer(tele.Handler())
+	defer srv.Close()
+
+	spec := selfSpec(t, 3, hosts, mpirun.PlaceBlock)
+	spec.Registration = writeRegistration(t)
+	spec.Timeout = 60 * time.Second
+	spec.Backend = mpirun.BackendExec
+	spec.ExtraEnv = []string{
+		perf.EnvStatsDir + "=" + statsDir,
+		mpirun.EnvTelemetry + "=" + tele.Addr(),
+		perf.EnvStatsInterval + "=100ms",
+	}
+
+	// Scrape /metrics while the job runs; the spin keeps it alive ~750ms, so
+	// with 100ms report intervals a live (non-final) view must be observable.
+	liveScrape := make(chan string, 1)
+	stopPoll := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopPoll:
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL + "/metrics")
+			if err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				s := string(body)
+				if strings.Contains(s, "mph_rank_sent_messages_total") &&
+					!strings.Contains(s, "mph_job_ranks_final 4") {
+					select {
+					case liveScrape <- s:
+					default:
+					}
+					return
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}()
+
+	if err := mpirun.Launch(context.Background(), spec); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	close(stopPoll)
+
+	select {
+	case body := <-liveScrape:
+		for _, want := range []string{
+			"# TYPE mph_job_sent_messages_total counter",
+			"mph_job_ranks_expected 4",
+			`component="alpha"`,
+			`component="beta"`,
+			`host="nodeA"`,
+			`host="nodeB"`,
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("mid-run /metrics missing %q in:\n%s", want, body)
+			}
+		}
+	default:
+		t.Error("never scraped a live (pre-final) /metrics view mid-run")
+	}
+
+	// Final reports travel asynchronously; wait for all four.
+	deadline := time.Now().Add(10 * time.Second)
+	var view mpirun.JobView
+	for {
+		view = tele.View()
+		if view.Finals == 4 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if view.Finals != 4 {
+		t.Fatalf("got %d final reports, want 4 (view %+v)", view.Finals, view)
+	}
+	if !view.Reconciled || view.TotalSentMsgs == 0 {
+		t.Errorf("job-wide totals must reconcile: %+v", view)
+	}
+
+	// The aggregated totals agree with the file-based -stats dumps.
+	snaps, err := readStats(statsDir)
+	if err != nil {
+		t.Fatalf("readStats: %v", err)
+	}
+	_, totals := summarize(snaps)
+	if totals.SentMsgs != view.TotalSentMsgs || totals.RecvMsgs != view.TotalRecvMsgs {
+		t.Errorf("telemetry totals %d/%d != stats-file totals %d/%d",
+			view.TotalSentMsgs, view.TotalRecvMsgs, totals.SentMsgs, totals.RecvMsgs)
+	}
+
+	// Every rank's clock-sync handshake produced an estimate (loopback RTT
+	// is nonzero, so the error bound must be too).
+	for _, rs := range view.Ranks {
+		if rs.ClockErrBoundNS <= 0 {
+			t.Errorf("rank %d: no clock-sync estimate (bound %d)", rs.Rank, rs.ClockErrBoundNS)
+		}
+	}
+
+	// The spin makes the highest rank arrive last at the final barrier:
+	// every other rank waits for it, so it reports the least barrier time
+	// and the straggler table names it the suspect.
+	rows := stragglers(snaps)
+	var barrier *stragglerRow
+	for i := range rows {
+		if rows[i].Op == "barrier" {
+			barrier = &rows[i]
+			break
+		}
+	}
+	if barrier == nil {
+		t.Fatalf("no barrier row in straggler table: %+v", rows)
+	}
+	if barrier.SuspectRank != 3 {
+		t.Errorf("straggler suspect rank %d, want 3 (it slept longest)", barrier.SuspectRank)
+	}
+	var buf strings.Builder
+	printStragglers(&buf, snaps)
+	if !strings.Contains(buf.String(), "collective wait skew") {
+		t.Errorf("straggler output missing table:\n%s", buf.String())
 	}
 }
 

@@ -133,3 +133,127 @@ func printStats(w io.Writer, snaps []perf.Snapshot) {
 			totals.SentMsgs, totals.RecvMsgs)
 	}
 }
+
+// stragglerRow is one collective op's cross-rank wait-skew summary.
+type stragglerRow struct {
+	Op          string
+	Calls       uint64 // most invocations any rank completed
+	MinNanos    int64  // least cumulative time any rank spent in the op
+	MaxNanos    int64  // most cumulative time any rank spent in the op
+	SuspectRank int    // rank with MinNanos: it arrived last and waited least
+	SlowestCall int64  // slowest single invocation job-wide
+	SlowestRank int    // rank that observed SlowestCall
+}
+
+// stragglers computes per-op wait skew across ranks. The inversion that
+// makes this work: a collective completes when the last rank arrives, so
+// every rank's dwell time is dominated by waiting for that straggler — who
+// itself arrives last, waits for no one, and therefore reports the LEAST
+// cumulative time. Rows are sorted by skew (max−min), worst first. Ops seen
+// on fewer than two ranks are skipped; there is no skew of one.
+func stragglers(snaps []perf.Snapshot) []stragglerRow {
+	type agg struct {
+		row   stragglerRow
+		ranks int
+	}
+	byOp := make(map[string]*agg)
+	for i := range snaps {
+		s := &snaps[i]
+		for op, c := range s.Collectives {
+			if c.Count == 0 {
+				continue
+			}
+			a, ok := byOp[op]
+			if !ok {
+				a = &agg{row: stragglerRow{
+					Op: op, MinNanos: c.Nanos, SuspectRank: s.WorldRank,
+				}}
+				byOp[op] = a
+			}
+			a.ranks++
+			if c.Count > a.row.Calls {
+				a.row.Calls = c.Count
+			}
+			if c.Nanos < a.row.MinNanos {
+				a.row.MinNanos = c.Nanos
+				a.row.SuspectRank = s.WorldRank
+			}
+			if c.Nanos > a.row.MaxNanos {
+				a.row.MaxNanos = c.Nanos
+			}
+			if c.MaxNanos > a.row.SlowestCall {
+				a.row.SlowestCall = c.MaxNanos
+				a.row.SlowestRank = s.WorldRank
+			}
+		}
+	}
+	rows := make([]stragglerRow, 0, len(byOp))
+	for _, a := range byOp {
+		if a.ranks >= 2 {
+			rows = append(rows, a.row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		si, sj := rows[i].MaxNanos-rows[i].MinNanos, rows[j].MaxNanos-rows[j].MinNanos
+		if si != sj {
+			return si > sj
+		}
+		return rows[i].Op < rows[j].Op
+	})
+	return rows
+}
+
+// componentOf maps a world rank to its component name for display.
+func componentOf(snaps []perf.Snapshot, rank int) string {
+	for i := range snaps {
+		if snaps[i].WorldRank == rank && snaps[i].Component != "" {
+			return snaps[i].Component
+		}
+	}
+	return fmt.Sprintf("rank%d", rank)
+}
+
+// printStragglers renders the collective wait-skew table and, when the
+// telemetry handshake measured them, the worst clock offset. Silent when
+// the job ran no collectives on at least two ranks.
+func printStragglers(w io.Writer, snaps []perf.Snapshot) {
+	rows := stragglers(snaps)
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "mphrun: collective wait skew (suspect = least-waiting rank: it arrived last)\n")
+		fmt.Fprintf(w, "%-12s %8s %12s %12s %12s %20s %20s\n",
+			"op", "calls", "min wait", "max wait", "skew", "suspect", "slowest call")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-12s %8d %12s %12s %12s %20s %20s\n",
+				r.Op, r.Calls,
+				time.Duration(r.MinNanos).Round(time.Microsecond),
+				time.Duration(r.MaxNanos).Round(time.Microsecond),
+				time.Duration(r.MaxNanos-r.MinNanos).Round(time.Microsecond),
+				fmt.Sprintf("%d (%s)", r.SuspectRank, componentOf(snaps, r.SuspectRank)),
+				fmt.Sprintf("%s @%d", time.Duration(r.SlowestCall).Round(time.Microsecond), r.SlowestRank))
+		}
+	}
+	var worst perf.Snapshot
+	synced := false
+	for i := range snaps {
+		s := &snaps[i]
+		if s.ClockErrBoundNS == 0 && s.ClockOffsetNS == 0 {
+			continue
+		}
+		if !synced || abs64(s.ClockOffsetNS) > abs64(worst.ClockOffsetNS) {
+			worst = *s
+		}
+		synced = true
+	}
+	if synced {
+		fmt.Fprintf(w, "mphrun: clock offsets vs launcher: worst %v (rank %d, ±%v)\n",
+			time.Duration(worst.ClockOffsetNS), worst.WorldRank,
+			time.Duration(worst.ClockErrBoundNS))
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

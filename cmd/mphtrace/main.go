@@ -7,11 +7,18 @@
 //
 // Usage:
 //
-//	mphtrace [-o trace.json] [-top N] DIR|FILE...
+//	mphtrace [-o trace.json] [-top N] [-stragglers] DIR|FILE...
 //
 // Each argument is either a directory holding trace.rank*.jsonl files or an
 // individual trace file. Timestamps from different OS processes are aligned
-// using the wall-clock base each rank records in its meta line.
+// using the wall-clock base each rank records in its meta line, corrected by
+// the per-rank clock offset the launcher's telemetry handshake measured
+// (clock_offset_ns in the meta line) — so multi-host timelines line up even
+// when the hosts' clocks do not.
+//
+// -stragglers compares collective arrival times across ranks invocation by
+// invocation: the last rank to enter a collective made everyone else wait,
+// and the table names the ranks that are last most often.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"mph/internal/mpi/perf"
 )
@@ -30,6 +38,7 @@ import (
 func main() {
 	out := flag.String("o", "trace.json", "merged Chrome trace output path")
 	topN := flag.Int("top", 5, "number of sender→receiver pairs in the top-talkers summary")
+	stragglersFlag := flag.Bool("stragglers", false, "print per-collective arrival skew across ranks and name the slowest (last-arriving) ranks")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "mphtrace: need at least one trace directory or file")
@@ -68,6 +77,9 @@ func main() {
 	}
 	fmt.Printf("mphtrace: merged %d event(s) from %d rank(s) into %s\n", total, len(traces), *out)
 	printSummaries(os.Stdout, traces, *topN)
+	if *stragglersFlag {
+		printStragglers(os.Stdout, traces)
+	}
 }
 
 // rankTrace is one rank's parsed dump.
@@ -159,17 +171,26 @@ type chromeEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
+// alignedBase is a rank's trace origin on the launcher's clock: the rank's
+// wall-clock base shifted by the clock offset the telemetry handshake
+// measured (launcher minus rank, so adding it converts rank time to launcher
+// time). Zero offset — single host, or telemetry off — degrades to the raw
+// wall clock.
+func alignedBase(rt rankTrace) int64 {
+	return rt.meta.BaseUnix + rt.meta.ClockOffsetNS
+}
+
 // buildChromeTrace converts the parsed per-rank streams into one timeline.
 // Each rank's monotonic timestamps are rebased onto a shared origin: the
-// earliest wall-clock base among all ranks.
+// earliest clock-aligned wall-clock base among all ranks.
 func buildChromeTrace(traces []rankTrace) []chromeEvent {
 	if len(traces) == 0 {
 		return nil
 	}
-	origin := traces[0].meta.BaseUnix
+	origin := alignedBase(traces[0])
 	for _, rt := range traces[1:] {
-		if rt.meta.BaseUnix < origin {
-			origin = rt.meta.BaseUnix
+		if b := alignedBase(rt); b < origin {
+			origin = b
 		}
 	}
 	var out []chromeEvent
@@ -182,7 +203,7 @@ func buildChromeTrace(traces []rankTrace) []chromeEvent {
 			Name: "process_name", Phase: "M", PID: rt.meta.Rank,
 			Args: map[string]any{"name": name},
 		})
-		offset := rt.meta.BaseUnix - origin
+		offset := alignedBase(rt) - origin
 		for _, e := range rt.events {
 			us := float64(offset+e.TS) / 1e3
 			ce := chromeEvent{TS: us, PID: rt.meta.Rank}
@@ -307,6 +328,128 @@ func queuePressure(traces []rankTrace) []pressure {
 		out = append(out, p)
 	}
 	return out
+}
+
+// opSkew is the cross-rank arrival-skew aggregate of one collective op.
+type opSkew struct {
+	op          int64
+	invocations int            // invocations compared (min across participating ranks)
+	ranks       int            // ranks that ran the op
+	totalSkew   int64          // sum over invocations of (last − first arrival)
+	maxSkew     int64          // worst single invocation
+	maxSkewInv  int            // which invocation was worst
+	lastCount   map[int]int    // rank -> times it arrived last
+}
+
+// slowest returns the rank that arrived last most often and how often.
+func (s *opSkew) slowest() (rank, count int) {
+	rank = -1
+	for r, c := range s.lastCount {
+		if c > count || (c == count && (rank == -1 || r < rank)) {
+			rank, count = r, c
+		}
+	}
+	return rank, count
+}
+
+// collectSkews matches KCollEnter events across ranks invocation by
+// invocation on the launcher-aligned clock. KCollEnter/KCollExit are never
+// dropped by trace sampling, so the k-th enter of an op on every rank
+// belongs to the same collective — as long as all traced ranks run their
+// world-communicator collectives in the same order, which MPI semantics
+// already require. Sub-communicator collectives shift the indexing for
+// their members; the tool compares only the common prefix (min invocation
+// count across ranks).
+func collectSkews(traces []rankTrace) []opSkew {
+	enters := make(map[int64]map[int][]int64) // op -> rank -> aligned enter times
+	for _, rt := range traces {
+		base := alignedBase(rt)
+		for _, e := range rt.events {
+			if e.Kind != perf.KCollEnter {
+				continue
+			}
+			m := enters[e.A]
+			if m == nil {
+				m = make(map[int][]int64)
+				enters[e.A] = m
+			}
+			m[rt.meta.Rank] = append(m[rt.meta.Rank], base+e.TS)
+		}
+	}
+	var out []opSkew
+	for op, byRank := range enters {
+		if len(byRank) < 2 {
+			continue // no skew of one
+		}
+		n := -1
+		for _, ts := range byRank {
+			if n == -1 || len(ts) < n {
+				n = len(ts)
+			}
+		}
+		s := opSkew{op: op, invocations: n, ranks: len(byRank), lastCount: make(map[int]int)}
+		for k := 0; k < n; k++ {
+			first, last, lastRank := int64(0), int64(0), -1
+			for r, ts := range byRank {
+				t := ts[k]
+				if lastRank == -1 || t < first {
+					first = t
+				}
+				if lastRank == -1 || t > last {
+					last, lastRank = t, r
+				}
+			}
+			skew := last - first
+			s.totalSkew += skew
+			if skew > s.maxSkew {
+				s.maxSkew, s.maxSkewInv = skew, k
+			}
+			s.lastCount[lastRank]++
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].maxSkew != out[j].maxSkew {
+			return out[i].maxSkew > out[j].maxSkew
+		}
+		return out[i].op < out[j].op
+	})
+	return out
+}
+
+// printStragglers renders the arrival-skew table. Silent when fewer than two
+// traced ranks share a collective.
+func printStragglers(w io.Writer, traces []rankTrace) {
+	skews := collectSkews(traces)
+	if len(skews) == 0 {
+		fmt.Fprintf(w, "\nstragglers: no collective ran on two or more traced ranks\n")
+		return
+	}
+	component := make(map[int]string)
+	aligned := false
+	for _, rt := range traces {
+		component[rt.meta.Rank] = rt.meta.Component
+		aligned = aligned || rt.meta.ClockOffsetNS != 0
+	}
+	fmt.Fprintf(w, "\ncollective arrival skew (last rank in made the others wait):\n")
+	fmt.Fprintf(w, "  %-12s %6s %6s %12s %16s %24s\n",
+		"op", "invoc", "ranks", "mean skew", "max skew", "slowest rank")
+	for _, s := range skews {
+		rank, count := s.slowest()
+		name := fmt.Sprintf("%d", rank)
+		if c := component[rank]; c != "" {
+			name += " (" + c + ")"
+		}
+		fmt.Fprintf(w, "  %-12s %6d %6d %12s %16s %24s\n",
+			perf.CollOpName(s.op), s.invocations, s.ranks,
+			time.Duration(s.totalSkew/int64(s.invocations)).Round(time.Microsecond),
+			fmt.Sprintf("%s @#%d", time.Duration(s.maxSkew).Round(time.Microsecond), s.maxSkewInv),
+			fmt.Sprintf("%s last %d/%d", name, count, s.invocations))
+	}
+	if !aligned {
+		fmt.Fprintf(w, "  (no clock offsets in these traces — cross-host skews include raw clock error;\n"+
+			"   run under mphrun -trace so the telemetry handshake measures offsets)\n")
+	}
 }
 
 // printSummaries renders the textual top-talkers and queue-pressure tables.

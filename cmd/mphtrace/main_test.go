@@ -170,6 +170,102 @@ func TestTopTalkersAndQueuePressure(t *testing.T) {
 	}
 }
 
+// syntheticTrace builds a rankTrace without the file round trip, with full
+// control of the meta's wall-clock base and measured clock offset.
+func syntheticTrace(rank int, comp string, baseUnix, clockOff int64, events []perf.Event) rankTrace {
+	return rankTrace{
+		meta: perf.TraceMeta{
+			Rank: rank, Size: 3, Component: comp,
+			BaseUnix: baseUnix, ClockOffsetNS: clockOff,
+		},
+		events: events,
+	}
+}
+
+func TestAlignedBaseAppliesClockOffset(t *testing.T) {
+	// Rank 1's host clock runs 5ms behind the launcher: its raw BaseUnix is
+	// 5ms early, and the telemetry handshake measured +5ms. After alignment
+	// the two ranks share an origin, so identical monotonic offsets must
+	// land on identical merged timestamps.
+	enter := []perf.Event{{Kind: perf.KCollEnter, A: int64(perf.CollBarrier), TS: 1000}}
+	traces := []rankTrace{
+		syntheticTrace(0, "alpha", 1_000_000_000, 0, enter),
+		syntheticTrace(1, "beta", 1_000_000_000-5_000_000, 5_000_000, enter),
+	}
+	if a, b := alignedBase(traces[0]), alignedBase(traces[1]); a != b {
+		t.Fatalf("aligned bases differ: %d vs %d", a, b)
+	}
+	events := buildChromeTrace(traces)
+	var ts []float64
+	for _, e := range events {
+		if e.Phase == "B" {
+			ts = append(ts, e.TS)
+		}
+	}
+	if len(ts) != 2 || ts[0] != ts[1] {
+		t.Errorf("aligned enters at %v, want two equal timestamps", ts)
+	}
+}
+
+func TestCollectSkewsNamesSlowestRank(t *testing.T) {
+	op := int64(perf.CollAllreduce)
+	mk := func(ts ...int64) []perf.Event {
+		evs := make([]perf.Event, len(ts))
+		for i, v := range ts {
+			evs[i] = perf.Event{Kind: perf.KCollEnter, A: op, TS: v}
+		}
+		return evs
+	}
+	// Three ranks, two invocations. Rank 2 arrives last both times — by 900ns
+	// then 400ns — and should be named the straggler. Rank 1's third enter
+	// (a sub-communicator collective the others never ran) must be ignored:
+	// only the common prefix of invocations is compared.
+	traces := []rankTrace{
+		syntheticTrace(0, "alpha", 1000, 0, mk(100, 2000)),
+		syntheticTrace(1, "beta", 1000, 0, mk(150, 2100, 9000)),
+		syntheticTrace(2, "beta", 1000, 0, mk(1000, 2400)),
+	}
+	skews := collectSkews(traces)
+	if len(skews) != 1 {
+		t.Fatalf("got %d skew rows, want 1", len(skews))
+	}
+	s := skews[0]
+	if s.op != op || s.invocations != 2 || s.ranks != 3 {
+		t.Errorf("row %+v, want op %d over 2 invocations on 3 ranks", s, op)
+	}
+	if s.maxSkew != 900 || s.maxSkewInv != 0 {
+		t.Errorf("max skew %d@%d, want 900@0", s.maxSkew, s.maxSkewInv)
+	}
+	if s.totalSkew != 900+400 {
+		t.Errorf("total skew %d, want 1300", s.totalSkew)
+	}
+	rank, count := s.slowest()
+	if rank != 2 || count != 2 {
+		t.Errorf("slowest = rank %d (%d times), want rank 2 both times", rank, count)
+	}
+
+	var sb strings.Builder
+	printStragglers(&sb, traces)
+	out := sb.String()
+	if !strings.Contains(out, "allreduce") || !strings.Contains(out, "2 (beta)") {
+		t.Errorf("straggler table must name rank 2 (beta):\n%s", out)
+	}
+
+	// A clock offset that delays rank 0's events past rank 2's flips the
+	// verdict — alignment changes who looks slow, which is the point.
+	traces[0].meta.ClockOffsetNS = 5000
+	skews = collectSkews(traces)
+	if rank, _ := skews[0].slowest(); rank != 0 {
+		t.Errorf("with rank 0 shifted +5µs the straggler is rank %d, want 0", rank)
+	}
+
+	// Single-rank ops produce no row.
+	solo := []rankTrace{syntheticTrace(0, "alpha", 1000, 0, mk(100))}
+	if got := collectSkews(solo); len(got) != 0 {
+		t.Errorf("solo rank produced %d skew rows", len(got))
+	}
+}
+
 func TestExpandArgsErrors(t *testing.T) {
 	if _, err := expandArgs([]string{filepath.Join(t.TempDir(), "missing")}); err == nil {
 		t.Error("missing path accepted")

@@ -77,6 +77,7 @@ func main() {
 	periods := flag.Int("periods", 8, "coupling periods")
 	substeps := flag.Int("substeps", 4, "model steps per period")
 	dt := flag.Float64("dt", 0.5, "model time step")
+	pace := flag.Duration("pace", 0, "sleep per coupling period, to stretch the run to wall-clock time for live-telemetry demos")
 	logDir := flag.String("logdir", ".", "directory for component log files")
 	flag.Parse()
 
@@ -85,7 +86,7 @@ func main() {
 		log.Fatalf("climate: %v", err)
 	}
 	cfg := coupler.Config{Grid: g, Periods: *periods, SubSteps: *substeps, Dt: *dt,
-		Names: coupler.DefaultNames()}
+		Pace: *pace, Names: coupler.DefaultNames()}
 
 	if mpirun.Launched() {
 		if err := runDistributed(*component, cfg, *logDir); err != nil {

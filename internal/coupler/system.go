@@ -2,6 +2,7 @@ package coupler
 
 import (
 	"fmt"
+	"time"
 
 	"mph/internal/core"
 	"mph/internal/grid"
@@ -39,6 +40,13 @@ type Config struct {
 	Dt float64
 	// ExchangeCoeff scales the atmosphere-ocean heat flux.
 	ExchangeCoeff float64
+	// Pace, when positive, makes each model rank sleep this long after
+	// every coupling exchange. The grid is small enough that a whole run
+	// completes in milliseconds; pacing stretches it to wall-clock time so
+	// demos and smoke tests can watch the live telemetry while the job is
+	// still running. The coupler needs no sleep of its own: it blocks on
+	// the paced models.
+	Pace time.Duration
 	// Names maps roles to component names; zero value means DefaultNames.
 	Names Names
 	// Init, when non-nil, runs on each model component's ranks right
@@ -198,6 +206,9 @@ func runModelSide(s *core.Setup, cfg Config, link *Link, slot int) (*Diagnostics
 			return nil, err
 		}
 		applyDelta(m, delta, slot == 3 /* ice thickness cannot go negative */)
+		if cfg.Pace > 0 {
+			time.Sleep(cfg.Pace)
+		}
 
 		// Conservation bookkeeping: atmosphere and ocean report their
 		// unweighted sums to the coupler root after the exchange.

@@ -5,13 +5,16 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 )
 
 // Handler returns an expvar-style debug handler serving the rank's live
 // Snapshot as indented JSON. Long-running multi-executable jobs expose it
 // via EnvDebugAddr so operators can inspect queue pressure and traffic
-// totals while the job runs.
+// totals while the job runs. The payload carries the rank's identity
+// (world rank, host, pid) and the trace sample divisor, so a scrape is
+// attributable and scalable without out-of-band context.
 func Handler(r *Rank) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -45,23 +48,52 @@ func DebugAddr(base string, rank int) (string, error) {
 	return net.JoinHostPort(host, strconv.Itoa(port)), nil
 }
 
+// DebugServer is one rank's running debug HTTP endpoint. Close shuts the
+// whole server down — listener and active connections — so a Finalize that
+// stops the transport leaks nothing.
+type DebugServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the actual bound address of the endpoint.
+func (s *DebugServer) Addr() string { return s.addr }
+
+// Close stops the endpoint: the listener closes and in-flight connections
+// are torn down. Safe to call more than once.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// PprofMux registers the net/http/pprof handlers on mux under the standard
+// /debug/pprof/ prefix. Both the per-rank debug endpoint and the launcher's
+// telemetry mux mount it, so profiling any process of a job uses the same
+// paths.
+func PprofMux(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // Serve starts the debug HTTP endpoint for one rank on the resolved
-// per-rank address and returns the listener (close it to stop serving) and
-// the actual bound address. Serving runs on its own goroutine; errors after
-// startup are ignored (the endpoint is best-effort diagnostics).
-func Serve(baseAddr string, rank int, r *Rank) (net.Listener, string, error) {
+// per-rank address and returns the running server (close it to stop
+// serving). Serving runs on its own goroutine; errors after startup are
+// ignored (the endpoint is best-effort diagnostics). Besides the Snapshot
+// at / and /perf, the endpoint serves net/http/pprof under /debug/pprof/.
+func Serve(baseAddr string, rank int, r *Rank) (*DebugServer, error) {
 	addr, err := DebugAddr(baseAddr, rank)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, "", fmt.Errorf("perf: debug listen on %s: %w", addr, err)
+		return nil, fmt.Errorf("perf: debug listen on %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", Handler(r))
 	mux.Handle("/perf", Handler(r))
+	PprofMux(mux)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // exits when the listener closes
-	return ln, ln.Addr().String(), nil
+	return &DebugServer{srv: srv, addr: ln.Addr().String()}, nil
 }

@@ -52,6 +52,12 @@ const (
 	// EnvDebugAddr, when set for a TCP-transport job, starts a per-rank
 	// HTTP endpoint serving the live Snapshot as JSON (see Serve).
 	EnvDebugAddr = "MPH_DEBUG_ADDR"
+	// EnvStatsInterval is the period at which a rank pushes its live
+	// Snapshot over the launcher's telemetry channel (when one is
+	// registered). Unset, unparsable, or nonpositive means "final-only":
+	// one report at shutdown. mphrun -stats-interval sets it for all
+	// children.
+	EnvStatsInterval = "MPH_STATS_INTERVAL"
 )
 
 // DefaultTraceEvents is the tracer ring capacity when EnvTraceEvents does
@@ -160,11 +166,43 @@ func CollOpName(id int64) string {
 	return "unknown"
 }
 
-// collCounter is one collective op's invocation count and cumulative wall
-// time.
+// CollHistBuckets is the number of log-spaced duration buckets kept per
+// collective op for straggler analysis: bucket i counts invocations whose
+// wall time was under 1µs·2^i (the last bucket is unbounded), spanning 1µs
+// to ~33ms with the overflow catching everything slower.
+const CollHistBuckets = 16
+
+// collHistBucket maps one invocation duration to its histogram bucket.
+func collHistBucket(ns int64) int {
+	us := ns / 1000
+	for i := 0; i < CollHistBuckets-1; i++ {
+		if us < 1<<i {
+			return i
+		}
+	}
+	return CollHistBuckets - 1
+}
+
+// collCounter is one collective op's invocation count, cumulative wall
+// time, slowest single invocation, and duration histogram.
 type collCounter struct {
 	count atomic.Uint64
 	ns    atomic.Int64
+	maxNS atomic.Int64
+	hist  [CollHistBuckets]atomic.Uint64
+}
+
+// observe folds one outermost invocation's duration into the counter.
+func (c *collCounter) observe(d int64) {
+	c.count.Add(1)
+	c.ns.Add(d)
+	for {
+		cur := c.maxNS.Load()
+		if d <= cur || c.maxNS.CompareAndSwap(cur, d) {
+			break
+		}
+	}
+	c.hist[collHistBucket(d)].Add(1)
 }
 
 // NetCounters are the TCP transport's wire-level performance variables. All
@@ -228,6 +266,13 @@ type CollSnap struct {
 	Nanos int64  `json:"nanos"`
 	Tree  uint64 `json:"tree,omitempty"`
 	Ring  uint64 `json:"ring,omitempty"`
+	// MaxNanos is the slowest single outermost invocation — a rank whose
+	// max dwarfs its peers' was waiting on a straggler (or was one).
+	MaxNanos int64 `json:"max_nanos,omitempty"`
+	// HistNanos is the per-invocation duration histogram: HistNanos[i]
+	// counts invocations under 1µs·2^i (last bucket unbounded). Nil when
+	// the op was never invoked at the outermost level.
+	HistNanos []uint64 `json:"hist,omitempty"`
 }
 
 // NetSnap is the wire counters' value in a Snapshot.
@@ -273,6 +318,23 @@ type Snapshot struct {
 	WorldSize int    `json:"world_size"`
 	Component string `json:"component,omitempty"`
 
+	// Host and PID identify the OS process behind the rank, so a scraped
+	// /perf payload or a streamed telemetry report is attributable without
+	// out-of-band context.
+	Host string `json:"host,omitempty"`
+	PID  int    `json:"pid,omitempty"`
+
+	// CapturedUnixNS is the wall-clock capture time on the rank's own
+	// clock; consumers computing rates difference it between reports.
+	CapturedUnixNS int64 `json:"captured_unix_ns,omitempty"`
+
+	// ClockOffsetNS estimates launcher_clock − rank_clock (add it to a
+	// rank-local wall timestamp to land on the launcher's timeline), with
+	// ClockErrBoundNS the half-RTT uncertainty of the estimate. Zero when
+	// no clock sync ran (in-process worlds, no telemetry channel).
+	ClockOffsetNS   int64 `json:"clock_offset_ns,omitempty"`
+	ClockErrBoundNS int64 `json:"clock_err_bound_ns,omitempty"`
+
 	Engine EngineSnap `json:"engine"`
 
 	// Per-destination-world-rank send accounting (derived from receiver
@@ -309,9 +371,13 @@ type Rank struct {
 	worldRank int
 	worldSize int
 	base      time.Time
+	pid       int
 
-	component atomic.Pointer[string]
-	tracer    atomic.Pointer[Tracer]
+	component  atomic.Pointer[string]
+	host       atomic.Pointer[string]
+	tracer     atomic.Pointer[Tracer]
+	clockOff   atomic.Int64
+	clockBound atomic.Int64
 
 	collDepth atomic.Int32
 	coll      [NumCollOps]collCounter
@@ -331,7 +397,7 @@ type Rank struct {
 
 // NewRank creates the handle for one world rank.
 func NewRank(worldRank, worldSize int) *Rank {
-	return &Rank{worldRank: worldRank, worldSize: worldSize, base: time.Now()}
+	return &Rank{worldRank: worldRank, worldSize: worldSize, base: time.Now(), pid: os.Getpid()}
 }
 
 // WorldRank returns the rank this handle belongs to.
@@ -354,6 +420,33 @@ func (r *Rank) ComponentName() string {
 		return *p
 	}
 	return ""
+}
+
+// SetHost records the host label this rank runs on; the transport calls it
+// once the launcher-assigned placement is known.
+func (r *Rank) SetHost(host string) { r.host.Store(&host) }
+
+// Host returns the recorded host label, or "".
+func (r *Rank) Host() string {
+	if p := r.host.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// SetClockOffset records the NTP-style clock-sync result against the
+// launcher: offset estimates launcher_clock − rank_clock, bound is the
+// half-RTT uncertainty. Snapshots and trace dumps carry both so consumers
+// can shift this rank's timestamps onto the launcher's timeline.
+func (r *Rank) SetClockOffset(offset, bound int64) {
+	r.clockOff.Store(offset)
+	r.clockBound.Store(bound)
+}
+
+// ClockOffset returns the recorded clock-sync result (zero, zero when no
+// sync ran).
+func (r *Rank) ClockOffset() (offset, bound int64) {
+	return r.clockOff.Load(), r.clockBound.Load()
 }
 
 // SetEngineCollector registers the engine's snapshot function.
@@ -416,8 +509,7 @@ func (r *Rank) CollExit(op CollOp, startNS int64, top bool) {
 		tr.record(end, KCollExit, int64(op), end-startNS, 0, 0)
 	}
 	if top {
-		r.coll[op].count.Add(1)
-		r.coll[op].ns.Add(end - startNS)
+		r.coll[op].observe(end - startNS)
 	}
 	r.collDepth.Add(-1)
 }
@@ -476,10 +568,14 @@ func (r *Rank) Snapshot() Snapshot {
 	r.mu.Unlock()
 
 	s := Snapshot{
-		WorldRank: r.worldRank,
-		WorldSize: r.worldSize,
-		Component: r.ComponentName(),
+		WorldRank:      r.worldRank,
+		WorldSize:      r.worldSize,
+		Component:      r.ComponentName(),
+		Host:           r.Host(),
+		PID:            r.pid,
+		CapturedUnixNS: time.Now().UnixNano(),
 	}
+	s.ClockOffsetNS, s.ClockErrBoundNS = r.ClockOffset()
 	if engSnap != nil {
 		s.Engine = engSnap()
 	}
@@ -513,12 +609,20 @@ func (r *Rank) Snapshot() Snapshot {
 		if s.Collectives == nil {
 			s.Collectives = make(map[string]CollSnap)
 		}
-		s.Collectives[op.String()] = CollSnap{
-			Count: count,
-			Nanos: r.coll[op].ns.Load(),
-			Tree:  tree,
-			Ring:  ring,
+		cs := CollSnap{
+			Count:    count,
+			Nanos:    r.coll[op].ns.Load(),
+			Tree:     tree,
+			Ring:     ring,
+			MaxNanos: r.coll[op].maxNS.Load(),
 		}
+		if count > 0 {
+			cs.HistNanos = make([]uint64, CollHistBuckets)
+			for i := range cs.HistNanos {
+				cs.HistNanos[i] = r.coll[op].hist[i].Load()
+			}
+		}
+		s.Collectives[op.String()] = cs
 	}
 	s.CommSplits = r.splits.Load()
 	s.CommDups = r.dups.Load()

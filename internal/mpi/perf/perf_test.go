@@ -3,7 +3,9 @@ package perf
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -204,13 +206,13 @@ func TestServeSnapshotEndpoint(t *testing.T) {
 	r := NewRank(0, 2)
 	r.SetComponent("coupler")
 	r.Net.Dials.Add(3)
-	ln, addr, err := Serve("127.0.0.1:0", 0, r)
+	srv, err := Serve("127.0.0.1:0", 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
+	defer srv.Close()
 
-	resp, err := http.Get("http://" + addr + "/perf")
+	resp, err := http.Get("http://" + srv.Addr() + "/perf")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,6 +231,127 @@ func TestServeSnapshotEndpoint(t *testing.T) {
 	if s.Component != "coupler" || s.Net.Dials != 3 {
 		t.Errorf("served snapshot %+v", s)
 	}
+}
+
+func TestCollHistBucket(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{999, 0},          // <1µs
+		{1000, 1},         // 1µs: no longer under 1µs
+		{1999, 1},         // <2µs
+		{2000, 2},         // <4µs
+		{1_000_000, 10},     // 1ms: under 1.024ms
+		{1_048_576_000, 15}, // ~1s = 2^20µs: beyond the last bounded bucket
+		{1 << 62, 15},       // unbounded tail
+	}
+	for _, c := range cases {
+		if got := collHistBucket(c.ns); got != c.want {
+			t.Errorf("collHistBucket(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestCollObserveMaxAndHistogram(t *testing.T) {
+	var c collCounter
+	for _, d := range []int64{500, 3_000, 120_000, 90_000, 3_500} {
+		c.observe(d)
+	}
+	if got := c.count.Load(); got != 5 {
+		t.Errorf("count %d, want 5", got)
+	}
+	if got := c.maxNS.Load(); got != 120_000 {
+		t.Errorf("max %d, want 120000", got)
+	}
+	var histTotal uint64
+	for i := range c.hist {
+		histTotal += c.hist[i].Load()
+	}
+	if histTotal != 5 {
+		t.Errorf("histogram holds %d observations, want 5", histTotal)
+	}
+	if got := c.hist[0].Load(); got != 1 {
+		t.Errorf("sub-µs bucket %d, want 1 (the 500ns call)", got)
+	}
+	if got := c.hist[2].Load(); got != 2 {
+		t.Errorf("2-4µs bucket %d, want 2 (3µs and 3.5µs)", got)
+	}
+}
+
+func TestSnapshotCollStragglerFields(t *testing.T) {
+	r := NewRank(0, 2)
+	start, top := r.CollEnter(CollBarrier)
+	r.CollExit(CollBarrier, start, top)
+	s := r.Snapshot()
+	c, ok := s.Collectives["barrier"]
+	if !ok {
+		t.Fatal("no barrier counters")
+	}
+	if c.MaxNanos <= 0 {
+		t.Errorf("MaxNanos %d, want > 0", c.MaxNanos)
+	}
+	if len(c.HistNanos) != CollHistBuckets {
+		t.Fatalf("histogram has %d buckets, want %d", len(c.HistNanos), CollHistBuckets)
+	}
+	var total uint64
+	for _, b := range c.HistNanos {
+		total += b
+	}
+	if total != c.Count {
+		t.Errorf("histogram total %d != count %d", total, c.Count)
+	}
+}
+
+func TestSnapshotIdentityAndClock(t *testing.T) {
+	r := NewRank(1, 4)
+	r.SetHost("node-c")
+	r.SetClockOffset(12_345, 678)
+	before := time.Now().UnixNano()
+	s := r.Snapshot()
+	if s.Host != "node-c" || s.PID != os.Getpid() {
+		t.Errorf("identity %q/%d, want node-c/%d", s.Host, s.PID, os.Getpid())
+	}
+	if s.ClockOffsetNS != 12_345 || s.ClockErrBoundNS != 678 {
+		t.Errorf("clock %d ±%d, want 12345 ±678", s.ClockOffsetNS, s.ClockErrBoundNS)
+	}
+	if s.CapturedUnixNS < before {
+		t.Errorf("capture time %d before snapshot call %d", s.CapturedUnixNS, before)
+	}
+	if off, bound := r.ClockOffset(); off != 12_345 || bound != 678 {
+		t.Errorf("ClockOffset() = %d, %d", off, bound)
+	}
+}
+
+func TestDebugServerCloseReleasesListener(t *testing.T) {
+	r := NewRank(0, 1)
+	srv, err := Serve("127.0.0.1:0", 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pprof mux must be mounted alongside /perf.
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/perf"); err == nil {
+		t.Error("debug server still serving after Close")
+	}
+	// The port is free again: a second rank in the same process (or a fast
+	// restart) can bind it.
+	ln, err := net.Listen("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("port still held after Close: %v", err)
+	}
+	ln.Close()
 }
 
 func TestNowMonotonic(t *testing.T) {

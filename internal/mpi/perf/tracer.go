@@ -276,6 +276,12 @@ type Meta struct {
 	Rank      int    `json:"rank"`
 	Size      int    `json:"size"`
 	Component string `json:"component,omitempty"`
+	// Host is the rank's host label, for cross-host trace attribution.
+	Host string `json:"host,omitempty"`
+	// ClockOffsetNS estimates launcher_clock − rank_clock at handshake
+	// time; readers add it to BaseUnix to place this rank's events on the
+	// launcher's timeline. Zero when no clock sync ran.
+	ClockOffsetNS int64 `json:"clock_offset_ns,omitempty"`
 }
 
 // metaLine is the first JSONL line of a trace dump: rank identity plus the
@@ -287,7 +293,9 @@ type metaLine struct {
 	Rank      int    `json:"rank"`
 	Size      int    `json:"size"`
 	Component string `json:"component,omitempty"`
+	Host      string `json:"host,omitempty"`
 	BaseUnix  int64  `json:"base_unix_ns"`
+	ClockOff  int64  `json:"clock_offset_ns,omitempty"`
 	Capacity  int    `json:"capacity"`
 	Recorded  uint64 `json:"recorded"`
 	Dropped   uint64 `json:"dropped"`
@@ -314,7 +322,9 @@ func (t *Tracer) WriteJSONL(w io.Writer, meta Meta) error {
 		Rank:      meta.Rank,
 		Size:      meta.Size,
 		Component: meta.Component,
+		Host:      meta.Host,
 		BaseUnix:  t.baseUnixNano,
+		ClockOff:  meta.ClockOffsetNS,
 		Capacity:  t.capacity,
 		Recorded:  t.Recorded(),
 		Dropped:   t.Dropped(),
@@ -344,11 +354,15 @@ type TraceMeta struct {
 	Rank      int
 	Size      int
 	Component string
+	Host      string
 	BaseUnix  int64
-	Capacity  int
-	Recorded  uint64
-	Dropped   uint64
-	Sample    int
+	// ClockOffsetNS estimates launcher_clock − rank_clock; add it to
+	// BaseUnix to place this rank's events on the launcher's timeline.
+	ClockOffsetNS int64
+	Capacity      int
+	Recorded      uint64
+	Dropped       uint64
+	Sample        int
 }
 
 // ParseTraceLine parses one line of a WriteJSONL stream. Exactly one of
@@ -376,8 +390,8 @@ func ParseTraceLine(line []byte) (*TraceMeta, *Event, error) {
 			return nil, nil, fmt.Errorf("perf: bad trace meta: %w", err)
 		}
 		return &TraceMeta{
-			Rank: ml.Rank, Size: ml.Size, Component: ml.Component,
-			BaseUnix: ml.BaseUnix, Capacity: ml.Capacity,
+			Rank: ml.Rank, Size: ml.Size, Component: ml.Component, Host: ml.Host,
+			BaseUnix: ml.BaseUnix, ClockOffsetNS: ml.ClockOff, Capacity: ml.Capacity,
 			Recorded: ml.Recorded, Dropped: ml.Dropped, Sample: ml.Sample,
 		}, nil, nil
 	}

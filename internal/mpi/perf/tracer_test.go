@@ -90,7 +90,7 @@ func TestWriteJSONLRoundTrip(t *testing.T) {
 	tr.Record(KPhaseEnd, int64(PhaseRegistry), 0, 0, 0)
 
 	var buf bytes.Buffer
-	meta := Meta{Rank: 3, Size: 8, Component: "ice"}
+	meta := Meta{Rank: 3, Size: 8, Component: "ice", Host: "node-b", ClockOffsetNS: -2500}
 	if err := tr.WriteJSONL(&buf, meta); err != nil {
 		t.Fatal(err)
 	}
@@ -115,6 +115,10 @@ func TestWriteJSONLRoundTrip(t *testing.T) {
 	}
 	if gotMeta.Rank != 3 || gotMeta.Size != 8 || gotMeta.Component != "ice" {
 		t.Errorf("meta %+v", gotMeta)
+	}
+	if gotMeta.Host != "node-b" || gotMeta.ClockOffsetNS != -2500 {
+		t.Errorf("identity round trip: host %q offset %d, want node-b, -2500",
+			gotMeta.Host, gotMeta.ClockOffsetNS)
 	}
 	if gotMeta.BaseUnix != base.UnixNano() {
 		t.Errorf("base %d, want %d", gotMeta.BaseUnix, base.UnixNano())

@@ -5,6 +5,8 @@ import (
 	"os"
 	"strconv"
 	"time"
+
+	"mph/internal/mpi/perf"
 )
 
 // Environment variables tuning the transport's fault-tolerance behavior.
@@ -62,6 +64,10 @@ type netConfig struct {
 	peerTimeout  time.Duration // inbound silence / reconnect window before peer death
 
 	eagerThreshold int // rendezvous switch in payload bytes; negative disables
+
+	// statsInterval is the live-telemetry push period (perf.EnvStatsInterval);
+	// zero means final-only reporting.
+	statsInterval time.Duration
 }
 
 // defaultConfig returns the built-in tuning.
@@ -91,6 +97,13 @@ func configFromEnv() netConfig {
 	if v := os.Getenv(EnvEagerThreshold); v != "" {
 		if n, err := strconv.Atoi(v); err == nil {
 			c.eagerThreshold = n // negative means "rendezvous disabled", so no clamp
+		}
+	}
+	// Zero is a meaningful value here (final-only reporting), so the
+	// envDuration default-on-nonpositive contract does not apply.
+	if v := os.Getenv(perf.EnvStatsInterval); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			c.statsInterval = d
 		}
 	}
 	return c

@@ -207,7 +207,13 @@ type Transport struct {
 	// fall back to a throwaway counter block.
 	net atomic.Pointer[perf.NetCounters]
 
-	debugLn net.Listener // MPH_DEBUG_ADDR endpoint, nil unless enabled
+	debugSrv *perf.DebugServer // MPH_DEBUG_ADDR endpoint, nil unless enabled
+
+	// tele is the launcher's telemetry channel (MPH_TELEMETRY), nil unless
+	// the launcher registered one. teleFinalOnce guards the final report:
+	// exactly one of Close, abort, or peer-loss sends it.
+	tele          *mpirun.TelemetryClient
+	teleFinalOnce sync.Once
 
 	wg sync.WaitGroup
 }
@@ -359,19 +365,77 @@ func initTransport(rank, size int, rendezvous string) (*Transport, *mpi.Env, err
 		}
 		return msgs, bytes
 	})
+	pv.SetHost(host)
 	if base := os.Getenv(perf.EnvDebugAddr); base != "" {
-		dln, addr, err := perf.Serve(base, rank, pv)
+		srv, err := perf.Serve(base, rank, pv)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tcpnet: rank %d: debug endpoint: %v\n", rank, err)
 		} else {
-			t.debugLn = dln
-			fmt.Fprintf(os.Stderr, "tcpnet: rank %d: perf debug endpoint at http://%s/perf\n", rank, addr)
+			t.debugSrv = srv
+			fmt.Fprintf(os.Stderr, "tcpnet: rank %d: perf debug endpoint at http://%s/perf\n", rank, srv.Addr())
+		}
+	}
+	if teleAddr := os.Getenv(mpirun.EnvTelemetry); teleAddr != "" {
+		tele, err := mpirun.DialTelemetry(teleAddr, rank, host, os.Getpid(), cfg.dialTimeout)
+		if err != nil {
+			// Telemetry is best-effort diagnostics; the job runs without it.
+			fmt.Fprintf(os.Stderr, "tcpnet: rank %d: telemetry: %v\n", rank, err)
+		} else {
+			t.tele = tele
+			if off, bound, ok := tele.ClockOffset(); ok {
+				pv.SetClockOffset(off, bound)
+			}
+			if cfg.statsInterval > 0 {
+				t.wg.Add(1)
+				go t.telemetryLoop(cfg.statsInterval)
+			}
 		}
 	}
 	t.wg.Add(2)
 	go t.acceptLoop()
 	go t.heartbeatLoop()
 	return t, env, nil
+}
+
+// telemetryLoop pushes a live snapshot to the launcher every interval until
+// the transport closes; the final report is teleFinal's job.
+func (t *Transport) telemetryLoop(interval time.Duration) {
+	defer t.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+		}
+		if err := t.tele.Report(t.env.Perf().Snapshot(), false); err != nil {
+			return // launcher gone; the final report will be a no-op too
+		}
+	}
+}
+
+// teleReport pushes one non-final snapshot (used by event-driven updates
+// like a peer-loss verdict, so the launcher sees the failure counters
+// without waiting out the reporting interval).
+func (t *Transport) teleReport() {
+	if t.tele == nil {
+		return
+	}
+	t.tele.Report(t.env.Perf().Snapshot(), false) //nolint:errcheck // best-effort diagnostics
+}
+
+// teleFinal pushes the rank's final snapshot over the telemetry channel and
+// hangs up, exactly once. Clean Close and job abort both funnel through it
+// so a crashed job still delivers its post-mortem counters.
+func (t *Transport) teleFinal() {
+	if t.tele == nil {
+		return
+	}
+	t.teleFinalOnce.Do(func() {
+		t.tele.Report(t.env.Perf().Snapshot(), true) //nolint:errcheck // best-effort diagnostics
+		t.tele.Close()
+	})
 }
 
 // InitFromEnv bootstraps from the mphrun environment variables and also
@@ -622,8 +686,11 @@ func (t *Transport) Close() error {
 	}
 	t.mu.Unlock()
 
-	if t.debugLn != nil {
-		t.debugLn.Close()
+	// The final telemetry report goes out before connections drop: counters
+	// are complete at this point (the Env flushed observability first).
+	t.teleFinal()
+	if t.debugSrv != nil {
+		t.debugSrv.Close()
 	}
 	ln.Close()
 	for _, c := range conns {
@@ -864,6 +931,9 @@ func (t *Transport) peerDown(rank int, cause error) {
 	t.netCounters().PeersLost.Add(1)
 	fmt.Fprintf(os.Stderr, "tcpnet: rank %d: peer rank %d lost: %v\n", t.rank, rank, cause)
 	t.env.PeerLost(rank, cause)
+	// Push the failure counters to the launcher right away — the survivors
+	// may run on for a while, and the post-mortem wants the loss timestamped.
+	go t.teleReport()
 }
 
 // suspectPeer starts the reconnect window for a rank whose inbound stream
@@ -965,6 +1035,9 @@ func (t *Transport) applyAbort(code, origin int) *mpi.AbortError {
 		p.Rdv.Fail(ae)
 	}
 	t.rdvMu.Unlock()
+	// An aborting process usually exits moments later; ship the post-mortem
+	// snapshot now rather than hoping Close still runs.
+	go t.teleFinal()
 	return ae
 }
 

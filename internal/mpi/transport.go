@@ -58,9 +58,12 @@ type Env struct {
 	eng       *engine
 	tr        Transport
 
-	pv        *perf.Rank
-	tracer    *perf.Tracer // cached for the send-path nil check; nil = off
-	flushOnce sync.Once
+	pv     *perf.Rank
+	tracer *perf.Tracer // cached for the send-path nil check; nil = off
+	// flushMu serializes observability dumps: the abort and peer-loss
+	// paths flush early so a crashed job keeps its post-mortem, and a
+	// later clean Close rewrites the files with the complete counters.
+	flushMu sync.Mutex
 
 	// borrower caches the transport's payloadBorrower capability (nil when
 	// the transport always copies); the send hot path checks a field, not a
@@ -129,36 +132,46 @@ func (e *Env) PeerArrivals(src int) (msgs, bytes uint64) {
 }
 
 // flushObservability writes the stats and trace files requested through
-// perf.EnvStatsDir / perf.EnvTraceDir, once, before the engine is torn
-// down. Failures are reported to stderr: diagnostics must never fail the
-// job.
+// perf.EnvStatsDir / perf.EnvTraceDir before the engine is torn down.
+// Besides the clean Close path it also runs on abort and peer loss — a
+// crashed job loses exactly the telemetry the post-mortem needs otherwise —
+// so the write is idempotent (Create truncates) and a later flush with more
+// complete counters simply rewrites the files. Failures are reported to
+// stderr: diagnostics must never fail the job.
 func (e *Env) flushObservability() {
-	e.flushOnce.Do(func() {
-		if dir := os.Getenv(perf.EnvStatsDir); dir != "" {
-			path := filepath.Join(dir, fmt.Sprintf("stats.rank%04d.json", e.worldRank))
-			if err := writeJSONFile(path, e.pv.Snapshot()); err != nil {
-				fmt.Fprintf(os.Stderr, "mpi: perf stats dump: %v\n", err)
-			}
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	if dir := os.Getenv(perf.EnvStatsDir); dir != "" {
+		path := filepath.Join(dir, fmt.Sprintf("stats.rank%04d.json", e.worldRank))
+		if err := writeJSONFile(path, e.pv.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "mpi: perf stats dump: %v\n", err)
 		}
-		dir := os.Getenv(perf.EnvTraceDir)
-		tr := e.pv.Tracer()
-		if dir == "" || tr == nil {
-			return
-		}
-		path := filepath.Join(dir, fmt.Sprintf("trace.rank%04d.jsonl", e.worldRank))
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mpi: perf trace dump: %v\n", err)
-			return
-		}
-		meta := perf.Meta{Rank: e.worldRank, Size: e.worldSize, Component: e.pv.ComponentName()}
-		if err := tr.WriteJSONL(f, meta); err != nil {
-			fmt.Fprintf(os.Stderr, "mpi: perf trace dump: %v\n", err)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "mpi: perf trace dump: %v\n", err)
-		}
-	})
+	}
+	dir := os.Getenv(perf.EnvTraceDir)
+	tr := e.pv.Tracer()
+	if dir == "" || tr == nil {
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("trace.rank%04d.jsonl", e.worldRank))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpi: perf trace dump: %v\n", err)
+		return
+	}
+	offset, _ := e.pv.ClockOffset()
+	meta := perf.Meta{
+		Rank:          e.worldRank,
+		Size:          e.worldSize,
+		Component:     e.pv.ComponentName(),
+		Host:          e.pv.Host(),
+		ClockOffsetNS: offset,
+	}
+	if err := tr.WriteJSONL(f, meta); err != nil {
+		fmt.Fprintf(os.Stderr, "mpi: perf trace dump: %v\n", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "mpi: perf trace dump: %v\n", err)
+	}
 }
 
 func writeJSONFile(path string, v any) error {
@@ -236,6 +249,9 @@ func (e *Env) abortLocal(code, origin int) {
 		tr.Record(perf.KAbort, int64(code), int64(origin), 0, 0)
 	}
 	e.eng.abort(&AbortError{Code: code, Origin: origin})
+	// Aborting processes rarely reach Close; dump the post-mortem now (the
+	// abort event above is already in the ring).
+	e.flushObservability()
 }
 
 // PeerLost is the receive-side hook the transport calls when its failure
@@ -247,6 +263,10 @@ func (e *Env) PeerLost(rank int, cause error) {
 		tr.Record(perf.KPeerLost, int64(rank), 0, 0, 0)
 	}
 	e.eng.peerLost(rank, cause)
+	// Survivors usually keep running, but the job may be about to unwind on
+	// *ErrPeerLost without a clean Close; checkpoint the dumps now. A later
+	// clean Close rewrites them with the complete counters.
+	e.flushObservability()
 }
 
 // Close flushes any requested observability dumps, then shuts down the

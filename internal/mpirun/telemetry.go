@@ -1,0 +1,584 @@
+package mpirun
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mph/internal/mpi/perf"
+)
+
+// EnvTelemetry is the launcher's telemetry-channel address. When set, every
+// rank dials it at transport init, runs the clock-sync handshake, and pushes
+// perf.Snapshot reports: periodically at perf.EnvStatsInterval, and a final
+// report at shutdown or abort. mphrun sets it for all children when live
+// telemetry is requested.
+const EnvTelemetry = "MPH_TELEMETRY"
+
+// DefaultClockSyncRounds is how many ping-pong round trips the clock-sync
+// handshake performs per rank. The estimate keeps the minimum-RTT round, so
+// a handful of rounds suffices to dodge scheduling noise.
+const DefaultClockSyncRounds = 8
+
+// telemetryIOTimeout bounds every read or write on a telemetry connection.
+// Telemetry is best-effort diagnostics: a wedged launcher must never stall a
+// rank, and a wedged rank must never stall the aggregator.
+const telemetryIOTimeout = 5 * time.Second
+
+// DefaultStaleAfter is how long a live (non-final) rank may go without a
+// report before the job view marks it stale. Reporting ranks push at their
+// configured interval; several missed intervals on top of this floor means
+// the rank is hung, partitioned, or dead.
+const DefaultStaleAfter = 15 * time.Second
+
+// ClockSample is one ping-pong round of the clock-sync handshake, all in
+// nanoseconds: T0 is the client's send time and T3 its receive time on the
+// client clock; TS is the server's reply time on the server clock.
+type ClockSample struct {
+	T0 int64 // client clock, ping sent
+	TS int64 // server clock, pong sent
+	T3 int64 // client clock, pong received
+}
+
+// RTT returns the round-trip time of the sample on the client clock.
+func (s ClockSample) RTT() int64 { return s.T3 - s.T0 }
+
+// EstimateClockOffset reduces the rounds of one clock-sync handshake to an
+// offset estimate: server_clock − client_clock, NTP style. Each round's
+// estimate assumes the server's reply timestamp was taken at the midpoint of
+// the round trip (offset = TS − (T0+T3)/2); the round with the smallest RTT
+// is kept, because midpoint error is bounded by half the RTT — the returned
+// bound. ok is false when no sample is usable (none, or negative RTTs from a
+// clock step mid-handshake).
+func EstimateClockOffset(samples []ClockSample) (offset, bound int64, ok bool) {
+	best := -1
+	for i, s := range samples {
+		if s.RTT() < 0 {
+			continue
+		}
+		if best < 0 || s.RTT() < samples[best].RTT() {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	s := samples[best]
+	return s.TS - (s.T0+s.T3)/2, s.RTT() / 2, true
+}
+
+// teleMsg is one line of the telemetry wire protocol (line-delimited JSON
+// over TCP, one connection per rank):
+//
+//	client: {"kind":"hello","rank":R,"host":"H","pid":P}
+//	client: {"kind":"ping","seq":i,"t0":<client ns>}     (×K rounds)
+//	server: {"kind":"pong","seq":i,"ts":<server ns>}
+//	client: {"kind":"report","seq":n,"final":F,"snap":{Snapshot}}
+//
+// Reports are one-way; the server never writes after the sync rounds.
+type teleMsg struct {
+	Kind  string         `json:"kind"`
+	Rank  int            `json:"rank,omitempty"`
+	Host  string         `json:"host,omitempty"`
+	PID   int            `json:"pid,omitempty"`
+	Seq   uint64         `json:"seq,omitempty"`
+	T0    int64          `json:"t0,omitempty"`
+	TS    int64          `json:"ts,omitempty"`
+	Final bool           `json:"final,omitempty"`
+	Snap  *perf.Snapshot `json:"snap,omitempty"`
+}
+
+// rankReport is the aggregator's state for one reporting rank: the latest
+// snapshot, the previous one for rate derivation, and receipt bookkeeping.
+type rankReport struct {
+	snap     perf.Snapshot
+	seq      uint64
+	final    bool
+	received time.Time
+	prev     *perf.Snapshot
+	prevAt   time.Time
+}
+
+// RankStatus is one rank's row of the live job view.
+type RankStatus struct {
+	Rank      int    `json:"rank"`
+	Component string `json:"component,omitempty"`
+	Host      string `json:"host,omitempty"`
+	PID       int    `json:"pid,omitempty"`
+	Final     bool   `json:"final"`
+	Stale     bool   `json:"stale"`
+	// LastReportAgeMS is how long ago the latest report arrived,
+	// launcher clock.
+	LastReportAgeMS int64 `json:"last_report_age_ms"`
+
+	SentMsgs  uint64 `json:"sent_msgs"`
+	SentBytes uint64 `json:"sent_bytes"`
+	RecvMsgs  uint64 `json:"recv_msgs"`
+	RecvBytes uint64 `json:"recv_bytes"`
+
+	// Derived rates over the window between the two most recent reports
+	// (zero until a second report arrives, or after the final report).
+	SentMsgsPerSec  float64 `json:"sent_msgs_per_sec,omitempty"`
+	SentBytesPerSec float64 `json:"sent_bytes_per_sec,omitempty"`
+	RecvMsgsPerSec  float64 `json:"recv_msgs_per_sec,omitempty"`
+	RecvBytesPerSec float64 `json:"recv_bytes_per_sec,omitempty"`
+
+	ClockOffsetNS   int64 `json:"clock_offset_ns,omitempty"`
+	ClockErrBoundNS int64 `json:"clock_err_bound_ns,omitempty"`
+	CollNanos       int64 `json:"coll_nanos,omitempty"`
+}
+
+// JobView is the aggregator's merged, job-wide view of every rank report.
+type JobView struct {
+	WorldSize int `json:"world_size"`
+	Reporting int `json:"reporting"`
+	Finals    int `json:"finals"`
+
+	TotalSentMsgs  uint64 `json:"total_sent_msgs"`
+	TotalSentBytes uint64 `json:"total_sent_bytes"`
+	TotalRecvMsgs  uint64 `json:"total_recv_msgs"`
+	TotalRecvBytes uint64 `json:"total_recv_bytes"`
+
+	// Reconciled reports sent==received across every reporting rank. Only
+	// meaningful once every rank's final report is in; mid-run the totals
+	// lag each other by in-flight traffic and report skew.
+	Reconciled bool `json:"reconciled"`
+
+	Ranks []RankStatus `json:"ranks"`
+}
+
+// Telemetry is the launcher-side telemetry plane: a TCP endpoint ranks push
+// perf.Snapshot reports to (answering their clock-sync pings), an aggregator
+// merging the per-rank reports into a live job view, and an http.Handler
+// serving the view as Prometheus /metrics and JSON /status.
+type Telemetry struct {
+	ln         net.Listener
+	addr       string
+	size       int
+	staleAfter time.Duration
+
+	mu      sync.Mutex
+	reports map[int]*rankReport
+	conns   map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// NewTelemetry starts the telemetry endpoint for a world of the given size
+// on the given bind host ("" = loopback, wildcard = all interfaces with a
+// routable address advertised). Close it when the job ends.
+func NewTelemetry(bind string, size int) (*Telemetry, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpirun: telemetry for world of %d", size)
+	}
+	ln, err := net.Listen("tcp", ListenAddr(bind))
+	if err != nil {
+		return nil, fmt.Errorf("mpirun: telemetry listen: %w", err)
+	}
+	t := &Telemetry{
+		ln:         ln,
+		addr:       AdvertiseAddr(bind, ln.Addr()),
+		size:       size,
+		staleAfter: DefaultStaleAfter,
+		reports:    make(map[int]*rankReport),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the routable address ranks should dial (the EnvTelemetry
+// value the launcher forwards).
+func (t *Telemetry) Addr() string {
+	return t.addr
+}
+
+// Close stops the endpoint. Aggregated reports stay readable afterwards, so
+// the launcher can still print a final summary from them.
+func (t *Telemetry) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+// acceptLoop receives rank connections and spawns a handler per rank.
+func (t *Telemetry) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer func() {
+				t.mu.Lock()
+				delete(t.conns, conn)
+				t.mu.Unlock()
+				conn.Close()
+			}()
+			t.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn runs one rank's telemetry session: hello, clock-sync pongs,
+// then report ingestion until the rank hangs up. Malformed input just ends
+// the session — telemetry must never take a job down.
+func (t *Telemetry) handleConn(conn net.Conn) {
+	rd := bufio.NewReader(conn)
+	dec := json.NewDecoder(rd)
+	rank, host, pid := -1, "", 0
+	for {
+		// No read deadline: a final-only rank is silent for the whole job.
+		// The session ends when the rank hangs up or Close tears it down.
+		var msg teleMsg
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		switch msg.Kind {
+		case "hello":
+			rank, host, pid = msg.Rank, msg.Host, msg.PID
+		case "ping":
+			pong := teleMsg{Kind: "pong", Seq: msg.Seq, TS: time.Now().UnixNano()}
+			b, err := json.Marshal(pong)
+			if err != nil {
+				return
+			}
+			conn.SetWriteDeadline(time.Now().Add(telemetryIOTimeout))
+			if _, err := conn.Write(append(b, '\n')); err != nil {
+				return
+			}
+		case "report":
+			if msg.Snap == nil {
+				continue
+			}
+			r := msg.Snap.WorldRank
+			if rank >= 0 {
+				r = rank
+			}
+			if msg.Snap.Host == "" {
+				msg.Snap.Host = host
+			}
+			if msg.Snap.PID == 0 {
+				msg.Snap.PID = pid
+			}
+			t.Ingest(r, *msg.Snap, msg.Seq, msg.Final, time.Now())
+		}
+	}
+}
+
+// Ingest merges one rank report into the aggregate, keyed by world rank.
+// Reports carry a per-rank sequence number; one arriving out of order
+// (an older seq than the latest merged) is dropped, so a delayed periodic
+// report can never overwrite the final one. Exported for aggregator tests;
+// the TCP sessions call it internally.
+func (t *Telemetry) Ingest(rank int, snap perf.Snapshot, seq uint64, final bool, at time.Time) {
+	if rank < 0 || rank >= t.size {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.reports[rank]
+	if !ok {
+		t.reports[rank] = &rankReport{snap: snap, seq: seq, final: final, received: at}
+		return
+	}
+	if seq < r.seq {
+		return
+	}
+	prev, prevAt := r.snap, r.received
+	r.prev, r.prevAt = &prev, prevAt
+	r.snap, r.seq, r.received = snap, seq, at
+	r.final = r.final || final
+}
+
+// SetStaleAfter overrides the no-report window after which a live rank is
+// marked stale in the job view.
+func (t *Telemetry) SetStaleAfter(d time.Duration) {
+	t.mu.Lock()
+	t.staleAfter = d
+	t.mu.Unlock()
+}
+
+// View returns the merged job view as of now.
+func (t *Telemetry) View() JobView { return t.viewAt(time.Now()) }
+
+// viewAt builds the job view against an explicit clock (tests pin it).
+func (t *Telemetry) viewAt(now time.Time) JobView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	view := JobView{WorldSize: t.size}
+	ranks := make([]int, 0, len(t.reports))
+	for r := range t.reports {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, rk := range ranks {
+		r := t.reports[rk]
+		s := &r.snap
+		rs := RankStatus{
+			Rank:            rk,
+			Component:       s.Component,
+			Host:            s.Host,
+			PID:             s.PID,
+			Final:           r.final,
+			Stale:           !r.final && now.Sub(r.received) > t.staleAfter,
+			LastReportAgeMS: now.Sub(r.received).Milliseconds(),
+			SentMsgs:        s.TotalSentMsgs,
+			SentBytes:       s.TotalSentBytes,
+			RecvMsgs:        s.TotalRecvMsgs,
+			RecvBytes:       s.TotalRecvBytes,
+			ClockOffsetNS:   s.ClockOffsetNS,
+			ClockErrBoundNS: s.ClockErrBoundNS,
+			CollNanos:       s.CollNanos(),
+		}
+		if r.prev != nil && !r.final {
+			if dt := r.received.Sub(r.prevAt).Seconds(); dt > 0 {
+				rs.SentMsgsPerSec = float64(s.TotalSentMsgs-r.prev.TotalSentMsgs) / dt
+				rs.SentBytesPerSec = float64(s.TotalSentBytes-r.prev.TotalSentBytes) / dt
+				rs.RecvMsgsPerSec = float64(s.TotalRecvMsgs-r.prev.TotalRecvMsgs) / dt
+				rs.RecvBytesPerSec = float64(s.TotalRecvBytes-r.prev.TotalRecvBytes) / dt
+			}
+		}
+		view.Ranks = append(view.Ranks, rs)
+		view.Reporting++
+		if r.final {
+			view.Finals++
+		}
+		view.TotalSentMsgs += rs.SentMsgs
+		view.TotalSentBytes += rs.SentBytes
+		view.TotalRecvMsgs += rs.RecvMsgs
+		view.TotalRecvBytes += rs.RecvBytes
+	}
+	view.Reconciled = view.Reporting > 0 && view.TotalSentMsgs == view.TotalRecvMsgs
+	return view
+}
+
+// Snapshots returns the latest snapshot of every reporting rank, sorted by
+// world rank. With every final report in, these are exactly the per-rank
+// stats files a -stats run would have collected.
+func (t *Telemetry) Snapshots() []perf.Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]perf.Snapshot, 0, len(t.reports))
+	for _, r := range t.reports {
+		out = append(out, r.snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WorldRank < out[j].WorldRank })
+	return out
+}
+
+// Handler returns the launcher's job-telemetry HTTP surface:
+//
+//	/metrics        Prometheus text exposition of the job view
+//	/status         the JobView as JSON (per-rank table, ages, rates)
+//	/debug/pprof/   net/http/pprof for the launcher process itself
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		t.WriteMetrics(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t.View()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	perf.PprofMux(mux)
+	return mux
+}
+
+// WriteMetrics renders the job view in the Prometheus text exposition
+// format: job-wide totals plus per-rank series labeled by rank, component,
+// and host.
+func (t *Telemetry) WriteMetrics(w io.Writer) {
+	view := t.View()
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	gauge("mph_job_ranks_expected", "World size of the running job.", view.WorldSize)
+	gauge("mph_job_ranks_reporting", "Ranks that have pushed at least one telemetry report.", view.Reporting)
+	gauge("mph_job_ranks_final", "Ranks whose final (shutdown) report has arrived.", view.Finals)
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	counter("mph_job_sent_messages_total", "Messages sent, summed over reporting ranks.")
+	fmt.Fprintf(w, "mph_job_sent_messages_total %d\n", view.TotalSentMsgs)
+	counter("mph_job_recv_messages_total", "Messages received, summed over reporting ranks.")
+	fmt.Fprintf(w, "mph_job_recv_messages_total %d\n", view.TotalRecvMsgs)
+	counter("mph_job_sent_bytes_total", "Payload bytes sent, summed over reporting ranks.")
+	fmt.Fprintf(w, "mph_job_sent_bytes_total %d\n", view.TotalSentBytes)
+	counter("mph_job_recv_bytes_total", "Payload bytes received, summed over reporting ranks.")
+	fmt.Fprintf(w, "mph_job_recv_bytes_total %d\n", view.TotalRecvBytes)
+
+	if len(view.Ranks) == 0 {
+		return
+	}
+	labels := func(rs RankStatus) string {
+		return fmt.Sprintf("rank=%q,component=%q,host=%q",
+			fmt.Sprint(rs.Rank), rs.Component, rs.Host)
+	}
+	counter("mph_rank_sent_messages_total", "Messages sent by one rank.")
+	for _, rs := range view.Ranks {
+		fmt.Fprintf(w, "mph_rank_sent_messages_total{%s} %d\n", labels(rs), rs.SentMsgs)
+	}
+	counter("mph_rank_recv_messages_total", "Messages received by one rank.")
+	for _, rs := range view.Ranks {
+		fmt.Fprintf(w, "mph_rank_recv_messages_total{%s} %d\n", labels(rs), rs.RecvMsgs)
+	}
+	counter("mph_rank_sent_bytes_total", "Payload bytes sent by one rank.")
+	for _, rs := range view.Ranks {
+		fmt.Fprintf(w, "mph_rank_sent_bytes_total{%s} %d\n", labels(rs), rs.SentBytes)
+	}
+	counter("mph_rank_recv_bytes_total", "Payload bytes received by one rank.")
+	for _, rs := range view.Ranks {
+		fmt.Fprintf(w, "mph_rank_recv_bytes_total{%s} %d\n", labels(rs), rs.RecvBytes)
+	}
+	counter("mph_rank_coll_seconds_total", "Cumulative wall time one rank spent inside collectives.")
+	for _, rs := range view.Ranks {
+		fmt.Fprintf(w, "mph_rank_coll_seconds_total{%s} %g\n", labels(rs), float64(rs.CollNanos)/1e9)
+	}
+	fmt.Fprintf(w, "# HELP mph_rank_last_report_age_seconds Seconds since the rank's latest report, launcher clock.\n# TYPE mph_rank_last_report_age_seconds gauge\n")
+	for _, rs := range view.Ranks {
+		fmt.Fprintf(w, "mph_rank_last_report_age_seconds{%s} %g\n", labels(rs), float64(rs.LastReportAgeMS)/1e3)
+	}
+	fmt.Fprintf(w, "# HELP mph_rank_clock_offset_seconds Estimated launcher-clock minus rank-clock offset.\n# TYPE mph_rank_clock_offset_seconds gauge\n")
+	for _, rs := range view.Ranks {
+		fmt.Fprintf(w, "mph_rank_clock_offset_seconds{%s} %g\n", labels(rs), float64(rs.ClockOffsetNS)/1e9)
+	}
+	fmt.Fprintf(w, "# HELP mph_rank_stale One when the rank has missed its reporting window without a final report.\n# TYPE mph_rank_stale gauge\n")
+	for _, rs := range view.Ranks {
+		v := 0
+		if rs.Stale {
+			v = 1
+		}
+		fmt.Fprintf(w, "mph_rank_stale{%s} %d\n", labels(rs), v)
+	}
+}
+
+// TelemetryClient is the rank side of the telemetry channel: one TCP
+// connection to the launcher, a clock-sync handshake at dial time, then
+// one-way snapshot reports.
+type TelemetryClient struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *json.Encoder
+	seq    uint64
+	closed bool
+
+	offset, bound int64
+	synced        bool
+}
+
+// DialTelemetry connects to the launcher's telemetry endpoint, introduces
+// the rank, and runs the clock-sync handshake (DefaultClockSyncRounds
+// ping-pong rounds, minimum-RTT midpoint estimate). The handshake result is
+// available via ClockOffset; a handshake that fails midway degrades to "no
+// offset" rather than failing the dial, because telemetry must never take a
+// rank down.
+func DialTelemetry(addr string, rank int, host string, pid int, timeout time.Duration) (*TelemetryClient, error) {
+	if timeout <= 0 {
+		timeout = telemetryIOTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("mpirun: dial telemetry %s: %w", addr, err)
+	}
+	c := &TelemetryClient{conn: conn, enc: json.NewEncoder(conn)}
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := c.enc.Encode(teleMsg{Kind: "hello", Rank: rank, Host: host, PID: pid}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mpirun: telemetry hello: %w", err)
+	}
+	c.clockSync(timeout)
+	return c, nil
+}
+
+// clockSync runs the ping-pong rounds and stores the offset estimate.
+func (c *TelemetryClient) clockSync(timeout time.Duration) {
+	dec := json.NewDecoder(c.conn)
+	samples := make([]ClockSample, 0, DefaultClockSyncRounds)
+	for i := 0; i < DefaultClockSyncRounds; i++ {
+		t0 := time.Now().UnixNano()
+		c.conn.SetWriteDeadline(time.Now().Add(timeout))
+		if err := c.enc.Encode(teleMsg{Kind: "ping", Seq: uint64(i), T0: t0}); err != nil {
+			break
+		}
+		c.conn.SetReadDeadline(time.Now().Add(timeout))
+		var pong teleMsg
+		if err := dec.Decode(&pong); err != nil || pong.Kind != "pong" {
+			break
+		}
+		samples = append(samples, ClockSample{T0: t0, TS: pong.TS, T3: time.Now().UnixNano()})
+	}
+	if off, bound, ok := EstimateClockOffset(samples); ok {
+		c.offset, c.bound, c.synced = off, bound, true
+	}
+}
+
+// ClockOffset returns the clock-sync result: the estimated
+// launcher_clock − rank_clock offset, its half-RTT error bound, and whether
+// the handshake produced a usable estimate.
+func (c *TelemetryClient) ClockOffset() (offset, bound int64, ok bool) {
+	return c.offset, c.bound, c.synced
+}
+
+// Report pushes one snapshot to the launcher. Reports carry a sequence
+// number so the aggregator can drop reordered arrivals; final marks the
+// shutdown (or abort) report that ends the rank's live rate derivation.
+func (c *TelemetryClient) Report(snap perf.Snapshot, final bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return net.ErrClosed
+	}
+	c.seq++
+	c.conn.SetWriteDeadline(time.Now().Add(telemetryIOTimeout))
+	return c.enc.Encode(teleMsg{Kind: "report", Seq: c.seq, Final: final, Snap: &snap})
+}
+
+// Close hangs up the telemetry connection. Safe to call more than once.
+func (c *TelemetryClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

@@ -1,0 +1,273 @@
+package mpirun
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"mph/internal/mpi/perf"
+)
+
+func TestEstimateClockOffset(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []ClockSample
+		offset  int64
+		bound   int64
+		ok      bool
+	}{
+		{name: "no samples", ok: false},
+		{
+			name:    "clocks agree, symmetric rtt",
+			samples: []ClockSample{{T0: 100, TS: 150, T3: 200}},
+			offset:  0, bound: 50, ok: true,
+		},
+		{
+			name:    "server ahead by 1000",
+			samples: []ClockSample{{T0: 100, TS: 1150, T3: 200}},
+			offset:  1000, bound: 50, ok: true,
+		},
+		{
+			name:    "server behind by 1000",
+			samples: []ClockSample{{T0: 2100, TS: 1150, T3: 2200}},
+			offset:  -1000, bound: 50, ok: true,
+		},
+		{
+			name: "min rtt round wins",
+			samples: []ClockSample{
+				{T0: 0, TS: 5000, T3: 1000},  // rtt 1000, noisy
+				{T0: 2000, TS: 2060, T3: 2100}, // rtt 100, tight
+				{T0: 4000, TS: 9000, T3: 4800}, // rtt 800
+			},
+			offset: 10, bound: 50, ok: true,
+		},
+		{
+			name:    "negative rtt skipped",
+			samples: []ClockSample{{T0: 500, TS: 400, T3: 100}},
+			ok:      false,
+		},
+		{
+			name: "negative rtt skipped, good round kept",
+			samples: []ClockSample{
+				{T0: 500, TS: 400, T3: 100},
+				{T0: 100, TS: 150, T3: 200},
+			},
+			offset: 0, bound: 50, ok: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			offset, bound, ok := EstimateClockOffset(c.samples)
+			if ok != c.ok {
+				t.Fatalf("ok = %v, want %v", ok, c.ok)
+			}
+			if !ok {
+				return
+			}
+			if offset != c.offset || bound != c.bound {
+				t.Errorf("offset, bound = %d, %d; want %d, %d", offset, bound, c.offset, c.bound)
+			}
+		})
+	}
+}
+
+// snapFor builds a minimal snapshot for aggregator tests.
+func snapFor(rank int, sent, recv uint64) perf.Snapshot {
+	return perf.Snapshot{
+		WorldRank:     rank,
+		Component:     "comp",
+		Host:          "node-a",
+		TotalSentMsgs: sent,
+		TotalRecvMsgs: recv,
+	}
+}
+
+func TestTelemetryIngestOutOfOrder(t *testing.T) {
+	tele, err := NewTelemetry("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+	now := time.Now()
+
+	// A delayed periodic report (seq 1) arriving after the final (seq 3)
+	// must not overwrite it.
+	tele.Ingest(0, snapFor(0, 10, 10), 3, true, now)
+	tele.Ingest(0, snapFor(0, 5, 5), 1, false, now.Add(time.Second))
+
+	view := tele.viewAt(now.Add(2 * time.Second))
+	if view.Reporting != 1 || view.Finals != 1 {
+		t.Fatalf("reporting, finals = %d, %d; want 1, 1", view.Reporting, view.Finals)
+	}
+	if got := view.Ranks[0].SentMsgs; got != 10 {
+		t.Errorf("final report overwritten: sent = %d, want 10", got)
+	}
+	if !view.Ranks[0].Final {
+		t.Error("final flag lost")
+	}
+}
+
+func TestTelemetryIngestPartialAndStale(t *testing.T) {
+	tele, err := NewTelemetry("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+	tele.SetStaleAfter(10 * time.Second)
+	now := time.Now()
+
+	// Only 2 of 3 ranks have reported; one of them long ago.
+	tele.Ingest(0, snapFor(0, 7, 3), 1, false, now.Add(-30*time.Second))
+	tele.Ingest(2, snapFor(2, 3, 7), 1, false, now.Add(-time.Second))
+
+	view := tele.viewAt(now)
+	if view.WorldSize != 3 || view.Reporting != 2 {
+		t.Fatalf("world, reporting = %d, %d; want 3, 2", view.WorldSize, view.Reporting)
+	}
+	if !view.Ranks[0].Stale {
+		t.Error("rank 0 silent for 30s should be stale")
+	}
+	if view.Ranks[1].Stale {
+		t.Error("rank 2 reported 1s ago should not be stale")
+	}
+	if view.Ranks[0].LastReportAgeMS < 29_000 {
+		t.Errorf("rank 0 age %dms, want ≈30000", view.Ranks[0].LastReportAgeMS)
+	}
+	// sent == recv job-wide: reconciled even mid-run.
+	if !view.Reconciled {
+		t.Errorf("10 sent == 10 recv should reconcile: %+v", view)
+	}
+
+	// A final report never goes stale.
+	tele.Ingest(0, snapFor(0, 9, 4), 2, true, now.Add(-20*time.Second))
+	view = tele.viewAt(now)
+	if view.Ranks[0].Stale {
+		t.Error("final rank must not be stale")
+	}
+	if view.Reconciled {
+		t.Error("12 sent != 11 recv must not reconcile")
+	}
+
+	// Out-of-range ranks are dropped, not tracked.
+	tele.Ingest(-1, snapFor(-1, 1, 1), 1, false, now)
+	tele.Ingest(3, snapFor(3, 1, 1), 1, false, now)
+	if got := tele.viewAt(now).Reporting; got != 2 {
+		t.Errorf("out-of-range ranks ingested: reporting = %d, want 2", got)
+	}
+}
+
+func TestTelemetryRates(t *testing.T) {
+	tele, err := NewTelemetry("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+	now := time.Now()
+
+	tele.Ingest(0, snapFor(0, 100, 0), 1, false, now)
+	view := tele.viewAt(now)
+	if view.Ranks[0].SentMsgsPerSec != 0 {
+		t.Error("one report cannot have a rate")
+	}
+
+	// 400 more messages over 2 seconds: 200 msgs/s.
+	tele.Ingest(0, snapFor(0, 500, 0), 2, false, now.Add(2*time.Second))
+	view = tele.viewAt(now.Add(2 * time.Second))
+	if got := view.Ranks[0].SentMsgsPerSec; got < 199 || got > 201 {
+		t.Errorf("rate %g msgs/s, want 200", got)
+	}
+
+	// The final report freezes the rank: no rate on a finished row.
+	tele.Ingest(0, snapFor(0, 600, 0), 3, true, now.Add(3*time.Second))
+	view = tele.viewAt(now.Add(3 * time.Second))
+	if view.Ranks[0].SentMsgsPerSec != 0 {
+		t.Error("final rank still shows a rate")
+	}
+}
+
+func TestTelemetryEndToEnd(t *testing.T) {
+	tele, err := NewTelemetry("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+
+	// Two ranks dial, sync clocks, and push reports over real TCP.
+	for rank := 0; rank < 2; rank++ {
+		c, err := DialTelemetry(tele.Addr(), rank, "host-x", os.Getpid(), time.Second)
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		if _, bound, ok := c.ClockOffset(); !ok || bound < 0 {
+			t.Errorf("rank %d: clock sync failed over loopback (ok=%v bound=%d)", rank, ok, bound)
+		}
+		snap := snapFor(rank, 4, 4)
+		snap.Host = "" // the hello's host must backfill it
+		if err := c.Report(snap, false); err != nil {
+			t.Fatalf("rank %d report: %v", rank, err)
+		}
+		if err := c.Report(snapFor(rank, 9, 9), true); err != nil {
+			t.Fatalf("rank %d final: %v", rank, err)
+		}
+		c.Close()
+	}
+
+	// Reports travel asynchronously; wait for both finals.
+	deadline := time.Now().Add(5 * time.Second)
+	var view JobView
+	for {
+		view = tele.View()
+		if view.Finals == 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view.Finals != 2 || view.Reporting != 2 {
+		t.Fatalf("finals, reporting = %d, %d; want 2, 2", view.Finals, view.Reporting)
+	}
+	if view.TotalSentMsgs != 18 || !view.Reconciled {
+		t.Errorf("totals %+v", view)
+	}
+
+	// The HTTP surface serves Prometheus text and the JSON view.
+	srv := httptest.NewServer(tele.Handler())
+	defer srv.Close()
+	body := httpGet(t, srv.URL+"/metrics", "text/plain; version=0.0.4; charset=utf-8")
+	for _, want := range []string{
+		"mph_job_ranks_expected 2",
+		"mph_job_ranks_final 2",
+		"mph_job_sent_messages_total 18",
+		`mph_rank_sent_messages_total{rank="1",component="comp",host="node-a"} 9`,
+		"mph_rank_clock_offset_seconds",
+		"mph_rank_stale",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	status := httpGet(t, srv.URL+"/status", "application/json")
+	if !strings.Contains(status, `"world_size": 2`) || !strings.Contains(status, `"reconciled": true`) {
+		t.Errorf("/status payload:\n%s", status)
+	}
+}
+
+func httpGet(t *testing.T, url, wantType string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != wantType {
+		t.Errorf("%s: content type %q, want %q", url, ct, wantType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

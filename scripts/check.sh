@@ -17,7 +17,10 @@
 # executable. The multi-host smoke launches the climate example across two
 # placement hosts through the exec backend (the full agent spawn path, minus
 # ssh) with stats on, so the remote-launch machinery stays exercised end to
-# end without an sshd.
+# end without an sshd. The telemetry smoke reruns that job with live
+# reporting on and scrapes the launcher's Prometheus /metrics endpoint
+# mid-run (scripts/httpget, so no curl dependency), then asserts the final
+# summary reconciles sent == received job-wide.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -29,6 +32,7 @@ go build ./...
 go test ./...
 go test -race ./internal/mpi/...
 go test -run 'Fault|Chaos' -race -count=2 ./internal/mpi/...
+go test -run 'Telemetry|ClockOffset' -race ./internal/mpirun
 go test -run=NONE -bench=BenchmarkTracerOverhead -benchtime=1x ./internal/mpi
 go test -run=NONE -bench=BenchmarkAllgather -benchtime=1x ./internal/mpi
 
@@ -62,3 +66,27 @@ EOF
 "$smoke/mphrun" -hosts nodeA:2,nodeB:2 -backend exec -placement block -stats \
     -cmdfile "$smoke/job.cmd" -registration examples/climate/processors_map.in
 grep -q "period" "$smoke/coupler.log"
+
+# Telemetry smoke: the same job, paced to ~2s of wall-clock (the unpaced
+# grid finishes in milliseconds — too fast to scrape), with live reporting.
+# The poller starts first (it retries until the launcher's -http server is
+# up) and must see per-rank Prometheus series while the job runs, then the
+# -stats summary must reconcile job-wide.
+go build -o "$smoke/httpget" ./scripts/httpget
+cat > "$smoke/telejob.cmd" <<EOF
+1 $smoke/climate -component atmosphere -periods 20 -pace 100ms -logdir $smoke
+1 $smoke/climate -component ocean      -periods 20 -pace 100ms -logdir $smoke
+1 $smoke/climate -component land       -periods 20 -pace 100ms -logdir $smoke
+1 $smoke/climate -component ice        -periods 20 -pace 100ms -logdir $smoke
+1 $smoke/climate -component coupler    -periods 20 -pace 100ms -logdir $smoke
+EOF
+"$smoke/httpget" -timeout 60s -pattern mph_rank_sent_messages_total \
+    http://127.0.0.1:7399/metrics > "$smoke/metrics.out" &
+poller=$!
+"$smoke/mphrun" -hosts nodeA:2,nodeB:2 -backend exec -placement block -stats \
+    -stats-interval 100ms -http 127.0.0.1:7399 \
+    -cmdfile "$smoke/telejob.cmd" -registration examples/climate/processors_map.in \
+    > "$smoke/telemetry.out"
+wait "$poller"
+grep -q "mph_job_ranks_expected 5" "$smoke/metrics.out"
+grep -q "totals reconcile" "$smoke/telemetry.out"

@@ -1,0 +1,64 @@
+// Command httpget polls a URL until its body contains a pattern, retrying
+// while the server is still coming up. It exists for shell-level CI smokes
+// (scripts/check.sh) that must scrape a launcher's /metrics endpoint
+// mid-job without depending on curl or wget being installed: exit 0 once
+// the pattern appears, 1 if the deadline passes first.
+//
+// Usage:
+//
+//	httpget -timeout 30s -pattern mph_rank_sent_messages_total URL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 30*time.Second, "give up after this long")
+	pattern := flag.String("pattern", "", "substring the body must contain (empty = any 200 response)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "httpget: need exactly one URL")
+		os.Exit(2)
+	}
+	url := flag.Arg(0)
+	deadline := time.Now().Add(*timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		body, err := get(url)
+		if err == nil && strings.Contains(body, *pattern) {
+			fmt.Print(body)
+			return
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("body does not contain %q", *pattern)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "httpget: %s: %v\n", url, lastErr)
+	os.Exit(1)
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
