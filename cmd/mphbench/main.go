@@ -556,6 +556,12 @@ var benchCollPath string
 // the per-operation times side by side, and writes the sweep to
 // BENCH_coll.json so the crossover recorded in EXPERIMENTS.md stays
 // reproducible. The ratio column is tree/ring: above 1.0 the ring wins.
+// A second table repeats the sweep over a 2–4 host matrix (SetHosts on an
+// in-process world, block placement) with the two-level hierarchical
+// algorithm pinned off and on via MPH_COLL_HIER, recording the
+// flat-vs-hierarchical crossover. In-process "hosts" share one address
+// space, so these cells price the hierarchy's extra message count and
+// pipelining, not a real network win — see EXPERIMENTS.md.
 func c1(repeat int) error {
 	fmt.Println("C1: collective algorithm crossover, tree vs ring (8 ranks)")
 	const ranks = 8
@@ -619,10 +625,11 @@ func c1(repeat int) error {
 		TreeOverRing float64 `json:"tree_over_ring"`
 	}
 	var rows []row
-	for _, op := range []struct {
+	ops := []struct {
 		name string
 		run  func(c *mpi.Comm, size int) error
-	}{{"allgather", allgather}, {"allreduce", allreduce}} {
+	}{{"allgather", allgather}, {"allreduce", allreduce}}
+	for _, op := range ops {
 		fmt.Printf("%-10s %-10s %12s %12s %8s\n", "op", "payload", "tree", "ring", "t/r")
 		for _, size := range sizes {
 			tree, err := measure("-1", size, op.run)
@@ -639,12 +646,90 @@ func c1(repeat int) error {
 		}
 	}
 
+	// measureHier times one (op, size) cell on a world whose ranks are block-
+	// partitioned over hostCount published hosts, with the hierarchical
+	// selector pinned via MPH_COLL_HIER (the ring threshold stays at its
+	// default so the flat column is what an untuned job would run).
+	measureHier := func(hier string, hostCount, size int, op func(c *mpi.Comm, size int) error) (time.Duration, error) {
+		old, had := os.LookupEnv(mpi.EnvCollHier)
+		os.Setenv(mpi.EnvCollHier, hier)
+		defer func() {
+			if had {
+				os.Setenv(mpi.EnvCollHier, old)
+			} else {
+				os.Unsetenv(mpi.EnvCollHier)
+			}
+		}()
+		w, err := mpi.NewWorld(ranks)
+		if err != nil {
+			return 0, err
+		}
+		defer w.Close()
+		hosts := make([]string, ranks)
+		for r := range hosts {
+			hosts[r] = fmt.Sprintf("node%d", r*hostCount/ranks)
+		}
+		w.SetHosts(hosts)
+		rounds := 1 << 20 / size
+		if rounds < 2 {
+			rounds = 2
+		}
+		if rounds > 64 {
+			rounds = 64
+		}
+		d, err := timeIt(repeat, func() error {
+			return w.Run(func(c *mpi.Comm) error {
+				for i := 0; i < rounds; i++ {
+					if err := op(c, size); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		return d / time.Duration(rounds), err
+	}
+
+	type hierRow struct {
+		Op           string  `json:"op"`
+		Ranks        int     `json:"ranks"`
+		Hosts        int     `json:"hosts"`
+		PayloadBytes int     `json:"payload_bytes"`
+		FlatNsPerOp  int64   `json:"flat_ns_per_op"`
+		HierNsPerOp  int64   `json:"hier_ns_per_op"`
+		FlatOverHier float64 `json:"flat_over_hier"`
+	}
+	var hierRows []hierRow
+	hierSizes := []int{4 << 10, 64 << 10, 1 << 20}
+	fmt.Println("\nC1b: flat vs hierarchical over a host matrix (8 ranks, block placement)")
+	for _, op := range ops {
+		fmt.Printf("%-10s %-6s %-10s %12s %12s %8s\n", "op", "hosts", "payload", "flat", "hier", "f/h")
+		for _, hostCount := range []int{2, 3, 4} {
+			for _, size := range hierSizes {
+				flat, err := measureHier("0", hostCount, size, op.run)
+				if err != nil {
+					return err
+				}
+				hier, err := measureHier("1", hostCount, size, op.run)
+				if err != nil {
+					return err
+				}
+				ratio := float64(flat) / float64(hier)
+				fmt.Printf("%-10s %-6d %-10d %12v %12v %8.2f\n", op.name, hostCount, size, flat, hier, ratio)
+				hierRows = append(hierRows, hierRow{op.name, ranks, hostCount, size,
+					flat.Nanoseconds(), hier.Nanoseconds(), ratio})
+			}
+		}
+	}
+
 	sweep := struct {
-		Experiment       string `json:"experiment"`
-		Repeat           int    `json:"repeat"`
-		DefaultThreshold int    `json:"default_threshold_bytes"`
-		Rows             []row  `json:"rows"`
-	}{"C1", repeat, mpi.DefaultRingThreshold, rows}
+		Experiment       string    `json:"experiment"`
+		Repeat           int       `json:"repeat"`
+		DefaultThreshold int       `json:"default_threshold_bytes"`
+		DefaultSegment   int       `json:"default_segment_bytes"`
+		Rows             []row     `json:"rows"`
+		HierRows         []hierRow `json:"hier_rows"`
+	}{"C1", repeat, mpi.DefaultRingThreshold, mpi.DefaultCollSegment, rows, hierRows}
 	data, err := json.MarshalIndent(&sweep, "", "  ")
 	if err != nil {
 		return err

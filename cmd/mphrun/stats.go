@@ -132,6 +132,17 @@ func printStats(w io.Writer, snaps []perf.Snapshot) {
 		fmt.Fprintf(w, "mphrun: WARNING: totals do not reconcile: %d sent != %d received\n",
 			totals.SentMsgs, totals.RecvMsgs)
 	}
+	var tree, ring, hier uint64
+	for i := range snaps {
+		for _, c := range snaps[i].Collectives {
+			tree += c.Tree
+			ring += c.Ring
+			hier += c.Hier
+		}
+	}
+	if tree+ring+hier > 0 {
+		fmt.Fprintf(w, "mphrun: collective routing: tree=%d ring=%d hier=%d\n", tree, ring, hier)
+	}
 }
 
 // stragglerRow is one collective op's cross-rank wait-skew summary.

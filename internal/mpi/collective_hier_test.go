@@ -1,0 +1,399 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mph/internal/mpi/perf"
+)
+
+// hierLayouts are the degenerate and representative host topologies the
+// hierarchical collectives must survive: everything on one host (router
+// stays dormant), one rank per host (singleton intra comms, leaders == the
+// whole comm), uneven blocks, and a cyclic placement whose hosts are not
+// contiguous in rank order (order-sensitive reductions must refuse it).
+var hierLayouts = []struct {
+	name  string
+	hosts []string
+}{
+	{"one-host", []string{"hA", "hA", "hA", "hA"}},
+	{"one-rank-per-host", []string{"hA", "hB", "hC", "hD"}},
+	{"uneven-3+1", []string{"hA", "hA", "hA", "hB"}},
+	{"contig-2+2", []string{"hA", "hA", "hB", "hB"}},
+	{"cyclic-2x2", []string{"hA", "hB", "hA", "hB"}},
+	{"uneven-3+3+2", []string{"hA", "hA", "hA", "hB", "hB", "hB", "hC", "hC"}},
+}
+
+// newHierWorld builds an in-process world with the given host topology
+// published before any collective runs, so every comm's first collective
+// sees it.
+func newHierWorld(t *testing.T, hosts []string) *World {
+	t.Helper()
+	w, err := NewWorld(len(hosts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	w.SetHosts(hosts)
+	return w
+}
+
+// hierPayload is a deterministic per-rank payload of the given size.
+func hierPayload(rank, size int) []byte {
+	p := make([]byte, size)
+	for i := range p {
+		p[i] = byte(rank*131 + i)
+	}
+	return p
+}
+
+func TestHierBcastTopologies(t *testing.T) {
+	// A 96-byte segment forces multi-segment pipelining on the larger
+	// payloads without making the test slow.
+	t.Setenv(EnvCollSegment, "96")
+	for _, layout := range hierLayouts {
+		t.Run(layout.name, func(t *testing.T) {
+			w := newHierWorld(t, layout.hosts)
+			for _, root := range []int{0, 1, len(layout.hosts) - 1} {
+				for _, size := range []int{0, 1, 96, 300, 5000} {
+					want := hierPayload(root, size)
+					err := w.Run(func(c *Comm) error {
+						var in []byte
+						if c.Rank() == root {
+							in = hierPayload(root, size)
+						}
+						got, err := c.Bcast(root, in)
+						if err != nil {
+							return err
+						}
+						if !bytes.Equal(got, want) {
+							return fmt.Errorf("rank %d: bcast root=%d size=%d: got %d bytes, mismatch", c.Rank(), root, size, len(got))
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatalf("root=%d size=%d: %v", root, size, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestHierAllgatherTopologies(t *testing.T) {
+	t.Setenv(EnvCollSegment, "96")
+	for _, layout := range hierLayouts {
+		t.Run(layout.name, func(t *testing.T) {
+			w := newHierWorld(t, layout.hosts)
+			err := w.Run(func(c *Comm) error {
+				// Per-rank sizes differ (allgatherv), including an empty one.
+				mine := hierPayload(c.Rank(), c.Rank()*37)
+				got, err := c.Allgather(mine)
+				if err != nil {
+					return err
+				}
+				if len(got) != c.Size() {
+					return fmt.Errorf("rank %d: got %d blocks, want %d", c.Rank(), len(got), c.Size())
+				}
+				for r, blk := range got {
+					if !bytes.Equal(blk, hierPayload(r, r*37)) {
+						return fmt.Errorf("rank %d: block of rank %d mismatch", c.Rank(), r)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHierAllreduceTopologies(t *testing.T) {
+	// 24-byte segments over 100 floats (800 bytes) exercise the per-segment
+	// pipeline including an element-aligned tail.
+	t.Setenv(EnvCollSegment, "24")
+	for _, layout := range hierLayouts {
+		t.Run(layout.name, func(t *testing.T) {
+			w := newHierWorld(t, layout.hosts)
+			n := 100
+			err := w.Run(func(c *Comm) error {
+				xs := make([]float64, n)
+				for i := range xs {
+					xs[i] = float64(c.Rank()*1000 + i)
+				}
+				got, err := c.AllreduceFloats(xs, OpSum)
+				if err != nil {
+					return err
+				}
+				for i, v := range got {
+					want := 0.0
+					for r := 0; r < c.Size(); r++ {
+						want += float64(r*1000 + i)
+					}
+					if v != want {
+						return fmt.Errorf("rank %d: sum[%d] = %v, want %v", c.Rank(), i, v, want)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHierReduceTopologies(t *testing.T) {
+	for _, layout := range hierLayouts {
+		t.Run(layout.name, func(t *testing.T) {
+			w := newHierWorld(t, layout.hosts)
+			for _, root := range []int{0, 1, len(layout.hosts) - 1} {
+				err := w.Run(func(c *Comm) error {
+					xs := []float64{float64(c.Rank()), 1}
+					got, err := c.ReduceFloats(root, xs, OpSum)
+					if err != nil {
+						return err
+					}
+					if c.Rank() != root {
+						if got != nil {
+							return fmt.Errorf("rank %d: non-root got a result", c.Rank())
+						}
+						return nil
+					}
+					wantSum := float64(c.Size()*(c.Size()-1)) / 2
+					if got[0] != wantSum || got[1] != float64(c.Size()) {
+						return fmt.Errorf("root %d: got %v, want [%v %v]", root, got, wantSum, c.Size())
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("root=%d: %v", root, err)
+				}
+			}
+		})
+	}
+}
+
+// TestHierOpaqueAllreduceOrder checks that the opaque (elem == 0) allreduce
+// preserves rank order through the hierarchical regrouping on contiguous
+// layouts — concatenation is associative but not commutative, so any
+// reordering would show.
+func TestHierOpaqueAllreduceOrder(t *testing.T) {
+	concat := func(acc, in []byte) ([]byte, error) {
+		out := make([]byte, 0, len(acc)+len(in))
+		out = append(out, acc...)
+		return append(out, in...), nil
+	}
+	for _, layout := range hierLayouts {
+		if layout.name == "cyclic-2x2" {
+			continue // non-contiguous: the selector must fall back to flat anyway
+		}
+		t.Run(layout.name, func(t *testing.T) {
+			w := newHierWorld(t, layout.hosts)
+			var want []byte
+			for r := range layout.hosts {
+				want = append(want, byte('a'+r))
+			}
+			err := w.Run(func(c *Comm) error {
+				got, err := c.Allreduce([]byte{byte('a' + c.Rank())}, concat)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("rank %d: concat = %q, want %q", c.Rank(), got, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHierCyclicFallsBackFlat pins the contiguity guard: a cyclic placement
+// must route the opaque allreduce and reduce through the flat algorithms
+// (concatenation order would break otherwise) while still getting them
+// right.
+func TestHierCyclicFallsBackFlat(t *testing.T) {
+	w := newHierWorld(t, []string{"hA", "hB", "hA", "hB"})
+	concat := func(acc, in []byte) ([]byte, error) {
+		out := make([]byte, 0, len(acc)+len(in))
+		out = append(out, acc...)
+		return append(out, in...), nil
+	}
+	err := w.Run(func(c *Comm) error {
+		got, err := c.Allreduce([]byte{byte('a' + c.Rank())}, concat)
+		if err != nil {
+			return err
+		}
+		if string(got) != "abcd" {
+			return fmt.Errorf("rank %d: concat = %q, want abcd", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := w.Perf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := pv.Snapshot(); snap.Collectives["allreduce"].Hier != 0 {
+		t.Errorf("opaque allreduce on a cyclic layout routed hierarchically (hier=%d)", snap.Collectives["allreduce"].Hier)
+	}
+}
+
+// TestHierPvarRouting checks the selector end to end through the pvar:
+// multi-host comms must count hier selections, and MPH_COLL_HIER=0 must
+// force them back to zero.
+func TestHierPvarRouting(t *testing.T) {
+	run := func(t *testing.T) map[string]perf.CollSnap {
+		w := newHierWorld(t, []string{"hA", "hA", "hB", "hB"})
+		err := w.Run(func(c *Comm) error {
+			if _, err := c.Bcast(0, hierPayload(0, 4096)); err != nil && c.Rank() != 0 {
+				return err
+			}
+			_, err := c.AllreduceFloats(make([]float64, 512), OpSum)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, err := w.Perf(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pv.Snapshot().Collectives
+	}
+	t.Run("enabled", func(t *testing.T) {
+		colls := run(t)
+		if colls["bcast"].Hier == 0 {
+			t.Error("multi-host bcast did not route hierarchically")
+		}
+		if colls["allreduce"].Hier == 0 {
+			t.Error("multi-host allreduce did not route hierarchically")
+		}
+	})
+	t.Run("disabled", func(t *testing.T) {
+		t.Setenv(EnvCollHier, "0")
+		colls := run(t)
+		if h := colls["bcast"].Hier + colls["allreduce"].Hier; h != 0 {
+			t.Errorf("MPH_COLL_HIER=0 still routed %d collectives hierarchically", h)
+		}
+	})
+}
+
+func TestSegmentBounds(t *testing.T) {
+	cases := []struct {
+		n, segSize, elem int
+		want             []int
+	}{
+		{0, 128, 1, []int{0, 0}},
+		{100, 0, 1, []int{0, 100}},   // segmentation disabled
+		{100, 128, 1, []int{0, 100}}, // payload under one segment
+		{100, 40, 1, []int{0, 40, 80, 100}},
+		{100, 40, 8, []int{0, 40, 80, 100}},           // already aligned
+		{96, 20, 8, []int{0, 16, 32, 48, 64, 80, 96}}, // rounded down to 16
+		{24, 4, 8, []int{0, 8, 16, 24}},               // segSize below one element
+	}
+	for _, tc := range cases {
+		got := segmentBounds(tc.n, tc.segSize, tc.elem)
+		if len(got) != len(tc.want) {
+			t.Errorf("segmentBounds(%d,%d,%d) = %v, want %v", tc.n, tc.segSize, tc.elem, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("segmentBounds(%d,%d,%d) = %v, want %v", tc.n, tc.segSize, tc.elem, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestChaosPeerLostMidHierInter severs a host leader while the other ranks
+// sit inside a hierarchical allreduce's inter-host phase: the surviving
+// leader blocks on the dead one in the leader exchange, the dead leader's
+// member blocks waiting for its fan-out. Every survivor must return a typed
+// error — the directly blocked ones ErrPeerLost, the rest ErrAborted after
+// the escalation — instead of hanging.
+func TestChaosPeerLostMidHierInter(t *testing.T) {
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetHosts([]string{"hA", "hA", "hB", "hB"}) // leaders: 0 (hA), 2 (hB)
+
+	comms := make([]*Comm, 4)
+	for r := range comms {
+		c, err := w.Comm(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comms[r] = c
+	}
+	// Warm-up with all four ranks so the sub-communicator pair is built and
+	// cached; the failure below then lands mid-phase, not mid-build.
+	var warm sync.WaitGroup
+	for _, c := range comms {
+		warm.Add(1)
+		go func(c *Comm) {
+			defer warm.Done()
+			if _, err := c.AllreduceFloats([]float64{1}, OpSum); err != nil {
+				t.Errorf("warm-up allreduce: %v", err)
+			}
+		}(c)
+	}
+	warm.Wait()
+
+	type outcome struct {
+		rank int
+		err  error
+	}
+	results := make(chan outcome, 3)
+	for _, r := range []int{0, 1, 3} { // rank 2, leader of hB, never shows up
+		go func(c *Comm) {
+			_, err := c.AllreduceFloats(make([]float64, 1024), OpSum)
+			if _, lost := IsPeerLost(err); lost {
+				c.Abort(3) // escalate collective peer-loss, like core.handshake
+			}
+			results <- outcome{rank: c.Rank(), err: err}
+		}(comms[r])
+	}
+	time.Sleep(20 * time.Millisecond) // let the inter-host phase stall on rank 2
+
+	cause := errors.New("injected: leader of hB crashed")
+	for _, r := range []int{0, 1, 3} {
+		w.envs[r].PeerLost(2, cause)
+	}
+
+	sawPeerLost := false
+	for i := 0; i < 3; i++ {
+		select {
+		case o := <-results:
+			if o.err == nil {
+				t.Fatalf("rank %d: hier allreduce succeeded without its leader", o.rank)
+			}
+			if rank, lost := IsPeerLost(o.err); lost {
+				sawPeerLost = true
+				if rank != 2 {
+					t.Errorf("rank %d: lost rank %d, want 2", o.rank, rank)
+				}
+			} else if !errors.Is(o.err, ErrAborted) {
+				t.Errorf("rank %d: error %v is neither ErrPeerLost nor ErrAborted", o.rank, o.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("leader loss left a survivor blocked mid-hier-collective")
+		}
+	}
+	if !sawPeerLost {
+		t.Error("no survivor observed ErrPeerLost (the surviving leader blocks on the dead one)")
+	}
+}

@@ -31,6 +31,8 @@ type Kind uint8
 //	KPeerLost:   A=lost world rank
 //	KAbort:      A=abort code, B=origin world rank (-1 launcher)
 //	KRendezvous: A=destination world rank, B=tag, C=payload bytes, D=rendezvous id
+//	KCollPhaseBegin: A=CollOp, B=CollPhase, C=segment index, D=segment bytes
+//	KCollPhaseEnd:   A=CollOp, B=CollPhase, C=segment index
 //
 // The per-message hot-path kinds — KSend, KRecvPost, KMatch — are subject to
 // 1-in-N sampling (SetSample); every other kind is always recorded.
@@ -49,6 +51,8 @@ const (
 	KPeerLost
 	KAbort
 	KRendezvous
+	KCollPhaseBegin
+	KCollPhaseEnd
 	numKinds
 )
 
@@ -56,6 +60,7 @@ var kindNames = [numKinds]string{
 	"send", "recv-post", "match", "coll-enter", "coll-exit",
 	"comm-split", "comm-dup", "comm-join", "phase-begin", "phase-end",
 	"dial-retry", "peer-lost", "abort", "rendezvous",
+	"coll-phase-begin", "coll-phase-end",
 }
 
 // String names the event kind as it appears in trace dumps.

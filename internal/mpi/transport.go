@@ -76,6 +76,13 @@ type Env struct {
 	// choices diverge; the launcher propagates the environment.
 	ringThreshold int
 
+	// hierEnabled gates the two-level host-aware collectives, parsed once
+	// from EnvCollHier; collSegment is the pipelining segment size in bytes,
+	// parsed once from EnvCollSegment (<= 0 disables segmentation). Like
+	// ringThreshold, every rank of a job must see the same values.
+	hierEnabled bool
+	collSegment int
+
 	// hosts maps world rank -> host label, published by the transport once
 	// the rendezvous book is known. Atomic because transports learn the
 	// topology on their own goroutine while ranks may already be asking.
@@ -95,6 +102,8 @@ func NewEnv(worldRank, worldSize int, tr Transport) *Env {
 		tr:            tr,
 		pv:            perf.NewRank(worldRank, worldSize),
 		ringThreshold: ringThresholdFromEnv(),
+		hierEnabled:   hierFromEnv(),
+		collSegment:   segmentFromEnv(),
 	}
 	if b, ok := tr.(payloadBorrower); ok {
 		e.borrower = b

@@ -1,15 +1,21 @@
 // Command lintdoc is the repository's exported-comment linter: every
-// exported identifier in non-test Go source must carry a doc comment, in the
-// style golint/revive enforce. It is kept in-tree (stdlib go/ast only, no
-// module downloads) so scripts/check.sh and CI can run it anywhere the Go
-// toolchain exists.
+// exported identifier in non-test Go source must carry a doc comment, and
+// the comment must open with the identifier it documents (types may lead
+// with an article), in the style golint/revive enforce. It is kept in-tree
+// (stdlib go/ast only, no module downloads) so scripts/check.sh and CI can
+// run it anywhere the Go toolchain exists.
 //
 // Usage:
 //
 //	go run ./scripts/lintdoc [dir ...]
 //
 // With no arguments the current directory tree is linted. Exit status is 1
-// when any exported identifier lacks a comment, 2 on usage or parse errors.
+// when any exported identifier lacks a comment or any doc comment fails the
+// prefix rule, 2 on usage or parse errors. The prefix rule is checked on
+// declarations whose doc is unambiguously theirs: functions, methods, and
+// types always; consts and vars only when the comment sits on a single-name
+// spec or a single-spec declaration (a grouped block's shared comment
+// legitimately names none of its members).
 package main
 
 import (
@@ -38,7 +44,7 @@ func main() {
 		bad += n
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "lintdoc: %d exported identifier(s) without doc comments\n", bad)
+		fmt.Fprintf(os.Stderr, "lintdoc: %d doc-comment finding(s) on exported identifiers\n", bad)
 		os.Exit(1)
 	}
 }
@@ -81,10 +87,18 @@ func lintFile(path string) (int, error) {
 		fmt.Printf("%s: exported %s %s should have a doc comment\n", fset.Position(pos), kind, name)
 		bad++
 	}
+	checkPrefix := func(doc *ast.CommentGroup, kind string, name *ast.Ident, allowArticle bool) {
+		if doc == nil || docStartsWithName(doc, name.Name, allowArticle) {
+			return
+		}
+		fmt.Printf("%s: comment on exported %s %s should start with %q\n",
+			fset.Position(name.Pos()), kind, name.Name, name.Name)
+		bad++
+	}
 	for _, decl := range f.Decls {
 		switch d := decl.(type) {
 		case *ast.FuncDecl:
-			if !d.Name.IsExported() || d.Doc != nil {
+			if !d.Name.IsExported() {
 				continue
 			}
 			if d.Recv != nil && !receiverExported(d.Recv) {
@@ -94,29 +108,81 @@ func lintFile(path string) (int, error) {
 			if d.Recv != nil {
 				kind = "method"
 			}
-			report(d.Name.Pos(), kind, d.Name.Name)
+			if d.Doc == nil {
+				report(d.Name.Pos(), kind, d.Name.Name)
+				continue
+			}
+			checkPrefix(d.Doc, kind, d.Name, false)
 		case *ast.GenDecl:
 			for _, spec := range d.Specs {
 				switch s := spec.(type) {
 				case *ast.TypeSpec:
-					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					if !s.Name.IsExported() {
+						continue
+					}
+					if d.Doc == nil && s.Doc == nil {
 						report(s.Name.Pos(), "type", s.Name.Name)
+						continue
+					}
+					if doc := s.Doc; doc != nil {
+						checkPrefix(doc, "type", s.Name, true)
+					} else if len(d.Specs) == 1 {
+						checkPrefix(d.Doc, "type", s.Name, true)
 					}
 				case *ast.ValueSpec:
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
 					for _, name := range s.Names {
 						if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
-							kind := "var"
-							if d.Tok == token.CONST {
-								kind = "const"
-							}
 							report(name.Pos(), kind, name.Name)
 						}
+					}
+					// The prefix rule needs a comment that names exactly one
+					// identifier: a spec-level doc on a single-name spec, or
+					// the decl doc of a single-spec, single-name declaration.
+					if len(s.Names) != 1 || !s.Names[0].IsExported() {
+						continue
+					}
+					if doc := s.Doc; doc != nil {
+						checkPrefix(doc, kind, s.Names[0], false)
+					} else if len(d.Specs) == 1 {
+						checkPrefix(d.Doc, kind, s.Names[0], false)
 					}
 				}
 			}
 		}
 	}
 	return bad, nil
+}
+
+// docStartsWithName reports whether a doc comment's text opens with the
+// identifier it documents, followed by a word boundary. Types may lead with
+// an article ("A", "An", "The"); "Deprecated:" notices are exempt, matching
+// the convention golint established.
+func docStartsWithName(doc *ast.CommentGroup, name string, allowArticle bool) bool {
+	text := strings.TrimSpace(doc.Text())
+	if text == "" || strings.HasPrefix(text, "Deprecated:") {
+		return true
+	}
+	if allowArticle {
+		for _, a := range []string{"A ", "An ", "The "} {
+			if strings.HasPrefix(text, a) {
+				text = text[len(a):]
+				break
+			}
+		}
+	}
+	if !strings.HasPrefix(text, name) {
+		return false
+	}
+	rest := text[len(name):]
+	if rest == "" {
+		return true
+	}
+	r := rune(rest[0])
+	return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
 }
 
 // receiverExported reports whether a method's receiver names an exported
