@@ -413,29 +413,34 @@ func p1(repeat int) error {
 // benchTransportPath is where p2 writes its JSON sweep (-transportout).
 var benchTransportPath string
 
-// p2 sweeps one-directional TCP message sizes with the rendezvous protocol
-// pinned off (MPH_EAGER_THRESHOLD=-1, pure eager) and pinned on for every
-// payload (=0), and reports per-message time and bandwidth side by side. The
-// crossover visible in the table is what motivates the 64 KiB default
-// threshold: below it the extra RTS/CTS round trip dominates, above it the
-// copy savings win. The sweep goes to BENCH_transport.json.
+// p2 sweeps one-directional message sizes across three transport cells: pure
+// eager (MPH_EAGER_THRESHOLD=-1), rendezvous over loopback TCP
+// (MPH_EAGER_THRESHOLD=0, MPH_SHM=off), and rendezvous over the intra-host
+// channel (MPH_EAGER_THRESHOLD=0, MPH_SHM on — the in-process pair shares a
+// hostname, so the channel engages exactly as it would under a single-host
+// mphrun placement). The eager/rendezvous crossover motivates the 64 KiB
+// default threshold; the tcp/shm column shows what the Unix-socket payload
+// path buys over loopback TCP. The sweep goes to BENCH_transport.json.
 func p2(repeat int) error {
-	fmt.Println("P2: TCP eager vs rendezvous send, 2 ranks over loopback")
+	fmt.Println("P2: eager vs rendezvous(tcp) vs rendezvous(shm) send, 2 ranks, one host")
 	sizes := []int{256, 4 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20}
 
 	// measure times `rounds` back-to-back sends of one size under the given
-	// threshold, returning the per-message time. A fresh 2-rank world per
-	// cell: the threshold is read at transport construction.
-	measure := func(threshold string, size int) (time.Duration, error) {
-		old, had := os.LookupEnv(tcpnet.EnvEagerThreshold)
-		os.Setenv(tcpnet.EnvEagerThreshold, threshold)
-		defer func() {
-			if had {
-				os.Setenv(tcpnet.EnvEagerThreshold, old)
-			} else {
-				os.Unsetenv(tcpnet.EnvEagerThreshold)
-			}
-		}()
+	// threshold and MPH_SHM setting, returning the per-message time. A fresh
+	// 2-rank world per cell: both knobs are read at transport construction.
+	measure := func(threshold, shm string, size int) (time.Duration, error) {
+		for _, kv := range [][2]string{{tcpnet.EnvEagerThreshold, threshold}, {tcpnet.EnvShm, shm}} {
+			name, val := kv[0], kv[1]
+			old, had := os.LookupEnv(name)
+			os.Setenv(name, val)
+			defer func() {
+				if had {
+					os.Setenv(name, old)
+				} else {
+					os.Unsetenv(name)
+				}
+			}()
+		}
 		rounds := 64 << 20 / size
 		if rounds > 512 {
 			rounds = 512
@@ -468,23 +473,32 @@ func p2(repeat int) error {
 		PayloadBytes int     `json:"payload_bytes"`
 		EagerNsPerOp int64   `json:"eager_ns_per_op"`
 		RdvNsPerOp   int64   `json:"rendezvous_ns_per_op"`
+		ShmNsPerOp   int64   `json:"rendezvous_shm_ns_per_op"`
 		EagerOverRdv float64 `json:"eager_over_rendezvous"`
+		TCPOverShm   float64 `json:"tcp_over_shm"`
 	}
 	var rows []row
-	fmt.Printf("%-10s %12s %12s %8s %14s\n", "payload", "eager", "rendezvous", "e/r", "rdv bandwidth")
+	fmt.Printf("%-10s %12s %12s %12s %8s %8s %14s\n",
+		"payload", "eager", "rdv(tcp)", "rdv(shm)", "e/r", "tcp/shm", "shm bandwidth")
 	for _, size := range sizes {
-		eager, err := measure("-1", size)
+		eager, err := measure("-1", "off", size)
 		if err != nil {
 			return err
 		}
-		rdv, err := measure("0", size)
+		rdv, err := measure("0", "off", size)
+		if err != nil {
+			return err
+		}
+		shm, err := measure("0", "1", size)
 		if err != nil {
 			return err
 		}
 		ratio := float64(eager) / float64(rdv)
-		mbs := float64(size) / rdv.Seconds() / 1e6
-		fmt.Printf("%-10d %12v %12v %8.2f %11.1f MB/s\n", size, eager, rdv, ratio, mbs)
-		rows = append(rows, row{size, eager.Nanoseconds(), rdv.Nanoseconds(), ratio})
+		shmRatio := float64(rdv) / float64(shm)
+		mbs := float64(size) / shm.Seconds() / 1e6
+		fmt.Printf("%-10d %12v %12v %12v %8.2f %8.2f %11.1f MB/s\n",
+			size, eager, rdv, shm, ratio, shmRatio, mbs)
+		rows = append(rows, row{size, eager.Nanoseconds(), rdv.Nanoseconds(), shm.Nanoseconds(), ratio, shmRatio})
 	}
 
 	sweep := struct {

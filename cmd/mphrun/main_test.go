@@ -372,6 +372,66 @@ func TestLaunchHierCollectives(t *testing.T) {
 	}
 }
 
+// TestLaunchShmChannel places all five ranks of an exec-backend job on ONE
+// host with rendezvous forced (MPH_EAGER_THRESHOLD=0, forwarded to every
+// rank), so every non-empty payload is eligible for the intra-host channel,
+// and checks through the stats dumps that payload frames actually moved over
+// it (shm pvars nonzero on both sides, byte counts matching) while the
+// job-wide send/recv totals still reconcile — the same assertions the
+// scripts/check.sh shm smoke greps for.
+func TestLaunchShmChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	hosts := []mpirun.HostSlot{{Name: "nodeA", Slots: 5}}
+	t.Setenv("MPH_TEST_WORKER", "1")
+	t.Setenv("MPH_TEST_EXPECT_HOSTS", "nodeA,nodeA,nodeA,nodeA,nodeA")
+	t.Setenv(tcpnet.EnvEagerThreshold, "0")
+	statsDir := filepath.Join(t.TempDir(), "stats")
+	if err := os.MkdirAll(statsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	spec := selfSpec(t, 4, hosts, mpirun.PlaceBlock)
+	spec.Registration = writeRegistration(t)
+	spec.Timeout = 60 * time.Second
+	spec.Backend = mpirun.BackendExec
+	spec.ExtraEnv = []string{perf.EnvStatsDir + "=" + statsDir}
+	if err := mpirun.Launch(context.Background(), spec); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	snaps, err := readStats(statsDir)
+	if err != nil {
+		t.Fatalf("readStats: %v", err)
+	}
+	if len(snaps) != 5 {
+		t.Fatalf("got %d snapshots, want 5", len(snaps))
+	}
+	_, totals := summarize(snaps)
+	if totals.SentMsgs == 0 || totals.SentMsgs != totals.RecvMsgs {
+		t.Errorf("totals do not reconcile: sent %d, recv %d", totals.SentMsgs, totals.RecvMsgs)
+	}
+	var framesOut, framesIn, bytesOut, bytesIn, fallbacks uint64
+	for i := range snaps {
+		framesOut += snaps[i].Net.ShmRDataOut
+		framesIn += snaps[i].Net.ShmRDataIn
+		bytesOut += snaps[i].Net.ShmBytesOut
+		bytesIn += snaps[i].Net.ShmBytesIn
+		fallbacks += snaps[i].Net.ShmFallbacks
+	}
+	if framesOut == 0 {
+		t.Error("no payload frame took the intra-host channel on a single-host placement")
+	}
+	if framesOut != framesIn {
+		t.Errorf("shm frames do not reconcile: %d out, %d in", framesOut, framesIn)
+	}
+	if bytesOut != bytesIn {
+		t.Errorf("shm bytes do not reconcile: %d out, %d in", bytesOut, bytesIn)
+	}
+	if fallbacks != 0 {
+		t.Errorf("%d unexpected fallback(s) to TCP on a healthy single-host job", fallbacks)
+	}
+}
+
 // TestLaunchMultiHostChaos is the cross-host failure-semantics test: in a
 // 4-rank exec-backend job spanning two hosts, rank 1 (nodeA) dies right
 // after the handshake and rank 3 (nodeB) hangs outside any MPI call. The

@@ -143,6 +143,16 @@ func printStats(w io.Writer, snaps []perf.Snapshot) {
 	if tree+ring+hier > 0 {
 		fmt.Fprintf(w, "mphrun: collective routing: tree=%d ring=%d hier=%d\n", tree, ring, hier)
 	}
+	var shmFrames, shmBytes, shmFallbacks uint64
+	for i := range snaps {
+		shmFrames += snaps[i].Net.ShmRDataOut
+		shmBytes += snaps[i].Net.ShmBytesOut
+		shmFallbacks += snaps[i].Net.ShmFallbacks
+	}
+	if shmFrames+shmFallbacks > 0 {
+		fmt.Fprintf(w, "mphrun: shm channel: %d payload frame(s), %d bytes intra-host, %d fallback(s) to tcp\n",
+			shmFrames, shmBytes, shmFallbacks)
+	}
 }
 
 // stragglerRow is one collective op's cross-rank wait-skew summary.

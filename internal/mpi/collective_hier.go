@@ -33,9 +33,10 @@ import (
 // contract guarantees.
 
 // EnvCollHier is the environment variable gating the hierarchical router.
-// Unset, unparsable, or positive enables it (the default — it only engages
-// when the comm actually spans hosts); zero or negative disables it. Every
-// rank of a job must see the same value or algorithm choices diverge.
+// Parsed by EnvBool: on by default (it only engages when the comm actually
+// spans hosts); "0"/"false"/"off"/"no" or a non-positive integer disables
+// it, and garbage warns once and keeps the default. Every rank of a job
+// must see the same value or algorithm choices diverge.
 const EnvCollHier = "MPH_COLL_HIER"
 
 // EnvCollSegment is the environment variable holding the pipelining segment
@@ -53,15 +54,7 @@ const DefaultCollSegment = 128 << 10
 
 // hierFromEnv parses EnvCollHier once per Env.
 func hierFromEnv() bool {
-	v := os.Getenv(EnvCollHier)
-	if v == "" {
-		return true
-	}
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		return true
-	}
-	return n > 0
+	return EnvBool(EnvCollHier, true)
 }
 
 // segmentFromEnv parses EnvCollSegment once per Env.

@@ -266,6 +266,17 @@ type NetCounters struct {
 	CTSIn    atomic.Uint64 // clear-to-send frames read
 	RDataOut atomic.Uint64 // rendezvous payload frames written
 	RDataIn  atomic.Uint64 // rendezvous payload frames read
+
+	// Intra-host shared-memory channel counters (DESIGN.md §12): rendezvous
+	// payload frames that moved over the per-peer Unix-domain payload
+	// channel instead of the TCP stream. Shm frames and bytes are also
+	// counted in RData*/Bytes*, so totals reconcile regardless of channel.
+	ShmChannels  atomic.Uint64 // local payload channels successfully established
+	ShmRDataOut  atomic.Uint64 // rendezvous payload frames written over the local channel
+	ShmRDataIn   atomic.Uint64 // rendezvous payload frames read over the local channel
+	ShmBytesOut  atomic.Uint64 // bytes written over the local channel
+	ShmBytesIn   atomic.Uint64 // bytes read over the local channel
+	ShmFallbacks atomic.Uint64 // transfers that fell back to TCP (negotiation, dial, or write failure)
 }
 
 // EngineSnap is the matching engine's contribution to a Snapshot, copied
@@ -335,6 +346,13 @@ type NetSnap struct {
 	CTSIn    uint64 `json:"cts_in,omitempty"`
 	RDataOut uint64 `json:"rdata_out,omitempty"`
 	RDataIn  uint64 `json:"rdata_in,omitempty"`
+
+	ShmChannels  uint64 `json:"shm_channels,omitempty"`
+	ShmRDataOut  uint64 `json:"shm_rdata_out,omitempty"`
+	ShmRDataIn   uint64 `json:"shm_rdata_in,omitempty"`
+	ShmBytesOut  uint64 `json:"shm_bytes_out,omitempty"`
+	ShmBytesIn   uint64 `json:"shm_bytes_in,omitempty"`
+	ShmFallbacks uint64 `json:"shm_fallbacks,omitempty"`
 }
 
 // TraceSnap reports the tracer's state in a Snapshot.
@@ -689,6 +707,13 @@ func (r *Rank) Snapshot() Snapshot {
 		CTSIn:    r.Net.CTSIn.Load(),
 		RDataOut: r.Net.RDataOut.Load(),
 		RDataIn:  r.Net.RDataIn.Load(),
+
+		ShmChannels:  r.Net.ShmChannels.Load(),
+		ShmRDataOut:  r.Net.ShmRDataOut.Load(),
+		ShmRDataIn:   r.Net.ShmRDataIn.Load(),
+		ShmBytesOut:  r.Net.ShmBytesOut.Load(),
+		ShmBytesIn:   r.Net.ShmBytesIn.Load(),
+		ShmFallbacks: r.Net.ShmFallbacks.Load(),
 	}
 	if tr := r.Tracer(); tr != nil {
 		s.Trace = TraceSnap{

@@ -33,6 +33,7 @@ type Kind uint8
 //	KRendezvous: A=destination world rank, B=tag, C=payload bytes, D=rendezvous id
 //	KCollPhaseBegin: A=CollOp, B=CollPhase, C=segment index, D=segment bytes
 //	KCollPhaseEnd:   A=CollOp, B=CollPhase, C=segment index
+//	KShmChannel: A=peer world rank, B=1 channel established / 0 fell back to TCP
 //
 // The per-message hot-path kinds — KSend, KRecvPost, KMatch — are subject to
 // 1-in-N sampling (SetSample); every other kind is always recorded.
@@ -53,6 +54,7 @@ const (
 	KRendezvous
 	KCollPhaseBegin
 	KCollPhaseEnd
+	KShmChannel
 	numKinds
 )
 
@@ -60,7 +62,7 @@ var kindNames = [numKinds]string{
 	"send", "recv-post", "match", "coll-enter", "coll-exit",
 	"comm-split", "comm-dup", "comm-join", "phase-begin", "phase-end",
 	"dial-retry", "peer-lost", "abort", "rendezvous",
-	"coll-phase-begin", "coll-phase-end",
+	"coll-phase-begin", "coll-phase-end", "shm-channel",
 }
 
 // String names the event kind as it appears in trace dumps.

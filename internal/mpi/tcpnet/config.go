@@ -4,8 +4,10 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
+	"mph/internal/mpi"
 	"mph/internal/mpi/perf"
 )
 
@@ -46,6 +48,14 @@ const (
 	// environment), though nothing breaks if they differ — the protocol is
 	// chosen per sender.
 	EnvEagerThreshold = "MPH_EAGER_THRESHOLD"
+	// EnvShm gates the intra-host shared-memory payload channel (DESIGN.md
+	// §12): "on" (the default — boolean-ish values per mpi.EnvBool) moves
+	// rendezvous payloads between same-host ranks over a per-peer
+	// Unix-domain socket negotiated at hello time, falling back to TCP
+	// transparently when negotiation or a local write fails; "off" keeps
+	// everything on TCP; "force" turns a would-be fallback for a same-host
+	// peer into a hard send error (test aid — never set it in production).
+	EnvShm = "MPH_SHM"
 )
 
 // DefaultEagerThreshold is the built-in eager/rendezvous switch point. 64 KiB
@@ -53,6 +63,38 @@ const (
 // while the extra RTS/CTS round trip amortizes to noise on payloads whose
 // copy cost dominates; DESIGN.md §12 shows the P2 sweep behind the number.
 const DefaultEagerThreshold = 64 << 10
+
+// maxPooledFrameCeiling caps how large a pooled frame buffer may grow no
+// matter how high MPH_EAGER_THRESHOLD is raised: beyond 8 MiB, a pool of
+// per-connection scratch frames pins more memory than the copy it avoids is
+// worth, and the rendezvous path should carry the payload anyway.
+const maxPooledFrameCeiling = 8 << 20
+
+// shmMode is the resolved EnvShm setting.
+type shmMode uint8
+
+const (
+	// shmOn selects the intra-host channel when peers share a host and
+	// falls back to TCP when it cannot be used. The default.
+	shmOn shmMode = iota
+	// shmOff keeps every payload on TCP.
+	shmOff
+	// shmForce fails a same-host send that cannot use the intra-host
+	// channel instead of falling back to TCP (test aid).
+	shmForce
+)
+
+// shmFromEnv resolves EnvShm. "force" is matched before the boolean parse so
+// it never trips EnvBool's garbage warning.
+func shmFromEnv() shmMode {
+	if strings.EqualFold(strings.TrimSpace(os.Getenv(EnvShm)), "force") {
+		return shmForce
+	}
+	if mpi.EnvBool(EnvShm, true) {
+		return shmOn
+	}
+	return shmOff
+}
 
 // netConfig is the transport's resolved fault-tolerance tuning.
 type netConfig struct {
@@ -64,6 +106,15 @@ type netConfig struct {
 	peerTimeout  time.Duration // inbound silence / reconnect window before peer death
 
 	eagerThreshold int // rendezvous switch in payload bytes; negative disables
+
+	// maxPooledFrame is the largest frame buffer putFrame keeps for reuse,
+	// derived from the resolved eager threshold (not the default — a job
+	// that raises MPH_EAGER_THRESHOLD must still recycle its eager frames)
+	// and capped at maxPooledFrameCeiling.
+	maxPooledFrame int
+
+	// shm selects the intra-host payload channel mode (EnvShm).
+	shm shmMode
 
 	// statsInterval is the live-telemetry push period (perf.EnvStatsInterval);
 	// zero means final-only reporting.
@@ -81,7 +132,23 @@ func defaultConfig() netConfig {
 		peerTimeout:  8 * time.Second,
 
 		eagerThreshold: DefaultEagerThreshold,
+		maxPooledFrame: pooledFrameCap(DefaultEagerThreshold),
 	}
+}
+
+// pooledFrameCap derives the frame-pool size cap from the resolved eager
+// threshold: the largest eager frame is threshold payload bytes plus the wire
+// and packet headers. A disabled (negative) or forced-rendezvous (zero)
+// threshold keeps the default-sized cap so ack/control frames still pool, and
+// the ceiling stops a huge threshold from pinning huge scratch buffers.
+func pooledFrameCap(threshold int) int {
+	if threshold <= 0 {
+		threshold = DefaultEagerThreshold
+	}
+	if threshold > maxPooledFrameCeiling {
+		threshold = maxPooledFrameCeiling
+	}
+	return threshold + 4 + 1 + packetHdrLen
 }
 
 // configFromEnv resolves the tuning from the MPH_* environment variables,
@@ -99,6 +166,8 @@ func configFromEnv() netConfig {
 			c.eagerThreshold = n // negative means "rendezvous disabled", so no clamp
 		}
 	}
+	c.maxPooledFrame = pooledFrameCap(c.eagerThreshold)
+	c.shm = shmFromEnv()
 	// Zero is a meaningful value here (final-only reporting), so the
 	// envDuration default-on-nonpositive contract does not apply.
 	if v := os.Getenv(perf.EnvStatsInterval); v != "" {
@@ -144,8 +213,9 @@ func (b *backoff) next() time.Duration {
 	if d <= 0 {
 		d = time.Millisecond
 	}
-	// Cap the shift: beyond 62 doublings the duration would overflow long
-	// before the max cap is consulted.
+	// Cap the shift at 30 doublings: a base of at least 1ms shifted 30 times
+	// is already ~12 days — far past any sane max cap — while staying well
+	// clear of int64 overflow, which a shift in the 60s would not.
 	shift := b.attempt
 	if shift > 30 {
 		shift = 30

@@ -34,7 +34,10 @@ import (
 //	peer=P  — the rule only applies to sends addressed to world rank P
 //	frame=F — the outbound frame kind the rule applies to: packet (eager
 //	          message, the default), rts / cts / data (the rendezvous
-//	          protocol frames), or any
+//	          protocol frames), shm (a rendezvous payload taking the
+//	          intra-host channel; sever closes the local socket, not the
+//	          TCP stream, so the transparent TCP fallback is exercised),
+//	          or any
 //	after=K — the rule arms after K matching sends have passed unharmed
 //	times=N — the rule fires at most N times (default 1; 0 = unlimited)
 //	dur=D   — delay duration (delay action only), Go duration syntax
@@ -47,7 +50,7 @@ type faultRule struct {
 	action string
 	rank   int    // -1 = any rank
 	peer   int    // -1 = any peer
-	frame  string // frame kind filter: "packet", "rts", "cts", "data", "any"
+	frame  string // frame kind filter: "packet", "rts", "cts", "data", "shm", "any"
 	after  int    // matching sends to let through before arming
 	times  int    // max firings; 0 = unlimited
 	dur    time.Duration
@@ -76,6 +79,7 @@ const (
 	frameRTS    = "rts"
 	frameCTS    = "cts"
 	frameData   = "data"
+	frameShm    = "shm"
 	frameAny    = "any"
 )
 
@@ -123,7 +127,7 @@ func ParseFaultSpec(spec string) (*faultSet, error) {
 				}
 			case "frame":
 				switch val {
-				case framePacket, frameRTS, frameCTS, frameData, frameAny:
+				case framePacket, frameRTS, frameCTS, frameData, frameShm, frameAny:
 					r.frame = val
 				default:
 					return nil, fmt.Errorf("tcpnet: bad fault frame kind %q in %q", val, part)

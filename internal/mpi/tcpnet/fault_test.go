@@ -43,7 +43,7 @@ func TestFaultSpecParse(t *testing.T) {
 		t.Errorf("rule 1 parsed as %+v", fs.rules[1])
 	}
 
-	for _, kind := range []string{framePacket, frameRTS, frameCTS, frameData, frameAny} {
+	for _, kind := range []string{framePacket, frameRTS, frameCTS, frameData, frameShm, frameAny} {
 		fs, err := ParseFaultSpec("drop,frame=" + kind)
 		if err != nil {
 			t.Fatalf("frame=%s rejected: %v", kind, err)
@@ -127,10 +127,25 @@ func TestFaultSpecFrameFiring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, kind := range []string{framePacket, frameRTS, frameCTS, frameData} {
+	for _, kind := range []string{framePacket, frameRTS, frameCTS, frameData, frameShm} {
 		if act := any.sendAction(3, 4, kind); act.kind != "delay" {
 			t.Fatalf("frame=any missed %s: %+v", kind, act)
 		}
+	}
+
+	// A shm-scoped rule is invisible to TCP fault points and fires only at
+	// the intra-host payload write.
+	shm, err := ParseFaultSpec("sever,frame=shm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{framePacket, frameRTS, frameCTS, frameData} {
+		if act := shm.sendAction(0, 1, kind); act.kind != "" {
+			t.Fatalf("shm rule fired for %s: %+v", kind, act)
+		}
+	}
+	if act := shm.sendAction(0, 1, frameShm); act.kind != "sever" {
+		t.Fatalf("shm rule did not fire at the shm fault point: %+v", act)
 	}
 }
 

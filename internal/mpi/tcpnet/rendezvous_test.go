@@ -115,18 +115,81 @@ func TestRendezvousDisabled(t *testing.T) {
 }
 
 // TestFramePoolDropsOversized is the white-box guard for the pool-pinning
-// fix: a frame buffer that grew beyond maxPooledFrame must shed its backing
-// array on Put, while threshold-sized buffers keep theirs.
+// fix: a frame buffer that grew beyond the configured cap must shed its
+// backing array on Put, while threshold-sized buffers keep theirs.
 func TestFramePoolDropsOversized(t *testing.T) {
-	big := &frameBuf{b: make([]byte, maxPooledFrame+1)}
-	putFrame(big)
+	limit := defaultConfig().maxPooledFrame
+	big := &frameBuf{b: make([]byte, limit+1)}
+	putFrame(big, limit)
 	if big.b != nil {
-		t.Errorf("oversized buffer (cap %d) survived putFrame", maxPooledFrame+1)
+		t.Errorf("oversized buffer (cap %d) survived putFrame", limit+1)
 	}
 	small := &frameBuf{b: make([]byte, 512)}
-	putFrame(small)
+	putFrame(small, limit)
 	if small.b == nil {
 		t.Error("threshold-sized buffer was dropped by putFrame")
+	}
+}
+
+// TestPooledFrameCap pins the cap derivation: the cap tracks the resolved
+// eager threshold (a job that raises MPH_EAGER_THRESHOLD must keep pooling
+// its eager frames — the cap used to be pinned to the default, dropping
+// every frame above 64 KiB), keeps the default-sized cap for the forced (0)
+// and disabled (negative) cases, and respects the ceiling.
+func TestPooledFrameCap(t *testing.T) {
+	const hdr = 4 + 1 + packetHdrLen
+	cases := []struct{ threshold, want int }{
+		{DefaultEagerThreshold, DefaultEagerThreshold + hdr},
+		{256 << 10, 256<<10 + hdr},
+		{0, DefaultEagerThreshold + hdr},
+		{-1, DefaultEagerThreshold + hdr},
+		{1 << 30, maxPooledFrameCeiling + hdr},
+	}
+	for _, c := range cases {
+		if got := pooledFrameCap(c.threshold); got != c.want {
+			t.Errorf("pooledFrameCap(%d) = %d, want %d", c.threshold, got, c.want)
+		}
+	}
+	t.Setenv(EnvEagerThreshold, fmt.Sprint(256<<10))
+	if got := configFromEnv().maxPooledFrame; got != 256<<10+hdr {
+		t.Errorf("configFromEnv resolved maxPooledFrame = %d, want %d", got, 256<<10+hdr)
+	}
+}
+
+// TestEagerAllocBudgetRaisedThreshold is the allocation-regression guard for
+// the frame-pool cap fix at a raised MPH_EAGER_THRESHOLD: a 256 KiB eager
+// send must reuse its pooled frame, leaving roughly two payload-sized
+// allocations per message (the send layer's defensive copy plus the
+// receiver's buffer). Before the fix the cap stayed at the 64 KiB default,
+// every eager frame above it missed the pool, and the same transfer paid a
+// third payload-sized allocation per send.
+func TestEagerAllocBudgetRaisedThreshold(t *testing.T) {
+	const threshold = 512 << 10
+	const size = 256 << 10
+	const iters = 8
+
+	t.Setenv(EnvEagerThreshold, fmt.Sprint(threshold))
+	trs, envs := startWorld(t, 2)
+	defer envs[0].Close()
+	defer envs[1].Close()
+	if got := trs[0].cfg.maxPooledFrame; got < size {
+		t.Fatalf("maxPooledFrame = %d, below the %d-byte eager payload this test sends", got, size)
+	}
+	c0, c1 := mpi.WorldComm(envs[0]), mpi.WorldComm(envs[1])
+	payload := bytes.Repeat([]byte{0x3C}, size)
+
+	exchange(t, c0, c1, 9, payload) // warm pools and connections
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		exchange(t, c0, c1, 9, payload)
+	}
+	runtime.ReadMemStats(&after)
+	per := float64(after.TotalAlloc-before.TotalAlloc) / iters
+	t.Logf("per-message alloc at raised threshold: %.2f payloads", per/size)
+	if per > 2.5*size {
+		t.Errorf("eager send at raised threshold allocates %.2f payloads per message, want <= 2.5 (frame pool cap not tracking MPH_EAGER_THRESHOLD?)", per/size)
 	}
 }
 

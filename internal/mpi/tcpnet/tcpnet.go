@@ -79,6 +79,7 @@ const (
 	kindRTS       = 6 // rendezvous request-to-send: envelope + promised length
 	kindCTS       = 7 // rendezvous clear-to-send: u64 rendezvous id
 	kindRData     = 8 // rendezvous payload: u64 srcWorld + u64 id + payload
+	kindShmAck    = 9 // intra-host channel offer: u64 sender world rank + socket path
 )
 
 // packetHdrLen is the fixed packet-frame header after the length prefix and
@@ -115,18 +116,16 @@ type frameBuf struct{ b []byte }
 
 var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
 
-// maxPooledFrame caps the capacity a recycled frame buffer may keep. The
-// eager path only frames payloads below the rendezvous threshold, but a job
-// that disables rendezvous (negative MPH_EAGER_THRESHOLD) can push
-// arbitrarily large eager frames, and one such send used to pin its whole
-// buffer in the pool forever. Oversized buffers are dropped on Put instead.
-const maxPooledFrame = DefaultEagerThreshold + 4 + 1 + packetHdrLen
-
 // putFrame recycles a frame buffer, dropping (not pooling) one that grew
-// beyond maxPooledFrame so a single large send cannot pin payload-sized
-// memory for the life of the process.
-func putFrame(fb *frameBuf) {
-	if cap(fb.b) > maxPooledFrame {
+// beyond maxCap — the transport's resolved netConfig.maxPooledFrame — so a
+// single large send cannot pin payload-sized memory for the life of the
+// process. The cap tracks the configured eager threshold (it used to be
+// pinned to the default, which made every eager frame of a job that raised
+// MPH_EAGER_THRESHOLD above 64 KiB miss the pool and allocate per send),
+// bounded by maxPooledFrameCeiling; rendezvous-disabled jobs can still push
+// arbitrarily large eager frames, and those are dropped here.
+func putFrame(fb *frameBuf, maxCap int) {
+	if cap(fb.b) > maxCap {
 		fb.b = nil
 	}
 	framePool.Put(fb)
@@ -194,6 +193,18 @@ type Transport struct {
 	// redialed connection then misses the map and is drained harmlessly.
 	rdvMu sync.Mutex
 	rdvIn map[rdvKey]*mpi.Packet
+
+	// Intra-host payload channel state (shm.go, DESIGN.md §12): per-peer
+	// Unix-domain sockets negotiated at hello time that carry rendezvous
+	// payload frames between same-host ranks. Guarded by its own mutex —
+	// the payload hot path must not contend with connection bookkeeping.
+	shmMu      sync.Mutex
+	shmDir     string           // private socket directory, removed on Close
+	shmLn      net.Listener     // this rank's local payload listener, nil when disabled
+	shmAddr    map[int]string   // peer world rank -> advertised socket path
+	shmOut     map[int]*outConn // established outbound local payload connections
+	shmDead    map[int]bool     // peers whose local channel failed permanently
+	shmOffered map[int]bool     // peers already sent this rank's advertisement
 
 	// Per-destination send totals, indexed by world rank. Unlike the
 	// in-process transport — where sent totals are derived from sibling
@@ -336,20 +347,24 @@ func initTransport(rank, size int, rendezvous string) (*Transport, *mpi.Env, err
 		hosts[r] = ep.Host
 	}
 	t := &Transport{
-		rank:      rank,
-		addrs:     addrs,
-		ln:        ln,
-		cfg:       cfg,
-		faults:    faults,
-		out:       make(map[int]*outConn),
-		dead:      make(map[int]error),
-		suspect:   make(map[int]*time.Timer),
-		stop:      make(chan struct{}),
-		pending:   make(map[uint64]pendingAck),
-		rdvOut:    make(map[uint64]pendingAck),
-		rdvIn:     make(map[rdvKey]*mpi.Packet),
-		sentMsgs:  make([]atomic.Uint64, size),
-		sentBytes: make([]atomic.Uint64, size),
+		rank:       rank,
+		addrs:      addrs,
+		ln:         ln,
+		cfg:        cfg,
+		faults:     faults,
+		out:        make(map[int]*outConn),
+		dead:       make(map[int]error),
+		suspect:    make(map[int]*time.Timer),
+		stop:       make(chan struct{}),
+		pending:    make(map[uint64]pendingAck),
+		rdvOut:     make(map[uint64]pendingAck),
+		rdvIn:      make(map[rdvKey]*mpi.Packet),
+		shmAddr:    make(map[int]string),
+		shmOut:     make(map[int]*outConn),
+		shmDead:    make(map[int]bool),
+		shmOffered: make(map[int]bool),
+		sentMsgs:   make([]atomic.Uint64, size),
+		sentBytes:  make([]atomic.Uint64, size),
 	}
 	env := mpi.NewEnv(rank, size, t)
 	env.SetHosts(hosts)
@@ -391,8 +406,12 @@ func initTransport(rank, size int, rendezvous string) (*Transport, *mpi.Env, err
 			}
 		}
 	}
+	if err := t.initShm(size); err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
 	t.wg.Add(2)
-	go t.acceptLoop()
+	go t.acceptLoop(t.ln, false)
 	go t.heartbeatLoop()
 	return t, env, nil
 }
@@ -491,7 +510,7 @@ func (t *Transport) Deliver(dst int, p *mpi.Packet) error {
 		nc.FramesOut.Add(1)
 		nc.BytesOut.Add(uint64(len(fb.b)))
 	}
-	putFrame(fb)
+	putFrame(fb, t.cfg.maxPooledFrame)
 	if err != nil && ackID != 0 {
 		// The packet never left, so no ack will come back; drop the
 		// registration rather than stranding it until Close.
@@ -547,7 +566,13 @@ func (t *Transport) sendFault(dst int, frame string) (faultAction, bool) {
 	case "delay":
 		time.Sleep(act.dur)
 	case "sever":
-		t.severPeer(dst)
+		// A shm-frame sever hits the intra-host channel, not the TCP stream:
+		// the point of frame=shm chaos is proving the fallback path.
+		if frame == frameShm {
+			t.severShm(dst)
+		} else {
+			t.severPeer(dst)
+		}
 	case "die":
 		t.severAll()
 		osExit(1)
@@ -573,7 +598,8 @@ func (t *Transport) BorrowsPayload(dst, n int) bool {
 
 // deliverRendezvous sends one payload with the rendezvous protocol: RTS with
 // the envelope, block until the receiver's CTS proves the consuming match,
-// then the payload as a header iovec plus the caller's slice (writev). The
+// then the payload as a header iovec plus the caller's slice (writev) — over
+// the intra-host channel when one is negotiated (shm.go), else TCP. The
 // CTS wait is released with a typed error by the failure sweeps when the
 // peer dies, the job aborts, or the transport closes — a rendezvous send
 // never hangs on a dead receiver.
@@ -612,12 +638,19 @@ func (t *Transport) deliverRendezvous(dst int, p *mpi.Packet) error {
 	}
 	var hdr [5 + rdataHdrLen]byte
 	encodeRDataHeader(hdr[:], t.rank, id, len(p.Data))
-	if err := t.sendv(dst, hdr[:], p.Data); err != nil {
+	viaShm, err := t.sendRData(dst, hdr[:], p.Data)
+	if err != nil {
 		return err
 	}
 	nc.FramesOut.Add(1)
 	nc.RDataOut.Add(1)
 	nc.BytesOut.Add(uint64(5 + rdataHdrLen + len(p.Data)))
+	if viaShm {
+		// Also counted in RDataOut/BytesOut above: the shm counters split
+		// the totals by channel, they do not fork them.
+		nc.ShmRDataOut.Add(1)
+		nc.ShmBytesOut.Add(uint64(5 + rdataHdrLen + len(p.Data)))
+	}
 	// The CTS already proved the consuming match, which is exactly what an
 	// Ssend waits for; release it locally, no wire ack needed.
 	if p.Ack != nil {
@@ -693,6 +726,7 @@ func (t *Transport) Close() error {
 		t.debugSrv.Close()
 	}
 	ln.Close()
+	t.closeShm()
 	for _, c := range conns {
 		c.Close()
 	}
@@ -864,6 +898,7 @@ func (t *Transport) severAll() {
 	t.inbound = nil
 	t.mu.Unlock()
 	ln.Close()
+	t.closeShm()
 	for _, c := range conns {
 		c.Close()
 	}
@@ -897,6 +932,11 @@ func (t *Transport) peerDown(rank int, cause error) {
 	if oc != nil {
 		oc.conn.Close()
 	}
+	// Discard the intra-host channel first: closing its connection fails any
+	// in-flight local payload write, whose TCP fallback then inherits the
+	// verdict below — a severed same-host neighbor yields ErrPeerLost, not a
+	// hang, exactly like the rdvOut CTS-waiter sweep.
+	t.shmPeerDown(rank)
 	lostErr := &mpi.ErrPeerLost{Rank: rank, Cause: cause}
 	t.ackMu.Lock()
 	for id, pa := range t.pending {
@@ -1049,11 +1089,14 @@ func SendAbort(addr string, code, origin int, timeout time.Duration) error {
 	return mpirun.SendAbort(addr, code, origin, timeout)
 }
 
-// acceptLoop receives inbound connections and spawns a reader per peer.
-func (t *Transport) acceptLoop() {
+// acceptLoop receives inbound connections on one listener — the TCP world
+// endpoint or (local=true) the intra-host payload socket — and spawns a
+// reader per connection. Accepted connections of both flavors land in
+// t.inbound so Close and severAll tear them all down.
+func (t *Transport) acceptLoop(ln net.Listener, local bool) {
 	defer t.wg.Done()
 	for {
-		conn, err := t.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
@@ -1069,7 +1112,7 @@ func (t *Transport) acceptLoop() {
 		t.inbound = append(t.inbound, conn)
 		t.mu.Unlock()
 		t.wg.Add(1)
-		go t.readLoop(conn)
+		go t.readLoop(conn, local)
 	}
 }
 
@@ -1120,12 +1163,18 @@ func (t *Transport) heartbeatLoop() {
 // or partitioned and it is declared dead immediately. A closed or broken
 // connection only raises suspicion — the peer gets cfg.peerTimeout to
 // re-establish before the same verdict.
-func (t *Transport) readLoop(conn net.Conn) {
+//
+// A local (intra-host channel) stream carries no liveness duty: it has no
+// heartbeats, no read deadlines, and its loss neither suspects nor condemns
+// the peer — the TCP stream owns the failure detector, and the sweeps close
+// local connections when it rules. Only hello and RData frames are legal on
+// it.
+func (t *Transport) readLoop(conn net.Conn, local bool) {
 	defer t.wg.Done()
 	peer := -1
 	var readErr error
 	defer func() {
-		if peer < 0 || readErr == nil {
+		if local || peer < 0 || readErr == nil {
 			return
 		}
 		if errors.Is(readErr, os.ErrDeadlineExceeded) {
@@ -1137,12 +1186,16 @@ func (t *Transport) readLoop(conn net.Conn) {
 	identify := func(rank int) {
 		if peer < 0 && rank >= 0 && rank < len(t.addrs) {
 			peer = rank
-			t.clearSuspect(rank)
+			if !local {
+				t.clearSuspect(rank)
+			}
 		}
 	}
 	var scratch [5 + rtsHdrLen]byte
 	readFull := func(buf []byte) error {
-		conn.SetReadDeadline(time.Now().Add(t.cfg.peerTimeout))
+		if !local {
+			conn.SetReadDeadline(time.Now().Add(t.cfg.peerTimeout))
+		}
 		_, err := io.ReadFull(conn, buf)
 		return err
 	}
@@ -1173,6 +1226,10 @@ func (t *Transport) readLoop(conn net.Conn) {
 			return
 		}
 		kind, body := scratch[4], int(n)-1
+		if local && kind != kindHello && kind != kindRData {
+			readErr = fmt.Errorf("tcpnet: unexpected frame kind %d on intra-host channel", kind)
+			return
+		}
 		nc := t.netCounters()
 		switch kind {
 		case kindPacket:
@@ -1309,6 +1366,10 @@ func (t *Transport) readLoop(conn net.Conn) {
 			nc.FramesIn.Add(1)
 			nc.RDataIn.Add(1)
 			nc.BytesIn.Add(uint64(4 + 1 + body))
+			if local {
+				nc.ShmRDataIn.Add(1)
+				nc.ShmBytesIn.Add(uint64(4 + 1 + body))
+			}
 			t.rdvMu.Lock()
 			delete(t.rdvIn, key)
 			t.rdvMu.Unlock()
@@ -1341,7 +1402,29 @@ func (t *Transport) readLoop(conn net.Conn) {
 				return
 			}
 			nc.BytesIn.Add(4 + 1 + 8)
-			identify(int(int64(binary.LittleEndian.Uint64(scratch[5 : 5+8]))))
+			src := int(int64(binary.LittleEndian.Uint64(scratch[5 : 5+8])))
+			identify(src)
+			if !local {
+				// Same-host peers get this rank's intra-host channel offer,
+				// inline so the advertisement is ordered before any CTS this
+				// rank later writes to them (see maybeOfferShm).
+				t.maybeOfferShm(src)
+			}
+		case kindShmAck:
+			if body < 8+1 || body > 8+512 {
+				readErr = fmt.Errorf("tcpnet: bad shm-ack frame length %d", body)
+				return
+			}
+			buf := make([]byte, body)
+			if err := readFull(buf); err != nil {
+				readErr = err
+				return
+			}
+			srcWorld := int(int64(binary.LittleEndian.Uint64(buf)))
+			identify(srcWorld)
+			nc.FramesIn.Add(1)
+			nc.BytesIn.Add(uint64(4 + 1 + body))
+			t.handleShmAck(srcWorld, string(buf[8:]))
 		case kindHeartbeat:
 			if body != 0 {
 				readErr = fmt.Errorf("tcpnet: bad heartbeat frame length %d", body)

@@ -328,12 +328,46 @@ func failureReport(spec *LaunchSpec, children []*child, exitErr []error, primary
 	return errors.New(b.String())
 }
 
-// relay copies a child stream line by line with a rank prefix.
+// relayBufSize is the relay's line buffer: lines up to this length are
+// emitted intact; longer ones degrade to prefixed chunks of this size.
+const relayBufSize = 1 << 20
+
+// relay copies a child stream line by line with a rank prefix. A line longer
+// than relayBufSize is degraded to prefixed chunks rather than truncating
+// the stream: the Scanner this replaces stopped at its first ErrTooLong and
+// silently discarded everything the child printed afterwards — including
+// the panic traces and oversized log records that most need relaying. Read
+// errors other than EOF are reported to the launcher's stderr so a dying
+// pipe is visible instead of looking like a quiet child.
 func relay(dst io.Writer, src io.Reader, prefix string, wg *sync.WaitGroup) {
 	defer wg.Done()
-	sc := bufio.NewScanner(src)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		fmt.Fprintf(dst, "%s%s\n", prefix, sc.Text())
+	br := bufio.NewReaderSize(src, relayBufSize)
+	for {
+		line, err := br.ReadSlice('\n')
+		if len(line) > 0 {
+			if n := len(line); line[n-1] == '\n' {
+				line = line[:n-1]
+				if m := len(line); m > 0 && line[m-1] == '\r' {
+					line = line[:m-1]
+				}
+			}
+			fmt.Fprintf(dst, "%s%s\n", prefix, line)
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, bufio.ErrBufferFull):
+			// Oversized line: the full buffer was just emitted as one
+			// prefixed chunk; keep draining the rest of the same line.
+		case errors.Is(err, io.EOF):
+			return
+		default:
+			// A closed pipe is the ordinary teardown race (cmd.Wait closes
+			// the child's pipes while the relay drains); only unexpected
+			// errors are worth the operator's attention.
+			if !errors.Is(err, os.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
+				fmt.Fprintf(os.Stderr, "mphrun: output relay for %sstream failed: %v\n", prefix, err)
+			}
+			return
+		}
 	}
 }

@@ -25,6 +25,10 @@
 # (MPH_COLL_HIER=1) and asserts both that the totals still reconcile and that
 # the routing line counts at least one hierarchical selection — proof the
 # hier path actually ran across the host boundary, not just that it parsed.
+# The shm smoke places all five ranks on ONE host with rendezvous forced
+# (MPH_EAGER_THRESHOLD=0) and asserts the summary counts at least one
+# intra-host payload frame AND still reconciles — proof the Unix-socket
+# payload channel engaged under a real exec-backend launch and lost nothing.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -77,6 +81,14 @@ MPH_COLL_HIER=1 "$smoke/mphrun" -hosts nodeA:3,nodeB:2 -backend exec -placement 
     > "$smoke/hier.out"
 grep -q "totals reconcile" "$smoke/hier.out"
 grep -Eq "collective routing: .* hier=[1-9]" "$smoke/hier.out"
+
+# Shm-channel smoke: all 5 ranks on one host, rendezvous forced so payloads
+# are eligible for the intra-host channel.
+MPH_EAGER_THRESHOLD=0 "$smoke/mphrun" -hosts nodeA:5 -backend exec -placement block -stats \
+    -cmdfile "$smoke/job.cmd" -registration examples/climate/processors_map.in \
+    > "$smoke/shm.out"
+grep -q "totals reconcile" "$smoke/shm.out"
+grep -Eq "shm channel: [1-9][0-9]* payload frame" "$smoke/shm.out"
 
 # Telemetry smoke: the same job, paced to ~2s of wall-clock (the unpaced
 # grid finishes in milliseconds — too fast to scrape), with live reporting.
