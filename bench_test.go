@@ -238,7 +238,7 @@ func BenchmarkE10TCPTransport(b *testing.B) {
 				wg.Add(1)
 				go func(rank int) {
 					defer wg.Done()
-					env, err := tcpnet.Init(rank, 2, rv.Addr())
+					env, err := tcpnet.Init(rank, 2, rv.Advertised())
 					if err != nil {
 						errs[rank] = err
 						return

@@ -9,9 +9,15 @@
 //	mphbench [-exp E2,E4] [-repeat 5]
 //
 // Without -exp every experiment runs.
+//
+// The binary doubles as its own launch target for the L1 launch-latency
+// sweep: invoked as "mphbench agent-exec ..." it is the per-rank agent of
+// the exec/ssh backends, and with MPH_BENCH_WORKER=1 in the environment it
+// is a minimal rank that joins the rendezvous and exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,19 +34,27 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1, A2, P1, P2, C1) or \"all\"")
+	if len(os.Args) > 1 && os.Args[1] == "agent-exec" {
+		os.Exit(mpirun.AgentExec(os.Args[2:], os.Stderr))
+	}
+	if os.Getenv("MPH_BENCH_WORKER") == "1" {
+		os.Exit(benchWorker())
+	}
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E8, A1, A2, P1, P2, C1, L1) or \"all\"")
 	repeat := flag.Int("repeat", 5, "repetitions per cell (minimum is reported)")
 	perfOut := flag.String("perfout", "BENCH_perf.json", "output file for the P1 tracer-overhead baseline")
 	collOut := flag.String("collout", "BENCH_coll.json", "output file for the C1 collective-crossover sweep")
 	transportOut := flag.String("transportout", "BENCH_transport.json", "output file for the P2 eager/rendezvous sweep")
+	launchOut := flag.String("launchout", "BENCH_launch.json", "output file for the L1 launch-latency sweep")
 	flag.Parse()
 	benchPerfPath = *perfOut
 	benchCollPath = *collOut
 	benchTransportPath = *transportOut
+	benchLaunchPath = *launchOut
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "A1", "A2", "P1", "P2", "C1"} {
+		for _, e := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "A1", "A2", "P1", "P2", "C1", "L1"} {
 			want[e] = true
 		}
 	} else {
@@ -54,7 +68,7 @@ func main() {
 		run func(repeat int) error
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5}, {"E6", e6}, {"E8", e8},
-		{"A1", a1}, {"A2", a2}, {"P1", p1}, {"P2", p2}, {"C1", c1},
+		{"A1", a1}, {"A2", a2}, {"P1", p1}, {"P2", p2}, {"C1", c1}, {"L1", l1},
 	}
 	for _, r := range runners {
 		if !want[r.id] {
@@ -536,7 +550,7 @@ func tcpPair(fn0, fn1 func(c *mpi.Comm) error) error {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			env, err := tcpnet.Init(rank, 2, rv.Addr())
+			env, err := tcpnet.Init(rank, 2, rv.Advertised())
 			if err != nil {
 				errs[rank] = err
 				return
@@ -752,6 +766,101 @@ func c1(repeat int) error {
 		return err
 	}
 	fmt.Printf("sweep written to %s\n", benchCollPath)
+	return nil
+}
+
+// benchWorker is the rank body of the L1 sweep: join the TCP world via the
+// rendezvous (the part of launch latency that needs every rank up) and exit
+// immediately, so the measured time is launch overhead, not application work.
+func benchWorker() int {
+	env, _, err := tcpnet.InitFromEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	env.Close()
+	return 0
+}
+
+// benchLaunchPath is where l1 writes its JSON sweep (-launchout).
+var benchLaunchPath string
+
+// l1 measures gang-launch latency — mpirun.Launch of n empty ranks through
+// to every rank registered, run, and reaped — for each spawner on one host.
+// The local and exec backends pay one fork/exec per rank (exec pays two:
+// agent plus worker), so their cost grows linearly with n; the daemon
+// backend sends the whole gang as a single SpawnBlock request over one warm
+// TCP connection to a persistent mphd, which is what makes sub-second
+// launch hold as n grows. The daemon here is in-process (the -daemon-addr
+// override), which is the same wire protocol a deployed mphd speaks.
+func l1(repeat int) error {
+	fmt.Println("L1: gang-launch latency by backend (empty ranks, one host)")
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	d, err := mpirun.NewDaemon("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go d.Serve()
+	defer d.Close()
+
+	backends := []struct {
+		name    string
+		spawner mpirun.Spawner
+	}{
+		{"local", mpirun.NewLocalSpawner()},
+		{"exec", mpirun.NewExecSpawner(self)},
+		{"daemon", mpirun.NewDaemonSpawner(d.Addr(), 0)},
+	}
+
+	type row struct {
+		Backend  string `json:"backend"`
+		Ranks    int    `json:"ranks"`
+		LaunchNs int64  `json:"launch_ns"`
+	}
+	var rows []row
+	fmt.Printf("%-8s %12s %12s %12s %10s\n", "ranks", "local", "exec", "daemon", "exec/dmn")
+	for _, ranks := range []int{1, 2, 4, 8, 16} {
+		cells := map[string]time.Duration{}
+		for _, b := range backends {
+			dur, err := timeIt(repeat, func() error {
+				spec, err := mpirun.NewLaunchSpec(
+					[]mpirun.Entry{{Nprocs: ranks, Argv: []string{self}}}, nil, mpirun.PlaceBlock)
+				if err != nil {
+					return err
+				}
+				spec.Spawner = b.spawner
+				spec.Timeout = 60 * time.Second
+				spec.Quiet = true
+				spec.ExtraEnv = []string{"MPH_BENCH_WORKER=1"}
+				return mpirun.Launch(context.Background(), spec)
+			})
+			if err != nil {
+				return fmt.Errorf("%s backend, %d ranks: %w", b.name, ranks, err)
+			}
+			cells[b.name] = dur
+			rows = append(rows, row{b.name, ranks, dur.Nanoseconds()})
+		}
+		fmt.Printf("%-8d %12v %12v %12v %10.2f\n", ranks,
+			cells["local"], cells["exec"], cells["daemon"],
+			float64(cells["exec"])/float64(cells["daemon"]))
+	}
+
+	sweep := struct {
+		Experiment string `json:"experiment"`
+		Repeat     int    `json:"repeat"`
+		Rows       []row  `json:"rows"`
+	}{"L1", repeat, rows}
+	data, err := json.MarshalIndent(&sweep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchLaunchPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweep written to %s\n", benchLaunchPath)
 	return nil
 }
 

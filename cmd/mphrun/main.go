@@ -84,9 +84,11 @@ func main() {
 	hostfile := flag.String("hostfile", "", "hostfile for multi-host placement (one \"host [slots=N]\" per line)")
 	hostList := flag.String("hosts", "", "inline host list for multi-host placement (\"node-a:2,node-b\")")
 	placement := flag.String("placement", "block", "placement policy for unpinned ranks: block or cyclic")
-	backendName := flag.String("backend", "", "spawn backend: local, exec, or ssh (default: ssh when hosts are given, local otherwise)")
-	bind := flag.String("bind", "", "host or IP the rendezvous and rank listeners bind (default: loopback, or all interfaces for ssh)")
+	backendName := flag.String("backend", "", "spawn backend: local, exec, ssh, or daemon (default: ssh when hosts are given, local otherwise)")
+	bind := flag.String("bind", "", "host or IP the rendezvous and rank listeners bind (default: loopback, or all interfaces for ssh/daemon)")
 	agentPath := flag.String("agent", "", "mphrun binary to run as the remote agent (default: this executable; must exist on every remote host)")
+	daemonPort := flag.Int("daemon-port", mpirun.DefaultDaemonPort, "mphd control port on every host for the daemon backend")
+	daemonAddr := flag.String("daemon-addr", "", "send every rank block to this one mphd address regardless of host (single-machine testing of the daemon backend)")
 	var sshOptions sshOpts
 	flag.Var(&sshOptions, "sshopt", "extra ssh option for the ssh backend (repeatable, e.g. -sshopt -i -sshopt key.pem)")
 	flag.Parse()
@@ -140,6 +142,16 @@ func main() {
 	if *backendName == "" && (len(hosts) > 0 || pinned) {
 		backend = mpirun.BackendSSH
 	}
+	spawner, err := mpirun.NewSpawner(backend, mpirun.SpawnerOptions{
+		AgentPath:  *agentPath,
+		SSHOptions: sshOptions,
+		DaemonPort: *daemonPort,
+		DaemonAddr: *daemonAddr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mphrun: %v\n", err)
+		os.Exit(1)
+	}
 
 	spec, err := mpirun.NewLaunchSpec(entries, hosts, policy)
 	if err != nil {
@@ -150,9 +162,7 @@ func main() {
 	spec.Timeout = *timeout
 	spec.Grace = *grace
 	spec.Bind = *bind
-	spec.Backend = backend
-	spec.AgentPath = *agentPath
-	spec.SSHOptions = sshOptions
+	spec.Spawner = spawner
 
 	statsDir := ""
 	if *stats {

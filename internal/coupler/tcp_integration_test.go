@@ -44,7 +44,7 @@ func TestCoupledRunOverTCP(t *testing.T) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			env, err := tcpnet.Init(rank, world, rv.Addr())
+			env, err := tcpnet.Init(rank, world, rv.Advertised())
 			if err != nil {
 				errs[rank] = err
 				return

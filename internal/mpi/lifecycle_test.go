@@ -206,7 +206,7 @@ func TestTCPSsendReleasedByClose(t *testing.T) {
 	rank0May := make(chan struct{})
 	rank0Err := make(chan error, 1)
 	go func() {
-		env, err := tcpnet.Init(0, 2, rv.Addr())
+		env, err := tcpnet.Init(0, 2, rv.Advertised())
 		if err != nil {
 			rank0Err <- err
 			return
@@ -218,7 +218,7 @@ func TestTCPSsendReleasedByClose(t *testing.T) {
 	rank1Err := make(chan error, 1)
 	go func() {
 		defer close(rank0May)
-		env, err := tcpnet.Init(1, 2, rv.Addr())
+		env, err := tcpnet.Init(1, 2, rv.Advertised())
 		if err != nil {
 			rank1Err <- err
 			return

@@ -246,7 +246,7 @@ func startWorld(t testing.TB, n int) ([]*Transport, []*mpi.Env) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			tr, env, err := initTransport(rank, n, rv.Addr())
+			tr, env, err := initTransport(rank, n, rv.Advertised())
 			if err != nil {
 				mu.Lock()
 				initErr = fmt.Errorf("rank %d init: %w", rank, err)
@@ -340,9 +340,9 @@ func TestFaultPeerSilenceDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer zln.Close()
-	go mpirun.Register(rv.Addr(), 1, zln.Addr().String(), 10*time.Second)
+	go mpirun.RegisterEndpoint(rv.Advertised(), 1, mpirun.Endpoint{Addr: zln.Addr().String()}, 10*time.Second)
 
-	tr, env, err := initTransport(0, 2, rv.Addr())
+	tr, env, err := initTransport(0, 2, rv.Advertised())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,9 +392,9 @@ func TestFaultAbortFrameUnblocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer zln.Close()
-	go mpirun.Register(rv.Addr(), 1, zln.Addr().String(), 10*time.Second)
+	go mpirun.RegisterEndpoint(rv.Advertised(), 1, mpirun.Endpoint{Addr: zln.Addr().String()}, 10*time.Second)
 
-	tr, env, err := initTransport(0, 2, rv.Addr())
+	tr, env, err := initTransport(0, 2, rv.Advertised())
 	if err != nil {
 		t.Fatal(err)
 	}

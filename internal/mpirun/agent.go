@@ -73,8 +73,7 @@ func AgentExec(args []string, stderr io.Writer) int {
 	}
 
 	cmd := exec.Command(argv[0], argv[1:]...)
-	cmd.Env = append(os.Environ(), env.Environ()...)
-	cmd.Env = append(cmd.Env, extra...)
+	cmd.Env = dedupEnv(append(append(os.Environ(), env.Environ()...), extra...))
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	setProcGroup(cmd)

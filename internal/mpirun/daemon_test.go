@@ -1,0 +1,270 @@
+package mpirun
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testDaemon starts an ephemeral-port daemon serving in the background and
+// returns it with a spawner pinned to its address.
+func testDaemon(t *testing.T) (*Daemon, *DaemonSpawner) {
+	t.Helper()
+	d, err := NewDaemon("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve()
+	t.Cleanup(func() { d.Close() })
+	sp := NewDaemonSpawner(d.Addr(), 0)
+	sp.DialTimeout = 2 * time.Second
+	return d, sp
+}
+
+// collectExits drains a handle's exit stream into a rank-indexed map.
+func collectExits(t *testing.T, h Handle, n int) map[int]error {
+	t.Helper()
+	got := make(map[int]error, n)
+	timeout := time.After(30 * time.Second)
+	for len(got) < n {
+		select {
+		case e, ok := <-h.Exits():
+			if !ok {
+				t.Fatalf("exit stream closed after %d of %d exits", len(got), n)
+			}
+			if _, dup := got[e.Rank]; dup {
+				t.Fatalf("rank %d exited twice", e.Rank)
+			}
+			got[e.Rank] = e.Err
+		case <-timeout:
+			t.Fatalf("timed out after %d of %d exits", len(got), n)
+		}
+	}
+	h.Wait()
+	return got
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for captured relay output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+// Write implements io.Writer.
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+// String returns the accumulated output.
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDaemonSpawnBlockRoundTrip is the protocol round trip: one SpawnBlock
+// request starts a whole mixed-fate block, the environment (launch context,
+// block env, per-rank env) reaches every rank, output comes back as
+// prefixed lines on the right streams, and per-rank exit statuses are
+// reported faithfully.
+func TestDaemonSpawnBlockRoundTrip(t *testing.T) {
+	_, sp := testDaemon(t)
+	var out, errOut syncBuffer
+	block := Block{
+		Size:     3,
+		Bind:     "127.0.0.1",
+		ExtraEnv: []string{"BLOCK_VAR=blk"},
+		Procs: []Proc{
+			{Rank: 0, Argv: []string{"/bin/sh", "-c", "echo rank=$MPH_RANK size=$MPH_NPROCS host=$MPH_HOST bind=$MPH_BIND blk=$BLOCK_VAR mine=$RANK_VAR"}, Env: []string{"RANK_VAR=r0"}},
+			{Rank: 1, Argv: []string{"/bin/sh", "-c", "echo oops 1>&2; exit 3"}, Exe: 1},
+			{Rank: 2, Argv: []string{"/bin/true"}, Exe: 1},
+		},
+		Rendezvous: "127.0.0.1:1",
+		Stdout:     &out,
+		Stderr:     &errOut,
+	}
+	h, err := sp.Spawn(context.Background(), "nodeX", block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exits := collectExits(t, h, 3)
+	if exits[0] != nil {
+		t.Errorf("rank 0: %v", exits[0])
+	}
+	if exits[1] == nil || !strings.Contains(exits[1].Error(), "exit status 3") {
+		t.Errorf("rank 1 err %v, want exit status 3", exits[1])
+	}
+	if exits[2] != nil {
+		t.Errorf("rank 2: %v", exits[2])
+	}
+	wantOut := "[exe0 rank0@nodeX] rank=0 size=3 host=nodeX bind=127.0.0.1 blk=blk mine=r0\n"
+	if got := out.String(); got != wantOut {
+		t.Errorf("stdout %q, want %q", got, wantOut)
+	}
+	if got := errOut.String(); got != "[exe1 rank1@nodeX] oops\n" {
+		t.Errorf("stderr %q", got)
+	}
+}
+
+// TestDaemonStartFailure pins the agent convention: a rank whose command
+// cannot start is reported as exit code 127 with the start error, without
+// failing the rest of the block.
+func TestDaemonStartFailure(t *testing.T) {
+	_, sp := testDaemon(t)
+	block := Block{
+		Size: 2,
+		Procs: []Proc{
+			{Rank: 0, Argv: []string{"/nonexistent-mph-binary"}},
+			{Rank: 1, Argv: []string{"/bin/true"}},
+		},
+	}
+	h, err := sp.Spawn(context.Background(), "", block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exits := collectExits(t, h, 2)
+	if exits[0] == nil || !strings.Contains(exits[0].Error(), "exit status 127") {
+		t.Errorf("unstartable rank err %v, want exit status 127", exits[0])
+	}
+	if exits[1] != nil {
+		t.Errorf("healthy rank: %v", exits[1])
+	}
+}
+
+// TestDaemonKillThroughDaemon is the grace-kill path: a Kill request over
+// the control connection must end the named rank's process group on the
+// daemon's side, surfacing as the SIGKILL exit status (137).
+func TestDaemonKillThroughDaemon(t *testing.T) {
+	_, sp := testDaemon(t)
+	block := Block{
+		Size: 2,
+		Procs: []Proc{
+			{Rank: 0, Argv: []string{"/bin/sh", "-c", "sleep 60"}},
+			{Rank: 1, Argv: []string{"/bin/sh", "-c", "sleep 60"}},
+		},
+	}
+	h, err := sp.Spawn(context.Background(), "", block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let both ranks start
+	h.Kill(0)
+	h.Kill(1)
+	start := time.Now()
+	exits := collectExits(t, h, 2)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("kill took %v; the sleeps should die immediately", elapsed)
+	}
+	for rank, err := range exits {
+		if err == nil || !strings.Contains(err.Error(), "exit status 137") {
+			t.Errorf("rank %d err %v, want exit status 137 (SIGKILL)", rank, err)
+		}
+	}
+}
+
+// TestDaemonDeathMidJob is the supervised-failure guarantee: when the
+// daemon dies with ranks still running, every pending rank must fail with a
+// connection-lost error promptly — a daemon crash becomes a reported job
+// failure, never a hang.
+func TestDaemonDeathMidJob(t *testing.T) {
+	d, sp := testDaemon(t)
+	block := Block{
+		Size: 2,
+		Procs: []Proc{
+			{Rank: 0, Argv: []string{"/bin/sh", "-c", "sleep 60"}},
+			{Rank: 1, Argv: []string{"/bin/sh", "-c", "sleep 60"}},
+		},
+	}
+	h, err := sp.Spawn(context.Background(), "", block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	d.Close()
+	start := time.Now()
+	exits := collectExits(t, h, 2)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("daemon death took %v to surface", elapsed)
+	}
+	for rank, err := range exits {
+		if err == nil || !strings.Contains(err.Error(), "connection lost") {
+			t.Errorf("rank %d err %v, want a connection-lost failure", rank, err)
+		}
+	}
+}
+
+// TestDaemonStaleReconnect is the restart story: a launcher dialing while
+// the host's daemon is down retries within its budget and connects to the
+// respawned daemon instead of failing on the stale socket.
+func TestDaemonStaleReconnect(t *testing.T) {
+	// Reserve an address, then leave it dead: the first dials must be refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	sp := NewDaemonSpawner(addr, 0)
+	sp.DialTimeout = 5 * time.Second
+	go func() {
+		time.Sleep(300 * time.Millisecond) // the supervisor respawning mphd
+		d, err := NewDaemon(addr)
+		if err != nil {
+			return // port raced away; the probe below will fail and report
+		}
+		go d.Serve()
+	}()
+	if err := sp.ProbeHost(context.Background(), ""); err != nil {
+		t.Fatalf("probe did not survive the daemon restart: %v", err)
+	}
+}
+
+// TestDaemonProbe covers both probe verdicts: pong from a live daemon, a
+// prompt error from a dead address.
+func TestDaemonProbe(t *testing.T) {
+	_, sp := testDaemon(t)
+	if err := sp.ProbeHost(context.Background(), "ignored"); err != nil {
+		t.Fatalf("probe of live daemon: %v", err)
+	}
+	dead := NewDaemonSpawner("127.0.0.1:1", 0)
+	dead.DialTimeout = 200 * time.Millisecond
+	start := time.Now()
+	if err := dead.ProbeHost(context.Background(), ""); err == nil {
+		t.Fatal("probe of dead address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dead probe took %v, want prompt failure", elapsed)
+	}
+}
+
+// TestLaunchDaemonProbeFailFast drives the pre-launch health check through
+// Launch: with no daemon listening, the launch must fail with a per-host
+// report before ever spawning or waiting out the rendezvous timeout.
+func TestLaunchDaemonProbeFailFast(t *testing.T) {
+	sp := NewDaemonSpawner("127.0.0.1:1", 0)
+	sp.DialTimeout = 200 * time.Millisecond
+	spec := &LaunchSpec{
+		Procs:   []Proc{{Rank: 0, Host: "nodeA", Argv: []string{"/bin/true"}}},
+		Spawner: sp,
+		Timeout: 60 * time.Second,
+		Quiet:   true,
+	}
+	start := time.Now()
+	err := Launch(context.Background(), spec)
+	if err == nil {
+		t.Fatal("launch succeeded with no daemon running")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("probe failure took %v; must fail fast, not wait out the rendezvous", elapsed)
+	}
+	if !strings.Contains(err.Error(), "host check failed") || !strings.Contains(err.Error(), "nodeA") {
+		t.Errorf("error %q is not a per-host probe report", err)
+	}
+}

@@ -1,14 +1,7 @@
 package mpirun
 
 import (
-	"encoding/base64"
-	"fmt"
-	"io"
-	"os"
-	"os/exec"
-	"strconv"
 	"strings"
-	"sync"
 	"time"
 )
 
@@ -16,95 +9,6 @@ import (
 // kill command (reap its process group and exit) before the launcher kills
 // the local agent or ssh process tree as a backstop.
 const agentKillBackstop = 2 * time.Second
-
-// child is one started rank under the launcher's supervision: the local
-// process (the rank itself, its agent, or its ssh client) plus the control
-// channel used to kill the rank's process group wherever it runs.
-type child struct {
-	cmd  *exec.Cmd
-	rank int
-	exe  int
-	host string
-
-	// agentIn is the agent's stdin for exec/ssh backends (nil for direct
-	// local spawns): writing "kill\n" — or just closing it — makes the
-	// remote agent SIGKILL the rank's process group.
-	agentIn io.WriteCloser
-	// done is closed once the child has been reaped; it cancels the kill
-	// backstop.
-	done chan struct{}
-
-	killOnce sync.Once
-}
-
-// kill terminates the rank's process group wherever it runs. Direct
-// children are killed immediately; agent-backed children are asked through
-// the agent's stdin (which kills the remote process group), with a local
-// process-tree kill after agentKillBackstop in case the agent itself is
-// gone or wedged. Idempotent.
-func (c *child) kill() {
-	c.killOnce.Do(func() {
-		if c.agentIn == nil {
-			killTree(c.cmd)
-			return
-		}
-		// Best effort: a dead agent just means the write fails and the
-		// backstop fires.
-		_, _ = io.WriteString(c.agentIn, "kill\n")
-		c.agentIn.Close()
-		go func() {
-			select {
-			case <-c.done:
-			case <-time.After(agentKillBackstop):
-				killTree(c.cmd)
-			}
-		}()
-	})
-}
-
-// starter spawns the ranks of one launch through the spec's backend.
-type starter struct {
-	spec        *LaunchSpec
-	backend     Backend
-	rvAddr      string
-	workerBind  string   // EnvBind value for every rank
-	agentPath   string   // agent binary for exec/ssh backends
-	regdata     string   // base64 registration contents shipped via the agent
-	passthrough []string // launcher MPH_* environment forwarded through the agent
-}
-
-// newStarter resolves the backend-dependent pieces of a launch: the agent
-// binary, the worker bind host, the shipped registration contents, and the
-// forwarded environment.
-func newStarter(spec *LaunchSpec, backend Backend, rvAddr string) (*starter, error) {
-	st := &starter{spec: spec, backend: backend, rvAddr: rvAddr}
-	if backend == BackendSSH {
-		// Remote ranks must be reachable from every other host; loopback
-		// listeners would wire a world nobody can dial.
-		st.workerBind = "0.0.0.0"
-	}
-	if backend != BackendLocal {
-		st.agentPath = spec.AgentPath
-		if st.agentPath == "" {
-			self, err := os.Executable()
-			if err != nil {
-				return nil, fmt.Errorf("mpirun: resolve agent path: %w", err)
-			}
-			st.agentPath = self
-		}
-		if spec.Registration != "" {
-			// Ship the registration file by value: remote hosts need its
-			// contents, not a launcher-local path.
-			data, err := os.ReadFile(spec.Registration)
-			if err != nil {
-				return nil, fmt.Errorf("mpirun: read registration: %w", err)
-			}
-			st.regdata = base64.StdEncoding.EncodeToString(data)
-		}
-		st.passthrough = passthroughEnv(os.Environ())
-	}
-	return st, nil
-}
 
 // perRankEnvKeys are the launch variables set per rank by the launcher;
 // they must never be forwarded from the launcher's own environment.
@@ -132,119 +36,6 @@ func passthroughEnv(environ []string) []string {
 		out = append(out, kv)
 	}
 	return out
-}
-
-// rankEnv builds the typed launch context for one rank.
-func (st *starter) rankEnv(p Proc) Env {
-	env := Env{
-		Rank:       p.Rank,
-		Size:       len(st.spec.Procs),
-		Rendezvous: st.rvAddr,
-		Host:       p.Host,
-		Bind:       st.workerBind,
-	}
-	if st.backend == BackendLocal {
-		env.Registration = st.spec.Registration
-	}
-	return env
-}
-
-// agentArgs builds the agent-exec argument list for one rank: the launch
-// context as flags, the forwarded environment as repeated -env flags, and
-// the rank's command after "--".
-func (st *starter) agentArgs(p Proc) []string {
-	env := st.rankEnv(p)
-	args := []string{
-		"agent-exec",
-		"-rank", strconv.Itoa(env.Rank),
-		"-size", strconv.Itoa(env.Size),
-		"-rendezvous", env.Rendezvous,
-	}
-	if env.Host != "" {
-		args = append(args, "-host", env.Host)
-	}
-	if env.Bind != "" {
-		args = append(args, "-bind", env.Bind)
-	}
-	if st.regdata != "" {
-		args = append(args, "-regdata", st.regdata)
-	}
-	for _, kv := range st.passthrough {
-		args = append(args, "-env", kv)
-	}
-	for _, kv := range st.spec.ExtraEnv {
-		args = append(args, "-env", kv)
-	}
-	for _, kv := range p.Env {
-		args = append(args, "-env", kv)
-	}
-	args = append(args, "--")
-	return append(args, p.Argv...)
-}
-
-// command assembles the local exec.Cmd that runs one rank under the spec's
-// backend, without starting it.
-func (st *starter) command(p Proc) (*exec.Cmd, error) {
-	switch st.backend {
-	case BackendExec:
-		return exec.Command(st.agentPath, st.agentArgs(p)...), nil
-	case BackendSSH:
-		host := p.Host
-		if host == "" {
-			// An unpinned rank of an ssh job runs on the launcher's host —
-			// still through the local agent so supervision is uniform.
-			return exec.Command(st.agentPath, st.agentArgs(p)...), nil
-		}
-		remote := shellJoin(append([]string{st.agentPath}, st.agentArgs(p)...))
-		sshArgs := []string{"-o", "BatchMode=yes", "-o", "StrictHostKeyChecking=accept-new"}
-		sshArgs = append(sshArgs, st.spec.SSHOptions...)
-		sshArgs = append(sshArgs, host, remote)
-		return exec.Command("ssh", sshArgs...), nil
-	default: // BackendLocal
-		cmd := exec.Command(p.Argv[0], p.Argv[1:]...)
-		cmd.Env = append(os.Environ(), st.rankEnv(p).Environ()...)
-		cmd.Env = append(cmd.Env, st.spec.ExtraEnv...)
-		cmd.Env = append(cmd.Env, p.Env...)
-		return cmd, nil
-	}
-}
-
-// start spawns one rank: command assembly, output relaying with a
-// rank-and-host prefix, process-group isolation, and (for agent backends)
-// the stdin kill channel.
-func (st *starter) start(p Proc, outWG *sync.WaitGroup) (*child, error) {
-	cmd, err := st.command(p)
-	if err != nil {
-		return nil, err
-	}
-	c := &child{cmd: cmd, rank: p.Rank, exe: p.Exe, host: p.Host, done: make(chan struct{})}
-	if st.backend != BackendLocal {
-		stdin, err := cmd.StdinPipe()
-		if err != nil {
-			return nil, err
-		}
-		c.agentIn = stdin
-	}
-	prefix := fmt.Sprintf("[exe%d rank%d] ", p.Exe, p.Rank)
-	if p.Host != "" {
-		prefix = fmt.Sprintf("[exe%d rank%d@%s] ", p.Exe, p.Rank, p.Host)
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, err
-	}
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		return nil, err
-	}
-	outWG.Add(2)
-	go relay(os.Stdout, stdout, prefix, outWG)
-	go relay(os.Stderr, stderr, prefix, outWG)
-	setProcGroup(cmd)
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("start %q (rank %d): %w", strings.Join(p.Argv, " "), p.Rank, err)
-	}
-	return c, nil
 }
 
 // shellJoin renders an argument vector as a single shell command line,

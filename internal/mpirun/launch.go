@@ -3,6 +3,7 @@ package mpirun
 import (
 	"bufio"
 	"context"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"io"
@@ -26,28 +27,32 @@ const (
 // teardown.
 const abortSendTimeout = 2 * time.Second
 
-// procResult is one reaped child: its world rank and cmd.Wait error.
+// procResult is one reaped child: its world rank and exit error.
 type procResult struct {
 	rank int
 	err  error
 }
 
-// Launch runs a placed MPMD job to completion: it starts the rendezvous,
-// spawns every rank on its host through the spec's backend, supervises the
-// job, and returns nil only if every rank exited cleanly.
+// Launch runs a placed MPMD job to completion: it probes the placement
+// hosts, starts the rendezvous, spawns every host's rank block through the
+// spec's Spawner, supervises the job, and returns nil only if every rank
+// exited cleanly.
 //
 // Failure semantics span hosts: a rank that exits before the world is wired
 // cancels the rendezvous and fails the job immediately; after wiring, the
 // first abnormal exit triggers an abort broadcast to every surviving rank's
 // advertised address (their blocked MPI calls return mpi.ErrAborted), and
 // once spec.Grace expires the remaining process groups are killed — through
-// the remote agent for ranks on other hosts. Canceling ctx aborts and kills
-// the job the same way and returns ctx.Err().
+// the remote agent or daemon for ranks on other hosts. Canceling ctx aborts
+// and kills the job the same way and returns ctx.Err().
 func Launch(ctx context.Context, spec *LaunchSpec) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
-	backend, _ := ParseBackend(string(spec.Backend)) // validated by spec.Validate
+	sp, err := spec.spawner()
+	if err != nil {
+		return err
+	}
 	timeout := spec.Timeout
 	if timeout <= 0 {
 		timeout = DefaultTimeout
@@ -57,9 +62,18 @@ func Launch(ctx context.Context, spec *LaunchSpec) error {
 		grace = DefaultGrace
 	}
 
+	// Pre-launch health checks: probe every placement host concurrently and
+	// fail fast with a per-host report, instead of spawning into dead hosts
+	// and burning the rendezvous timeout to find out.
+	if prober, ok := sp.(HostProber); ok {
+		if err := probeHosts(ctx, prober, spec.Hosts()); err != nil {
+			return err
+		}
+	}
+
 	total := len(spec.Procs)
 	rvBind := spec.Bind
-	if rvBind == "" && backend == BackendSSH {
+	if rvBind == "" && sp.WantsRoutable() {
 		// Remote ranks must be able to dial back; loopback would strand them.
 		rvBind = "0.0.0.0"
 	}
@@ -70,43 +84,46 @@ func Launch(ctx context.Context, spec *LaunchSpec) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- rv.Serve(timeout) }()
 
-	st, err := newStarter(spec, backend, rv.Advertised())
+	blocks, err := hostBlocks(spec, sp, rv.Advertised(), rvBind)
 	if err != nil {
 		rv.Close()
 		<-serveErr
 		return err
 	}
 
-	fmt.Fprintf(os.Stderr, "mphrun: world of %d ranks across %d executable(s) on %d host(s) [%s backend]; rendezvous %s\n",
-		total, countExes(spec), len(spec.Hosts()), backend, rv.Advertised())
+	if !spec.Quiet {
+		fmt.Fprintf(os.Stderr, "mphrun: world of %d ranks across %d executable(s) on %d host(s) [%s backend]; rendezvous %s\n",
+			total, countExes(spec), len(spec.Hosts()), sp.Name(), rv.Advertised())
+	}
 
-	var children []*child
-	var outWG sync.WaitGroup
+	var handles []Handle
+	rankHandle := make(map[int]Handle, total)
 	killAll := func() {
-		for _, c := range children {
-			c.kill()
+		for _, h := range handles {
+			h.Kill(-1)
 		}
 	}
-	for _, p := range spec.Procs {
-		c, err := st.start(p, &outWG)
+	results := make(chan procResult, total)
+	for _, hb := range blocks {
+		h, err := sp.Spawn(ctx, hb.host, hb.block)
 		if err != nil {
 			rv.Close()
 			killAll()
-			return err
+			for _, h := range handles {
+				h.Wait()
+			}
+			<-serveErr
+			return fmt.Errorf("spawn on host %q: %w", hb.host, err)
 		}
-		children = append(children, c)
-	}
-
-	// Reap each child on its own goroutine so a process that dies before
-	// the rendezvous completes aborts the job immediately instead of
-	// leaving the launcher waiting out the timeout.
-	results := make(chan procResult, len(children))
-	for _, c := range children {
-		go func(c *child) {
-			err := c.cmd.Wait()
-			close(c.done)
-			results <- procResult{rank: c.rank, err: err}
-		}(c)
+		handles = append(handles, h)
+		for _, p := range hb.block.Procs {
+			rankHandle[p.Rank] = h
+		}
+		go func(h Handle) {
+			for e := range h.Exits() {
+				results <- procResult{rank: e.Rank, err: e.Err}
+			}
+		}(h)
 	}
 
 	// Exit bookkeeping; everything below runs on this goroutine only.
@@ -123,10 +140,12 @@ func Launch(ctx context.Context, spec *LaunchSpec) error {
 		}
 	}
 	drainRest := func() {
-		for reaped < len(children) {
+		for reaped < total {
 			record(<-results)
 		}
-		outWG.Wait()
+		for _, h := range handles {
+			h.Wait()
+		}
 	}
 
 	// Phase 1: wait for the world to wire up, watching for children that
@@ -188,7 +207,7 @@ func Launch(ctx context.Context, spec *LaunchSpec) error {
 	// broadcast a launcher abort so every survivor's blocked MPI calls —
 	// on every host — fail with mpi.ErrAborted, then give them grace to
 	// exit on their own before killing the remaining process groups
-	// (through the agents for remote ranks).
+	// (through the agents or daemons for remote ranks).
 	book := rv.Book()
 	aborted := false
 	var graceCh <-chan time.Time
@@ -198,8 +217,8 @@ func Launch(ctx context.Context, spec *LaunchSpec) error {
 		}
 		aborted = true
 		survivors := 0
-		for _, c := range children {
-			if !exited[c.rank] {
+		for rank := range spec.Procs {
+			if !exited[rank] {
 				survivors++
 			}
 		}
@@ -207,13 +226,13 @@ func Launch(ctx context.Context, spec *LaunchSpec) error {
 			return
 		}
 		fmt.Fprintf(os.Stderr, "mphrun: rank %d%s failed; aborting %d surviving rank(s) (grace %v)\n",
-			primary, hostTag(children[primary].host), survivors, grace)
+			primary, hostTag(spec.Procs[primary].Host), survivors, grace)
 		broadcastAbort(book, exited)
 		graceCh = time.After(grace)
 	}
 	maybeAbort()
 	canceled := false
-	for reaped < len(children) {
+	for reaped < total {
 		select {
 		case <-ctx.Done():
 			if !canceled {
@@ -228,18 +247,102 @@ func Launch(ctx context.Context, spec *LaunchSpec) error {
 		case <-graceCh:
 			graceCh = nil
 			fmt.Fprintln(os.Stderr, "mphrun: grace period expired; killing surviving process groups")
-			for _, c := range children {
-				if !exited[c.rank] {
-					c.kill()
+			for rank := range spec.Procs {
+				if !exited[rank] {
+					rankHandle[rank].Kill(rank)
 				}
 			}
 		}
 	}
-	outWG.Wait()
+	for _, h := range handles {
+		h.Wait()
+	}
 	if canceled {
 		return ctx.Err()
 	}
-	return failureReport(spec, children, exitErr, primary)
+	return failureReport(spec, exitErr, primary)
+}
+
+// hostBlock pairs a placement host with its assembled Block.
+type hostBlock struct {
+	host  string
+	block Block
+}
+
+// hostBlocks groups the spec's ranks into per-host blocks in first-use host
+// order and fills in the job-wide launch context each spawner needs. The
+// registration file is shipped both ways — as the launcher-local path (for
+// the direct spawner) and as base64 contents (for spawners that cross a
+// host boundary).
+func hostBlocks(spec *LaunchSpec, sp Spawner, rvAddr, bind string) ([]hostBlock, error) {
+	regdata := ""
+	if spec.Registration != "" {
+		if _, isLocal := sp.(*LocalSpawner); !isLocal {
+			data, err := os.ReadFile(spec.Registration)
+			if err != nil {
+				return nil, fmt.Errorf("mpirun: read registration: %w", err)
+			}
+			regdata = base64.StdEncoding.EncodeToString(data)
+		}
+	}
+	base := Block{
+		Size:         len(spec.Procs),
+		Rendezvous:   rvAddr,
+		Registration: spec.Registration,
+		Regdata:      regdata,
+		Bind:         bind,
+		ExtraEnv:     spec.ExtraEnv,
+		Passthrough:  passthroughEnv(os.Environ()),
+	}
+	var blocks []hostBlock
+	index := make(map[string]int)
+	for _, p := range spec.Procs {
+		i, ok := index[p.Host]
+		if !ok {
+			i = len(blocks)
+			index[p.Host] = i
+			b := base
+			blocks = append(blocks, hostBlock{host: p.Host, block: b})
+		}
+		blocks[i].block.Procs = append(blocks[i].block.Procs, p)
+	}
+	return blocks, nil
+}
+
+// probeTimeout bounds the whole pre-launch host health check.
+const probeTimeout = 15 * time.Second
+
+// probeHosts checks every placement host concurrently through the
+// spawner's prober and returns a per-host failure report if any are
+// unreachable.
+func probeHosts(ctx context.Context, p HostProber, hosts []string) error {
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	errs := make([]error, len(hosts))
+	var wg sync.WaitGroup
+	for i, host := range hosts {
+		wg.Add(1)
+		go func(i int, host string) {
+			defer wg.Done()
+			errs[i] = p.ProbeHost(ctx, host)
+		}(i, host)
+	}
+	wg.Wait()
+	var bad []string
+	for i, err := range errs {
+		if err != nil {
+			name := hosts[i]
+			if name == "" {
+				name = "(launcher host)"
+			}
+			bad = append(bad, fmt.Sprintf("  %s: %v", name, err))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("mpirun: host check failed for %d of %d host(s):\n%s",
+		len(bad), len(hosts), strings.Join(bad, "\n"))
 }
 
 // countExes returns the number of distinct spec entries among the procs.
@@ -286,7 +389,7 @@ func broadcastAbort(book []Endpoint, exited []bool) {
 // or returns nil when every rank exited cleanly. primary is the first rank
 // whose failure was observed (-1 if none); the others typically failed as
 // collateral — aborted by the launcher or killed after the grace period.
-func failureReport(spec *LaunchSpec, children []*child, exitErr []error, primary int) error {
+func failureReport(spec *LaunchSpec, exitErr []error, primary int) error {
 	failed := 0
 	for _, err := range exitErr {
 		if err != nil {
@@ -302,19 +405,19 @@ func failureReport(spec *LaunchSpec, children []*child, exitErr []error, primary
 		var bad []string
 		ranks := 0
 		var argv []string
-		for _, c := range children {
-			if c.exe != ei {
+		for _, p := range spec.Procs {
+			if p.Exe != ei {
 				continue
 			}
 			ranks++
 			if argv == nil {
-				argv = spec.Procs[c.rank].Argv
+				argv = p.Argv
 			}
-			if exitErr[c.rank] == nil {
+			if exitErr[p.Rank] == nil {
 				continue
 			}
-			s := fmt.Sprintf("rank %d%s: %v", c.rank, hostTag(c.host), exitErr[c.rank])
-			if c.rank == primary {
+			s := fmt.Sprintf("rank %d%s: %v", p.Rank, hostTag(p.Host), exitErr[p.Rank])
+			if p.Rank == primary {
 				s += " (first failure)"
 			}
 			bad = append(bad, s)

@@ -141,18 +141,6 @@ func Launched() bool {
 	return os.Getenv(EnvRank) != "" && os.Getenv(EnvSize) != "" && os.Getenv(EnvRendezvous) != ""
 }
 
-// FromEnv reads the launch context as four positional values.
-//
-// Deprecated: use EnvFromOS, which also carries the host/bind fields and
-// validates in one place.
-func FromEnv() (rank, size int, rendezvous, registration string, err error) {
-	e, err := EnvFromOS()
-	if err != nil {
-		return 0, 0, "", "", err
-	}
-	return e.Rank, e.Size, e.Rendezvous, e.Registration, nil
-}
-
 // Endpoint is one rank's advertised network identity: the routable address
 // of its listener and the placement host label it runs on.
 type Endpoint struct {
@@ -281,12 +269,6 @@ func NewRendezvousBind(bind string, size int) (*Rendezvous, error) {
 // it equals the listen address.
 func (r *Rendezvous) Advertised() string { return r.advertised }
 
-// Addr returns the address workers should register with.
-//
-// Deprecated: use Advertised, which makes explicit that the address is the
-// routable advertised one, not necessarily the bound one.
-func (r *Rendezvous) Addr() string { return r.Advertised() }
-
 // Close cancels the exchange: a Serve in progress returns
 // ErrRendezvousClosed instead of waiting out its timeout. Safe to call
 // concurrently with Serve and more than once.
@@ -311,87 +293,137 @@ func (r *Rendezvous) Book() []Endpoint {
 	return out
 }
 
-// Addrs returns the completed address book (indexed by world rank), or nil
-// if Serve has not finished successfully.
-//
-// Deprecated: use Book, which also carries each rank's host label.
-func (r *Rendezvous) Addrs() []string {
-	book := r.Book()
-	if book == nil {
-		return nil
-	}
-	addrs := make([]string, len(book))
-	for i, ep := range book {
-		addrs[i] = ep.Addr
-	}
-	return addrs
-}
-
 // Serve runs the exchange to completion: it accepts every rank's
 // registration, then answers each with the full endpoint book, and closes
 // the listener. The timeout bounds the whole exchange.
+//
+// Registrations are read concurrently and the book is fanned out to all
+// registrants in parallel once complete, so the exchange costs one round
+// trip for the whole world instead of N sequential ones — a slow or distant
+// rank delays only the final fan-out, never the other ranks' reads.
 func (r *Rendezvous) Serve(timeout time.Duration) error {
 	defer r.ln.Close()
 	deadline := time.Now().Add(timeout)
 
-	book := make([]Endpoint, r.size)
-	conns := make([]net.Conn, r.size)
+	// registration is one parsed worker hello, or the error that ended it.
+	type registration struct {
+		rank int
+		ep   Endpoint
+		conn net.Conn
+		err  error
+	}
+	regCh := make(chan registration, r.size)
+	acceptErr := make(chan error, 1)
+
+	// Every accepted connection is tracked so the exchange can be torn down
+	// from any exit path while parser goroutines are still in flight.
+	var connMu sync.Mutex
+	var conns []net.Conn
+	done := false
+	track := func(c net.Conn) bool {
+		connMu.Lock()
+		defer connMu.Unlock()
+		if done {
+			c.Close()
+			return false
+		}
+		conns = append(conns, c)
+		return true
+	}
 	defer func() {
+		connMu.Lock()
+		done = true
 		for _, c := range conns {
-			if c != nil {
-				c.Close()
+			c.Close()
+		}
+		connMu.Unlock()
+	}()
+
+	go func() {
+		for i := 0; i < r.size; i++ {
+			if l, ok := r.ln.(*net.TCPListener); ok {
+				if err := l.SetDeadline(deadline); err != nil {
+					acceptErr <- err
+					return
+				}
 			}
+			conn, err := r.ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			if !track(conn) {
+				return
+			}
+			go func(conn net.Conn) {
+				reg := registration{conn: conn}
+				defer func() { regCh <- reg }()
+				if err := conn.SetDeadline(deadline); err != nil {
+					reg.err = err
+					return
+				}
+				line, err := bufio.NewReader(conn).ReadString('\n')
+				if err != nil {
+					reg.err = fmt.Errorf("mpirun: rendezvous read: %w", err)
+					return
+				}
+				fields := strings.Fields(line)
+				if len(fields) != 2 && len(fields) != 3 {
+					reg.err = fmt.Errorf("mpirun: malformed registration %q", strings.TrimSpace(line))
+					return
+				}
+				rank, err := strconv.Atoi(fields[0])
+				if err != nil || rank < 0 || rank >= r.size {
+					reg.err = fmt.Errorf("mpirun: registration with bad rank %q", fields[0])
+					return
+				}
+				reg.rank = rank
+				reg.ep = Endpoint{Addr: fields[1]}
+				if len(fields) == 3 && fields[2] != noHost {
+					reg.ep.Host = fields[2]
+				}
+			}(conn)
 		}
 	}()
 
-	for got := 0; got < r.size; got++ {
-		if l, ok := r.ln.(*net.TCPListener); ok {
-			if err := l.SetDeadline(deadline); err != nil {
-				return err
-			}
-		}
-		conn, err := r.ln.Accept()
-		if err != nil {
+	book := make([]Endpoint, r.size)
+	registered := make([]net.Conn, r.size)
+	for got := 0; got < r.size; {
+		select {
+		case err := <-acceptErr:
 			if r.closed.Load() {
 				return ErrRendezvousClosed
 			}
 			return fmt.Errorf("mpirun: rendezvous accept (%d/%d registered): %w", got, r.size, err)
+		case reg := <-regCh:
+			if reg.err != nil {
+				return reg.err
+			}
+			if registered[reg.rank] != nil {
+				return fmt.Errorf("mpirun: rank %d registered twice", reg.rank)
+			}
+			book[reg.rank] = reg.ep
+			registered[reg.rank] = reg.conn
+			got++
 		}
-		if err := conn.SetDeadline(deadline); err != nil {
-			conn.Close()
-			return err
-		}
-		line, err := bufio.NewReader(conn).ReadString('\n')
-		if err != nil {
-			conn.Close()
-			return fmt.Errorf("mpirun: rendezvous read: %w", err)
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 && len(fields) != 3 {
-			conn.Close()
-			return fmt.Errorf("mpirun: malformed registration %q", strings.TrimSpace(line))
-		}
-		rank, err := strconv.Atoi(fields[0])
-		if err != nil || rank < 0 || rank >= r.size {
-			conn.Close()
-			return fmt.Errorf("mpirun: registration with bad rank %q", fields[0])
-		}
-		if conns[rank] != nil {
-			conn.Close()
-			return fmt.Errorf("mpirun: rank %d registered twice", rank)
-		}
-		ep := Endpoint{Addr: fields[1]}
-		if len(fields) == 3 && fields[2] != noHost {
-			ep.Host = fields[2]
-		}
-		book[rank] = ep
-		conns[rank] = conn
 	}
 
-	reply := bookReply(book)
-	for rank, conn := range conns {
-		if _, err := conn.Write([]byte(reply)); err != nil {
-			return fmt.Errorf("mpirun: rendezvous reply to rank %d: %w", rank, err)
+	reply := []byte(bookReply(book))
+	replyErrs := make([]error, r.size)
+	var wg sync.WaitGroup
+	for rank, conn := range registered {
+		wg.Add(1)
+		go func(rank int, conn net.Conn) {
+			defer wg.Done()
+			if _, err := conn.Write(reply); err != nil {
+				replyErrs[rank] = fmt.Errorf("mpirun: rendezvous reply to rank %d: %w", rank, err)
+			}
+		}(rank, conn)
+	}
+	wg.Wait()
+	for _, err := range replyErrs {
+		if err != nil {
+			return err
 		}
 	}
 	r.mu.Lock()
@@ -459,21 +491,4 @@ func RegisterEndpoint(rendezvous string, rank int, ep Endpoint, timeout time.Dur
 		}
 	}
 	return book, nil
-}
-
-// Register reports this rank's listen address to the rendezvous and returns
-// the full address book (indexed by rank).
-//
-// Deprecated: use RegisterEndpoint, which also carries the rank's host
-// label for the job's host topology.
-func Register(rendezvous string, rank int, listenAddr string, timeout time.Duration) ([]string, error) {
-	book, err := RegisterEndpoint(rendezvous, rank, Endpoint{Addr: listenAddr}, timeout)
-	if err != nil {
-		return nil, err
-	}
-	addrs := make([]string, len(book))
-	for i, ep := range book {
-		addrs[i] = ep.Addr
-	}
-	return addrs, nil
 }

@@ -8,24 +8,24 @@ import (
 	"time"
 )
 
-func TestFromEnv(t *testing.T) {
+func TestEnvFromOS(t *testing.T) {
 	t.Setenv(EnvRank, "3")
 	t.Setenv(EnvSize, "8")
 	t.Setenv(EnvRendezvous, "127.0.0.1:9999")
 	t.Setenv(EnvRegistration, "/tmp/map.in")
-	rank, size, rv, reg, err := FromEnv()
+	e, err := EnvFromOS()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rank != 3 || size != 8 || rv != "127.0.0.1:9999" || reg != "/tmp/map.in" {
-		t.Fatalf("got %d %d %q %q", rank, size, rv, reg)
+	if e.Rank != 3 || e.Size != 8 || e.Rendezvous != "127.0.0.1:9999" || e.Registration != "/tmp/map.in" {
+		t.Fatalf("got %+v", e)
 	}
 	if !Launched() {
 		t.Fatal("Launched() false with full env")
 	}
 }
 
-func TestFromEnvErrors(t *testing.T) {
+func TestEnvFromOSErrors(t *testing.T) {
 	cases := []struct {
 		name             string
 		rank, size, rdzv string
@@ -42,7 +42,7 @@ func TestFromEnvErrors(t *testing.T) {
 			t.Setenv(EnvRank, tc.rank)
 			t.Setenv(EnvSize, tc.size)
 			t.Setenv(EnvRendezvous, tc.rdzv)
-			_, _, _, _, err := FromEnv()
+			_, err := EnvFromOS()
 			if err == nil {
 				t.Fatal("no error")
 			}
@@ -80,16 +80,16 @@ func TestRendezvousExchange(t *testing.T) {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- rv.Serve(10 * time.Second) }()
 
-	books := make(chan []string, n)
+	books := make(chan []Endpoint, n)
 	errs := make(chan error, n)
 	for r := 0; r < n; r++ {
 		go func(rank int) {
-			addrs, err := Register(rv.Addr(), rank, addrFor(rank), 10*time.Second)
+			book, err := RegisterEndpoint(rv.Advertised(), rank, Endpoint{Addr: addrFor(rank)}, 10*time.Second)
 			if err != nil {
 				errs <- err
 				return
 			}
-			books <- addrs
+			books <- book
 		}(r)
 	}
 	for i := 0; i < n; i++ {
@@ -101,8 +101,8 @@ func TestRendezvousExchange(t *testing.T) {
 				t.Fatalf("book %v", book)
 			}
 			for r := 0; r < n; r++ {
-				if book[r] != addrFor(r) {
-					t.Fatalf("book[%d] = %q", r, book[r])
+				if book[r].Addr != addrFor(r) {
+					t.Fatalf("book[%d] = %q", r, book[r].Addr)
 				}
 			}
 		}
@@ -117,7 +117,7 @@ func addrFor(rank int) string {
 }
 
 func TestRegisterDialFailure(t *testing.T) {
-	if _, err := Register("127.0.0.1:1", 0, "x:1", 200*time.Millisecond); err == nil {
+	if _, err := RegisterEndpoint("127.0.0.1:1", 0, Endpoint{Addr: "x:1"}, 200*time.Millisecond); err == nil {
 		t.Fatal("dial to closed port succeeded")
 	}
 }
@@ -130,7 +130,7 @@ func TestRendezvousRejectsMalformedRegistration(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- rv.Serve(5 * time.Second) }()
 	// A client that sends garbage instead of "rank addr".
-	conn, err := dial(rv.Addr())
+	conn, err := dial(rv.Advertised())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,37 +176,37 @@ func TestRendezvousClose(t *testing.T) {
 	}
 }
 
-// TestRendezvousAddrs checks the address-book accessor the launcher's abort
+// TestRendezvousBook checks the endpoint-book accessor the launcher's abort
 // broadcast relies on: nil before the exchange completes, the full book in
 // rank order afterwards, and safely copied.
-func TestRendezvousAddrs(t *testing.T) {
+func TestRendezvousBook(t *testing.T) {
 	const n = 2
 	rv, err := NewRendezvous(n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rv.Addrs() != nil {
-		t.Error("Addrs non-nil before Serve completed")
+	if rv.Book() != nil {
+		t.Error("Book non-nil before Serve completed")
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- rv.Serve(10 * time.Second) }()
 	for r := 0; r < n; r++ {
-		go Register(rv.Addr(), r, addrFor(r), 10*time.Second)
+		go RegisterEndpoint(rv.Advertised(), r, Endpoint{Addr: addrFor(r)}, 10*time.Second)
 	}
 	if err := <-serveErr; err != nil {
 		t.Fatal(err)
 	}
-	addrs := rv.Addrs()
-	if len(addrs) != n {
-		t.Fatalf("Addrs = %v", addrs)
+	book := rv.Book()
+	if len(book) != n {
+		t.Fatalf("Book = %v", book)
 	}
 	for r := 0; r < n; r++ {
-		if addrs[r] != addrFor(r) {
-			t.Errorf("addrs[%d] = %q, want %q", r, addrs[r], addrFor(r))
+		if book[r].Addr != addrFor(r) {
+			t.Errorf("book[%d].Addr = %q, want %q", r, book[r].Addr, addrFor(r))
 		}
 	}
-	addrs[0] = "mutated"
-	if rv.Addrs()[0] == "mutated" {
-		t.Error("Addrs returned the internal slice, not a copy")
+	book[0].Addr = "mutated"
+	if rv.Book()[0].Addr == "mutated" {
+		t.Error("Book returned the internal slice, not a copy")
 	}
 }

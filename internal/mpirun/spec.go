@@ -247,34 +247,49 @@ func ParsePlacement(s string) (Placement, error) {
 	return 0, fmt.Errorf("unknown placement %q (want block or cyclic)", s)
 }
 
-// Backend selects how ranks are spawned.
+// Backend names how ranks are spawned.
+//
+// Deprecated: backends are now typed Spawner values. Use the constructors
+// (NewLocalSpawner, NewExecSpawner, NewSSHSpawner, NewDaemonSpawner) or
+// NewSpawner to convert a parsed name; the string constants remain only as
+// CLI spellings.
 type Backend string
 
 const (
-	// BackendLocal spawns every rank directly on the launcher's host — the
-	// classic single-host mode. Host assignments are not allowed.
+	// BackendLocal names the direct-spawn backend (LocalSpawner): every rank
+	// runs on the launcher's host, host assignments are not allowed.
+	//
+	// Deprecated: use NewLocalSpawner.
 	BackendLocal Backend = "local"
-	// BackendExec spawns every rank through the agent command on the
-	// launcher's own host, treating host assignments as labels only. It
-	// exercises the full remote path (agent protocol, env forwarding,
-	// host topology, remote kill) without an ssh daemon, which is what CI
-	// runs.
+	// BackendExec names the local-agent backend (ExecSpawner): every rank
+	// runs through the agent command on the launcher's own host, with host
+	// assignments treated as labels only.
+	//
+	// Deprecated: use NewExecSpawner.
 	BackendExec Backend = "exec"
-	// BackendSSH spawns each rank by running the agent command on its
-	// assigned host via ssh.
+	// BackendSSH names the ssh backend (SSHSpawner): each rank's agent runs
+	// on its assigned host via ssh.
+	//
+	// Deprecated: use NewSSHSpawner.
 	BackendSSH Backend = "ssh"
+	// BackendDaemon names the persistent-daemon backend (DaemonSpawner):
+	// each host block is shipped in one request to the mphd agent daemon
+	// already running there.
+	//
+	// Deprecated: use NewDaemonSpawner.
+	BackendDaemon Backend = "daemon"
 )
 
-// ParseBackend reads a backend name ("local", "exec", or "ssh"; "" selects
-// local).
+// ParseBackend reads a backend name ("local", "exec", "ssh", or "daemon";
+// "" selects local). Pass the result to NewSpawner.
 func ParseBackend(s string) (Backend, error) {
 	switch Backend(s) {
 	case "":
 		return BackendLocal, nil
-	case BackendLocal, BackendExec, BackendSSH:
+	case BackendLocal, BackendExec, BackendSSH, BackendDaemon:
 		return Backend(s), nil
 	}
-	return "", fmt.Errorf("unknown backend %q (want local, exec, or ssh)", s)
+	return "", fmt.Errorf("unknown backend %q (want local, exec, ssh, or daemon)", s)
 }
 
 // Proc is one placed rank of a LaunchSpec.
@@ -314,18 +329,40 @@ type LaunchSpec struct {
 	// (observability dump directories and the like).
 	ExtraEnv []string
 	// Bind is the host or IP the rendezvous and every rank's listener bind
-	// ("" = backend default: loopback for local and exec, all interfaces
-	// with a detected routable IP for ssh).
+	// ("" = backend default: loopback unless the spawner wants routable
+	// addresses, in which case all interfaces with a detected routable IP).
 	Bind string
-	// Backend selects how ranks are spawned ("" = BackendLocal).
+	// Quiet suppresses the launcher's informational banner (benchmark
+	// harnesses that launch hundreds of jobs).
+	Quiet bool
+	// Spawner starts the host-local rank blocks (nil = resolved from the
+	// deprecated Backend field, defaulting to NewLocalSpawner).
+	Spawner Spawner
+	// Backend selects how ranks are spawned when Spawner is nil.
+	//
+	// Deprecated: set Spawner instead.
 	Backend Backend
 	// AgentPath is the mphrun binary to run as the remote agent ("" = this
-	// executable). Under BackendSSH the path must exist on every remote
-	// host.
+	// executable), used when Spawner is resolved from Backend. Under
+	// BackendSSH the path must exist on every remote host.
+	//
+	// Deprecated: pass the path to the spawner constructor instead.
 	AgentPath string
 	// SSHOptions are extra ssh arguments inserted before the host (after
-	// the built-in BatchMode options).
+	// the built-in BatchMode options), used when Spawner is resolved from
+	// Backend.
+	//
+	// Deprecated: pass the options to NewSSHSpawner instead.
 	SSHOptions []string
+}
+
+// spawner resolves the spec's Spawner, falling back to the deprecated
+// Backend field for callers that still fill in strings.
+func (s *LaunchSpec) spawner() (Spawner, error) {
+	if s.Spawner != nil {
+		return s.Spawner, nil
+	}
+	return NewSpawner(s.Backend, SpawnerOptions{AgentPath: s.AgentPath, SSHOptions: s.SSHOptions})
 }
 
 // NewLaunchSpec places the ranks of the parsed entries onto hosts with the
@@ -365,7 +402,40 @@ func NewLaunchSpec(entries []Entry, hosts []HostSlot, policy Placement) (*Launch
 			rank++
 		}
 	}
+	injectSlotShares(spec.Procs, hosts)
 	return spec, nil
+}
+
+// injectSlotShares appends a GOMAXPROCS override to each rank placed on a
+// host with a known slot count: its share of the host's slots, floored at
+// one. On an oversubscribed host every rank would otherwise size its
+// scheduler to the full machine and thrash; with the share, co-located
+// ranks split the slots evenly. A caller's own per-rank Env GOMAXPROCS
+// still wins — the share is prepended, and child environments keep the last
+// value of a duplicated key.
+func injectSlotShares(procs []Proc, hosts []HostSlot) {
+	if len(hosts) == 0 {
+		return
+	}
+	slots := make(map[string]int, len(hosts))
+	for _, h := range hosts {
+		slots[h.Name] = h.Slots
+	}
+	ranksOn := make(map[string]int)
+	for _, p := range procs {
+		ranksOn[p.Host]++
+	}
+	for i := range procs {
+		total, known := slots[procs[i].Host]
+		if !known {
+			continue
+		}
+		share := total / ranksOn[procs[i].Host]
+		if share < 1 {
+			share = 1
+		}
+		procs[i].Env = append([]string{fmt.Sprintf("GOMAXPROCS=%d", share)}, procs[i].Env...)
+	}
 }
 
 // placeRanks computes the host of every rank: pins first, then the policy
@@ -432,15 +502,16 @@ func placementSequence(hosts []HostSlot, policy Placement, n int) []string {
 	return seq
 }
 
-// Validate checks the spec for internal consistency and backend fit.
+// Validate checks the spec for internal consistency and spawner fit.
 func (s *LaunchSpec) Validate() error {
 	if len(s.Procs) == 0 {
 		return fmt.Errorf("mpirun: spec has no ranks")
 	}
-	backend, err := ParseBackend(string(s.Backend))
+	sp, err := s.spawner()
 	if err != nil {
 		return fmt.Errorf("mpirun: %w", err)
 	}
+	_, local := sp.(*LocalSpawner)
 	for i, p := range s.Procs {
 		if p.Rank != i {
 			return fmt.Errorf("mpirun: spec rank %d at index %d (ranks must be dense and ordered)", p.Rank, i)
@@ -448,8 +519,8 @@ func (s *LaunchSpec) Validate() error {
 		if len(p.Argv) == 0 {
 			return fmt.Errorf("mpirun: rank %d has no command", i)
 		}
-		if p.Host != "" && backend == BackendLocal {
-			return fmt.Errorf("mpirun: rank %d placed on host %q but the backend is local; use -backend exec or ssh", i, p.Host)
+		if p.Host != "" && local {
+			return fmt.Errorf("mpirun: rank %d placed on host %q but the backend is local; use -backend exec, ssh, or daemon", i, p.Host)
 		}
 	}
 	return nil

@@ -287,13 +287,16 @@ func TestLaunchSpecValidate(t *testing.T) {
 }
 
 func TestAgentArgs(t *testing.T) {
-	spec := &LaunchSpec{
-		Procs:    []Proc{{Rank: 0, Host: "node-a", Argv: []string{"./worker", "-v"}, Env: []string{"RANK_ONLY=1"}}},
-		ExtraEnv: []string{"MPH_STATS_DIR=/tmp/stats"},
-		Backend:  BackendExec,
+	p := Proc{Rank: 0, Host: "node-a", Argv: []string{"./worker", "-v"}, Env: []string{"RANK_ONLY=1"}}
+	block := Block{
+		Procs:       []Proc{p},
+		Size:        1,
+		Rendezvous:  "10.0.0.1:4000",
+		Regdata:     "QUJD",
+		ExtraEnv:    []string{"MPH_STATS_DIR=/tmp/stats"},
+		Passthrough: []string{"MPH_FAULT=x"},
 	}
-	st := &starter{spec: spec, backend: BackendExec, rvAddr: "10.0.0.1:4000", regdata: "QUJD", passthrough: []string{"MPH_FAULT=x"}}
-	args := st.agentArgs(spec.Procs[0])
+	args := agentArgs("node-a", block, p)
 	joined := strings.Join(args, " ")
 	want := "agent-exec -rank 0 -size 1 -rendezvous 10.0.0.1:4000 -host node-a " +
 		"-regdata QUJD -env MPH_FAULT=x -env MPH_STATS_DIR=/tmp/stats -env RANK_ONLY=1 -- ./worker -v"

@@ -29,6 +29,9 @@
 # (MPH_EAGER_THRESHOLD=0) and asserts the summary counts at least one
 # intra-host payload frame AND still reconciles — proof the Unix-socket
 # payload channel engaged under a real exec-backend launch and lost nothing.
+# The daemon smoke starts a real mphd and launches the climate job through it
+# (-backend daemon), proving the persistent-agent path works outside the unit
+# tests; the L1 smoke keeps the launch-latency harness executable.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -89,6 +92,26 @@ MPH_EAGER_THRESHOLD=0 "$smoke/mphrun" -hosts nodeA:5 -backend exec -placement bl
     > "$smoke/shm.out"
 grep -q "totals reconcile" "$smoke/shm.out"
 grep -Eq "shm channel: [1-9][0-9]* payload frame" "$smoke/shm.out"
+
+# Daemon smoke: start a real mphd on a loopback port and run the climate job
+# through it — the persistent-agent launch path (SpawnBlock gang spawn, event
+# streaming, daemon-side reaping) end to end, with the stats summary still
+# reconciling. The daemon is killed (and its death tolerated) on exit.
+go build -o "$smoke/mphd" ./cmd/mphd
+"$smoke/mphd" -listen 127.0.0.1:7641 > "$smoke/mphd.out" 2>&1 &
+mphd_pid=$!
+trap 'kill "$mphd_pid" 2>/dev/null; rm -rf "$smoke"' EXIT
+"$smoke/mphrun" -hosts nodeA:3,nodeB:2 -backend daemon -daemon-addr 127.0.0.1:7641 \
+    -placement block -stats \
+    -cmdfile "$smoke/job.cmd" -registration examples/climate/processors_map.in \
+    > "$smoke/daemon.out"
+grep -q "totals reconcile" "$smoke/daemon.out"
+
+# L1 smoke: one repetition of the gang-launch latency sweep, so the
+# launch-latency harness (worker mode, agent-exec dispatch, in-process
+# daemon) stays executable.
+go run ./cmd/mphbench -exp L1 -repeat 1 -launchout /tmp/bench_launch.$$.json
+rm -f /tmp/bench_launch.$$.json
 
 # Telemetry smoke: the same job, paced to ~2s of wall-clock (the unpaced
 # grid finishes in milliseconds — too fast to scrape), with live reporting.
